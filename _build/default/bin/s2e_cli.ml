@@ -1,0 +1,195 @@
+(* Command-line front end for the platform: run guest stacks concretely,
+   hunt driver bugs (DDT+), reverse engineer drivers (REV+), profile
+   workloads (PROFS) and compare consistency models.
+
+   dune exec bin/s2e_cli.exe -- <command> --help *)
+
+open Cmdliner
+open S2e_tools
+module Guest = S2e_guest.Guest
+
+let driver_arg =
+  let names = List.map fst Guest.drivers in
+  let doc =
+    Printf.sprintf "Driver to analyze: one of %s." (String.concat ", " names)
+  in
+  Arg.(value & opt string "pcnet" & info [ "driver" ] ~docv:"NAME" ~doc)
+
+let model_arg =
+  let doc = "Execution consistency model: SC-CE, SC-UE, SC-SE, LC, RC-OC or RC-CC." in
+  Arg.(value & opt string "LC" & info [ "model" ] ~docv:"MODEL" ~doc)
+
+let seconds_arg =
+  let doc = "Wall-clock exploration budget in seconds." in
+  Arg.(value & opt float 20.0 & info [ "seconds" ] ~docv:"S" ~doc)
+
+let check_driver name =
+  if not (List.mem_assoc name Guest.drivers) then begin
+    Fmt.epr "unknown driver %S (have: %s)@." name
+      (String.concat ", " (List.map fst Guest.drivers));
+    exit 2
+  end
+
+(* --- run: boot a guest stack concretely on the reference VM --- *)
+
+let run_cmd =
+  let workload_arg =
+    let doc = "Workload: exerciser, urlparse, ping, ping-buggy or mua." in
+    Arg.(value & opt string "exerciser" & info [ "workload" ] ~docv:"W" ~doc)
+  in
+  let run driver workload =
+    check_driver driver;
+    let wl =
+      match workload with
+      | "exerciser" -> ("exerciser", S2e_guest.Workloads_src.exerciser)
+      | "urlparse" -> ("urlparse", S2e_guest.Workloads_src.urlparse)
+      | "ping" -> ("ping", S2e_guest.Workloads_src.ping ~buggy:false)
+      | "ping-buggy" -> ("ping", S2e_guest.Workloads_src.ping ~buggy:true)
+      | "mua" -> ("mua", S2e_guest.Workloads_src.mua)
+      | w ->
+          Fmt.epr "unknown workload %S@." w;
+          exit 2
+    in
+    let img = Guest.build ~driver:(driver, List.assoc driver Guest.drivers) ~workload:wl () in
+    let m = S2e_vm.Machine.create () in
+    Guest.load_into_machine m img;
+    ignore (S2e_vm.Netdev.inject_frame m.devices.netdev (Array.init 28 (fun i -> i)));
+    let status = S2e_vm.Machine.run m in
+    Fmt.pr "status: %s@."
+      (match status with
+      | S2e_vm.Machine.Halted -> "halted"
+      | S2e_vm.Machine.Faulted f -> "faulted: " ^ f
+      | S2e_vm.Machine.Running -> "still running (out of fuel)");
+    Fmt.pr "instructions: %d@." m.instret;
+    Fmt.pr "result: 0x%x@." (S2e_vm.Machine.read32 m Guest.result_addr);
+    let out = S2e_vm.Machine.console_output m in
+    if out <> "" then Fmt.pr "console: %s@." out
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Boot a guest stack concretely on the reference VM")
+    Term.(const run $ driver_arg $ workload_arg)
+
+(* --- ddt --- *)
+
+let ddt_cmd =
+  let run driver model seconds =
+    check_driver driver;
+    let consistency = S2e_core.Consistency.of_name model in
+    let r = Ddt.run ~max_seconds:seconds ~driver ~consistency () in
+    Fmt.pr "%a" Ddt.pp_result r
+  in
+  Cmd.v
+    (Cmd.info "ddt" ~doc:"Test a driver for bugs (DDT+, paper section 6.1.1)")
+    Term.(const run $ driver_arg $ model_arg $ seconds_arg)
+
+(* --- rev --- *)
+
+let rev_cmd =
+  let listing_arg =
+    let doc = "Print the synthesized driver listing." in
+    Arg.(value & flag & info [ "listing" ] ~doc)
+  in
+  let baseline_arg =
+    let doc = "Use the RevNIC-style baseline configuration." in
+    Arg.(value & flag & info [ "baseline" ] ~doc)
+  in
+  let run driver seconds listing baseline =
+    check_driver driver;
+    let mode = if baseline then `Revnic_baseline else `Rev_plus in
+    let r = Rev.run ~max_seconds:seconds ~mode ~driver () in
+    Fmt.pr "coverage: %d/%d instructions (%.1f%%), %d blocks recovered@."
+      r.covered_insns r.total_insns (100. *. r.coverage)
+      (List.length r.cfg.blocks);
+    if listing then print_string (Rev.synthesize r.cfg)
+  in
+  Cmd.v
+    (Cmd.info "rev"
+       ~doc:"Reverse engineer a driver binary (REV+, paper section 6.1.2)")
+    Term.(const run $ driver_arg $ seconds_arg $ listing_arg $ baseline_arg)
+
+(* --- profs --- *)
+
+let profs_cmd =
+  let workload_arg =
+    let doc = "Workload to profile: urlparse, ping or ping-buggy." in
+    Arg.(value & opt string "urlparse" & info [ "workload" ] ~docv:"W" ~doc)
+  in
+  let run workload seconds =
+    let wl, frames, driver =
+      let reply = Array.make 28 0 in
+      reply.(0) <- 0x45;
+      match workload with
+      | "urlparse" ->
+          ( ("urlparse", S2e_guest.Workloads_src.urlparse),
+            [],
+            ("nulldrv", S2e_guest.Drivers_src.nulldrv) )
+      | "ping" ->
+          ( ("ping", S2e_guest.Workloads_src.ping ~buggy:false),
+            [ reply ],
+            ("pcnet", List.assoc "pcnet" Guest.drivers) )
+      | "ping-buggy" ->
+          ( ("ping", S2e_guest.Workloads_src.ping ~buggy:true),
+            [ reply ],
+            ("pcnet", List.assoc "pcnet" Guest.drivers) )
+      | w ->
+          Fmt.epr "unknown workload %S@." w;
+          exit 2
+    in
+    let r = Profs.run ~max_seconds:seconds ~driver ~frames ~workload:wl () in
+    Fmt.pr "%d paths (%d completed), %d killed%s@." (List.length r.paths)
+      (List.length (Profs.completed r))
+      r.killed_paths
+      (if r.unbounded then ", INFINITE LOOP DETECTED" else "");
+    (match Profs.envelope r with
+    | Some (lo, hi) -> Fmt.pr "instruction envelope: [%d, %d]@." lo hi
+    | None -> ());
+    List.iteri
+      (fun i p ->
+        if i < 12 then
+          Fmt.pr "  path %4d: %6d instrs, %4d L1 misses, %3d TLB, %2d faults (%s)@."
+            p.Profs.p_id p.p_instructions
+            (p.p_i1_misses + p.p_d1_misses)
+            p.p_tlb_misses p.p_page_faults p.p_status)
+      r.paths
+  in
+  Cmd.v
+    (Cmd.info "profs"
+       ~doc:"Multi-path performance profiling (PROFS, paper section 6.1.3)")
+    Term.(const run $ workload_arg $ seconds_arg)
+
+(* --- models --- *)
+
+let models_cmd =
+  let target_arg =
+    let doc = "Target: a driver name or 'mua'." in
+    Arg.(value & opt string "c111" & info [ "target" ] ~docv:"T" ~doc)
+  in
+  let run target seconds =
+    let models = S2e_core.Consistency.[ RC_OC; LC; SC_SE; SC_UE ] in
+    List.iter
+      (fun model ->
+        let m =
+          if target = "mua" then
+            if model = S2e_core.Consistency.SC_UE then None
+            else Some (Model_exp.run_mua ~max_seconds:seconds ~consistency:model ())
+          else begin
+            check_driver target;
+            Some (Model_exp.run_driver ~max_seconds:seconds ~driver:target ~consistency:model ())
+          end
+        in
+        match m with
+        | Some m -> Fmt.pr "%a@." Model_exp.pp_measurement m
+        | None -> ())
+      models
+  in
+  Cmd.v
+    (Cmd.info "models"
+       ~doc:"Compare execution consistency models (paper section 6.3)")
+    Term.(const run $ target_arg $ seconds_arg)
+
+let () =
+  let doc = "in-vivo multi-path analysis platform (S2E reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "s2e" ~doc)
+          [ run_cmd; ddt_cmd; rev_cmd; profs_cmd; models_cmd ]))

@@ -1,0 +1,1 @@
+examples/driver_bughunt.ml: Array Consistency Ddt Events Executor List Printf S2e_core S2e_expr S2e_guest S2e_isa S2e_plugins S2e_solver S2e_tools S2e_vm State

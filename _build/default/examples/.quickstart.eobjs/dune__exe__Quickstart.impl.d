@@ -1,0 +1,1 @@
+examples/quickstart.ml: Events Executor Printf S2e_core S2e_expr S2e_guest S2e_solver S2e_vm State Symmem

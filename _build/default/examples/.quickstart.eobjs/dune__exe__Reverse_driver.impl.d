@@ -1,0 +1,1 @@
+examples/reverse_driver.ml: List Printf Rev S2e_tools String

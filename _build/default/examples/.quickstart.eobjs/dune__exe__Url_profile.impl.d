@@ -1,0 +1,1 @@
+examples/url_profile.ml: Char List Printf Profs S2e_guest S2e_tools String

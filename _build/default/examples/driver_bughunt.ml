@@ -1,0 +1,86 @@
+(* Driver bug hunt: run DDT+ against the (buggy) PCnet driver analogue
+   under local consistency and print a crash report for each bug, including
+   a WinDbg-style dump of the guest state and the concrete inputs that
+   reach the bug (paper section 6.1.1).
+
+   Run with:  dune exec examples/driver_bughunt.exe *)
+
+open S2e_core
+open S2e_tools
+module Expr = S2e_expr.Expr
+module Guest = S2e_guest.Guest
+
+(* A crash dump in the spirit of the ones DDT+ hands to WinDbg: registers,
+   the top of the stack, and the injected values that trigger the bug. *)
+let print_crash_dump (b : Events.bug) =
+  let s = b.bug_state in
+  Printf.printf "  --- crash dump (path %d) ---\n" s.State.id;
+  Printf.printf "  pc = 0x%08x   status: %s\n" b.bug_pc
+    (State.status_string s.State.status);
+  for r = 0 to S2e_isa.Insn.num_regs - 1 do
+    let v = State.get_reg s r in
+    let rendered =
+      match Expr.to_const v with
+      | Some c -> Printf.sprintf "%08Lx" c
+      | None -> "<symbolic>"
+    in
+    Printf.printf "  %4s = %s%s" (S2e_isa.Insn.reg_name r) rendered
+      (if r mod 4 = 3 then "\n" else "  ")
+  done;
+  (* Concrete inputs that drive execution to this point. *)
+  (match S2e_solver.Solver.check s.State.constraints with
+  | S2e_solver.Solver.Sat model when not (Expr.Int_map.is_empty model) ->
+      Printf.printf "  triggering inputs (solved from %d path constraints):\n"
+        (List.length s.State.constraints);
+      let shown = ref 0 in
+      Expr.Int_map.iter
+        (fun id v ->
+          if !shown < 8 then begin
+            incr shown;
+            Printf.printf "    var#%d = 0x%Lx\n" id v
+          end)
+        model
+  | _ -> ());
+  print_newline ()
+
+let () =
+  let driver = "pcnet" in
+  Printf.printf "DDT+: hunting bugs in the %s driver binary under LC...\n\n%!"
+    (Guest.driver_display_name driver);
+  (* Wire the bug event to the crash-dump printer by re-running with our own
+     engine — Ddt.run owns its engine, so we use its result list for the
+     summary and print dumps from a custom run for the first few bugs. *)
+  let r = Ddt.run ~max_seconds:15.0 ~driver ~consistency:Consistency.LC () in
+  Printf.printf "%d paths explored in %.1fs, %.0f%% driver coverage\n\n"
+    r.paths r.seconds (100. *. r.coverage);
+  Printf.printf "distinct bugs found: %d\n" (List.length r.bugs);
+  List.iter
+    (fun (b : Ddt.bug_report) ->
+      Printf.printf "  [%s] at pc 0x%x: %s\n" b.kind b.pc b.message)
+    r.bugs;
+  print_newline ();
+  (* Second pass with a dump printer attached, to show full crash dumps. *)
+  print_endline "re-running with crash dumps enabled for the first 3 bugs:";
+  let engine, img = Ddt.build_engine ~driver ~consistency:Consistency.LC in
+  let checker =
+    S2e_plugins.Memchecker.attach engine
+      ~alloc_addr:(Guest.symbol img "alloc")
+      ~free_addr:(Guest.symbol img "kfree")
+      ~unit_name:driver
+  in
+  Ddt.install_lc_annotations engine img checker;
+  let dumped = ref 0 in
+  Events.reg_bug engine.Executor.events (fun b ->
+      if !dumped < 3 then begin
+        incr dumped;
+        print_crash_dump b
+      end);
+  let s0 = Executor.boot engine ~entry:img.Guest.entry () in
+  ignore
+    (S2e_vm.Netdev.inject_frame s0.State.devices.netdev
+       (Array.init 24 (fun i -> (i * 7) land 0xff)));
+  ignore
+    (Executor.run
+       ~limits:{ Executor.max_instructions = Some 2_000_000;
+                 max_seconds = Some 15.0; max_completed = None }
+       engine s0)

@@ -1,0 +1,38 @@
+(* Reverse engineering a binary driver with REV+ (paper section 6.1.2).
+
+   Run with:  dune exec examples/reverse_driver.exe
+
+   The engine executes the RTL8029 driver binary under overapproximate
+   consistency with symbolic hardware, the ExecutionTracer logs everything
+   the driver does, and the offline analyzer rebuilds its control-flow
+   graph and emits a synthesized driver listing. *)
+
+open S2e_tools
+
+let () =
+  let driver = "rtl8029" in
+  Printf.printf "REV+: reverse engineering the %s driver binary...\n%!" driver;
+  let r = Rev.run ~max_seconds:15.0 ~driver () in
+  Printf.printf "coverage: %d/%d instructions (%.0f%%) in %.1fs\n"
+    r.covered_insns r.total_insns (100. *. r.coverage) r.seconds;
+  Printf.printf "recovered %d basic blocks rooted at %d entry points\n\n"
+    (List.length r.cfg.blocks)
+    (List.length r.cfg.entry_points);
+  let listing = Rev.synthesize r.cfg in
+  (* Print the synthesized driver's first entry point in full and summarize
+     the rest. *)
+  let lines = String.split_on_char '\n' listing in
+  let shown = ref 0 in
+  List.iter
+    (fun line ->
+      if !shown < 40 then begin
+        incr shown;
+        print_endline line
+      end)
+    lines;
+  Printf.printf "... (%d more lines of synthesized driver)\n"
+    (max 0 (List.length lines - !shown));
+  Printf.printf
+    "\nThe synthesized listing implements the same hardware protocol as the\n\
+     original binary: every port access and DMA command appears in the\n\
+     recovered blocks, ready for porting to another OS.\n"

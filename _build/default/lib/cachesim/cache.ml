@@ -1,0 +1,81 @@
+(** Set-associative cache with LRU replacement.
+
+    The PerformanceProfile plugin simulates a configurable hierarchy of
+    these for every memory access on every path — the paper's PROFS tool
+    claims a superset of Valgrind's cachegrind functionality (arbitrary
+    levels, sizes, associativities and line sizes). *)
+
+type config = {
+  size : int;          (* total bytes *)
+  line_size : int;     (* bytes per line, power of two *)
+  associativity : int;
+  name : string;
+}
+
+type t = {
+  config : config;
+  num_sets : int;
+  (* tags.(set * assoc + way); -1 = invalid.  lru.(i) = age counter. *)
+  tags : int array;
+  lru : int array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create config =
+  let num_sets = config.size / (config.line_size * config.associativity) in
+  if num_sets <= 0 then invalid_arg "cache too small for its associativity";
+  {
+    config;
+    num_sets;
+    tags = Array.make (num_sets * config.associativity) (-1);
+    lru = Array.make (num_sets * config.associativity) 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+(** Access [addr]; returns [true] on hit. *)
+let access t addr =
+  let line = addr / t.config.line_size in
+  let set = line mod t.num_sets in
+  let tag = line / t.num_sets in
+  let base = set * t.config.associativity in
+  t.clock <- t.clock + 1;
+  t.accesses <- t.accesses + 1;
+  let rec find w =
+    if w >= t.config.associativity then None
+    else if t.tags.(base + w) = tag then Some w
+    else find (w + 1)
+  in
+  match find 0 with
+  | Some w ->
+      t.lru.(base + w) <- t.clock;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      (* Evict the LRU way. *)
+      let victim = ref 0 in
+      for w = 1 to t.config.associativity - 1 do
+        if t.lru.(base + w) < t.lru.(base + !victim) then victim := w
+      done;
+      t.tags.(base + !victim) <- tag;
+      t.lru.(base + !victim) <- t.clock;
+      false
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.lru 0 (Array.length t.lru) 0;
+  t.clock <- 0;
+  t.accesses <- 0;
+  t.misses <- 0
+
+let clone t =
+  {
+    t with
+    tags = Array.copy t.tags;
+    lru = Array.copy t.lru;
+  }
+
+let stats t = (t.accesses, t.misses)

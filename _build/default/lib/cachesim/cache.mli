@@ -1,0 +1,24 @@
+(** Set-associative cache with LRU replacement: the building block of the
+    PROFS memory-hierarchy simulation. *)
+
+type config = {
+  size : int;          (** total bytes *)
+  line_size : int;     (** bytes per line *)
+  associativity : int;
+  name : string;
+}
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument when the geometry yields no sets. *)
+
+val access : t -> int -> bool
+(** Access an address; [true] on hit.  Misses fill the LRU way. *)
+
+val reset : t -> unit
+val clone : t -> t
+(** Independent copy (used when execution paths fork). *)
+
+val stats : t -> int * int
+(** (accesses, misses). *)

@@ -1,0 +1,66 @@
+(** A memory hierarchy: split L1 I/D caches, a unified L2 (optionally more
+    levels), and a TLB.  The default configuration matches the one the
+    paper used for PROFS: 64-KB I1/D1, 64-byte lines, 2-way; 1-MB L2,
+    64-byte lines, 4-way. *)
+
+type t = {
+  i1 : Cache.t;
+  d1 : Cache.t;
+  levels : Cache.t list; (* L2, L3, ... checked in order on L1 miss *)
+  tlb : Tlb.t;
+}
+
+let default_config () =
+  ( { Cache.size = 64 * 1024; line_size = 64; associativity = 2; name = "I1" },
+    { Cache.size = 64 * 1024; line_size = 64; associativity = 2; name = "D1" },
+    [ { Cache.size = 1024 * 1024; line_size = 64; associativity = 4; name = "L2" } ] )
+
+let create ?config () =
+  let i1c, d1c, lcs = match config with Some c -> c | None -> default_config () in
+  {
+    i1 = Cache.create i1c;
+    d1 = Cache.create d1c;
+    levels = List.map Cache.create lcs;
+    tlb = Tlb.create ();
+  }
+
+let rec access_levels levels addr =
+  match levels with
+  | [] -> ()
+  | l :: rest -> if not (Cache.access l addr) then access_levels rest addr
+
+(** Instruction fetch at [addr]. *)
+let fetch t addr =
+  Tlb.access t.tlb addr;
+  if not (Cache.access t.i1 addr) then access_levels t.levels addr
+
+(** Data access at [addr]. *)
+let data t addr =
+  Tlb.access t.tlb addr;
+  if not (Cache.access t.d1 addr) then access_levels t.levels addr
+
+let clone t =
+  {
+    i1 = Cache.clone t.i1;
+    d1 = Cache.clone t.d1;
+    levels = List.map Cache.clone t.levels;
+    tlb = Tlb.clone t.tlb;
+  }
+
+type totals = {
+  i1_misses : int;
+  d1_misses : int;
+  l2_misses : int;
+  tlb_misses : int;
+  page_faults : int;
+}
+
+let totals t =
+  let _, i1m = Cache.stats t.i1 in
+  let _, d1m = Cache.stats t.d1 in
+  let l2m =
+    match t.levels with [] -> 0 | l2 :: _ -> snd (Cache.stats l2)
+  in
+  let _, tlbm, pf = Tlb.stats t.tlb in
+  { i1_misses = i1m; d1_misses = d1m; l2_misses = l2m; tlb_misses = tlbm;
+    page_faults = pf }

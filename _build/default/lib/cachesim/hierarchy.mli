@@ -1,0 +1,28 @@
+(** A memory hierarchy: split L1 instruction/data caches, further unified
+    levels, and a TLB.  The default geometry matches the paper's PROFS
+    configuration (64-KB 2-way I1/D1, 1-MB 4-way L2, 64-byte lines). *)
+
+type t
+
+val default_config : unit -> Cache.config * Cache.config * Cache.config list
+(** (I1, D1, [L2; ...]). *)
+
+val create : ?config:Cache.config * Cache.config * Cache.config list -> unit -> t
+
+val fetch : t -> int -> unit
+(** Instruction fetch at an address. *)
+
+val data : t -> int -> unit
+(** Data access at an address. *)
+
+val clone : t -> t
+
+type totals = {
+  i1_misses : int;
+  d1_misses : int;
+  l2_misses : int;
+  tlb_misses : int;
+  page_faults : int;
+}
+
+val totals : t -> totals

@@ -1,0 +1,63 @@
+(** Fully-associative TLB with LRU replacement, plus a simple page-fault
+    model: the first touch of a page in a path's lifetime is a (soft) page
+    fault, as with a demand-paged working set starting cold. *)
+
+type t = {
+  page_size : int;
+  entries : int;
+  tags : int array;
+  lru : int array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+  (* page fault model *)
+  mutable resident : (int, unit) Hashtbl.t;
+  mutable page_faults : int;
+}
+
+let create ?(page_size = 4096) ?(entries = 64) () =
+  {
+    page_size;
+    entries;
+    tags = Array.make entries (-1);
+    lru = Array.make entries 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+    resident = Hashtbl.create 64;
+    page_faults = 0;
+  }
+
+let access t addr =
+  let page = addr / t.page_size in
+  t.clock <- t.clock + 1;
+  t.accesses <- t.accesses + 1;
+  if not (Hashtbl.mem t.resident page) then begin
+    Hashtbl.replace t.resident page ();
+    t.page_faults <- t.page_faults + 1
+  end;
+  let rec find i =
+    if i >= t.entries then None
+    else if t.tags.(i) = page then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i -> t.lru.(i) <- t.clock
+  | None ->
+      t.misses <- t.misses + 1;
+      let victim = ref 0 in
+      for i = 1 to t.entries - 1 do
+        if t.lru.(i) < t.lru.(!victim) then victim := i
+      done;
+      t.tags.(!victim) <- page;
+      t.lru.(!victim) <- t.clock
+
+let clone t =
+  {
+    t with
+    tags = Array.copy t.tags;
+    lru = Array.copy t.lru;
+    resident = Hashtbl.copy t.resident;
+  }
+
+let stats t = (t.accesses, t.misses, t.page_faults)

@@ -1,0 +1,12 @@
+(** Fully-associative TLB with LRU replacement, plus a demand-paging
+    page-fault model: the first touch of each page in a path's lifetime
+    counts as a fault. *)
+
+type t
+
+val create : ?page_size:int -> ?entries:int -> unit -> t
+val access : t -> int -> unit
+val clone : t -> t
+
+val stats : t -> int * int * int
+(** (accesses, TLB misses, page faults). *)

@@ -1,0 +1,1 @@
+lib/cc/cc.ml: Codegen List Printf S2e_isa String

@@ -1,0 +1,1 @@
+lib/cc/cc.mli: S2e_isa

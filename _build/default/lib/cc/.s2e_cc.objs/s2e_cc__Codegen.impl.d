@@ -1,0 +1,1 @@
+lib/cc/codegen.ml: Ast Buffer Char Fmt Hashtbl List Parser Printf String

@@ -1,0 +1,1 @@
+lib/cc/parser.ml: Ast Fmt Hashtbl Lexer List String

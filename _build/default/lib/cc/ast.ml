@@ -1,0 +1,76 @@
+(** Abstract syntax of MC, the mini-C dialect guest software is written in.
+
+    MC is deliberately small: [int] (32-bit), [char] (8-bit), pointers and
+    one-dimensional arrays; functions with up to six arguments; the usual
+    expressions and control flow; and intrinsics ([__in], [__out],
+    [__syscall], [__s2e_*]) that lower to single guest instructions.  It is
+    large enough to write the guest kernel, drivers and workloads
+    idiomatically, which is all the paper's evaluation needs. *)
+
+type ty = T_int | T_char | T_ptr of ty | T_array of ty * int
+
+let rec sizeof = function
+  | T_int -> 4
+  | T_char -> 1
+  | T_ptr _ -> 4
+  | T_array (t, n) -> n * sizeof t
+
+(* Size of the element a pointer/array refers to, for pointer arithmetic. *)
+let elem_size = function
+  | T_ptr t | T_array (t, _) -> sizeof t
+  | T_int | T_char -> 1
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Land | Lor (* short-circuit *)
+
+type unop = Neg | Lnot | Bnot
+
+type expr =
+  | Num of int
+  | Str of string
+  | Ident of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Assign of expr * expr       (* lvalue = expr *)
+  | Index of expr * expr        (* a[i] *)
+  | Deref of expr
+  | Addr_of of expr
+  | Call of string * expr list
+  | Cond of expr * expr * expr  (* e ? a : b *)
+
+type stmt =
+  | S_expr of expr
+  | S_decl of ty * string * expr option
+  | S_if of expr * stmt * stmt option
+  | S_while of expr * stmt
+  | S_for of stmt option * expr option * expr option * stmt
+  | S_return of expr option
+  | S_break
+  | S_continue
+  | S_block of stmt list
+  | S_asm of string (* raw assembly escape hatch *)
+
+type func = {
+  name : string;
+  params : (ty * string) list;
+  locals_hint : unit; (* locals are collected during codegen *)
+  body : stmt list;
+}
+
+type global = {
+  g_ty : ty;
+  g_name : string;
+  g_init : init option;
+}
+
+and init =
+  | I_num of int
+  | I_str of string
+  | I_list of int list
+
+type decl = D_func of func | D_global of global | D_const of string * int
+
+type program = decl list

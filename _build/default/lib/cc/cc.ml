@@ -1,0 +1,46 @@
+(** Compiler driver: compile MC modules and link them with a runtime stub
+    into one guest image. *)
+
+type module_range = {
+  m_name : string;
+  m_start : int;    (* first code byte *)
+  m_code_end : int; (* end of executable code *)
+  m_end : int;      (* end of the module including data *)
+}
+
+type linked = {
+  image : S2e_isa.Asm.image;
+  modules : module_range list;
+}
+
+(** [link ~runtime_asm mods] compiles each [(name, mc_source)] in [mods],
+    concatenates the runtime stub (plain assembly, placed first so the entry
+    point is at the image origin) with the generated code, and assembles the
+    result.  [header] is MC source prepended to every module (shared
+    constants, in lieu of a preprocessor). *)
+let link ?(origin = 0x1000) ?(header = "") ~runtime_asm mods : linked =
+  let parts =
+    runtime_asm
+    :: List.map
+         (fun (name, source) -> Codegen.compile ~module_name:name (header ^ source))
+         mods
+  in
+  let image = S2e_isa.Asm.assemble ~origin (String.concat "\n" parts) in
+  let modules =
+    List.map
+      (fun (name, _) ->
+        {
+          m_name = name;
+          m_start = S2e_isa.Asm.symbol image (Printf.sprintf "__module_%s_start" name);
+          m_code_end =
+            S2e_isa.Asm.symbol image (Printf.sprintf "__module_%s_code_end" name);
+          m_end = S2e_isa.Asm.symbol image (Printf.sprintf "__module_%s_end" name);
+        })
+      mods
+  in
+  { image; modules }
+
+let module_range linked name =
+  match List.find_opt (fun m -> m.m_name = name) linked.modules with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "unknown module %S" name)

@@ -1,0 +1,28 @@
+(** Compiler driver: compile MC modules and link them with a runtime stub
+    into one guest image. *)
+
+type module_range = {
+  m_name : string;
+  m_start : int;    (** first code byte *)
+  m_code_end : int; (** end of executable code *)
+  m_end : int;      (** end of the module including data *)
+}
+
+type linked = {
+  image : S2e_isa.Asm.image;
+  modules : module_range list;
+}
+
+val link :
+  ?origin:int ->
+  ?header:string ->
+  runtime_asm:string ->
+  (string * string) list ->
+  linked
+(** [link ~runtime_asm mods] compiles each [(name, mc_source)], prepends
+    the runtime stub (plain assembly, placed first so the entry point sits
+    at the origin) and assembles everything into one image.  [header] is
+    MC source prepended to every module. *)
+
+val module_range : linked -> string -> module_range
+(** @raise Invalid_argument on unknown module names. *)

@@ -1,0 +1,561 @@
+(** Code generator: MC AST to guest assembly.
+
+    The generated code uses a simple stack discipline: every expression
+    leaves its value in [r0]; binary operators stash the left operand on the
+    guest stack.  Arguments are passed in [r0]–[r5], the result comes back
+    in [r0], and the prologue spills parameters to frame slots so nested
+    calls are safe.  The output is deliberately naive — the point of the
+    substrate is to produce real multi-block binary code for the engine to
+    chew on, not to win benchmarks. *)
+
+open Ast
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun m -> raise (Error m)) fmt
+
+type env = {
+  module_name : string;
+  buf : Buffer.t;
+  consts : (string, int) Hashtbl.t;
+  globals : (string, ty) Hashtbl.t;
+  funcs : (string, int) Hashtbl.t; (* name -> arity *)
+  mutable locals : (string * (ty * int)) list; (* name -> fp offset *)
+  mutable frame_size : int;
+  mutable label_counter : int;
+  mutable strings : (string * string) list; (* label, contents *)
+  mutable break_labels : string list;
+  mutable continue_labels : string list;
+}
+
+let emit env fmt = Fmt.kstr (fun s -> Buffer.add_string env.buf ("  " ^ s ^ "\n")) fmt
+let emit_label env l = Buffer.add_string env.buf (l ^ ":\n")
+
+let fresh_label env prefix =
+  env.label_counter <- env.label_counter + 1;
+  Printf.sprintf ".L%s_%s%d" env.module_name prefix env.label_counter
+
+let push env = emit env "subi sp, sp, 4"; emit env "sw r0, 0(sp)"
+let pop env reg = emit env "lw %s, 0(sp)" reg; emit env "addi sp, sp, 4"
+
+let string_label env s =
+  match List.find_opt (fun (_, s') -> s = s') env.strings with
+  | Some (l, _) -> l
+  | None ->
+      let l = fresh_label env "str" in
+      env.strings <- (l, s) :: env.strings;
+      l
+
+let lookup_local env name = List.assoc_opt name env.locals
+
+let is_pointerish = function T_ptr _ | T_array _ -> true | T_int | T_char -> false
+
+let load_of ty = match ty with T_char -> "lb" | _ -> "lw"
+let store_of ty = match ty with T_char -> "sb" | _ -> "sw"
+
+(* S2E intrinsic names understood by the compiler. *)
+let intrinsics =
+  [ "__in"; "__out"; "__syscall"; "__halt"; "__cli"; "__sti";
+    "__s2e_sym_mem"; "__s2e_sym_int"; "__s2e_enable"; "__s2e_disable";
+    "__s2e_print"; "__s2e_kill"; "__s2e_assert"; "__s2e_concretize";
+    "__s2e_irq_off"; "__s2e_irq_on" ]
+
+(* Generate [e], leaving its value in r0; returns the expression's type. *)
+let rec gen_expr env (e : expr) : ty =
+  match e with
+  | Num n ->
+      emit env "li r0, %d" n;
+      T_int
+  | Str s ->
+      emit env "li r0, %s" (string_label env s);
+      T_ptr T_char
+  | Ident name -> (
+      match Hashtbl.find_opt env.consts name with
+      | Some v ->
+          emit env "li r0, %d" v;
+          T_int
+      | None -> (
+          match lookup_local env name with
+          | Some (T_array _ as ty, off) ->
+              emit env "addi r0, fp, %d" off;
+              ty
+          | Some (ty, off) ->
+              emit env "%s r0, %d(fp)" (load_of ty) off;
+              ty
+          | None -> (
+              match Hashtbl.find_opt env.globals name with
+              | Some (T_array _ as ty) ->
+                  emit env "li r0, %s" name;
+                  ty
+              | Some ty ->
+                  emit env "li r0, %s" name;
+                  emit env "%s r0, 0(r0)" (load_of ty);
+                  ty
+              | None -> error "%s: unbound identifier %s" env.module_name name)))
+  | Binop (Land, a, b) ->
+      let l_false = fresh_label env "andf" in
+      let l_end = fresh_label env "ande" in
+      ignore (gen_expr env a);
+      emit env "beq r0, zr, %s" l_false;
+      ignore (gen_expr env b);
+      emit env "sltu r0, zr, r0"; (* normalize to 0/1 *)
+      emit env "jmp %s" l_end;
+      emit_label env l_false;
+      emit env "li r0, 0";
+      emit_label env l_end;
+      T_int
+  | Binop (Lor, a, b) ->
+      let l_true = fresh_label env "ort" in
+      let l_end = fresh_label env "ore" in
+      ignore (gen_expr env a);
+      emit env "bne r0, zr, %s" l_true;
+      ignore (gen_expr env b);
+      emit env "sltu r0, zr, r0";
+      emit env "jmp %s" l_end;
+      emit_label env l_true;
+      emit env "li r0, 1";
+      emit_label env l_end;
+      T_int
+  | Binop (op, a, b) ->
+      let ta = gen_expr env a in
+      push env;
+      let tb = gen_expr env b in
+      pop env "r1";
+      (* r1 = a, r0 = b *)
+      gen_binop env op ta tb
+  | Unop (Neg, a) ->
+      ignore (gen_expr env a);
+      emit env "sub r0, zr, r0";
+      T_int
+  | Unop (Lnot, a) ->
+      ignore (gen_expr env a);
+      emit env "seqi r0, r0, 0";
+      T_int
+  | Unop (Bnot, a) ->
+      ignore (gen_expr env a);
+      emit env "xori r0, r0, -1";
+      T_int
+  | Assign (lhs, rhs) ->
+      let _ = gen_expr env rhs in
+      push env;
+      let ty = gen_addr env lhs in
+      pop env "r1";
+      emit env "%s r1, 0(r0)" (store_of ty);
+      emit env "mov r0, r1";
+      ty
+  | Index (a, i) ->
+      let ty = gen_index_addr env a i in
+      emit env "%s r0, 0(r0)" (load_of ty);
+      ty
+  | Deref a ->
+      let ty = gen_expr env a in
+      let pointee =
+        match ty with
+        | T_ptr t | T_array (t, _) -> t
+        | T_int | T_char -> T_int (* int used as address *)
+      in
+      emit env "%s r0, 0(r0)" (load_of pointee);
+      pointee
+  | Addr_of lv ->
+      let ty = gen_addr env lv in
+      T_ptr ty
+  | Cond (c, a, b) ->
+      let l_else = fresh_label env "celse" in
+      let l_end = fresh_label env "cend" in
+      ignore (gen_expr env c);
+      emit env "beq r0, zr, %s" l_else;
+      let ta = gen_expr env a in
+      emit env "jmp %s" l_end;
+      emit_label env l_else;
+      ignore (gen_expr env b);
+      emit_label env l_end;
+      ta
+  | Call (name, args) when List.mem name intrinsics -> gen_intrinsic env name args
+  | Call (name, args) ->
+      (match Hashtbl.find_opt env.funcs name with
+      | Some arity when arity <> List.length args ->
+          error "%s: %s expects %d arguments, got %d" env.module_name name
+            arity (List.length args)
+      | Some _ -> ()
+      | None -> () (* cross-module call: resolved at assembly time *));
+      let n = List.length args in
+      if n > 6 then error "%s: too many arguments to %s" env.module_name name;
+      List.iter
+        (fun arg ->
+          ignore (gen_expr env arg);
+          push env)
+        args;
+      for i = n - 1 downto 0 do
+        pop env (Printf.sprintf "r%d" i)
+      done;
+      emit env "jal %s" name;
+      T_int
+
+and gen_binop env op ta tb =
+  (* Pointer arithmetic scaling: p + n and p - n scale n; n + p scales n. *)
+  let scale reg ty =
+    let s = elem_size ty in
+    if s > 1 then emit env "muli %s, %s, %d" reg reg s
+  in
+  match op with
+  | Add ->
+      if is_pointerish ta && not (is_pointerish tb) then begin
+        scale "r0" ta;
+        emit env "add r0, r1, r0";
+        ta
+      end
+      else if is_pointerish tb && not (is_pointerish ta) then begin
+        scale "r1" tb;
+        emit env "add r0, r1, r0";
+        tb
+      end
+      else begin
+        emit env "add r0, r1, r0";
+        T_int
+      end
+  | Sub ->
+      if is_pointerish ta && not (is_pointerish tb) then begin
+        scale "r0" ta;
+        emit env "sub r0, r1, r0";
+        ta
+      end
+      else begin
+        emit env "sub r0, r1, r0";
+        T_int
+      end
+  | Mul -> emit env "mul r0, r1, r0"; T_int
+  | Div -> emit env "divu r0, r1, r0"; T_int
+  | Mod -> emit env "remu r0, r1, r0"; T_int
+  | Band -> emit env "and r0, r1, r0"; T_int
+  | Bor -> emit env "or r0, r1, r0"; T_int
+  | Bxor -> emit env "xor r0, r1, r0"; T_int
+  | Shl -> emit env "shl r0, r1, r0"; T_int
+  | Shr -> emit env "shr r0, r1, r0"; T_int
+  | Lt ->
+      if is_pointerish ta || is_pointerish tb then emit env "sltu r0, r1, r0"
+      else emit env "slt r0, r1, r0";
+      T_int
+  | Gt ->
+      if is_pointerish ta || is_pointerish tb then emit env "sltu r0, r0, r1"
+      else emit env "slt r0, r0, r1";
+      T_int
+  | Le ->
+      if is_pointerish ta || is_pointerish tb then emit env "sltu r0, r0, r1"
+      else emit env "slt r0, r0, r1";
+      emit env "xori r0, r0, 1";
+      T_int
+  | Ge ->
+      if is_pointerish ta || is_pointerish tb then emit env "sltu r0, r1, r0"
+      else emit env "slt r0, r1, r0";
+      emit env "xori r0, r0, 1";
+      T_int
+  | Eq -> emit env "seq r0, r1, r0"; T_int
+  | Ne ->
+      emit env "seq r0, r1, r0";
+      emit env "xori r0, r0, 1";
+      T_int
+  | Land | Lor -> assert false (* handled above *)
+
+(* Address of an lvalue in r0; returns the type of the addressed object. *)
+and gen_addr env (e : expr) : ty =
+  match e with
+  | Ident name -> (
+      match lookup_local env name with
+      | Some (ty, off) ->
+          emit env "addi r0, fp, %d" off;
+          ty
+      | None -> (
+          match Hashtbl.find_opt env.globals name with
+          | Some ty ->
+              emit env "li r0, %s" name;
+              ty
+          | None -> error "%s: cannot take address of %s" env.module_name name))
+  | Deref a ->
+      let ty = gen_expr env a in
+      (match ty with
+      | T_ptr t | T_array (t, _) -> t
+      | T_int | T_char -> T_int)
+  | Index (a, i) -> gen_index_addr env a i
+  | _ -> error "%s: expression is not an lvalue" env.module_name
+
+(* Address of a[i] in r0; returns the element type. *)
+and gen_index_addr env a i =
+  let ta = gen_expr env a in
+  let elem =
+    match ta with
+    | T_ptr t | T_array (t, _) -> t
+    | T_int | T_char -> T_char (* indexing an int treats it as a byte ptr *)
+  in
+  push env;
+  ignore (gen_expr env i);
+  let s = sizeof elem in
+  if s > 1 then emit env "muli r0, r0, %d" s;
+  pop env "r1";
+  emit env "add r0, r1, r0";
+  elem
+
+and gen_intrinsic env name args =
+  let nargs = List.length args in
+  let eval_args () =
+    List.iter (fun a -> ignore (gen_expr env a); push env) args;
+    for i = nargs - 1 downto 0 do
+      pop env (Printf.sprintf "r%d" i)
+    done
+  in
+  let literal_tag = function
+    | Num n -> n
+    | _ -> error "%s: s2e tag must be a literal" env.module_name
+  in
+  match name, args with
+  | "__in", [ port ] ->
+      ignore (gen_expr env port);
+      emit env "in r0, 0(r0)";
+      T_int
+  | "__out", [ port; v ] ->
+      ignore (gen_expr env port);
+      push env;
+      ignore (gen_expr env v);
+      pop env "r1";
+      emit env "out r0, 0(r1)";
+      T_int
+  | "__syscall", _ when nargs >= 1 && nargs <= 4 ->
+      eval_args ();
+      emit env "syscall";
+      T_int
+  | "__halt", [] -> emit env "halt"; T_int
+  | "__cli", [] -> emit env "cli"; T_int
+  | "__sti", [] -> emit env "sti"; T_int
+  | "__s2e_sym_mem", [ ptr; len; tag ] ->
+      let tag = literal_tag tag in
+      ignore (gen_expr env ptr);
+      push env;
+      ignore (gen_expr env len);
+      emit env "mov r1, r0";
+      pop env "r0";
+      emit env "s2e.symmem r0, r1, %d" tag;
+      T_int
+  | "__s2e_sym_int", [ tag ] ->
+      emit env "s2e.symreg r0, zr, %d" (literal_tag tag);
+      T_int
+  | "__s2e_enable", [] -> emit env "s2e.enable"; T_int
+  | "__s2e_disable", [] -> emit env "s2e.disable"; T_int
+  | "__s2e_print", [ v ] ->
+      ignore (gen_expr env v);
+      emit env "s2e.print r0";
+      T_int
+  | "__s2e_kill", [ st ] ->
+      emit env "s2e.kill zr, %d" (literal_tag st);
+      T_int
+  | "__s2e_assert", [ c ] ->
+      ignore (gen_expr env c);
+      emit env "s2e.assert r0";
+      T_int
+  | "__s2e_concretize", [ v ] ->
+      ignore (gen_expr env v);
+      emit env "s2e.concretize r0";
+      T_int
+  | "__s2e_irq_off", [] -> emit env "s2e.cli"; T_int
+  | "__s2e_irq_on", [] -> emit env "s2e.sti"; T_int
+  | _ -> error "%s: bad intrinsic call %s/%d" env.module_name name nargs
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec gen_stmt env ret_label (s : stmt) =
+  match s with
+  | S_expr e -> ignore (gen_expr env e)
+  | S_decl (_, name, init) -> (
+      match init with
+      | None -> ()
+      | Some e ->
+          ignore (gen_expr env (Assign (Ident name, e))))
+  | S_if (c, then_, else_) ->
+      let l_else = fresh_label env "else" in
+      let l_end = fresh_label env "fi" in
+      ignore (gen_expr env c);
+      emit env "beq r0, zr, %s" l_else;
+      gen_stmt env ret_label then_;
+      (match else_ with
+      | None -> emit_label env l_else
+      | Some s ->
+          emit env "jmp %s" l_end;
+          emit_label env l_else;
+          gen_stmt env ret_label s;
+          emit_label env l_end)
+  | S_while (c, body) ->
+      let l_top = fresh_label env "wtop" in
+      let l_end = fresh_label env "wend" in
+      emit_label env l_top;
+      ignore (gen_expr env c);
+      emit env "beq r0, zr, %s" l_end;
+      env.break_labels <- l_end :: env.break_labels;
+      env.continue_labels <- l_top :: env.continue_labels;
+      gen_stmt env ret_label body;
+      env.break_labels <- List.tl env.break_labels;
+      env.continue_labels <- List.tl env.continue_labels;
+      emit env "jmp %s" l_top;
+      emit_label env l_end
+  | S_for (init, cond, step, body) ->
+      let l_top = fresh_label env "ftop" in
+      let l_step = fresh_label env "fstep" in
+      let l_end = fresh_label env "fend" in
+      (match init with Some s -> gen_stmt env ret_label s | None -> ());
+      emit_label env l_top;
+      (match cond with
+      | Some c ->
+          ignore (gen_expr env c);
+          emit env "beq r0, zr, %s" l_end
+      | None -> ());
+      env.break_labels <- l_end :: env.break_labels;
+      env.continue_labels <- l_step :: env.continue_labels;
+      gen_stmt env ret_label body;
+      env.break_labels <- List.tl env.break_labels;
+      env.continue_labels <- List.tl env.continue_labels;
+      emit_label env l_step;
+      (match step with Some e -> ignore (gen_expr env e) | None -> ());
+      emit env "jmp %s" l_top;
+      emit_label env l_end
+  | S_return e ->
+      (match e with Some e -> ignore (gen_expr env e) | None -> ());
+      emit env "jmp %s" ret_label
+  | S_break -> (
+      match env.break_labels with
+      | l :: _ -> emit env "jmp %s" l
+      | [] -> error "%s: break outside loop" env.module_name)
+  | S_continue -> (
+      match env.continue_labels with
+      | l :: _ -> emit env "jmp %s" l
+      | [] -> error "%s: continue outside loop" env.module_name)
+  | S_block stmts -> List.iter (gen_stmt env ret_label) stmts
+  | S_asm text -> Buffer.add_string env.buf ("  " ^ text ^ "\n")
+
+(* Collect every local declaration in a function body (function scoping). *)
+let rec collect_decls acc (s : stmt) =
+  match s with
+  | S_decl (ty, name, _) -> (name, ty) :: acc
+  | S_if (_, a, b) ->
+      let acc = collect_decls acc a in
+      (match b with Some b -> collect_decls acc b | None -> acc)
+  | S_while (_, b) -> collect_decls acc b
+  | S_for (init, _, _, b) ->
+      let acc = match init with Some s -> collect_decls acc s | None -> acc in
+      collect_decls acc b
+  | S_block stmts -> List.fold_left collect_decls acc stmts
+  | S_expr _ | S_return _ | S_break | S_continue | S_asm _ -> acc
+
+let gen_func env (f : func) =
+  env.locals <- [];
+  env.frame_size <- 0;
+  let add_local name ty =
+    (* MC locals are function-scoped; re-declaring a name (e.g. the same
+       loop counter in two for-loops) reuses the original slot. *)
+    if not (List.mem_assoc name env.locals) then begin
+      let size = (sizeof ty + 3) land lnot 3 in
+      env.frame_size <- env.frame_size + size;
+      env.locals <- (name, (ty, -env.frame_size)) :: env.locals
+    end
+  in
+  List.iter (fun (ty, name) -> add_local name ty) f.params;
+  List.iter
+    (fun (name, ty) -> add_local name ty)
+    (List.rev (List.fold_left collect_decls [] f.body));
+  let ret_label = fresh_label env "ret" in
+  emit_label env f.name;
+  emit env "subi sp, sp, 8";
+  emit env "sw lr, 4(sp)";
+  emit env "sw fp, 0(sp)";
+  emit env "mov fp, sp";
+  if env.frame_size > 0 then emit env "subi sp, sp, %d" env.frame_size;
+  List.iteri
+    (fun i (_, name) ->
+      let _, off = List.assoc name env.locals in
+      emit env "sw r%d, %d(fp)" i off)
+    f.params;
+  List.iter (gen_stmt env ret_label) f.body;
+  emit_label env ret_label;
+  emit env "mov sp, fp";
+  emit env "lw fp, 0(sp)";
+  emit env "lw lr, 4(sp)";
+  emit env "addi sp, sp, 8";
+  emit env "jr lr"
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\%03o" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let gen_global env (g : global) =
+  emit env ".align 4";
+  emit_label env g.g_name;
+  match g.g_ty, g.g_init with
+  | _, Some (I_num v) -> (
+      match g.g_ty with
+      | T_char -> emit env ".byte %d" v
+      | _ -> emit env ".word %d" v)
+  | T_array (T_char, n), Some (I_str s) ->
+      emit env ".asciz \"%s\"" (escape_string s);
+      if n > String.length s + 1 then emit env ".space %d" (n - String.length s - 1)
+  | T_ptr T_char, Some (I_str s) ->
+      let l = string_label env s in
+      emit env ".word %s" l
+  | T_array (T_char, n), Some (I_list items) ->
+      emit env ".byte %s" (String.concat ", " (List.map string_of_int items));
+      if n > List.length items then emit env ".space %d" (n - List.length items)
+  | T_array (_, n), Some (I_list items) ->
+      emit env ".word %s" (String.concat ", " (List.map string_of_int items));
+      if n > List.length items then emit env ".space %d" (4 * (n - List.length items))
+  | ty, None -> emit env ".space %d" (sizeof ty)
+  | _, Some _ -> error "%s: unsupported initializer for %s" env.module_name g.g_name
+
+(** Compile one MC module to assembly text.  The module is bracketed by
+    [__module_<name>_start] / [__module_<name>_end] labels that the engine's
+    module map uses to define code-range selectors. *)
+let compile ~module_name source : string =
+  let program = Parser.parse source in
+  let env =
+    {
+      module_name;
+      buf = Buffer.create 4096;
+      consts = Hashtbl.create 16;
+      globals = Hashtbl.create 16;
+      funcs = Hashtbl.create 16;
+      locals = [];
+      frame_size = 0;
+      label_counter = 0;
+      strings = [];
+      break_labels = [];
+      continue_labels = [];
+    }
+  in
+  (* Register top-level names first so forward references work. *)
+  List.iter
+    (fun d ->
+      match d with
+      | D_const (name, v) -> Hashtbl.replace env.consts name v
+      | D_global g -> Hashtbl.replace env.globals g.g_name g.g_ty
+      | D_func f -> Hashtbl.replace env.funcs f.name (List.length f.params))
+    program;
+  emit_label env (Printf.sprintf "__module_%s_start" module_name);
+  List.iter (function D_func f -> gen_func env f | D_global _ | D_const _ -> ()) program;
+  emit_label env (Printf.sprintf "__module_%s_code_end" module_name);
+  List.iter (function D_global g -> gen_global env g | D_func _ | D_const _ -> ()) program;
+  (* String literals *)
+  List.iter
+    (fun (label, s) ->
+      emit_label env label;
+      emit env ".asciz \"%s\"" (escape_string s))
+    (List.rev env.strings);
+  emit env ".align 8";
+  emit_label env (Printf.sprintf "__module_%s_end" module_name);
+  Buffer.contents env.buf

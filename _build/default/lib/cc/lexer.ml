@@ -1,0 +1,139 @@
+(** Hand-written lexer for MC. *)
+
+type token =
+  | T_num of int
+  | T_str of string
+  | T_char_lit of int
+  | T_ident of string
+  | T_kw of string     (* int char if else while for return break continue const *)
+  | T_punct of string  (* operators and punctuation *)
+  | T_eof
+
+exception Error of { line : int; message : string }
+
+let error line fmt = Fmt.kstr (fun message -> raise (Error { line; message })) fmt
+
+let keywords =
+  [ "int"; "char"; "if"; "else"; "while"; "for"; "return"; "break";
+    "continue"; "const"; "void" ]
+
+(* Longest-match first. *)
+let puncts =
+  [ "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||";
+    "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "~"; "!"; "<"; ">"; "=";
+    "("; ")"; "{"; "}"; "["; "]"; ";"; ","; "?"; ":" ]
+
+let is_ident_start c = c = '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+type t = { src : string; mutable pos : int; mutable line : int }
+
+let create src = { src; pos = 0; line = 1 }
+
+let peek_char t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+
+let advance t =
+  (if t.pos < String.length t.src && t.src.[t.pos] = '\n' then
+     t.line <- t.line + 1);
+  t.pos <- t.pos + 1
+
+let rec skip_ws t =
+  match peek_char t with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance t;
+      skip_ws t
+  | Some '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/' ->
+      while peek_char t <> None && peek_char t <> Some '\n' do advance t done;
+      skip_ws t
+  | Some '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '*' ->
+      advance t; advance t;
+      let rec close () =
+        match peek_char t with
+        | None -> error t.line "unterminated comment"
+        | Some '*' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/' ->
+            advance t; advance t
+        | Some _ -> advance t; close ()
+      in
+      close ();
+      skip_ws t
+  | _ -> ()
+
+let read_escaped t =
+  match peek_char t with
+  | Some '\\' -> (
+      advance t;
+      match peek_char t with
+      | Some 'n' -> advance t; '\n'
+      | Some 't' -> advance t; '\t'
+      | Some 'r' -> advance t; '\r'
+      | Some '0' -> advance t; '\000'
+      | Some '\\' -> advance t; '\\'
+      | Some '\'' -> advance t; '\''
+      | Some '"' -> advance t; '"'
+      | _ -> error t.line "bad escape")
+  | Some c -> advance t; c
+  | None -> error t.line "unterminated literal"
+
+let next t : int * token =
+  skip_ws t;
+  let line = t.line in
+  match peek_char t with
+  | None -> (line, T_eof)
+  | Some c when is_digit c ->
+      let start = t.pos in
+      let hex = c = '0' && t.pos + 1 < String.length t.src
+                && (t.src.[t.pos + 1] = 'x' || t.src.[t.pos + 1] = 'X') in
+      if hex then begin advance t; advance t end;
+      while
+        match peek_char t with
+        | Some c -> is_digit c || (hex && ((c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')))
+        | None -> false
+      do advance t done;
+      let s = String.sub t.src start (t.pos - start) in
+      (line, T_num (int_of_string s))
+  | Some c when is_ident_start c ->
+      let start = t.pos in
+      while (match peek_char t with Some c -> is_ident_char c | None -> false) do
+        advance t
+      done;
+      let s = String.sub t.src start (t.pos - start) in
+      (line, if List.mem s keywords then T_kw s else T_ident s)
+  | Some '"' ->
+      advance t;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek_char t with
+        | Some '"' -> advance t
+        | Some _ -> Buffer.add_char buf (read_escaped t); go ()
+        | None -> error line "unterminated string"
+      in
+      go ();
+      (line, T_str (Buffer.contents buf))
+  | Some '\'' ->
+      advance t;
+      let c = read_escaped t in
+      (match peek_char t with
+      | Some '\'' -> advance t
+      | _ -> error line "unterminated char literal");
+      (line, T_char_lit (Char.code c))
+  | Some _ ->
+      let try_punct p =
+        let n = String.length p in
+        t.pos + n <= String.length t.src && String.sub t.src t.pos n = p
+      in
+      (match List.find_opt try_punct puncts with
+      | Some p ->
+          for _ = 1 to String.length p do advance t done;
+          (line, T_punct p)
+      | None -> error line "unexpected character %C" t.src.[t.pos])
+
+(** Tokenize the whole source. *)
+let tokenize src =
+  let t = create src in
+  let rec go acc =
+    match next t with
+    | line, T_eof -> List.rev ((line, T_eof) :: acc)
+    | tok -> go (tok :: acc)
+  in
+  go []

@@ -1,0 +1,367 @@
+(** Recursive-descent parser for MC. *)
+
+open Ast
+
+exception Error of { line : int; message : string }
+
+let error line fmt = Fmt.kstr (fun message -> raise (Error { line; message })) fmt
+
+type t = {
+  mutable toks : (int * Lexer.token) list;
+  consts : (string, int) Hashtbl.t; (* for constant-expression evaluation *)
+}
+
+let peek p = match p.toks with (_, tok) :: _ -> tok | [] -> Lexer.T_eof
+let line p = match p.toks with (l, _) :: _ -> l | [] -> 0
+
+let advance p = match p.toks with _ :: rest -> p.toks <- rest | [] -> ()
+
+let eat_punct p s =
+  match peek p with
+  | Lexer.T_punct s' when s = s' -> advance p
+  | _ -> error (line p) "expected %S" s
+
+let eat_ident p =
+  match peek p with
+  | Lexer.T_ident s -> advance p; s
+  | _ -> error (line p) "expected identifier"
+
+let accept_punct p s =
+  match peek p with
+  | Lexer.T_punct s' when s = s' -> advance p; true
+  | _ -> false
+
+let accept_kw p s =
+  match peek p with
+  | Lexer.T_kw s' when s = s' -> advance p; true
+  | _ -> false
+
+(* type = ("int" | "char" | "void") "*"*  ; void only as "void *" or return *)
+let parse_base_ty p =
+  if accept_kw p "int" then Some T_int
+  else if accept_kw p "char" then Some T_char
+  else if accept_kw p "void" then Some T_int (* treated as int-sized *)
+  else None
+
+let parse_ptr_suffix p base =
+  let ty = ref base in
+  while accept_punct p "*" do ty := T_ptr !ty done;
+  !ty
+
+(* Expression grammar, precedence climbing. *)
+let binop_table =
+  [
+    (1, [ ("||", Lor) ]);
+    (2, [ ("&&", Land) ]);
+    (3, [ ("|", Bor) ]);
+    (4, [ ("^", Bxor) ]);
+    (5, [ ("&", Band) ]);
+    (6, [ ("==", Eq); ("!=", Ne) ]);
+    (7, [ ("<", Lt); ("<=", Le); (">", Gt); (">=", Ge) ]);
+    (8, [ ("<<", Shl); (">>", Shr) ]);
+    (9, [ ("+", Add); ("-", Sub) ]);
+    (10, [ ("*", Mul); ("/", Div); ("%", Mod) ]);
+  ]
+
+let rec parse_expr p = parse_assign p
+
+and parse_assign p =
+  let lhs = parse_cond p in
+  if accept_punct p "=" then Assign (lhs, parse_assign p) else lhs
+
+and parse_cond p =
+  let c = parse_binary p 1 in
+  if accept_punct p "?" then begin
+    let a = parse_expr p in
+    eat_punct p ":";
+    let b = parse_cond p in
+    Cond (c, a, b)
+  end
+  else c
+
+and parse_binary p prec =
+  if prec > 10 then parse_unary p
+  else begin
+    let ops = List.assoc prec binop_table in
+    let lhs = ref (parse_binary p (prec + 1)) in
+    let continue = ref true in
+    while !continue do
+      match peek p with
+      | Lexer.T_punct s when List.mem_assoc s ops ->
+          advance p;
+          let rhs = parse_binary p (prec + 1) in
+          lhs := Binop (List.assoc s ops, !lhs, rhs)
+      | _ -> continue := false
+    done;
+    !lhs
+  end
+
+and parse_unary p =
+  match peek p with
+  | Lexer.T_punct "-" -> advance p; Unop (Neg, parse_unary p)
+  | Lexer.T_punct "!" -> advance p; Unop (Lnot, parse_unary p)
+  | Lexer.T_punct "~" -> advance p; Unop (Bnot, parse_unary p)
+  | Lexer.T_punct "*" -> advance p; Deref (parse_unary p)
+  | Lexer.T_punct "&" -> advance p; Addr_of (parse_unary p)
+  | _ -> parse_postfix p
+
+and parse_postfix p =
+  let e = ref (parse_primary p) in
+  let continue = ref true in
+  while !continue do
+    if accept_punct p "[" then begin
+      let i = parse_expr p in
+      eat_punct p "]";
+      e := Index (!e, i)
+    end
+    else continue := false
+  done;
+  !e
+
+and parse_primary p =
+  match peek p with
+  | Lexer.T_num n -> advance p; Num n
+  | Lexer.T_char_lit n -> advance p; Num n
+  | Lexer.T_str s -> advance p; Str s
+  | Lexer.T_punct "(" ->
+      advance p;
+      let e = parse_expr p in
+      eat_punct p ")";
+      e
+  | Lexer.T_ident name ->
+      advance p;
+      if accept_punct p "(" then begin
+        let args = ref [] in
+        if not (accept_punct p ")") then begin
+          let rec go () =
+            args := parse_expr p :: !args;
+            if accept_punct p "," then go () else eat_punct p ")"
+          in
+          go ()
+        end;
+        Call (name, List.rev !args)
+      end
+      else Ident name
+  | _ -> error (line p) "expected expression"
+
+(* Statements. *)
+let rec parse_stmt p : stmt =
+  match peek p with
+  | Lexer.T_punct "{" ->
+      advance p;
+      let stmts = ref [] in
+      while not (accept_punct p "}") do
+        stmts := parse_stmt p :: !stmts
+      done;
+      S_block (List.rev !stmts)
+  | Lexer.T_kw "if" ->
+      advance p;
+      eat_punct p "(";
+      let c = parse_expr p in
+      eat_punct p ")";
+      let then_ = parse_stmt p in
+      let else_ = if accept_kw p "else" then Some (parse_stmt p) else None in
+      S_if (c, then_, else_)
+  | Lexer.T_kw "while" ->
+      advance p;
+      eat_punct p "(";
+      let c = parse_expr p in
+      eat_punct p ")";
+      S_while (c, parse_stmt p)
+  | Lexer.T_kw "for" ->
+      advance p;
+      eat_punct p "(";
+      let init =
+        if accept_punct p ";" then None
+        else begin
+          let s = parse_simple_stmt p in
+          eat_punct p ";";
+          Some s
+        end
+      in
+      let cond = if accept_punct p ";" then None
+        else begin
+          let e = parse_expr p in
+          eat_punct p ";";
+          Some e
+        end
+      in
+      let step = if accept_punct p ")" then None
+        else begin
+          let e = parse_expr p in
+          eat_punct p ")";
+          Some e
+        end
+      in
+      S_for (init, cond, step, parse_stmt p)
+  | Lexer.T_kw "return" ->
+      advance p;
+      if accept_punct p ";" then S_return None
+      else begin
+        let e = parse_expr p in
+        eat_punct p ";";
+        S_return (Some e)
+      end
+  | Lexer.T_kw "break" ->
+      advance p;
+      eat_punct p ";";
+      S_break
+  | Lexer.T_kw "continue" ->
+      advance p;
+      eat_punct p ";";
+      S_continue
+  | _ ->
+      let s = parse_simple_stmt p in
+      eat_punct p ";";
+      s
+
+(* A declaration or expression statement without the trailing semicolon
+   (shared between plain statements and for-loop initializers). *)
+and parse_simple_stmt p : stmt =
+  match parse_base_ty p with
+  | Some base ->
+      let ty = parse_ptr_suffix p base in
+      let name = eat_ident p in
+      let ty =
+        if accept_punct p "[" then begin
+          let n = match peek p with
+            | Lexer.T_num n -> advance p; n
+            | _ -> error (line p) "array size must be a literal"
+          in
+          eat_punct p "]";
+          T_array (ty, n)
+        end
+        else ty
+      in
+      let init = if accept_punct p "=" then Some (parse_expr p) else None in
+      S_decl (ty, name, init)
+  | None ->
+      (* __asm("...") escape hatch *)
+      (match peek p with
+      | Lexer.T_ident "__asm" ->
+          advance p;
+          eat_punct p "(";
+          let s = match peek p with
+            | Lexer.T_str s -> advance p; s
+            | _ -> error (line p) "__asm expects a string"
+          in
+          eat_punct p ")";
+          S_asm s
+      | _ -> S_expr (parse_expr p))
+
+(* Top-level declarations. *)
+let parse_decl p : decl =
+  if accept_kw p "const" then begin
+    (match parse_base_ty p with Some _ -> () | None -> ());
+    let name = eat_ident p in
+    eat_punct p "=";
+    let rec const_expr () =
+      (* constant expressions: literals with + - * << | and parens *)
+      let e = parse_expr p in
+      let rec eval = function
+        | Num n -> n
+        | Ident name -> (
+            match Hashtbl.find_opt p.consts name with
+            | Some v -> v
+            | None -> error (line p) "unknown constant %s" name)
+        | Binop (Add, a, b) -> eval a + eval b
+        | Binop (Sub, a, b) -> eval a - eval b
+        | Binop (Mul, a, b) -> eval a * eval b
+        | Binop (Shl, a, b) -> eval a lsl eval b
+        | Binop (Bor, a, b) -> eval a lor eval b
+        | Unop (Neg, a) -> -eval a
+        | _ -> error (line p) "const initializer must be constant"
+      in
+      ignore const_expr;
+      eval e
+    in
+    let v = const_expr () in
+    eat_punct p ";";
+    Hashtbl.replace p.consts name v;
+    D_const (name, v)
+  end
+  else
+    match parse_base_ty p with
+    | None -> error (line p) "expected declaration"
+    | Some base ->
+        let ty = parse_ptr_suffix p base in
+        let name = eat_ident p in
+        if accept_punct p "(" then begin
+          (* function *)
+          let params = ref [] in
+          if not (accept_punct p ")") then begin
+            let rec go () =
+              (match parse_base_ty p with
+              | Some b ->
+                  let pt = parse_ptr_suffix p b in
+                  let pn = eat_ident p in
+                  params := (pt, pn) :: !params
+              | None -> error (line p) "expected parameter type");
+              if accept_punct p "," then go () else eat_punct p ")"
+            in
+            go ()
+          end;
+          let body =
+            match parse_stmt p with
+            | S_block stmts -> stmts
+            | _ -> error (line p) "function body must be a block"
+          in
+          D_func { name; params = List.rev !params; locals_hint = (); body }
+        end
+        else begin
+          (* global *)
+          let ty =
+            if accept_punct p "[" then begin
+              match peek p with
+              | Lexer.T_num n ->
+                  advance p;
+                  eat_punct p "]";
+                  T_array (ty, n)
+              | Lexer.T_punct "]" ->
+                  advance p;
+                  T_array (ty, 0) (* sized by initializer *)
+              | _ -> error (line p) "array size must be a literal"
+            end
+            else ty
+          in
+          let init =
+            if accept_punct p "=" then
+              Some
+                (match peek p with
+                | Lexer.T_num n -> advance p; I_num n
+                | Lexer.T_char_lit n -> advance p; I_num n
+                | Lexer.T_str s -> advance p; I_str s
+                | Lexer.T_punct "{" ->
+                    advance p;
+                    let items = ref [] in
+                    if not (accept_punct p "}") then begin
+                      let rec go () =
+                        (match peek p with
+                        | Lexer.T_num n -> advance p; items := n :: !items
+                        | Lexer.T_char_lit n -> advance p; items := n :: !items
+                        | _ -> error (line p) "array initializer must be literals");
+                        if accept_punct p "," then go () else eat_punct p "}"
+                      in
+                      go ()
+                    end;
+                    I_list (List.rev !items)
+                | _ -> error (line p) "bad initializer")
+            else None
+          in
+          eat_punct p ";";
+          let ty =
+            match ty, init with
+            | T_array (t, 0), Some (I_list l) -> T_array (t, List.length l)
+            | T_array (t, 0), Some (I_str s) -> T_array (t, String.length s + 1)
+            | ty, _ -> ty
+          in
+          D_global { g_ty = ty; g_name = name; g_init = init }
+        end
+
+let parse source : program =
+  let p = { toks = Lexer.tokenize source; consts = Hashtbl.create 16 } in
+  let decls = ref [] in
+  while peek p <> Lexer.T_eof do
+    decls := parse_decl p :: !decls
+  done;
+  List.rev !decls

@@ -1,0 +1,1 @@
+lib/core/events.ml: Expr List S2e_expr S2e_isa State

@@ -1,0 +1,1 @@
+lib/core/executor.ml: Array Bytes Consistency Events Expr Hashtbl Insn Int32 Int64 List Module_map Printf S2e_dbt S2e_expr S2e_isa S2e_solver S2e_vm Searcher Simplifier State Symmem Unix

@@ -1,0 +1,1 @@
+lib/core/module_map.ml: List S2e_isa

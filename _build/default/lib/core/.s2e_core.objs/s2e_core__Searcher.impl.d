@@ -1,0 +1,1 @@
+lib/core/searcher.ml: Hashtbl List Printf Queue Random State

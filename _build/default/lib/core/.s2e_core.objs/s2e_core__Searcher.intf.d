@@ -1,0 +1,1 @@
+lib/core/searcher.mli: State

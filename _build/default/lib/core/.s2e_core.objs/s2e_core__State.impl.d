@@ -1,0 +1,1 @@
+lib/core/state.ml: Array Expr List S2e_expr S2e_isa S2e_vm Symmem

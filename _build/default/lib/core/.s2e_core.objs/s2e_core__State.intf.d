@@ -1,0 +1,1 @@
+lib/core/state.mli: Expr S2e_expr S2e_vm Symmem

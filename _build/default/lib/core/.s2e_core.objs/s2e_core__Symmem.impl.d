@@ -1,0 +1,1 @@
+lib/core/symmem.ml: Array Buffer Bytes Char Expr Fmt Int Int64 Map S2e_expr Seq

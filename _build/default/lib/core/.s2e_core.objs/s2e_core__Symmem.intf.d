@@ -1,0 +1,1 @@
+lib/core/symmem.mli: Bytes Expr S2e_expr

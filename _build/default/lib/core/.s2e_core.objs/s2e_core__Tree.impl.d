@@ -1,0 +1,1 @@
+lib/core/tree.ml: Events Executor Fmt Hashtbl List S2e_expr State

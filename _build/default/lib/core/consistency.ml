@@ -1,0 +1,110 @@
+(** Execution consistency models (paper section 3).
+
+    Each model is characterised by how the engine treats the
+    unit/environment boundary and symbolic data inside the environment:
+
+    - {b SC-CE}: no symbolic data at all — plain concrete execution.
+    - {b SC-UE}: symbolic data is concretized (with the soft constraint
+      promoted to a hard one) when the unit calls the environment; the
+      environment is a black box, never forked.
+    - {b SC-SE}: symbolic data flows everywhere; the environment executes
+      symbolically too.  Consistent and complete, but path explosion moves
+      into the (much larger) environment.
+    - {b LC}: the environment runs concretely, but values it returns to the
+      unit are replaced by symbolic values constrained by the interface
+      contract (via annotations).  If the environment ever branches on
+      symbolic data the unit handed it, the path is aborted to preserve the
+      unit's local consistency.
+    - {b RC-OC}: like LC but environment return values (and symbolic
+      hardware reads) are completely unconstrained — inconsistent but
+      complete; right for reverse engineering.
+    - {b RC-CC}: branches in the unit follow both edges of the CFG without
+      feasibility checks or constraint tracking. *)
+
+type t = SC_CE | SC_UE | SC_SE | LC | RC_OC | RC_CC
+
+let all = [ SC_CE; SC_UE; SC_SE; LC; RC_OC; RC_CC ]
+
+let name = function
+  | SC_CE -> "SC-CE"
+  | SC_UE -> "SC-UE"
+  | SC_SE -> "SC-SE"
+  | LC -> "LC"
+  | RC_OC -> "RC-OC"
+  | RC_CC -> "RC-CC"
+
+let of_name s =
+  match String.uppercase_ascii s with
+  | "SC-CE" -> SC_CE
+  | "SC-UE" -> SC_UE
+  | "SC-SE" -> SC_SE
+  | "LC" -> LC
+  | "RC-OC" -> RC_OC
+  | "RC-CC" -> RC_CC
+  | _ -> invalid_arg (Printf.sprintf "unknown consistency model %S" s)
+
+(** May the environment itself be executed in multi-path mode? *)
+let fork_in_env = function
+  | SC_SE -> true
+  | SC_CE | SC_UE | LC | RC_OC | RC_CC -> false
+
+(** What to do when the environment branches on a symbolic value. *)
+type env_branch_policy =
+  | Follow_symbolic (* SC-SE: fork in the environment *)
+  | Concretize      (* pick one feasible value, add it as a hard constraint *)
+  | Abort           (* LC: the inconsistency reached the environment's control flow *)
+
+let env_branch = function
+  | SC_SE -> Follow_symbolic
+  | SC_CE | SC_UE | RC_OC | RC_CC -> Concretize
+  | LC -> Abort
+
+(** What replaces a value the environment returns to the unit. *)
+type return_policy =
+  | Keep            (* strict models: the actual (possibly constrained) value *)
+  | Contract        (* LC: symbolic within the API contract (annotations) *)
+  | Unconstrained   (* RC-OC: fresh unconstrained symbolic value *)
+
+let env_return = function
+  | SC_CE | SC_UE | SC_SE -> Keep
+  | LC -> Contract
+  | RC_OC -> Unconstrained
+  | RC_CC -> Keep
+
+(** Must branch feasibility be checked with the solver in the unit? *)
+let check_feasibility = function
+  | RC_CC -> false
+  | SC_CE | SC_UE | SC_SE | LC | RC_OC -> true
+
+(** Do symbolic hardware reads (I/O ports) return symbolic values?  The
+    hardware is outside the system, so under SC-SE it is the one legitimate
+    symbolic input source ("the only symbolic input comes from hardware",
+    section 6.1.1); LC and RC-OC keep it symbolic too, differing in how
+    API-contract values are constrained.  SC-UE concretizes the fresh value
+    immediately to an arbitrary admissible one — which is exactly why
+    drivers fail to load under SC-UE in section 6.3. *)
+let symbolic_hardware = function
+  | SC_SE | LC | RC_OC -> true
+  | SC_CE | SC_UE | RC_CC -> false
+
+(** SC-UE: hardware reads become fresh symbolic values that are instantly
+    pinned to an arbitrary concrete value ("blind selection of concrete
+    arguments", section 3.1.1). *)
+let concretized_hardware = function
+  | SC_UE -> true
+  | SC_CE | SC_SE | LC | RC_OC | RC_CC -> false
+
+(** Should symbolic data be eagerly concretized when the unit calls into
+    the environment?  (SC-UE treats the environment as a black box.) *)
+let concretize_at_call = function
+  | SC_UE -> true
+  | SC_CE | SC_SE | LC | RC_OC | RC_CC -> false
+
+let is_consistent = function
+  | SC_CE | SC_UE | SC_SE -> true
+  | LC -> true (* locally *)
+  | RC_OC | RC_CC -> false
+
+let is_complete = function
+  | SC_SE | RC_OC | RC_CC -> true
+  | SC_CE | SC_UE | LC -> false

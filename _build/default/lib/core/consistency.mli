@@ -1,0 +1,53 @@
+(** Execution consistency models (paper section 3): the systematic way to
+    trade path realism for exploration cost.  Each model is characterised
+    by what happens to symbolic data at the unit/environment boundary. *)
+
+type t =
+  | SC_CE  (** strictly consistent concrete execution: single path *)
+  | SC_UE  (** strict, unit-level: environment is a black box *)
+  | SC_SE  (** strict, system-level: symbolic everywhere; complete *)
+  | LC     (** local consistency: contract-constrained injections *)
+  | RC_OC  (** overapproximate: unconstrained env returns; complete *)
+  | RC_CC  (** CFG consistency: follow every edge, no solver *)
+
+val all : t list
+val name : t -> string
+
+val of_name : string -> t
+(** Case-insensitive; @raise Invalid_argument on unknown names. *)
+
+val fork_in_env : t -> bool
+(** May the environment itself execute in multi-path mode? *)
+
+type env_branch_policy =
+  | Follow_symbolic (** SC-SE: fork inside the environment *)
+  | Concretize      (** pin a feasible value and continue *)
+  | Abort           (** LC: inconsistency reached environment control flow *)
+
+val env_branch : t -> env_branch_policy
+
+type return_policy =
+  | Keep          (** strict models: the actual return value *)
+  | Contract      (** LC: symbolic within the interface contract *)
+  | Unconstrained (** RC-OC: fresh unconstrained symbolic value *)
+
+val env_return : t -> return_policy
+
+val check_feasibility : t -> bool
+(** Are branch directions checked with the solver?  [false] for RC-CC. *)
+
+val symbolic_hardware : t -> bool
+(** Do device port reads return fresh symbolic values? *)
+
+val concretized_hardware : t -> bool
+(** SC-UE: hardware reads are symbolic values instantly pinned to an
+    arbitrary concrete value ("blind selection", section 3.1.1). *)
+
+val concretize_at_call : t -> bool
+(** Eagerly concretize registers when the unit calls the environment. *)
+
+val is_consistent : t -> bool
+(** Paper Table 1, consistency column (LC counts as locally consistent). *)
+
+val is_complete : t -> bool
+(** Paper Table 1, completeness column. *)

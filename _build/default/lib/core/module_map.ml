@@ -1,0 +1,31 @@
+(** Map of loaded guest modules (kernel, libraries, drivers, programs).
+
+    The engine uses it to decide whether the current program counter is in
+    the {e unit} (the code under analysis) or the {e environment}
+    (everything else), and plugins use it for coverage accounting. *)
+
+type entry = {
+  name : string;
+  code_start : int;
+  code_end : int; (* executable code only *)
+  data_end : int;
+}
+
+type t = { mutable entries : entry list }
+
+let create () = { entries = [] }
+
+let add t ~name ~code_start ~code_end ~data_end =
+  t.entries <- { name; code_start; code_end; data_end } :: t.entries
+
+let find t addr =
+  List.find_opt (fun e -> addr >= e.code_start && addr < e.data_end) t.entries
+
+let find_code t addr =
+  List.find_opt (fun e -> addr >= e.code_start && addr < e.code_end) t.entries
+
+let entry t name = List.find_opt (fun e -> e.name = name) t.entries
+
+(** Number of instruction slots in a module's code range: the denominator
+    of basic-block coverage figures. *)
+let code_insns e = (e.code_end - e.code_start) / S2e_isa.Insn.insn_size

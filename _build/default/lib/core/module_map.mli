@@ -1,0 +1,27 @@
+(** Map of loaded guest modules.  The engine uses it to decide whether the
+    program counter is in the unit or the environment; coverage accounting
+    uses it for per-module denominators. *)
+
+type entry = {
+  name : string;
+  code_start : int;
+  code_end : int; (** end of executable code *)
+  data_end : int; (** end of the module including data *)
+}
+
+type t
+
+val create : unit -> t
+val add : t -> name:string -> code_start:int -> code_end:int -> data_end:int -> unit
+
+val find : t -> int -> entry option
+(** Module containing an address (code or data). *)
+
+val find_code : t -> int -> entry option
+(** Module whose executable code contains an address. *)
+
+val entry : t -> string -> entry option
+
+val code_insns : entry -> int
+(** Instruction slots in the module's code range: the coverage
+    denominator. *)

@@ -1,0 +1,90 @@
+(** Path-selection strategies (the paper's priority-based selectors:
+    DepthFirst, BreadthFirst, Random, plus a generic scored searcher that
+    MaxCoverage builds on). *)
+
+type t = {
+  add : State.t -> unit;
+  remove : State.t -> unit;
+  select : unit -> State.t option;
+  size : unit -> int;
+}
+
+let filter_live states = List.filter State.is_active states
+
+let dfs () =
+  let stack = ref [] in
+  {
+    add = (fun s -> stack := s :: !stack);
+    remove = (fun s -> stack := List.filter (fun s' -> s'.State.id <> s.State.id) !stack);
+    select =
+      (fun () ->
+        stack := filter_live !stack;
+        match !stack with [] -> None | s :: _ -> Some s);
+    size = (fun () -> List.length (filter_live !stack));
+  }
+
+let bfs () =
+  let queue = Queue.create () in
+  let live = Hashtbl.create 64 in
+  {
+    add =
+      (fun s ->
+        Queue.push s queue;
+        Hashtbl.replace live s.State.id ());
+    remove = (fun s -> Hashtbl.remove live s.State.id);
+    select =
+      (fun () ->
+        let rec go () =
+          match Queue.peek_opt queue with
+          | None -> None
+          | Some s when State.is_active s && Hashtbl.mem live s.State.id -> Some s
+          | Some _ ->
+              ignore (Queue.pop queue);
+              go ()
+        in
+        go ());
+    size =
+      (fun () ->
+        Queue.fold (fun n s -> if State.is_active s then n + 1 else n) 0 queue);
+  }
+
+let random ?(seed = 42) () =
+  let rng = Random.State.make [| seed |] in
+  let states = ref [] in
+  {
+    add = (fun s -> states := s :: !states);
+    remove = (fun s -> states := List.filter (fun s' -> s'.State.id <> s.State.id) !states);
+    select =
+      (fun () ->
+        states := filter_live !states;
+        match !states with
+        | [] -> None
+        | l -> Some (List.nth l (Random.State.int rng (List.length l))));
+    size = (fun () -> List.length (filter_live !states));
+  }
+
+(** Pick the live state maximizing [score] (recomputed at each selection,
+    so scores may depend on global analysis state such as coverage). *)
+let scored score =
+  let states = ref [] in
+  {
+    add = (fun s -> states := s :: !states);
+    remove = (fun s -> states := List.filter (fun s' -> s'.State.id <> s.State.id) !states);
+    select =
+      (fun () ->
+        states := filter_live !states;
+        match !states with
+        | [] -> None
+        | first :: rest ->
+            Some
+              (List.fold_left
+                 (fun best s -> if score s > score best then s else best)
+                 first rest));
+    size = (fun () -> List.length (filter_live !states));
+  }
+
+let of_name = function
+  | "dfs" -> dfs ()
+  | "bfs" -> bfs ()
+  | "random" -> random ()
+  | s -> invalid_arg (Printf.sprintf "unknown searcher %S" s)

@@ -1,0 +1,26 @@
+(** Path-selection strategies: the paper's priority-based selectors
+    (section 4.1).  A searcher owns the set of runnable states; the
+    executor asks it which path to step next. *)
+
+type t = {
+  add : State.t -> unit;
+  remove : State.t -> unit;
+  select : unit -> State.t option; (** next live state, or [None] when drained *)
+  size : unit -> int;              (** live states currently held *)
+}
+
+val dfs : unit -> t
+(** Depth-first: most recently added live state first. *)
+
+val bfs : unit -> t
+(** Breadth-first: oldest live state first. *)
+
+val random : ?seed:int -> unit -> t
+(** Uniformly random among live states (deterministic per seed). *)
+
+val scored : (State.t -> int) -> t
+(** Pick the live state maximizing the score, recomputed per selection —
+    the building block of the MaxCoverage selector. *)
+
+val of_name : string -> t
+(** "dfs" | "bfs" | "random"; @raise Invalid_argument otherwise. *)

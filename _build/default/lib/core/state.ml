@@ -1,0 +1,119 @@
+(** ExecState: the complete virtual machine state of one execution path
+    (paper section 4.2).
+
+    Forking copies registers (a small array), clones device state, and
+    shares memory structurally through {!Symmem}'s persistent overlay —
+    the copy-on-write behaviour the paper relies on to keep thousands of
+    live paths affordable. *)
+
+open S2e_expr
+
+type status =
+  | Active
+  | Halted                  (* guest executed HALT *)
+  | Killed of string        (* selector/analyzer terminated the path *)
+  | Faulted of string       (* guest fault (bad memory, invalid opcode) *)
+  | Aborted of string       (* consistency-model abort (e.g. LC violation) *)
+
+(* A pending call into the environment, used to apply return policies. *)
+type env_frame = {
+  callee : int;           (* environment function entry address *)
+  return_addr : int;      (* unit address execution will come back to *)
+  via_syscall : bool;
+}
+
+type t = {
+  id : int;
+  mutable parent : int;
+  mutable pc : int;
+  mutable regs : Expr.t array;
+  mutable mem : Symmem.t;
+  mutable constraints : Expr.t list;
+  mutable soft_constraints : int; (* count of concretization-induced constraints *)
+  mutable devices : S2e_vm.Devices.t;
+  (* interrupt/syscall plumbing, mirroring the concrete Machine *)
+  mutable irq_enabled : bool;
+  mutable in_irq : bool;
+  mutable iepc : int;
+  mutable sepc : int;
+  mutable last_irq : int;
+  mutable pending_irqs : int list;
+  mutable irqs_suppressed : bool; (* s2e opcode: disable interrupts for path *)
+  mutable status : status;
+  mutable multipath : bool; (* toggled by S2ENA / S2DIS opcodes *)
+  mutable instret : int;
+  mutable sym_instret : int;   (* instructions that touched symbolic data *)
+  mutable depth : int;         (* fork depth *)
+  mutable virtual_time : int64;
+  mutable env_frames : env_frame list;
+  (* Symbolic data the unit wrote into environment-visible places (LC
+     propagation tracking) is approximated by noting that any symbolic
+     branch in the environment aborts; no extra state needed. *)
+}
+
+let counter = ref 0
+
+let create ~mem ~devices ~pc =
+  incr counter;
+  {
+    id = !counter;
+    parent = 0;
+    pc;
+    regs = Array.make S2e_isa.Insn.num_regs (Expr.const 0L);
+    mem;
+    constraints = [];
+    soft_constraints = 0;
+    devices;
+    irq_enabled = false;
+    in_irq = false;
+    iepc = 0;
+    sepc = 0;
+    last_irq = 0;
+    pending_irqs = [];
+    irqs_suppressed = false;
+    status = Active;
+    multipath = true;
+    instret = 0;
+    sym_instret = 0;
+    depth = 0;
+    virtual_time = 0L;
+    env_frames = [];
+  }
+
+(** Fork a copy for the other side of a branch. *)
+let fork t =
+  incr counter;
+  {
+    t with
+    id = !counter;
+    parent = t.id;
+    regs = Array.copy t.regs;
+    devices = S2e_vm.Devices.clone t.devices;
+    depth = t.depth + 1;
+    (* mem and constraints are persistent; shared structurally *)
+  }
+
+let get_reg t r =
+  if r = S2e_isa.Insn.reg_zero then Expr.const 0L else t.regs.(r)
+
+let set_reg t r v = if r <> S2e_isa.Insn.reg_zero then t.regs.(r) <- v
+
+let add_constraint t c =
+  if not (Expr.equal c Expr.bool_t) then t.constraints <- c :: t.constraints
+
+(** Estimated state footprint in "words" (registers + private memory
+    overlay + constraints): the quantity the Fig. 8 memory benchmark
+    reports a high-watermark of. *)
+let footprint t =
+  Array.length t.regs
+  + Symmem.overlay_size t.mem
+  + List.fold_left (fun acc c -> acc + Expr.size c) 0 t.constraints
+
+let is_active t = t.status = Active
+
+let status_string = function
+  | Active -> "active"
+  | Halted -> "halted"
+  | Killed r -> "killed: " ^ r
+  | Faulted r -> "faulted: " ^ r
+  | Aborted r -> "aborted: " ^ r

@@ -1,0 +1,71 @@
+(** ExecState: the complete virtual machine state of one execution path
+    (paper section 4.2).
+
+    Forking copies the register file, clones device state, and shares
+    memory structurally through {!Symmem}'s persistent overlay — the
+    copy-on-write behaviour the paper relies on to keep thousands of live
+    paths affordable.  Fields are exposed because plugins read and write
+    the state directly (the paper's ExecState gives plugins read/write
+    access to the whole VM state). *)
+
+open S2e_expr
+
+type status =
+  | Active
+  | Halted                  (** guest executed HALT *)
+  | Killed of string        (** selector/analyzer terminated the path *)
+  | Faulted of string       (** guest fault (bad memory, invalid opcode) *)
+  | Aborted of string       (** consistency-model abort (e.g. LC violation) *)
+
+(** A pending call into the environment, used to apply return policies. *)
+type env_frame = {
+  callee : int;
+  return_addr : int;
+  via_syscall : bool;
+}
+
+type t = {
+  id : int;
+  mutable parent : int;
+  mutable pc : int;
+  mutable regs : Expr.t array;
+  mutable mem : Symmem.t;
+  mutable constraints : Expr.t list;
+  mutable soft_constraints : int;
+  mutable devices : S2e_vm.Devices.t;
+  mutable irq_enabled : bool;
+  mutable in_irq : bool;
+  mutable iepc : int;
+  mutable sepc : int;
+  mutable last_irq : int;
+  mutable pending_irqs : int list;
+  mutable irqs_suppressed : bool;
+  mutable status : status;
+  mutable multipath : bool;
+  mutable instret : int;
+  mutable sym_instret : int;
+  mutable depth : int;
+  mutable virtual_time : int64;
+  mutable env_frames : env_frame list;
+}
+
+val create : mem:Symmem.t -> devices:S2e_vm.Devices.t -> pc:int -> t
+
+val fork : t -> t
+(** Copy for the other side of a branch: registers copied, devices cloned,
+    memory and constraints shared structurally. *)
+
+val get_reg : t -> int -> Expr.t
+(** The zero register always reads 0. *)
+
+val set_reg : t -> int -> Expr.t -> unit
+(** Writes to the zero register are ignored. *)
+
+val add_constraint : t -> Expr.t -> unit
+
+val footprint : t -> int
+(** Estimated state size in words (registers + private memory overlay +
+    constraints): the Fig. 8 memory metric. *)
+
+val is_active : t -> bool
+val status_string : status -> string

@@ -1,0 +1,143 @@
+(** Copy-on-write symbolic memory.
+
+    The paper's central implementation trick (section 5) is a machine-state
+    representation shared between the concrete and symbolic domains, with
+    aggressive copy-on-write so forked paths stay cheap.  We realise it as
+    an immutable concrete base image (shared by every path) plus a
+    persistent map overlay of symbolic (or concretely updated) bytes.
+    Forking a state shares both structurally; writes copy O(log n) nodes.
+
+    Reads from a {e symbolic pointer} are lowered to an if-then-else chain
+    over one solver page, whose size is configurable — this directly
+    reproduces the paper's page-splitting optimization and its section 6.2
+    page-size experiment. *)
+
+open S2e_expr
+module Int_map = Map.Make (Int)
+
+type t = {
+  base : Bytes.t; (* immutable after construction; shared by all states *)
+  overlay : Expr.t Int_map.t;
+  size : int;
+}
+
+exception Fault of string
+
+let create ~base = { base; overlay = Int_map.empty; size = Bytes.length base }
+
+let fault fmt = Fmt.kstr (fun m -> raise (Fault m)) fmt
+
+let check t addr =
+  if addr < 0 || addr >= t.size then fault "memory access out of range: 0x%x" addr
+
+(** Number of overlay entries: a proxy for per-state memory footprint,
+    reported by the Fig. 8 benchmark. *)
+let overlay_size t = Int_map.cardinal t.overlay
+
+let read_byte t addr =
+  check t addr;
+  match Int_map.find_opt addr t.overlay with
+  | Some e -> e
+  | None -> Expr.const ~width:8 (Int64.of_int (Char.code (Bytes.get t.base addr)))
+
+let write_byte t addr v =
+  check t addr;
+  assert (Expr.width v = 8);
+  { t with overlay = Int_map.add addr v t.overlay }
+
+let read_word t addr =
+  check t addr;
+  check t (addr + 3);
+  let b0 = read_byte t addr
+  and b1 = read_byte t (addr + 1)
+  and b2 = read_byte t (addr + 2)
+  and b3 = read_byte t (addr + 3) in
+  Expr.concat
+    ~high:(Expr.concat ~high:b3 ~low:b2)
+    ~low:(Expr.concat ~high:b1 ~low:b0)
+
+let write_word t addr v =
+  check t addr;
+  check t (addr + 3);
+  assert (Expr.width v = 32);
+  let byte i = Expr.extract ~hi:((8 * i) + 7) ~lo:(8 * i) v in
+  let t = write_byte t addr (byte 0) in
+  let t = write_byte t (addr + 1) (byte 1) in
+  let t = write_byte t (addr + 2) (byte 2) in
+  write_byte t (addr + 3) (byte 3)
+
+(** Fully concrete view of a byte (for device DMA, tracing, etc.):
+    [None] when the byte is symbolic. *)
+let concrete_byte t addr =
+  match Expr.to_const (read_byte t addr) with
+  | Some v -> Some (Int64.to_int v)
+  | None -> None
+
+(** Read a symbolic-pointer byte: builds an ITE chain over the solver page
+    containing [anchor] (a concrete value the address can take), and returns
+    it together with the page-bounds constraint that must be added to the
+    path. *)
+let read_byte_sym t ~page_size ~anchor addr_expr =
+  let page = anchor / page_size * page_size in
+  let page_end = min t.size (page + page_size) in
+  let in_page =
+    Expr.log_and
+      (Expr.ule (Expr.const (Int64.of_int page)) addr_expr)
+      (Expr.ult addr_expr (Expr.const (Int64.of_int page_end)))
+  in
+  (* Fold from the anchor's byte as default so the chain is never empty. *)
+  let result = ref (read_byte t anchor) in
+  for a = page_end - 1 downto page do
+    if a <> anchor then
+      result :=
+        Expr.ite
+          (Expr.eq addr_expr (Expr.const (Int64.of_int a)))
+          (read_byte t a) !result
+  done;
+  (!result, in_page)
+
+let read_word_sym t ~page_size ~anchor addr_expr =
+  let byte i =
+    let e, _ =
+      read_byte_sym t ~page_size ~anchor:(anchor + i)
+        (Expr.add addr_expr (Expr.const (Int64.of_int i)))
+    in
+    e
+  in
+  let page = anchor / page_size * page_size in
+  let page_end = min t.size (page + page_size) in
+  let in_page =
+    Expr.log_and
+      (Expr.ule (Expr.const (Int64.of_int page)) addr_expr)
+      (Expr.ult
+         (Expr.add addr_expr (Expr.const 3L))
+         (Expr.const (Int64.of_int page_end)))
+  in
+  let w =
+    Expr.concat
+      ~high:(Expr.concat ~high:(byte 3) ~low:(byte 2))
+      ~low:(Expr.concat ~high:(byte 1) ~low:(byte 0))
+  in
+  (w, in_page)
+
+(** Copy a concrete buffer into memory (DMA, image patching). *)
+let blit_concrete t addr data =
+  Array.to_seq data
+  |> Seq.fold_lefti
+       (fun t i b ->
+         write_byte t (addr + i) (Expr.const ~width:8 (Int64.of_int (b land 0xff))))
+       t
+
+(** Read a NUL-terminated concrete string (fails on symbolic bytes). *)
+let read_cstring ?(max_len = 256) t addr =
+  let buf = Buffer.create 16 in
+  let rec go a n =
+    if n >= max_len then Buffer.contents buf
+    else
+      match concrete_byte t a with
+      | Some 0 | None -> Buffer.contents buf
+      | Some c ->
+          Buffer.add_char buf (Char.chr c);
+          go (a + 1) (n + 1)
+  in
+  go addr 0

@@ -1,0 +1,48 @@
+(** Copy-on-write symbolic memory: an immutable concrete base image shared
+    by all paths plus a persistent per-path overlay of symbolic bytes —
+    the shared machine-state representation at the heart of the paper's
+    prototype (section 5).  All update operations are persistent: they
+    return a new memory sharing structure with the old one. *)
+
+open S2e_expr
+
+type t
+
+exception Fault of string
+(** Raised on out-of-range accesses. *)
+
+val create : base:Bytes.t -> t
+(** The base image must not be mutated afterwards. *)
+
+val overlay_size : t -> int
+(** Number of privately written bytes: a per-path footprint proxy. *)
+
+val read_byte : t -> int -> Expr.t
+(** Width-8 expression. *)
+
+val write_byte : t -> int -> Expr.t -> t
+
+val read_word : t -> int -> Expr.t
+(** Little-endian 32-bit read; adjacent concrete bytes re-fuse into a
+    constant. *)
+
+val write_word : t -> int -> Expr.t -> t
+
+val concrete_byte : t -> int -> int option
+(** [None] when the byte is symbolic. *)
+
+val read_byte_sym :
+  t -> page_size:int -> anchor:int -> Expr.t -> Expr.t * Expr.t
+(** Symbolic-pointer read: an if-then-else chain over the solver page
+    containing [anchor].  Returns (value, page-bounds constraint); the
+    caller must add the constraint to the path.  [page_size] is the
+    paper's configurable solver-page split (section 5). *)
+
+val read_word_sym :
+  t -> page_size:int -> anchor:int -> Expr.t -> Expr.t * Expr.t
+
+val blit_concrete : t -> int -> int array -> t
+(** Copy a concrete buffer in (device DMA, image patching). *)
+
+val read_cstring : ?max_len:int -> t -> int -> string
+(** NUL-terminated concrete string; stops at symbolic bytes. *)

@@ -1,0 +1,83 @@
+(** Execution-tree recorder.
+
+    Mirrors the paper's picture of multi-path execution as a tree that
+    grows in width inside the symbolic domain and only in depth inside the
+    concrete domain (section 2, Fig. 1).  Attach one to an engine to record
+    every fork and path end; useful for debugging selectors and for
+    reporting exploration structure. *)
+
+module Expr = S2e_expr.Expr
+
+type node = {
+  n_id : int;
+  n_parent : int; (* 0 for the root *)
+  n_fork_pc : int; (* pc at which this node was created *)
+  n_cond : Expr.t option; (* branch condition (parent took it) *)
+  mutable n_children : int list;
+  mutable n_status : string; (* "live" until the path ends *)
+}
+
+type t = {
+  nodes : (int, node) Hashtbl.t;
+  mutable root : int;
+  mutable forks : int;
+  mutable max_depth : int;
+}
+
+let attach engine =
+  let t = { nodes = Hashtbl.create 256; root = 0; forks = 0; max_depth = 0 } in
+  let ensure (s : State.t) =
+    match Hashtbl.find_opt t.nodes s.State.id with
+    | Some n -> n
+    | None ->
+        let n =
+          { n_id = s.State.id; n_parent = s.State.parent;
+            n_fork_pc = s.State.pc; n_cond = None; n_children = [];
+            n_status = "live" }
+        in
+        Hashtbl.replace t.nodes s.State.id n;
+        if t.root = 0 then t.root <- s.State.id;
+        n
+  in
+  Events.reg_fork engine.Executor.events (fun parent child cond ->
+      t.forks <- t.forks + 1;
+      if child.State.depth > t.max_depth then t.max_depth <- child.State.depth;
+      let pn = ensure parent in
+      let cn = ensure child in
+      Hashtbl.replace t.nodes child.State.id { cn with n_cond = Some cond };
+      pn.n_children <- child.State.id :: pn.n_children);
+  Events.reg_state_end engine.Executor.events (fun s ->
+      let n = ensure s in
+      n.n_status <- State.status_string s.State.status);
+  t
+
+let node t id = Hashtbl.find_opt t.nodes id
+
+let size t = Hashtbl.length t.nodes
+
+(* Depth of the tree below [id]. *)
+let rec depth_below t id =
+  match node t id with
+  | None -> 0
+  | Some n ->
+      1 + List.fold_left (fun acc c -> max acc (depth_below t c)) 0 n.n_children
+
+(** Leaves (terminated or still-live paths with no children). *)
+let leaves t =
+  Hashtbl.fold (fun _ n acc -> if n.n_children = [] then n :: acc else acc)
+    t.nodes []
+
+(** Render the tree as indented text, conditions included. *)
+let pp ppf t =
+  let rec go indent id =
+    match node t id with
+    | None -> ()
+    | Some n ->
+        Fmt.pf ppf "%s#%d @@0x%x [%s]%a@." indent n.n_id n.n_fork_pc n.n_status
+          (fun ppf -> function
+            | Some c -> Fmt.pf ppf " if %a" Expr.pp c
+            | None -> ())
+          n.n_cond;
+        List.iter (go (indent ^ "  ")) (List.rev n.n_children)
+  in
+  go "" t.root

@@ -1,0 +1,1 @@
+lib/dbt/dbt.ml: Array Hashtbl Insn List S2e_isa

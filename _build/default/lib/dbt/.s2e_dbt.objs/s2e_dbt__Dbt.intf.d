@@ -1,0 +1,1 @@
+lib/dbt/dbt.mli: Insn S2e_isa

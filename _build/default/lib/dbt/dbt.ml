@@ -1,0 +1,86 @@
+(** Dynamic binary translator.
+
+    Guest machine code is translated on demand into {e translation blocks}
+    (TBs): straight-line sequences of decoded instructions ending at the
+    first control transfer.  Blocks are cached so each instruction is
+    decoded once but may execute millions of times — this is what makes the
+    paper's onInstrTranslation / onInstrExecution event split cheap
+    (section 4.2).  Writes into already-translated code invalidate the
+    affected blocks, which is how self-modifying guests stay correct. *)
+
+open S2e_isa
+
+type tb = {
+  tb_start : int;
+  insns : (int * Insn.t) array; (* (address, instruction) *)
+  mutable exec_count : int;
+}
+
+type t = {
+  cache : (int, tb) Hashtbl.t;
+  (* Set of instruction addresses plugins marked during translation. *)
+  marks : (int, unit) Hashtbl.t;
+  mutable translations : int;
+  mutable max_block : int;
+  (* Invalidation: translated address ranges, coarse-grained. *)
+  mutable translated_ranges : (int * int) list;
+}
+
+let create ?(max_block = 32) () =
+  {
+    cache = Hashtbl.create 512;
+    marks = Hashtbl.create 64;
+    translations = 0;
+    max_block;
+    translated_ranges = [];
+  }
+
+(** Mark [addr] for execution notification (called by plugins from an
+    onInstrTranslation handler). *)
+let mark t addr = Hashtbl.replace t.marks addr ()
+let unmark t addr = Hashtbl.remove t.marks addr
+let is_marked t addr = Hashtbl.mem t.marks addr
+
+(** Translate the block starting at [pc].  [fetch] reads one guest byte;
+    [on_translate] is invoked once per freshly decoded instruction. *)
+let translate t ~fetch ~on_translate pc =
+  match Hashtbl.find_opt t.cache pc with
+  | Some tb -> tb
+  | None ->
+      t.translations <- t.translations + 1;
+      let rec go addr acc n =
+        let insn = Insn.decode_with ~get:fetch addr in
+        on_translate addr insn;
+        let acc = (addr, insn) :: acc in
+        if Insn.is_block_terminator insn || n + 1 >= t.max_block then
+          List.rev acc
+        else go (addr + Insn.insn_size) acc (n + 1)
+      in
+      let insns = Array.of_list (go pc [] 0) in
+      let tb = { tb_start = pc; insns; exec_count = 0 } in
+      Hashtbl.replace t.cache pc tb;
+      let last, _ = insns.(Array.length insns - 1) in
+      t.translated_ranges <- (pc, last + Insn.insn_size) :: t.translated_ranges;
+      tb
+
+(** Invalidate any block covering [addr] (a guest write hit translated
+    code). *)
+let invalidate t addr =
+  let hit = List.exists (fun (lo, hi) -> addr >= lo && addr < hi) t.translated_ranges in
+  if hit then begin
+    (* Coarse but correct: drop every cached block overlapping the write. *)
+    let victims =
+      Hashtbl.fold
+        (fun start tb acc ->
+          let stop = start + (Array.length tb.insns * Insn.insn_size) in
+          if addr >= start && addr < stop then start :: acc else acc)
+        t.cache []
+    in
+    List.iter (Hashtbl.remove t.cache) victims;
+    t.translated_ranges <-
+      List.filter
+        (fun (lo, hi) -> not (addr >= lo && addr < hi))
+        t.translated_ranges
+  end
+
+let stats t = (t.translations, Hashtbl.length t.cache)

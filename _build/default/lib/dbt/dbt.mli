@@ -1,0 +1,33 @@
+(** Dynamic binary translator: on-demand translation of guest code into
+    cached straight-line translation blocks, with per-instruction marking
+    (the cheap onInstrTranslation / onInstrExecution split of paper
+    section 4.2) and invalidation on writes into translated code. *)
+
+open S2e_isa
+
+type tb = {
+  tb_start : int;
+  insns : (int * Insn.t) array; (** (address, instruction) pairs *)
+  mutable exec_count : int;
+}
+
+type t
+
+val create : ?max_block:int -> unit -> t
+
+val mark : t -> int -> unit
+(** Request an onInstrExecution notification for this address. *)
+
+val unmark : t -> int -> unit
+val is_marked : t -> int -> bool
+
+val translate :
+  t -> fetch:(int -> int) -> on_translate:(int -> Insn.t -> unit) -> int -> tb
+(** Translation block starting at the given pc; cached, so [on_translate]
+    fires once per instruction per (re-)translation. *)
+
+val invalidate : t -> int -> unit
+(** A guest write hit this address: drop any block covering it. *)
+
+val stats : t -> int * int
+(** (total translations, blocks currently cached). *)

@@ -1,0 +1,1 @@
+lib/expr/expr.ml: Fmt Int Int64 Map Set

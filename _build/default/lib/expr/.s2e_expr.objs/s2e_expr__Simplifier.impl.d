@@ -1,0 +1,1 @@
+lib/expr/simplifier.ml: Expr Int64

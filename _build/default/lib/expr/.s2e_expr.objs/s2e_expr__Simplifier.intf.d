@@ -1,0 +1,1 @@
+lib/expr/simplifier.mli: Expr

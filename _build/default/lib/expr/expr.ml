@@ -1,0 +1,376 @@
+(** Bitvector expressions for the symbolic execution engine.
+
+    Expressions model guest machine words of widths 1, 8, 16 and 32 bits.
+    Construction goes through smart constructors which perform constant
+    folding and local algebraic simplification, so that the common case of
+    fully-concrete computation never allocates deep trees.  The deeper
+    bitfield-theory simplifier from the paper (known-bits / demanded-bits
+    propagation, S2E paper section 5) lives in {!Simplifier}. *)
+
+type unop =
+  | Neg  (** two's-complement negation *)
+  | Bnot (** bitwise complement *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Udiv (** unsigned division; division by zero yields all-ones, as SMT-LIB *)
+  | Urem (** unsigned remainder; remainder by zero yields the dividend *)
+  | And
+  | Or
+  | Xor
+  | Shl  (** left shift, shift amount taken modulo width *)
+  | Lshr (** logical right shift *)
+  | Ashr (** arithmetic right shift *)
+
+type cmpop =
+  | Eq
+  | Ult
+  | Ule
+  | Slt
+  | Sle
+
+type t =
+  | Const of { value : int64; width : int }
+  | Var of { id : int; name : string; width : int }
+  | Unop of { op : unop; arg : t; width : int }
+  | Binop of { op : binop; lhs : t; rhs : t; width : int }
+  | Cmp of { op : cmpop; lhs : t; rhs : t } (* width 1 *)
+  | Ite of { cond : t; then_ : t; else_ : t; width : int }
+  | Extract of { hi : int; lo : int; arg : t } (* width = hi - lo + 1 *)
+  | Concat of { high : t; low : t; width : int }
+  | Zext of { arg : t; width : int }
+  | Sext of { arg : t; width : int }
+
+let width = function
+  | Const { width; _ } | Var { width; _ } | Unop { width; _ }
+  | Binop { width; _ } | Ite { width; _ } | Concat { width; _ }
+  | Zext { width; _ } | Sext { width; _ } ->
+      width
+  | Cmp _ -> 1
+  | Extract { hi; lo; _ } -> hi - lo + 1
+
+let mask w =
+  if w >= 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L
+
+(* Sign-extend the low [w] bits of [v] to a full int64. *)
+let sext64 v w =
+  if w >= 64 then v
+  else
+    let shift = 64 - w in
+    Int64.shift_right (Int64.shift_left v shift) shift
+
+let norm v w = Int64.logand v (mask w)
+
+let const ?(width = 32) value = Const { value = norm value width; width }
+let bool_t = const ~width:1 1L
+let bool_f = const ~width:1 0L
+let of_bool b = if b then bool_t else bool_f
+
+let is_const = function Const _ -> true | _ -> false
+
+let to_const = function Const { value; _ } -> Some value | _ -> None
+
+let var_counter = ref 0
+
+let fresh_var ?(width = 32) name =
+  incr var_counter;
+  Var { id = !var_counter; name; width }
+
+(* Structural equality; physical equality is checked first as a fast path. *)
+let rec equal a b =
+  a == b
+  ||
+  match a, b with
+  | Const a, Const b -> a.value = b.value && a.width = b.width
+  | Var a, Var b -> a.id = b.id
+  | Unop a, Unop b -> a.op = b.op && equal a.arg b.arg
+  | Binop a, Binop b -> a.op = b.op && equal a.lhs b.lhs && equal a.rhs b.rhs
+  | Cmp a, Cmp b -> a.op = b.op && equal a.lhs b.lhs && equal a.rhs b.rhs
+  | Ite a, Ite b ->
+      equal a.cond b.cond && equal a.then_ b.then_ && equal a.else_ b.else_
+  | Extract a, Extract b -> a.hi = b.hi && a.lo = b.lo && equal a.arg b.arg
+  | Concat a, Concat b -> equal a.high b.high && equal a.low b.low
+  | Zext a, Zext b -> a.width = b.width && equal a.arg b.arg
+  | Sext a, Sext b -> a.width = b.width && equal a.arg b.arg
+  | ( ( Const _ | Var _ | Unop _ | Binop _ | Cmp _ | Ite _ | Extract _
+      | Concat _ | Zext _ | Sext _ ),
+      _ ) ->
+      false
+
+let eval_unop op v w =
+  match op with
+  | Neg -> norm (Int64.neg v) w
+  | Bnot -> norm (Int64.lognot v) w
+
+let eval_binop op a b w =
+  let m = mask w in
+  match op with
+  | Add -> norm (Int64.add a b) w
+  | Sub -> norm (Int64.sub a b) w
+  | Mul -> norm (Int64.mul a b) w
+  | Udiv -> if b = 0L then m else norm (Int64.unsigned_div a b) w
+  | Urem -> if b = 0L then a else norm (Int64.unsigned_rem a b) w
+  | And -> Int64.logand a b
+  | Or -> Int64.logor a b
+  | Xor -> Int64.logxor a b
+  | Shl ->
+      let s = Int64.to_int b mod w in
+      norm (Int64.shift_left a s) w
+  | Lshr ->
+      let s = Int64.to_int b mod w in
+      norm (Int64.shift_right_logical a s) w
+  | Ashr ->
+      let s = Int64.to_int b mod w in
+      norm (Int64.shift_right (sext64 a w) s) w
+
+let eval_cmp op a b w =
+  match op with
+  | Eq -> a = b
+  | Ult -> Int64.unsigned_compare a b < 0
+  | Ule -> Int64.unsigned_compare a b <= 0
+  | Slt -> Int64.compare (sext64 a w) (sext64 b w) < 0
+  | Sle -> Int64.compare (sext64 a w) (sext64 b w) <= 0
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let unop op arg =
+  let w = width arg in
+  match arg with
+  | Const { value; _ } -> const ~width:w (eval_unop op value w)
+  | Unop { op = op'; arg = inner; _ } when op = op' -> inner
+  | _ -> Unop { op; arg; width = w }
+
+let neg e = unop Neg e
+let bnot e = unop Bnot e
+
+let is_zero = function Const { value = 0L; _ } -> true | _ -> false
+let is_all_ones = function
+  | Const { value; width } -> value = mask width
+  | _ -> false
+
+let rec binop op lhs rhs =
+  let w = width lhs in
+  assert (width rhs = w);
+  match lhs, rhs with
+  | Const { value = a; _ }, Const { value = b; _ } ->
+      const ~width:w (eval_binop op a b w)
+  | _ -> (
+      match op with
+      | Add when is_zero lhs -> rhs
+      | Add when is_zero rhs -> lhs
+      | Sub when is_zero rhs -> lhs
+      | Sub when equal lhs rhs -> const ~width:w 0L
+      | Mul when is_zero lhs || is_zero rhs -> const ~width:w 0L
+      | Mul when to_const lhs = Some 1L -> rhs
+      | Mul when to_const rhs = Some 1L -> lhs
+      | And when is_zero lhs || is_zero rhs -> const ~width:w 0L
+      | And when is_all_ones rhs -> lhs
+      | And when is_all_ones lhs -> rhs
+      | And when equal lhs rhs -> lhs
+      | Or when is_zero lhs -> rhs
+      | Or when is_zero rhs -> lhs
+      | Or when is_all_ones lhs || is_all_ones rhs ->
+          const ~width:w (mask w)
+      | Or when equal lhs rhs -> lhs
+      | Xor when is_zero lhs -> rhs
+      | Xor when is_zero rhs -> lhs
+      | Xor when equal lhs rhs -> const ~width:w 0L
+      | (Shl | Lshr | Ashr) when is_zero rhs -> lhs
+      | (Shl | Lshr) when is_zero lhs -> lhs
+      (* Reassociate (x + c1) + c2 into x + (c1+c2): the DBT emits long
+         chains of address arithmetic that this collapses. *)
+      | Add -> (
+          match lhs, rhs with
+          | Binop { op = Add; lhs = x; rhs = Const c1; _ }, Const c2 ->
+              binop Add x (const ~width:w (Int64.add c1.value c2.value))
+          | Const _, _ -> binop Add rhs lhs
+          | _ -> Binop { op; lhs; rhs; width = w })
+      | _ -> Binop { op; lhs; rhs; width = w })
+
+let add a b = binop Add a b
+let sub a b = binop Sub a b
+let mul a b = binop Mul a b
+let udiv a b = binop Udiv a b
+let urem a b = binop Urem a b
+let band a b = binop And a b
+let bor a b = binop Or a b
+let bxor a b = binop Xor a b
+let shl a b = binop Shl a b
+let lshr a b = binop Lshr a b
+let ashr a b = binop Ashr a b
+
+let cmp op lhs rhs =
+  let w = width lhs in
+  assert (width rhs = w);
+  match lhs, rhs with
+  | Const { value = a; _ }, Const { value = b; _ } ->
+      of_bool (eval_cmp op a b w)
+  | _ ->
+      if equal lhs rhs then
+        of_bool (match op with Eq | Ule | Sle -> true | Ult | Slt -> false)
+      else Cmp { op; lhs; rhs }
+
+let eq a b = cmp Eq a b
+let ult a b = cmp Ult a b
+let ule a b = cmp Ule a b
+let slt a b = cmp Slt a b
+let sle a b = cmp Sle a b
+let ne a b =
+  match eq a b with
+  | Const { value; _ } -> of_bool (value = 0L)
+  | e -> Cmp { op = Eq; lhs = e; rhs = bool_f }
+
+(* Boolean operations are just width-1 bitvector operations. *)
+let log_and a b = band a b
+let log_or a b = bor a b
+let log_not a =
+  assert (width a = 1);
+  bxor a bool_t
+
+let ite cond then_ else_ =
+  assert (width cond = 1);
+  let w = width then_ in
+  assert (width else_ = w);
+  match cond with
+  | Const { value = 1L; _ } -> then_
+  | Const { value = 0L; _ } -> else_
+  | _ -> if equal then_ else_ then then_ else Ite { cond; then_; else_; width = w }
+
+let rec extract ~hi ~lo arg =
+  let w = width arg in
+  assert (0 <= lo && lo <= hi && hi < w);
+  if lo = 0 && hi = w - 1 then arg
+  else
+    match arg with
+    | Const { value; _ } ->
+        const ~width:(hi - lo + 1) (Int64.shift_right_logical value lo)
+    | Extract { lo = lo'; arg = inner; _ } ->
+        Extract { hi = hi + lo'; lo = lo + lo'; arg = inner }
+    | Concat { high = _; low; _ } when hi < width low -> extract ~hi ~lo low
+    | Concat { high; low; _ } when lo >= width low ->
+        extract ~hi:(hi - width low) ~lo:(lo - width low) high
+    | Zext { arg = inner; _ } when hi < width inner -> extract ~hi ~lo inner
+    | Zext { arg = inner; _ } when lo >= width inner ->
+        const ~width:(hi - lo + 1) 0L
+    | _ -> Extract { hi; lo; arg }
+
+let concat ~high ~low =
+  let w = width high + width low in
+  assert (w <= 64);
+  match high, low with
+  | Const { value = vh; _ }, Const { value = vl; _ } ->
+      const ~width:w (Int64.logor (Int64.shift_left vh (width low)) vl)
+  | _, _ ->
+      (* Re-fuse adjacent extracts of the same expression. *)
+      (match high, low with
+      | ( Extract { hi = h2; lo = l2; arg = a2 },
+          Extract { hi = h1; lo = l1; arg = a1 } )
+        when l2 = h1 + 1 && a1 == a2 ->
+          extract ~hi:h2 ~lo:l1 a1
+      | _ -> Concat { high; low; width = w })
+
+let zext ~width:w arg =
+  let aw = width arg in
+  assert (w >= aw);
+  if w = aw then arg
+  else
+    match arg with
+    | Const { value; _ } -> const ~width:w value
+    | _ -> Zext { arg; width = w }
+
+let sext ~width:w arg =
+  let aw = width arg in
+  assert (w >= aw);
+  if w = aw then arg
+  else
+    match arg with
+    | Const { value; _ } -> const ~width:w (sext64 value aw)
+    | _ -> Sext { arg; width = w }
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation under a model                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Int_map = Map.Make (Int)
+
+(** A model maps variable ids to concrete values. *)
+type model = int64 Int_map.t
+
+let rec eval (m : model) e =
+  match e with
+  | Const { value; _ } -> value
+  | Var { id; width = w; _ } -> (
+      match Int_map.find_opt id m with Some v -> norm v w | None -> 0L)
+  | Unop { op; arg; width = w } -> eval_unop op (eval m arg) w
+  | Binop { op; lhs; rhs; width = w } ->
+      eval_binop op (eval m lhs) (eval m rhs) w
+  | Cmp { op; lhs; rhs } ->
+      if eval_cmp op (eval m lhs) (eval m rhs) (width lhs) then 1L else 0L
+  | Ite { cond; then_; else_; _ } ->
+      if eval m cond = 1L then eval m then_ else eval m else_
+  | Extract { hi; lo; arg } ->
+      norm (Int64.shift_right_logical (eval m arg) lo) (hi - lo + 1)
+  | Concat { high; low; _ } ->
+      Int64.logor (Int64.shift_left (eval m high) (width low)) (eval m low)
+  | Zext { arg; _ } -> eval m arg
+  | Sext { arg; width = w } -> norm (sext64 (eval m arg) (width arg)) w
+
+(* ------------------------------------------------------------------ *)
+(* Variable collection, size, printing                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Int_set = Set.Make (Int)
+
+let rec fold_vars f acc = function
+  | Const _ -> acc
+  | Var { id; name; width } -> f acc id name width
+  | Unop { arg; _ } | Extract { arg; _ } | Zext { arg; _ } | Sext { arg; _ } ->
+      fold_vars f acc arg
+  | Binop { lhs; rhs; _ } | Cmp { lhs; rhs; _ } ->
+      fold_vars f (fold_vars f acc lhs) rhs
+  | Ite { cond; then_; else_; _ } ->
+      fold_vars f (fold_vars f (fold_vars f acc cond) then_) else_
+  | Concat { high; low; _ } -> fold_vars f (fold_vars f acc high) low
+
+let vars e = fold_vars (fun s id _ _ -> Int_set.add id s) Int_set.empty e
+
+let rec size = function
+  | Const _ | Var _ -> 1
+  | Unop { arg; _ } | Extract { arg; _ } | Zext { arg; _ } | Sext { arg; _ }
+    ->
+      1 + size arg
+  | Binop { lhs; rhs; _ } | Cmp { lhs; rhs; _ } -> 1 + size lhs + size rhs
+  | Ite { cond; then_; else_; _ } -> 1 + size cond + size then_ + size else_
+  | Concat { high; low; _ } -> 1 + size high + size low
+
+let unop_name = function Neg -> "neg" | Bnot -> "not"
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Udiv -> "udiv"
+  | Urem -> "urem" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Lshr -> "lshr" | Ashr -> "ashr"
+
+let cmpop_name = function
+  | Eq -> "eq" | Ult -> "ult" | Ule -> "ule" | Slt -> "slt" | Sle -> "sle"
+
+let rec pp ppf e =
+  match e with
+  | Const { value; width } -> Fmt.pf ppf "%Ld:%d" value width
+  | Var { name; id; _ } -> Fmt.pf ppf "%s#%d" name id
+  | Unop { op; arg; _ } -> Fmt.pf ppf "(%s %a)" (unop_name op) pp arg
+  | Binop { op; lhs; rhs; _ } ->
+      Fmt.pf ppf "(%s %a %a)" (binop_name op) pp lhs pp rhs
+  | Cmp { op; lhs; rhs } ->
+      Fmt.pf ppf "(%s %a %a)" (cmpop_name op) pp lhs pp rhs
+  | Ite { cond; then_; else_; _ } ->
+      Fmt.pf ppf "(ite %a %a %a)" pp cond pp then_ pp else_
+  | Extract { hi; lo; arg } -> Fmt.pf ppf "%a[%d:%d]" pp arg hi lo
+  | Concat { high; low; _ } -> Fmt.pf ppf "(%a @@ %a)" pp high pp low
+  | Zext { arg; width } -> Fmt.pf ppf "(zext%d %a)" width pp arg
+  | Sext { arg; width } -> Fmt.pf ppf "(sext%d %a)" width pp arg
+
+let to_string e = Fmt.str "%a" pp e

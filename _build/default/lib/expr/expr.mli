@@ -1,0 +1,134 @@
+(** Bitvector expressions for the symbolic execution engine.
+
+    Expressions model guest machine words of widths 1, 8, 16 and 32 bits.
+    Construction goes through smart constructors which perform constant
+    folding and local algebraic simplification, so fully-concrete
+    computation never builds deep trees; the deeper bitfield-theory
+    simplifier lives in {!Simplifier}.
+
+    The representation is exposed (plugins and tools pattern-match on
+    [Var] to identify symbolic inputs), but values must only be built with
+    the smart constructors below so the folding invariants hold. *)
+
+type unop =
+  | Neg  (** two's-complement negation *)
+  | Bnot (** bitwise complement *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Udiv (** unsigned; division by zero yields all-ones, as in SMT-LIB *)
+  | Urem (** unsigned; remainder by zero yields the dividend *)
+  | And
+  | Or
+  | Xor
+  | Shl  (** shift amount taken modulo the width *)
+  | Lshr
+  | Ashr
+
+type cmpop = Eq | Ult | Ule | Slt | Sle
+
+type t =
+  | Const of { value : int64; width : int }
+  | Var of { id : int; name : string; width : int }
+  | Unop of { op : unop; arg : t; width : int }
+  | Binop of { op : binop; lhs : t; rhs : t; width : int }
+  | Cmp of { op : cmpop; lhs : t; rhs : t }
+  | Ite of { cond : t; then_ : t; else_ : t; width : int }
+  | Extract of { hi : int; lo : int; arg : t }
+  | Concat of { high : t; low : t; width : int }
+  | Zext of { arg : t; width : int }
+  | Sext of { arg : t; width : int }
+
+val width : t -> int
+
+val mask : int -> int64
+(** All-ones value of a width. *)
+
+val sext64 : int64 -> int -> int64
+(** Sign-extend the low [w] bits to a full int64. *)
+
+val norm : int64 -> int -> int64
+(** Truncate to a width. *)
+
+(** {1 Construction} *)
+
+val const : ?width:int -> int64 -> t
+(** Defaults to width 32; the value is truncated to the width. *)
+
+val bool_t : t
+val bool_f : t
+val of_bool : bool -> t
+
+val fresh_var : ?width:int -> string -> t
+(** A fresh symbolic variable with a unique id. *)
+
+val is_const : t -> bool
+val to_const : t -> int64 option
+val equal : t -> t -> bool
+
+(** {1 Smart constructors} *)
+
+val unop : unop -> t -> t
+val neg : t -> t
+val bnot : t -> t
+
+val binop : binop -> t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val udiv : t -> t -> t
+val urem : t -> t -> t
+val band : t -> t -> t
+val bor : t -> t -> t
+val bxor : t -> t -> t
+val shl : t -> t -> t
+val lshr : t -> t -> t
+val ashr : t -> t -> t
+
+val cmp : cmpop -> t -> t -> t
+val eq : t -> t -> t
+val ult : t -> t -> t
+val ule : t -> t -> t
+val slt : t -> t -> t
+val sle : t -> t -> t
+val ne : t -> t -> t
+
+val log_and : t -> t -> t
+(** Width-1 conjunction. *)
+
+val log_or : t -> t -> t
+val log_not : t -> t
+
+val ite : t -> t -> t -> t
+val extract : hi:int -> lo:int -> t -> t
+val concat : high:t -> low:t -> t
+val zext : width:int -> t -> t
+val sext : width:int -> t -> t
+
+(** {1 Evaluation} *)
+
+val eval_unop : unop -> int64 -> int -> int64
+val eval_binop : binop -> int64 -> int64 -> int -> int64
+val eval_cmp : cmpop -> int64 -> int64 -> int -> bool
+
+module Int_map : Map.S with type key = int
+
+type model = int64 Int_map.t
+(** Variable id → concrete value.  Unbound variables read as 0. *)
+
+val eval : model -> t -> int64
+
+(** {1 Inspection} *)
+
+module Int_set : Set.S with type elt = int
+
+val fold_vars : ('a -> int -> string -> int -> 'a) -> 'a -> t -> 'a
+(** Fold over (id, name, width) of every variable occurrence. *)
+
+val vars : t -> Int_set.t
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

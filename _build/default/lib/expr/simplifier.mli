@@ -1,0 +1,28 @@
+(** Bitfield-theory expression simplifier (S2E paper, section 5).
+
+    Expressions produced by translating machine code are dominated by
+    bit-level operations (flag extraction, masking, shifting).  The
+    simplifier combines a bottom-up {e known-bits} analysis — replacing
+    fully-determined sub-expressions with constants — and a top-down
+    {e demanded-bits} analysis — deleting operations whose only effect is
+    on bits the context ignores. *)
+
+(** Known-bits lattice element: [kmask] has a 1 for every statically known
+    bit; [kval] holds those bits' values. *)
+type bits = { kmask : int64; kval : int64 }
+
+val unknown : bits
+val all_known : int -> int64 -> bits
+val is_fully_known : int -> bits -> bool
+
+(** Bottom-up known-bits computation for an expression. *)
+val known_bits : Expr.t -> bits
+
+(** [demand e mask] rewrites [e] assuming only the bits in [mask] are
+    observed; the result agrees with [e] on those bits. *)
+val demand : Expr.t -> int64 -> Expr.t
+
+(** Full simplification: demanded-bits rewriting followed by
+    known-bits constant replacement.  Preserves evaluation: for every
+    model [m], [eval m (simplify e) = eval m e]. *)
+val simplify : Expr.t -> Expr.t

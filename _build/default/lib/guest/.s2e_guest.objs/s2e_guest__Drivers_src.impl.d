@@ -1,0 +1,1 @@
+lib/guest/drivers_src.ml:

@@ -1,0 +1,1 @@
+lib/guest/guest.ml: Buffer Bytes Char Drivers_src Kernel_src Klib_src List Runtime S2e_cc S2e_core S2e_isa S2e_vm String

@@ -1,0 +1,1 @@
+lib/guest/guest.mli: S2e_cc S2e_core S2e_vm

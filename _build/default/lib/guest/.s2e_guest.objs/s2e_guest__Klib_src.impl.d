@@ -1,0 +1,1 @@
+lib/guest/klib_src.ml:

@@ -1,0 +1,1 @@
+lib/guest/runtime.ml: Printf S2e_vm

@@ -1,0 +1,1 @@
+lib/guest/workloads_src.ml: Printf

@@ -1,0 +1,504 @@
+(** The four network drivers: analogues of the AMD PCnet, RTL8029,
+    SMSC 91C111 and RTL8139 binaries the paper evaluates.  Each implements
+    the same kernel-facing API (init/send/recv/query/set/isr/unload) with a
+    different hardware programming style, and the PCnet/RTL8029 pair carry
+    the seven seeded bugs that the DDT+ experiment must find (two reachable
+    from symbolic hardware alone, five needing LC annotations). *)
+
+(* Shared port map, prepended to every driver. *)
+let netdev_header =
+  {|
+const int NET_STATUS = 0x20;
+const int NET_CMD    = 0x21;
+const int NET_DATA   = 0x22;
+const int NET_RXLEN  = 0x23;
+const int NET_TXSTAT = 0x24;
+const int NET_IRQMASK= 0x25;
+const int NET_DMAADDR= 0x26;
+const int NET_DMALEN = 0x27;
+const int NET_MAC    = 0x28;
+const int CMD_RESET = 1;
+const int CMD_RXEN  = 2;
+const int CMD_TX    = 3;
+const int CMD_ACK   = 4;
+const int CMD_DMARX = 5;
+const int CMD_RXDONE = 6;
+|}
+
+(* --------------------------------------------------------------- *)
+(* AMD PCnet analogue: DMA-based receive; carries bugs B1, B3, B4, B5. *)
+(* --------------------------------------------------------------- *)
+
+let pcnet =
+  netdev_header
+  ^ {|
+int pcnet_ready = 0;
+int pcnet_txmode = 1;
+int pcnet_stats = 0;       // shared between isr and send path (bug B5)
+int *pcnet_ring = 0;
+char *pcnet_rxbuf = 0;
+int pcnet_rx_count = 0;
+char pcnet_mac[8];
+
+int pcnet_probe_card() {
+  int st = __in(NET_STATUS);
+  return (st >> 8) & 0xFF;
+}
+
+int driver_init() {
+  __out(NET_CMD, CMD_RESET);
+  int ct = reg_query_int("CardType", 1);
+  if (ct == 1 || ct == 2) {
+    // supported cards
+    pcnet_ring = alloc(128);
+    pcnet_ring[0] = 0;            // bug B3: no NULL check on alloc result
+    pcnet_rxbuf = alloc(64);
+    if (!pcnet_rxbuf) { kfree(pcnet_ring); return 0 - 3; }
+    for (int i = 0; i < 6; i = i + 1) pcnet_mac[i] = __in(NET_MAC);
+    pcnet_txmode = reg_query_int("TxMode", 1);
+    int st = __in(NET_STATUS);
+    if (!(st & 1)) {
+      // link down
+      kfree(pcnet_ring);
+      kfree(pcnet_rxbuf);
+      return 0 - 2;
+    }
+    if (ct == 2) {
+      // extended setup path for the second card revision
+      __out(NET_DMAADDR, pcnet_ring);
+      __out(NET_DMALEN, 128);
+    }
+    __out(NET_IRQMASK, 1);
+    __out(NET_CMD, CMD_RXEN);
+    pcnet_ready = 1;
+    return 0;
+  }
+  // unsupported card: grab a diagnostic buffer and probe the chip
+  int *probe = alloc(64);
+  int card = pcnet_probe_card();
+  kputs("pcnet: unsupported card ");
+  kputint(__s2e_concretize(card & 0xFF));
+  if (probe) probe[0] = card;
+  return 0 - 1;                   // bug B4: probe buffer leaked
+}
+
+int driver_send(char *buf, int len) {
+  if (!pcnet_ready) return 0 - 1;
+  if (len > 1500) return 0 - 1;
+  if (pcnet_txmode == 2) {
+    // "fast" mode: touches the shared stats word without masking the isr
+    pcnet_stats = pcnet_stats + 1;          // bug B5: data race with isr
+  } else {
+    __cli();
+    pcnet_stats = pcnet_stats + 1;
+    __sti();
+  }
+  for (int i = 0; i < len; i = i + 1) __out(NET_DATA, buf[i]);
+  __out(NET_CMD, CMD_TX);
+  return len;
+}
+
+int driver_recv(char *buf, int maxlen) {
+  if (!pcnet_ready) return 0 - 1;
+  int st = __in(NET_STATUS);
+  if (!(st & 2)) return 0;
+  int len = __in(NET_RXLEN) & 0xFF;
+  // bug B1: device-controlled length fills a 64-byte frame buffer unchecked
+  for (int i = 0; i < len; i = i + 1) {
+    pcnet_rxbuf[i] = __in(NET_DATA);
+  }
+  __out(NET_CMD, CMD_RXDONE);
+  __out(NET_CMD, CMD_ACK);
+  int n = len;
+  if (n > maxlen) n = maxlen;
+  if (n > 64) n = 64;
+  for (int i = 0; i < n; i = i + 1) buf[i] = pcnet_rxbuf[i];
+  pcnet_rx_count = pcnet_rx_count + 1;
+  return n;
+}
+
+int driver_query(int code) {
+  if (code == 1) return pcnet_rx_count;
+  if (code == 2) {
+    __cli();
+    int v = pcnet_stats;
+    __sti();
+    return v;
+  }
+  if (code == 3) return pcnet_txmode;
+  return 0 - 1;
+}
+
+int driver_set(int code, int val) {
+  if (code == 3) { pcnet_txmode = val; return 0; }
+  return 0 - 1;
+}
+
+int driver_isr() {
+  pcnet_stats = pcnet_stats + 1;
+  __out(NET_CMD, CMD_ACK);
+  return 0;
+}
+
+int driver_unload() {
+  if (pcnet_ready) {
+    __out(NET_CMD, CMD_RESET);
+    kfree(pcnet_ring);
+    kfree(pcnet_rxbuf);
+    pcnet_ready = 0;
+  }
+  return 0;
+}
+|}
+
+(* --------------------------------------------------------------- *)
+(* RTL8029 analogue: programmed I/O; carries bugs B2, B6, B7.       *)
+(* --------------------------------------------------------------- *)
+
+let rtl8029 =
+  netdev_header
+  ^ {|
+int rtl_ready = 0;
+int rtl_qtable[8] = {10, 20, 30, 40, 50, 60, 70, 80};
+int rtl_tx_count = 0;
+char rtl_mac[8];
+
+int driver_init() {
+  __out(NET_CMD, CMD_RESET);
+  int st = __in(NET_STATUS);
+  if ((st & 0x60) == 0x60) {
+    // "diagnostic" status combination: write the diagnostic latch...
+    int *latch = 0;
+    latch[0] = st;                // bug B2: null pointer write
+  }
+  if (!(st & 1)) return 0 - 2;
+  for (int i = 0; i < 6; i = i + 1) rtl_mac[i] = __in(NET_MAC);
+  __out(NET_IRQMASK, 1);
+  __out(NET_CMD, CMD_RXEN);
+  rtl_ready = 1;
+  return 0;
+}
+
+int driver_send(char *buf, int len) {
+  if (!rtl_ready) return 0 - 1;
+  if (len <= 0 || len > 1500) return 0 - 1;
+  char *copy = alloc(len);
+  if (!copy) return 0 - 1;
+  kmemcpy(copy, buf, len);
+  for (int i = 0; i < len; i = i + 1) __out(NET_DATA, copy[i]);
+  __out(NET_CMD, CMD_TX);
+  rtl_tx_count = rtl_tx_count + 1;
+  int *node = alloc(8);
+  if (!node) {
+    kfree(copy);                  // error cleanup...
+  }
+  if (!node) {
+    kfree(copy);                  // bug B6: ...and again: double free
+    return 0 - 1;
+  }
+  node[0] = len;
+  kfree(node);
+  kfree(copy);
+  return len;
+}
+
+int driver_recv(char *buf, int maxlen) {
+  if (!rtl_ready) return 0 - 1;
+  int st = __in(NET_STATUS);
+  if (!(st & 2)) return 0;
+  int len = __in(NET_RXLEN) & 0xFF;
+  if (len > maxlen) len = maxlen;
+  for (int i = 0; i < len; i = i + 1) buf[i] = __in(NET_DATA);
+  __out(NET_CMD, CMD_RXDONE);
+  __out(NET_CMD, CMD_ACK);
+  return len;
+}
+
+int driver_query(int code) {
+  if (code >= 100) {
+    return rtl_qtable[code - 100]; // bug B7: no upper bound on the index
+  }
+  if (code == 1) return rtl_tx_count;
+  if (code == 2) return rtl_ready;
+  return 0 - 1;
+}
+
+int driver_set(int code, int val) {
+  if (code == 2 && val == 0) { rtl_ready = 0; return 0; }
+  return 0 - 1;
+}
+
+int driver_isr() {
+  __out(NET_CMD, CMD_ACK);
+  return 0;
+}
+
+int driver_unload() {
+  if (rtl_ready) {
+    __out(NET_CMD, CMD_RESET);
+    rtl_ready = 0;
+  }
+  return 0;
+}
+|}
+
+(* --------------------------------------------------------------- *)
+(* SMSC 91C111 analogue: banked-register style, no seeded bugs.     *)
+(* --------------------------------------------------------------- *)
+
+let c111 =
+  netdev_header
+  ^ {|
+int c111_ready = 0;
+int c111_bank = 0;
+int c111_promisc = 0;
+int c111_rx_frames = 0;
+int c111_tx_frames = 0;
+char c111_mac[8];
+
+int c111_select_bank(int b) {
+  c111_bank = b & 3;
+  return c111_bank;
+}
+
+int c111_read_reg(int r) {
+  // Banked access: the register value depends on the selected bank.
+  if (c111_bank == 0) {
+    if (r == 0) return __in(NET_STATUS);
+    if (r == 1) return __in(NET_TXSTAT);
+    return 0;
+  }
+  if (c111_bank == 1) {
+    if (r < 6) return __in(NET_MAC);
+    return 0;
+  }
+  if (c111_bank == 2) {
+    if (r == 0) return __in(NET_RXLEN);
+    return 0;
+  }
+  return 0xFF;
+}
+
+int driver_init() {
+  __out(NET_CMD, CMD_RESET);
+  c111_select_bank(0);
+  int st = c111_read_reg(0);
+  if (!(st & 1)) return 0 - 2;
+  int ct = (st >> 8) & 0xFF;
+  if (ct != 1 && ct != 3) {
+    kputs("91c111: unknown chip rev ");
+    kputint(ct);
+    return 0 - 1;
+  }
+  c111_select_bank(1);
+  for (int i = 0; i < 6; i = i + 1) c111_mac[i] = c111_read_reg(i);
+  c111_promisc = reg_query_int("Promisc", 0);
+  if (c111_promisc != 0 && c111_promisc != 1) return 0 - 3;
+  c111_select_bank(0);
+  __out(NET_IRQMASK, 1);
+  __out(NET_CMD, CMD_RXEN);
+  c111_ready = 1;
+  return 0;
+}
+
+int driver_send(char *buf, int len) {
+  if (!c111_ready) return 0 - 1;
+  if (len <= 0 || len > 1500) return 0 - 1;
+  c111_select_bank(0);
+  int txs = c111_read_reg(1);
+  if (!txs) return 0 - 2;
+  for (int i = 0; i < len; i = i + 1) __out(NET_DATA, buf[i]);
+  __out(NET_CMD, CMD_TX);
+  c111_tx_frames = c111_tx_frames + 1;
+  return len;
+}
+
+int driver_recv(char *buf, int maxlen) {
+  if (!c111_ready) return 0 - 1;
+  c111_select_bank(0);
+  int st = c111_read_reg(0);
+  if (!(st & 2)) return 0;
+  c111_select_bank(2);
+  int len = c111_read_reg(0) & 0xFF;
+  if (len > maxlen) len = maxlen;
+  c111_select_bank(0);
+  for (int i = 0; i < len; i = i + 1) buf[i] = __in(NET_DATA);
+  __out(NET_CMD, CMD_RXDONE);
+  __out(NET_CMD, CMD_ACK);
+  c111_rx_frames = c111_rx_frames + 1;
+  return len;
+}
+
+int driver_query(int code) {
+  if (code == 1) return c111_rx_frames;
+  if (code == 2) return c111_tx_frames;
+  if (code == 3) return c111_promisc;
+  if (code == 4) return c111_bank;
+  return 0 - 1;
+}
+
+int driver_set(int code, int val) {
+  if (code == 3) {
+    if (val != 0 && val != 1) return 0 - 1;
+    c111_promisc = val;
+    return 0;
+  }
+  return 0 - 1;
+}
+
+int driver_isr() {
+  __out(NET_CMD, CMD_ACK);
+  return 0;
+}
+
+int driver_unload() {
+  if (c111_ready) {
+    __out(NET_CMD, CMD_RESET);
+    c111_ready = 0;
+  }
+  return 0;
+}
+|}
+
+(* --------------------------------------------------------------- *)
+(* RTL8139 analogue: descriptor-ring DMA receive, no seeded bugs.   *)
+(* --------------------------------------------------------------- *)
+
+let rtl8139 =
+  netdev_header
+  ^ {|
+const int RING_SLOTS = 4;
+const int SLOT_SIZE = 256;
+
+int r39_ready = 0;
+int *r39_ring = 0;
+int r39_head = 0;
+int r39_rx_count = 0;
+int r39_dropped = 0;
+char r39_mac[8];
+
+int driver_init() {
+  __out(NET_CMD, CMD_RESET);
+  int st = __in(NET_STATUS);
+  if (!(st & 1)) return 0 - 2;
+  int ct = (st >> 8) & 0xFF;
+  if (ct == 0 || ct > 4) {
+    kputs("rtl8139: bad chip id");
+    return 0 - 1;
+  }
+  r39_ring = alloc(RING_SLOTS * SLOT_SIZE);
+  if (!r39_ring) return 0 - 3;
+  r39_head = 0;
+  for (int i = 0; i < 6; i = i + 1) r39_mac[i] = __in(NET_MAC);
+  int mtu = reg_query_int("Mtu", 1500);
+  if (mtu < 64 || mtu > 1500) {
+    kfree(r39_ring);
+    r39_ring = 0;
+    return 0 - 4;
+  }
+  __out(NET_IRQMASK, 1);
+  __out(NET_CMD, CMD_RXEN);
+  r39_ready = 1;
+  return 0;
+}
+
+int driver_send(char *buf, int len) {
+  if (!r39_ready) return 0 - 1;
+  if (len <= 0 || len > 1500) return 0 - 1;
+  for (int i = 0; i < len; i = i + 1) __out(NET_DATA, buf[i]);
+  __out(NET_CMD, CMD_TX);
+  return len;
+}
+
+// DMA the pending frame into the current ring slot.
+int r39_pump() {
+  int st = __in(NET_STATUS);
+  if (!(st & 2)) return 0;
+  int len = __in(NET_RXLEN) & 0xFF;
+  if (len > SLOT_SIZE - 4) {
+    r39_dropped = r39_dropped + 1;
+    __out(NET_CMD, CMD_RXDONE);
+    __out(NET_CMD, CMD_ACK);
+    return 0;
+  }
+  char *slot = r39_ring;
+  slot = slot + r39_head * SLOT_SIZE;
+  __out(NET_DMAADDR, slot + 4);
+  __out(NET_DMALEN, len);
+  __out(NET_CMD, CMD_DMARX);
+  int *hdr = slot;
+  hdr[0] = len;
+  r39_head = (r39_head + 1) % RING_SLOTS;
+  __out(NET_CMD, CMD_RXDONE);
+  __out(NET_CMD, CMD_ACK);
+  r39_rx_count = r39_rx_count + 1;
+  return len;
+}
+
+int driver_recv(char *buf, int maxlen) {
+  if (!r39_ready) return 0 - 1;
+  // The ring head and headers are shared with the isr: read them with
+  // interrupts masked.
+  __cli();
+  int got = r39_pump();
+  if (got <= 0) { __sti(); return 0; }
+  int slot_idx = (r39_head + RING_SLOTS - 1) % RING_SLOTS;
+  char *slot = r39_ring;
+  slot = slot + slot_idx * SLOT_SIZE;
+  int *hdr = slot;
+  int len = hdr[0];
+  __sti();
+  if (len > maxlen) len = maxlen;
+  kmemcpy(buf, slot + 4, len);
+  return len;
+}
+
+int driver_query(int code) {
+  __cli();
+  int v = 0 - 1;
+  if (code == 1) v = r39_rx_count;
+  if (code == 2) v = r39_dropped;
+  if (code == 3) v = r39_head;
+  __sti();
+  return v;
+}
+
+int driver_set(int code, int val) {
+  if (code == 3 && val >= 0 && val < RING_SLOTS) {
+    __cli();
+    r39_head = val;
+    __sti();
+    return 0;
+  }
+  return 0 - 1;
+}
+
+int driver_isr() {
+  r39_pump();
+  return 0;
+}
+
+int driver_unload() {
+  if (r39_ready) {
+    __out(NET_CMD, CMD_RESET);
+    kfree(r39_ring);
+    r39_ring = 0;
+    r39_ready = 0;
+  }
+  return 0;
+}
+|}
+
+let all = [ ("pcnet", pcnet); ("rtl8029", rtl8029); ("c111", c111); ("rtl8139", rtl8139) ]
+
+(* A no-op driver for images whose workload does not exercise hardware. *)
+let nulldrv =
+  {|
+int driver_init() { return 0; }
+int driver_send(char *buf, int len) { return len; }
+int driver_recv(char *buf, int maxlen) { return 0; }
+int driver_query(int code) { return 0; }
+int driver_set(int code, int val) { return 0; }
+int driver_isr() { return 0; }
+int driver_unload() { return 0; }
+|}

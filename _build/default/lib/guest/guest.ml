@@ -1,0 +1,89 @@
+(** Guest image builder: composes the boot runtime, the kernel, klib, a
+    driver and a workload into one bootable image, places the configuration
+    registry, and produces the engine's view of the result. *)
+
+module Layout = S2e_vm.Layout
+
+type image = {
+  linked : S2e_cc.Cc.linked;
+  registry : string; (* raw blob placed at Layout.registry_base *)
+  entry : int;
+  driver_name : string;
+  workload_name : string;
+}
+
+(* Registry records: [klen][key][vlen][value], terminated by klen = 0. *)
+let registry_blob entries =
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun (key, value) ->
+      Buffer.add_char buf (Char.chr (String.length key));
+      Buffer.add_string buf key;
+      Buffer.add_char buf (Char.chr (String.length value));
+      Buffer.add_string buf value)
+    entries;
+  Buffer.add_char buf '\000';
+  Buffer.contents buf
+
+let default_registry =
+  [ ("CardType", "1"); ("TxMode", "1"); ("Promisc", "0"); ("Mtu", "1500") ]
+
+(** Build a bootable image from a driver and a workload.  [registry]
+    defaults to the standard configuration. *)
+let build ?(registry = default_registry) ~driver:(driver_name, driver_src)
+    ~workload:(workload_name, workload_src) () =
+  let linked =
+    S2e_cc.Cc.link ~origin:Layout.image_origin ~runtime_asm:Runtime.boot_asm
+      [
+        ("kernel", Kernel_src.source);
+        ("klib", Klib_src.source);
+        (driver_name, driver_src);
+        (workload_name, workload_src);
+      ]
+  in
+  {
+    linked;
+    registry = registry_blob registry;
+    entry = Layout.image_origin;
+    driver_name;
+    workload_name;
+  }
+
+(** Engine view including the registry in base memory. *)
+let to_view (img : image) : S2e_core.Executor.image_view =
+  {
+    S2e_core.Executor.l_origin = img.linked.image.origin;
+    l_code = img.linked.image.code;
+    l_modules =
+      List.map
+        (fun (m : S2e_cc.Cc.module_range) ->
+          (m.m_name, m.m_start, m.m_code_end, m.m_end))
+        img.linked.modules;
+  }
+
+(** Load into an engine (code + registry) ready to boot. *)
+let load_into_engine (engine : S2e_core.Executor.t) img =
+  S2e_core.Executor.load engine (to_view img);
+  Bytes.blit_string img.registry 0 engine.S2e_core.Executor.base_mem
+    Layout.registry_base
+    (String.length img.registry)
+
+(** Load into the concrete reference machine. *)
+let load_into_machine (m : S2e_vm.Machine.t) img =
+  S2e_vm.Machine.load_image m img.linked.image;
+  Bytes.blit_string img.registry 0 m.S2e_vm.Machine.mem Layout.registry_base
+    (String.length img.registry)
+
+let symbol img name = S2e_isa.Asm.symbol img.linked.image name
+
+(** Result value the runtime stub stores after [main] returns. *)
+let result_addr = Runtime.result_addr
+
+let drivers = Drivers_src.all
+
+let driver_display_name = function
+  | "pcnet" -> "PCnet"
+  | "rtl8029" -> "RTL8029"
+  | "c111" -> "91C111"
+  | "rtl8139" -> "RTL8139"
+  | other -> other

@@ -1,0 +1,44 @@
+(** Guest image builder: composes the boot runtime, kernel, klib, a driver
+    and a workload into one bootable image with a configuration registry,
+    and loads the result into the engine or the concrete reference VM. *)
+
+type image = {
+  linked : S2e_cc.Cc.linked;
+  registry : string; (** raw blob placed at {!S2e_vm.Layout.registry_base} *)
+  entry : int;
+  driver_name : string;
+  workload_name : string;
+}
+
+val registry_blob : (string * string) list -> string
+(** Serialize key/value pairs into the registry's record format. *)
+
+val default_registry : (string * string) list
+
+val build :
+  ?registry:(string * string) list ->
+  driver:string * string ->
+  workload:string * string ->
+  unit ->
+  image
+(** [build ~driver:(name, mc_source) ~workload:(name, mc_source) ()]
+    compiles and links kernel + klib + driver + workload. *)
+
+val to_view : image -> S2e_core.Executor.image_view
+
+val load_into_engine : S2e_core.Executor.t -> image -> unit
+(** Code plus registry, ready for {!S2e_core.Executor.boot}. *)
+
+val load_into_machine : S2e_vm.Machine.t -> image -> unit
+
+val symbol : image -> string -> int
+(** Address of a guest symbol (function or global). *)
+
+val result_addr : int
+(** Where the boot stub stores [main]'s return value. *)
+
+val drivers : (string * string) list
+(** The four driver sources, keyed by module name. *)
+
+val driver_display_name : string -> string
+(** "pcnet" → "PCnet", etc. *)

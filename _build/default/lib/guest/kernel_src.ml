@@ -1,0 +1,136 @@
+(** The guest kernel: allocator, console, registry access, network API,
+    interrupt dispatch and the syscall table.  Plays the role Windows plays
+    in the paper: the large concrete environment surrounding the analyzed
+    unit. *)
+
+let source =
+  {|
+// kernel: memory management, config registry, driver interface, syscalls.
+
+const int HEAP_BASE = 0x40000;
+const int HEAP_END  = 0x80000;
+const int REG_BASE  = 0x800;
+const int IRQ_CAUSE_PORT = 0x0F;
+const int IRQ_NETDEV = 1;
+
+// Free-list allocator.  Each block has an 8-byte header: [size][next].
+int heap_ptr = 0;
+int free_list = 0;
+int alloc_count = 0;
+int panic_code = 0;
+
+int kmain() {
+  heap_ptr = HEAP_BASE;
+  free_list = 0;
+  alloc_count = 0;
+  return driver_init();
+}
+
+int panic(int code) {
+  panic_code = code;
+  kputs("KERNEL PANIC ");
+  kputint(code);
+  __halt();
+  return 0;
+}
+
+int *alloc(int size) {
+  if (size <= 0) return 0;
+  size = (size + 7) & ~7;
+  // First-fit search of the free list.
+  int *prev = 0;
+  int *blk = free_list;
+  while (blk) {
+    if (blk[0] >= size) {
+      if (prev) prev[1] = blk[1];
+      else free_list = blk[1];
+      alloc_count = alloc_count + 1;
+      return blk + 2;
+    }
+    prev = blk;
+    blk = blk[1];
+  }
+  // Bump allocation.
+  if (heap_ptr + size + 8 > HEAP_END) return 0;
+  int *hdr = heap_ptr;
+  hdr[0] = size;
+  hdr[1] = 0;
+  heap_ptr = heap_ptr + size + 8;
+  alloc_count = alloc_count + 1;
+  return hdr + 2;
+}
+
+int kfree(int *p) {
+  if (!p) return 0;
+  int *hdr = p - 2;
+  hdr[1] = free_list;
+  free_list = hdr;
+  alloc_count = alloc_count - 1;
+  return 0;
+}
+
+// Registry: records of [klen:1][key][vlen:1][value], ending with klen=0.
+// reg_query copies the value of [key] into [out] (NUL-terminated) and
+// returns its length, or -1 when the key is absent.
+int reg_query(char *key, char *out, int maxlen) {
+  char *p = REG_BASE;
+  while (p[0]) {
+    int klen = p[0];
+    int match = 1;
+    for (int i = 0; i < klen; i = i + 1) {
+      if (!key[i] || key[i] != p[1 + i]) match = 0;
+    }
+    if (match && key[klen]) match = 0;
+    int vlen = p[1 + klen];
+    if (match) {
+      int n = vlen;
+      if (n > maxlen - 1) n = maxlen - 1;
+      for (int i = 0; i < n; i = i + 1) out[i] = p[2 + klen + i];
+      out[n] = 0;
+      return n;
+    }
+    p = p + 2 + klen + vlen;
+  }
+  return 0 - 1;
+}
+
+// Reads a numeric registry value with a default.
+int reg_query_int(char *key, int dflt) {
+  char buf[16];
+  if (reg_query(key, buf, 16) < 0) return dflt;
+  int v = katoi(buf);
+  if (v < 0) return dflt;
+  return v;
+}
+
+// Network API exposed to programs; forwards to the loaded driver.
+int net_send(char *buf, int len) {
+  if (len <= 0) return 0 - 1;
+  return driver_send(buf, len);
+}
+
+int net_poll(char *buf, int maxlen) {
+  return driver_recv(buf, maxlen);
+}
+
+int kernel_irq() {
+  int cause = __in(IRQ_CAUSE_PORT);
+  if (cause == IRQ_NETDEV) driver_isr();
+  return 0;
+}
+
+// Syscall table: 1 putchar, 2 puts, 3 alloc, 4 free, 5 net_send,
+// 6 net_poll, 7 reg_query, 8 panic, 9 putint.
+int ksyscall(int n, int a, int b, int c) {
+  if (n == 1) return __out(0, a);
+  if (n == 2) return kputs(a);
+  if (n == 3) return alloc(a);
+  if (n == 4) return kfree(a);
+  if (n == 5) return net_send(a, b);
+  if (n == 6) return net_poll(a, b);
+  if (n == 7) return reg_query(a, b, c);
+  if (n == 8) return panic(a);
+  if (n == 9) return kputint(a);
+  return 0 - 1;
+}
+|}

@@ -1,0 +1,76 @@
+(** Guest C library: string and memory helpers shared by the kernel,
+    drivers and workloads. *)
+
+let source =
+  {|
+// klib: freestanding string/memory routines.
+
+int kstrlen(char *s) {
+  int n = 0;
+  while (s[n]) n = n + 1;
+  return n;
+}
+
+int kstrcmp(char *a, char *b) {
+  int i = 0;
+  while (a[i] && b[i]) {
+    if (a[i] != b[i]) return a[i] - b[i];
+    i = i + 1;
+  }
+  return a[i] - b[i];
+}
+
+int kmemcpy(char *dst, char *src, int n) {
+  for (int i = 0; i < n; i = i + 1) dst[i] = src[i];
+  return n;
+}
+
+int kmemset(char *dst, int c, int n) {
+  for (int i = 0; i < n; i = i + 1) dst[i] = c;
+  return n;
+}
+
+int kmemcmp(char *a, char *b, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    if (a[i] != b[i]) return a[i] - b[i];
+  }
+  return 0;
+}
+
+// Parse an unsigned decimal number; returns -1 on empty/invalid.
+int katoi(char *s) {
+  int v = 0;
+  int seen = 0;
+  int i = 0;
+  while (s[i]) {
+    if (s[i] < '0' || s[i] > '9') return 0 - 1;
+    v = v * 10 + (s[i] - '0');
+    seen = 1;
+    i = i + 1;
+  }
+  if (!seen) return 0 - 1;
+  return v;
+}
+
+int kputs(char *s) {
+  int i = 0;
+  while (s[i]) {
+    __out(0, s[i]);
+    i = i + 1;
+  }
+  return i;
+}
+
+int kputint(int v) {
+  char digits[12];
+  int n = 0;
+  if (v == 0) { __out(0, '0'); return 1; }
+  while (v > 0) {
+    digits[n] = '0' + v % 10;
+    v = v / 10;
+    n = n + 1;
+  }
+  for (int i = n - 1; i >= 0; i = i - 1) __out(0, digits[i]);
+  return n;
+}
+|}

@@ -1,0 +1,57 @@
+(** The guest boot runtime: assembly stub that sets up the stack, installs
+    the interrupt and syscall vectors, boots the kernel, runs the workload's
+    [main] and stores its result at a well-known address for the harness. *)
+
+let result_addr = 0x900
+
+let boot_asm =
+  Printf.sprintf
+    {|
+__boot:
+  li sp, 0x%x
+  li r0, __irq_stub
+  sw r0, 4(zr)
+  li r0, __syscall_stub
+  sw r0, 8(zr)
+  jal kmain
+  li r1, 0x%x
+  bne r0, zr, __boot_fail
+  jal main
+  li r1, 0x%x
+  sw r0, 0(r1)
+  halt
+__boot_fail:
+  li r2, -1
+  sw r2, 0(r1)
+  halt
+
+; Asynchronous interrupts may arrive at any instruction: save every
+; register MC-generated code can have live, call the kernel handler,
+; restore, and return with iret.
+__irq_stub:
+  subi sp, sp, 32
+  sw r0, 0(sp)
+  sw r1, 4(sp)
+  sw r2, 8(sp)
+  sw r3, 12(sp)
+  sw r4, 16(sp)
+  sw r5, 20(sp)
+  sw lr, 24(sp)
+  jal kernel_irq
+  lw r0, 0(sp)
+  lw r1, 4(sp)
+  lw r2, 8(sp)
+  lw r3, 12(sp)
+  lw r4, 16(sp)
+  lw r5, 20(sp)
+  lw lr, 24(sp)
+  addi sp, sp, 32
+  iret
+
+; Syscalls are synchronous: the MC calling convention already treats
+; r0-r5 and lr as clobbered across them.
+__syscall_stub:
+  jal ksyscall
+  sysret
+|}
+    S2e_vm.Layout.stack_top result_addr result_addr

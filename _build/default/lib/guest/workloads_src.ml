@@ -1,0 +1,442 @@
+(** Guest workload programs: the driver exerciser (DDT+/REV+ harness), the
+    Apache-style URL parser and the ping client (PROFS targets, section
+    6.1.3), and the Mua scripting-language interpreter (the Lua analogue of
+    section 6.3). *)
+
+(* Calls every driver entry point in sequence, like the in-guest script the
+   paper uses ("we use a script in the guest OS to call the entry points of
+   the drivers"). *)
+let exerciser =
+  {|
+int main() {
+  __sti();
+  char buf[32];
+  char rx[48];
+  for (int i = 0; i < 16; i = i + 1) buf[i] = 'A' + i;
+  driver_send(buf, 16);
+  driver_recv(rx, 48);
+  driver_query(1);
+  driver_query(2);
+  driver_query(3);
+  driver_set(3, 1);
+  driver_send(buf, 8);
+  driver_recv(rx, 48);
+  driver_unload();
+  return 0;
+}
+|}
+
+(* Apache-style URL parser.  Instruction counts grow by a fixed amount per
+   '/'-separated path segment, reproducing the paper's per-'/'-character
+   observation. *)
+let urlparse =
+  {|
+int is_alnum(int c) {
+  if (c >= 'a' && c <= 'z') return 1;
+  if (c >= 'A' && c <= 'Z') return 1;
+  if (c >= '0' && c <= '9') return 1;
+  return 0;
+}
+
+int is_host_char(int c) {
+  if (is_alnum(c)) return 1;
+  if (c == '.' || c == '-') return 1;
+  return 0;
+}
+
+int is_path_char(int c) {
+  if (is_alnum(c)) return 1;
+  if (c == '.' || c == '-' || c == '_' || c == '~' || c == '%') return 1;
+  return 0;
+}
+
+int url_segments = 0;
+int url_port = 0;
+int url_has_query = 0;
+
+// Returns 0 when the URL is well-formed, a negative error code otherwise.
+int parse_url(char *url) {
+  url_segments = 0;
+  url_port = 80;
+  url_has_query = 0;
+  // scheme
+  char scheme[8];
+  scheme[0] = 'h'; scheme[1] = 't'; scheme[2] = 't'; scheme[3] = 'p';
+  for (int k = 0; k < 4; k = k + 1) {
+    if (url[k] != scheme[k]) return 0 - 1;
+  }
+  if (url[4] != ':' || url[5] != '/' || url[6] != '/') return 0 - 1;
+  int i = 7;
+  // host
+  int host_len = 0;
+  while (url[i] && url[i] != '/' && url[i] != ':' && url[i] != '?') {
+    if (!is_host_char(url[i])) return 0 - 2;
+    host_len = host_len + 1;
+    i = i + 1;
+  }
+  if (host_len == 0) return 0 - 2;
+  // optional port
+  if (url[i] == ':') {
+    i = i + 1;
+    int port = 0;
+    int digits = 0;
+    while (url[i] >= '0' && url[i] <= '9') {
+      port = port * 10 + (url[i] - '0');
+      digits = digits + 1;
+      i = i + 1;
+    }
+    if (digits == 0 || port > 65535) return 0 - 3;
+    url_port = port;
+  }
+  // path: each '/' opens a segment that is scanned and normalized
+  while (url[i] == '/') {
+    i = i + 1;
+    url_segments = url_segments + 1;
+    int seg_len = 0;
+    int dots = 0;
+    while (url[i] && url[i] != '/' && url[i] != '?') {
+      if (!is_path_char(url[i])) return 0 - 4;
+      if (url[i] == '.') dots = dots + 1;
+      seg_len = seg_len + 1;
+      i = i + 1;
+    }
+    if (dots == seg_len && seg_len > 2) return 0 - 5;  // "..." traversal
+  }
+  // query
+  if (url[i] == '?') {
+    url_has_query = 1;
+    i = i + 1;
+    while (url[i]) {
+      if (!is_path_char(url[i]) && url[i] != '=' && url[i] != '&') return 0 - 6;
+      i = i + 1;
+    }
+  }
+  if (url[i]) return 0 - 7;
+  return 0;
+}
+
+int main() {
+  char url[20];
+  kmemset(url, 0, 20);
+  kmemcpy(url, "http://h/abc", 12);
+  __s2e_sym_mem(url + 8, 8, 1);
+  url[16] = 0;
+  return parse_url(url);
+}
+|}
+
+(* The ping client.  [buggy = true] keeps the record-route option-parsing
+   infinite loop the paper found; the patched version breaks out of the
+   loop as the real fix did. *)
+let ping ~buggy =
+  let rr_short_case =
+    if buggy then "continue;" (* off not advanced: infinite loop *)
+    else "break;"
+  in
+  Printf.sprintf
+    {|
+const int ICMP_LEN = 28;
+
+int ping_sum = 0;
+
+// Parse an ICMP echo reply inside an IPv4 packet (with options).
+int icmp_parse(char *p, int len) {
+  if (len < 20) return 0 - 1;
+  int ver = (p[0] >> 4) & 0xF;
+  if (ver != 4) return 0 - 2;
+  int hlen = (p[0] & 0xF) * 4;
+  if (hlen < 20 || hlen > len) return 0 - 3;
+  // walk IP options
+  int off = 20;
+  while (off < hlen) {
+    int opt = p[off];
+    if (opt == 0) break;                 // end of option list
+    if (opt == 1) { off = off + 1; continue; } // NOP
+    if (off + 1 >= hlen) return 0 - 4;
+    int optlen = p[off + 1];
+    if (opt == 7) {
+      // record route: needs at least 3 header bytes + one address
+      if (optlen < 4) {
+        %s
+      }
+      int naddr = (optlen - 3) / 4;
+      int acc = 0;
+      for (int i = 0; i < naddr; i = i + 1) {
+        if (off + 3 + i * 4 < len) acc = acc + p[off + 3 + i * 4];
+      }
+      ping_sum = ping_sum + acc;
+      off = off + optlen;
+    } else {
+      if (optlen < 2) return 0 - 5;
+      off = off + optlen;
+    }
+  }
+  if (hlen + 8 > len) return 0 - 6;
+  // ICMP type/code: echo reply is 0/0
+  if (p[hlen] != 0) return 0 - 7;
+  if (p[hlen + 1] != 0) return 0 - 8;
+  // checksum-ish accumulation over the payload
+  int sum = 0;
+  for (int i = hlen; i < len; i = i + 1) sum = sum + p[i];
+  return sum & 0xFFFF;
+}
+
+int main() {
+  char pkt[32];
+  kmemset(pkt, 0, 32);
+  pkt[0] = 0x45;         // v4, hlen 20
+  pkt[20] = 8;           // echo request
+  net_send(pkt, ICMP_LEN);
+  char reply[40];
+  kmemset(reply, 0, 40);
+  int n = net_poll(reply, 40);
+  if (n < ICMP_LEN) n = ICMP_LEN;
+  if (n > 36) n = 36;
+  __s2e_sym_mem(reply, 28, 3);
+  return icmp_parse(reply, n);
+}
+|}
+    rr_short_case
+
+(* Mua: a tiny scripting language with a lexer, a recursive-descent parser
+   producing stack-machine bytecode, and an interpreter loop.  The paper's
+   Lua experiment separates the parser (concrete domain) from the
+   interpreter (symbolic domain); the well-known globals [mua_code] and
+   [mua_code_len] let the harness inject symbolic opcodes after parsing,
+   exactly like the paper inserts "suitably constrained symbolic Lua
+   opcodes after the parser stage". *)
+let mua =
+  {|
+const int OP_PUSH = 1;   // push next byte as literal
+const int OP_LOAD = 2;   // push variable (next byte = index)
+const int OP_STORE = 3;  // pop into variable
+const int OP_ADD = 4;
+const int OP_SUB = 5;
+const int OP_MUL = 6;
+const int OP_DIV = 7;
+const int OP_LT  = 8;
+const int OP_JZ  = 9;    // pop; jump to next byte if zero
+const int OP_JMP = 10;
+const int OP_PRINT = 11;
+const int OP_HALT = 12;
+
+char mua_src[48];
+char mua_code[96];
+int mua_code_len = 0;
+int mua_pos = 0;
+int mua_err = 0;
+
+int mua_emit(int b) {
+  if (mua_code_len >= 96) { mua_err = 1; return 0 - 1; }
+  mua_code[mua_code_len] = b;
+  mua_code_len = mua_code_len + 1;
+  return mua_code_len - 1;
+}
+
+int mua_peek() { return mua_src[mua_pos]; }
+int mua_next() { int c = mua_src[mua_pos]; if (c) mua_pos = mua_pos + 1; return c; }
+int mua_skip_ws() {
+  while (mua_peek() == ' ') mua_pos = mua_pos + 1;
+  return 0;
+}
+
+int mua_factor() {
+  mua_skip_ws();
+  int c = mua_peek();
+  if (c >= '0' && c <= '9') {
+    int v = 0;
+    while (mua_peek() >= '0' && mua_peek() <= '9') v = v * 10 + (mua_next() - '0');
+    if (v > 255) { mua_err = 1; return 0 - 1; }
+    mua_emit(OP_PUSH);
+    mua_emit(v);
+    return 0;
+  }
+  if (c >= 'a' && c <= 'z' && c != 'p' && c != 'w') {
+    mua_next();
+    mua_emit(OP_LOAD);
+    mua_emit(c - 'a');
+    return 0;
+  }
+  if (c == '(') {
+    mua_next();
+    mua_expr();
+    mua_skip_ws();
+    if (mua_next() != ')') { mua_err = 1; return 0 - 1; }
+    return 0;
+  }
+  mua_err = 1;
+  return 0 - 1;
+}
+
+int mua_term() {
+  mua_factor();
+  mua_skip_ws();
+  while (mua_peek() == '*' || mua_peek() == '/') {
+    int op = mua_next();
+    mua_factor();
+    if (op == '*') mua_emit(OP_MUL);
+    else mua_emit(OP_DIV);
+    mua_skip_ws();
+  }
+  return 0;
+}
+
+int mua_expr() {
+  mua_term();
+  mua_skip_ws();
+  while (mua_peek() == '+' || mua_peek() == '-' || mua_peek() == '<') {
+    int op = mua_next();
+    mua_term();
+    if (op == '+') mua_emit(OP_ADD);
+    else if (op == '-') mua_emit(OP_SUB);
+    else mua_emit(OP_LT);
+    mua_skip_ws();
+  }
+  return 0;
+}
+
+// stmt: 'p' expr ';' | 'w' expr '{' block '}' | var '=' expr ';'
+int mua_stmt() {
+  mua_skip_ws();
+  int c = mua_peek();
+  if (c == 'p') {
+    mua_next();
+    mua_expr();
+    mua_emit(OP_PRINT);
+    mua_skip_ws();
+    if (mua_next() != ';') { mua_err = 1; return 0 - 1; }
+    return 0;
+  }
+  if (c == 'w') {
+    mua_next();
+    int top = mua_code_len;
+    mua_expr();
+    mua_emit(OP_JZ);
+    int patch = mua_emit(0);
+    mua_skip_ws();
+    if (mua_next() != '{') { mua_err = 1; return 0 - 1; }
+    mua_block();
+    mua_skip_ws();
+    if (mua_next() != '}') { mua_err = 1; return 0 - 1; }
+    mua_emit(OP_JMP);
+    mua_emit(top);
+    mua_code[patch] = mua_code_len;
+    return 0;
+  }
+  if (c >= 'a' && c <= 'z') {
+    mua_next();
+    mua_skip_ws();
+    if (mua_next() != '=') { mua_err = 1; return 0 - 1; }
+    mua_expr();
+    mua_emit(OP_STORE);
+    mua_emit(c - 'a');
+    mua_skip_ws();
+    if (mua_next() != ';') { mua_err = 1; return 0 - 1; }
+    return 0;
+  }
+  mua_err = 1;
+  return 0 - 1;
+}
+
+int mua_block() {
+  mua_skip_ws();
+  while (!mua_err && mua_peek() && mua_peek() != '}') {
+    mua_stmt();
+    mua_skip_ws();
+  }
+  return 0;
+}
+
+int mua_compile() {
+  mua_pos = 0;
+  mua_code_len = 0;
+  mua_err = 0;
+  mua_block();
+  mua_emit(OP_HALT);
+  if (mua_err) return 0 - 1;
+  return mua_code_len;
+}
+
+int mua_out = 0;
+
+// The interpreter: a bytecode dispatch loop over a small stack machine.
+// This is the "unit" of the Lua experiment.
+int mua_interp() {
+  int stack[16];
+  int vars[26];
+  int sp = 0;
+  int pc = 0;
+  int steps = 0;
+  for (int i = 0; i < 26; i = i + 1) vars[i] = 0;
+  while (steps < 500) {
+    steps = steps + 1;
+    if (pc < 0 || pc >= 96) return 0 - 1;
+    int op = mua_code[pc];
+    pc = pc + 1;
+    if (op == OP_HALT) return mua_out;
+    if (op == OP_PUSH) {
+      if (sp >= 16) return 0 - 2;
+      stack[sp] = mua_code[pc];
+      pc = pc + 1;
+      sp = sp + 1;
+    } else if (op == OP_LOAD) {
+      int idx = mua_code[pc];
+      pc = pc + 1;
+      if (idx >= 26) return 0 - 3;
+      if (sp >= 16) return 0 - 2;
+      stack[sp] = vars[idx];
+      sp = sp + 1;
+    } else if (op == OP_STORE) {
+      int idx = mua_code[pc];
+      pc = pc + 1;
+      if (idx >= 26) return 0 - 3;
+      if (sp < 1) return 0 - 4;
+      sp = sp - 1;
+      vars[idx] = stack[sp];
+    } else if (op == OP_ADD || op == OP_SUB || op == OP_MUL || op == OP_DIV
+               || op == OP_LT) {
+      if (sp < 2) return 0 - 4;
+      int b = stack[sp - 1];
+      int a = stack[sp - 2];
+      sp = sp - 1;
+      int r = 0;
+      if (op == OP_ADD) r = a + b;
+      if (op == OP_SUB) r = a - b;
+      if (op == OP_MUL) r = a * b;
+      if (op == OP_DIV) { if (b == 0) return 0 - 5; r = a / b; }
+      if (op == OP_LT) { if (a < b) r = 1; else r = 0; }
+      stack[sp - 1] = r;
+    } else if (op == OP_JZ) {
+      int target = mua_code[pc];
+      pc = pc + 1;
+      if (sp < 1) return 0 - 4;
+      sp = sp - 1;
+      if (stack[sp] == 0) pc = target;
+    } else if (op == OP_JMP) {
+      pc = mua_code[pc];
+    } else if (op == OP_PRINT) {
+      if (sp < 1) return 0 - 4;
+      sp = sp - 1;
+      mua_out = stack[sp];
+      kputint(mua_out);
+      __out(0, 10);
+    } else {
+      return 0 - 6;                 // illegal opcode
+    }
+  }
+  return 0 - 7;                     // step budget exhausted
+}
+
+int main() {
+  kmemset(mua_src, 0, 48);
+  kmemcpy(mua_src, "a=2;w a<6{a=a*2;}p a;", 21);
+  int mode = reg_query_int("MuaSym", 0);
+  if (mode == 1) {
+    // SC-SE style: the program text itself is symbolic.
+    __s2e_sym_mem(mua_src, 8, 4);
+  }
+  int n = mua_compile();
+  if (n < 0) return 0 - 1;
+  return mua_interp();
+}
+|}

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Buffer Bytes Char Fmt Hashtbl Insn Int32 List Printf Scanf String

@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Fmt Insn List

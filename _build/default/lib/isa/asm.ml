@@ -1,0 +1,286 @@
+(** Two-pass assembler for the guest ISA.
+
+    Input is a conventional line-oriented syntax ([label:] prefixes,
+    [; comments], [.word]/[.byte]/[.ascii]/[.asciz]/[.space]/[.align]
+    directives).  Output is a binary image plus a symbol table that the
+    engine uses for module maps and coverage accounting. *)
+
+exception Error of { line : int; message : string }
+
+let error line fmt = Fmt.kstr (fun message -> raise (Error { line; message })) fmt
+
+type item =
+  | I_insn of string * string list (* mnemonic, operands *)
+  | I_word of string list
+  | I_byte of string list
+  | I_ascii of string * bool (* string, nul-terminated *)
+  | I_space of int
+  | I_align of int
+
+type line = { num : int; labels : string list; item : item option }
+
+let strip_comment s =
+  let cut c s = match String.index_opt s c with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  (* Don't cut inside string literals. *)
+  if String.contains s '"' then s else cut ';' (cut '#' s)
+
+let tokenize_operands s =
+  (* Split on commas not inside quotes; trim. *)
+  let parts = ref [] and buf = Buffer.create 16 and in_str = ref false in
+  String.iter
+    (fun c ->
+      if c = '"' then begin
+        in_str := not !in_str;
+        Buffer.add_char buf c
+      end
+      else if c = ',' && not !in_str then begin
+        parts := Buffer.contents buf :: !parts;
+        Buffer.clear buf
+      end
+      else Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev_map String.trim !parts |> List.filter (fun s -> s <> "")
+
+let parse_line num raw =
+  let s = String.trim (strip_comment raw) in
+  let rec take_labels acc s =
+    match String.index_opt s ':' with
+    | Some i
+      when i > 0
+           && String.for_all
+                (fun c ->
+                  c = '_' || c = '.'
+                  || (c >= 'a' && c <= 'z')
+                  || (c >= 'A' && c <= 'Z')
+                  || (c >= '0' && c <= '9'))
+                (String.sub s 0 i) ->
+        let label = String.sub s 0 i in
+        let rest = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+        take_labels (label :: acc) rest
+    | _ -> (List.rev acc, s)
+  in
+  let labels, rest = take_labels [] s in
+  if rest = "" then { num; labels; item = None }
+  else
+    let mnemonic, operands =
+      match String.index_opt rest ' ' with
+      | None -> (rest, "")
+      | Some i ->
+          ( String.sub rest 0 i,
+            String.sub rest (i + 1) (String.length rest - i - 1) )
+    in
+    let mnemonic = String.lowercase_ascii mnemonic in
+    let item =
+      match mnemonic with
+      | ".word" -> I_word (tokenize_operands operands)
+      | ".byte" -> I_byte (tokenize_operands operands)
+      | ".ascii" | ".asciz" ->
+          let s = String.trim operands in
+          if String.length s < 2 || s.[0] <> '"' || s.[String.length s - 1] <> '"'
+          then error num "malformed string literal %s" s
+          else
+            I_ascii
+              (Scanf.unescaped (String.sub s 1 (String.length s - 2)),
+               mnemonic = ".asciz")
+      | ".space" -> I_space (int_of_string (String.trim operands))
+      | ".align" -> I_align (int_of_string (String.trim operands))
+      | m -> I_insn (m, tokenize_operands operands)
+    in
+    { num; labels; item = Some item }
+
+let item_size = function
+  | I_insn _ -> Insn.insn_size
+  | I_word ws -> 4 * List.length ws
+  | I_byte bs -> List.length bs
+  | I_ascii (s, z) -> String.length s + if z then 1 else 0
+  | I_space n -> n
+  | I_align _ -> 0 (* handled specially *)
+
+let parse_reg line s =
+  match String.lowercase_ascii s with
+  | "fp" -> Insn.reg_fp
+  | "sp" -> Insn.reg_sp
+  | "lr" -> Insn.reg_lr
+  | "zr" -> Insn.reg_zero
+  | s when String.length s >= 2 && s.[0] = 'r' -> (
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some r when r >= 0 && r < Insn.num_regs -> r
+      | _ -> error line "bad register %S" s)
+  | s -> error line "bad register %S" s
+
+let parse_imm line symbols s =
+  let s = String.trim s in
+  if String.length s >= 3 && s.[0] = '\'' && s.[String.length s - 1] = '\'' then
+    let body = Scanf.unescaped (String.sub s 1 (String.length s - 2)) in
+    if String.length body <> 1 then error line "bad char literal %s" s
+    else Int32.of_int (Char.code body.[0])
+  else
+    match Int32.of_string_opt s with
+    | Some v -> v
+    | None -> (
+        match Hashtbl.find_opt symbols s with
+        | Some addr -> Int32.of_int addr
+        | None -> error line "undefined symbol %S" s)
+
+(* Parse "off(reg)" or "reg" or "off". *)
+let parse_mem line symbols s =
+  match String.index_opt s '(' with
+  | Some i when String.length s > 0 && s.[String.length s - 1] = ')' ->
+      let off = String.trim (String.sub s 0 i) in
+      let reg = String.sub s (i + 1) (String.length s - i - 2) in
+      let off = if off = "" then 0l else parse_imm line symbols off in
+      (parse_reg line reg, off)
+  | _ -> (Insn.reg_zero, parse_imm line symbols s)
+
+let alu_mnemonics =
+  Insn.[ "add", Add; "sub", Sub; "mul", Mul; "divu", Divu; "remu", Remu;
+         "and", And; "or", Or; "xor", Xor; "shl", Shl; "shr", Shr;
+         "sar", Sar; "slt", Slt; "sltu", Sltu; "seq", Seq ]
+
+let branch_mnemonics =
+  Insn.[ "beq", Beq; "bne", Bne; "blt", Blt; "bge", Bge; "bltu", Bltu;
+         "bgeu", Bgeu ]
+
+let s2e_mnemonics =
+  Insn.[ "s2e.symreg", Sym_reg; "s2e.symmem", Sym_mem;
+         "s2e.enable", Enable_mp; "s2e.disable", Disable_mp;
+         "s2e.print", Print; "s2e.kill", Kill_path;
+         "s2e.assert", Assert_op; "s2e.concretize", Concretize;
+         "s2e.cli", Disable_irq; "s2e.sti", Enable_irq ]
+
+let assemble_insn line symbols mnemonic operands : Insn.t =
+  let reg = parse_reg line and imm = parse_imm line symbols in
+  let mem = parse_mem line symbols in
+  match (mnemonic, operands) with
+  | m, [ rd; rs1; rs2 ] when List.mem_assoc m alu_mnemonics ->
+      Alu { op = List.assoc m alu_mnemonics; rd = reg rd; rs1 = reg rs1; rs2 = reg rs2 }
+  | m, [ rd; rs1; i ]
+    when String.length m > 1
+         && m.[String.length m - 1] = 'i'
+         && List.mem_assoc (String.sub m 0 (String.length m - 1)) alu_mnemonics
+    ->
+      let op = List.assoc (String.sub m 0 (String.length m - 1)) alu_mnemonics in
+      Alui { op; rd = reg rd; rs1 = reg rs1; imm = imm i }
+  | "li", [ rd; i ] -> Li { rd = reg rd; imm = imm i }
+  | "mov", [ rd; rs1 ] -> Mov { rd = reg rd; rs1 = reg rs1 }
+  | "lw", [ rd; m ] ->
+      let base, off = mem m in
+      Lw { rd = reg rd; base; off }
+  | "lb", [ rd; m ] ->
+      let base, off = mem m in
+      Lb { rd = reg rd; base; off }
+  | "sw", [ src; m ] ->
+      let base, off = mem m in
+      Sw { src = reg src; base; off }
+  | "sb", [ src; m ] ->
+      let base, off = mem m in
+      Sb { src = reg src; base; off }
+  | "jmp", [ t ] -> Jmp { target = imm t }
+  | "jr", [ r ] -> Jr { rs1 = reg r }
+  | "jal", [ t ] -> Jal { target = imm t }
+  | "jalr", [ r ] -> Jalr { rs1 = reg r }
+  | m, [ rs1; rs2; t ] when List.mem_assoc m branch_mnemonics ->
+      Branch { cond = List.assoc m branch_mnemonics; rs1 = reg rs1;
+               rs2 = reg rs2; target = imm t }
+  | "in", [ rd; m ] ->
+      let port, port_off = mem m in
+      In { rd = reg rd; port; port_off }
+  | "out", [ src; m ] ->
+      let port, port_off = mem m in
+      Out { src = reg src; port; port_off }
+  | "syscall", [] -> Syscall
+  | "sysret", [] -> Sysret
+  | "iret", [] -> Iret
+  | "halt", [] -> Halt
+  | "cli", [] -> Cli
+  | "sti", [] -> Sti
+  | "nop", [] -> Nop
+  | m, ops when List.mem_assoc m s2e_mnemonics ->
+      let op = List.assoc m s2e_mnemonics in
+      let rs1, rs2, i =
+        match ops with
+        | [] -> (Insn.reg_zero, Insn.reg_zero, 0l)
+        | [ a ] -> (reg a, Insn.reg_zero, 0l)
+        | [ a; b ] -> (reg a, Insn.reg_zero, imm b)
+        | [ a; b; c ] -> (reg a, reg b, imm c)
+        | _ -> error line "bad s2e operands"
+      in
+      S2e { op; rs1; rs2; imm = i }
+  | m, ops ->
+      error line "unknown instruction %S with %d operands" m (List.length ops)
+
+type image = {
+  origin : int;
+  code : Bytes.t;
+  symbols : (string, int) Hashtbl.t;
+  (* Addresses that hold instructions, in order: used for coverage and
+     disassembly. *)
+  insn_addrs : int list;
+}
+
+(** Assemble [source] into an image loaded at [origin]. *)
+let assemble ?(origin = 0x1000) source : image =
+  let lines =
+    String.split_on_char '\n' source
+    |> List.mapi (fun i raw -> parse_line (i + 1) raw)
+  in
+  (* Pass 1: lay out addresses and collect symbols. *)
+  let symbols = Hashtbl.create 64 in
+  let addr = ref origin in
+  let placed =
+    List.filter_map
+      (fun { num; labels; item } ->
+        (match item with
+        | Some (I_align n) ->
+            if n > 0 && !addr mod n <> 0 then addr := !addr + (n - (!addr mod n))
+        | _ -> ());
+        List.iter
+          (fun l ->
+            if Hashtbl.mem symbols l then error num "duplicate label %S" l;
+            Hashtbl.replace symbols l !addr)
+          labels;
+        match item with
+        | None | Some (I_align _) -> None
+        | Some item ->
+            let a = !addr in
+            addr := !addr + item_size item;
+            Some (num, a, item))
+      lines
+  in
+  let total = !addr - origin in
+  let code = Bytes.make total '\000' in
+  let insn_addrs = ref [] in
+  (* Pass 2: encode. *)
+  List.iter
+    (fun (num, a, item) ->
+      let off = a - origin in
+      match item with
+      | I_insn (m, ops) ->
+          insn_addrs := a :: !insn_addrs;
+          Insn.encode (assemble_insn num symbols m ops) code off
+      | I_word ws ->
+          List.iteri
+            (fun i w -> Bytes.set_int32_le code (off + (4 * i)) (parse_imm num symbols w))
+            ws
+      | I_byte bs ->
+          List.iteri
+            (fun i b ->
+              Bytes.set code (off + i)
+                (Char.chr (Int32.to_int (parse_imm num symbols b) land 0xff)))
+            bs
+      | I_ascii (s, z) ->
+          Bytes.blit_string s 0 code off (String.length s);
+          if z then Bytes.set code (off + String.length s) '\000'
+      | I_space _ -> ()
+      | I_align _ -> assert false)
+    placed;
+  { origin; code; symbols; insn_addrs = List.rev !insn_addrs }
+
+let symbol image name =
+  match Hashtbl.find_opt image.symbols name with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "unknown symbol %S" name)

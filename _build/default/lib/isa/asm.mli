@@ -1,0 +1,23 @@
+(** Two-pass assembler for the guest ISA.
+
+    Line-oriented syntax: [label:] prefixes, [;]/[#] comments, and the
+    directives [.word], [.byte], [.ascii], [.asciz], [.space], [.align].
+    Immediates may be decimal, hex, character literals or label names.
+    Memory operands are written [off(reg)]. *)
+
+exception Error of { line : int; message : string }
+
+type image = {
+  origin : int;
+  code : Bytes.t;
+  symbols : (string, int) Hashtbl.t;
+  insn_addrs : int list; (** addresses holding instructions, in order *)
+}
+
+val assemble : ?origin:int -> string -> image
+(** Assemble a complete source text.  Forward label references are
+    resolved in the second pass.  @raise Error with a line number on any
+    syntactic or semantic problem. *)
+
+val symbol : image -> string -> int
+(** Address of a label; @raise Invalid_argument when undefined. *)

@@ -1,0 +1,17 @@
+(** Linear disassembler over an in-memory image: the offline half of what
+    the paper calls "dynamic disassembly" is done by the engine; this module
+    is used for debugging output and for the REV+ code synthesis backend. *)
+
+let disassemble_range ~get ~start ~stop =
+  let rec go addr acc =
+    if addr >= stop then List.rev acc
+    else
+      match Insn.decode_with ~get addr with
+      | insn -> go (addr + Insn.insn_size) ((addr, insn) :: acc)
+      | exception Insn.Invalid_instruction _ ->
+          go (addr + Insn.insn_size) acc
+  in
+  go start []
+
+let pp_listing ppf items =
+  List.iter (fun (addr, insn) -> Fmt.pf ppf "%08x:  %a@." addr Insn.pp insn) items

@@ -1,0 +1,10 @@
+(** Linear disassembler over an in-memory image, for debugging output and
+    the REV+ synthesis backend; the engine itself performs dynamic
+    disassembly through the translator. *)
+
+val disassemble_range :
+  get:(int -> int) -> start:int -> stop:int -> (int * Insn.t) list
+(** Decode successive 8-byte slots in [\[start, stop)], skipping
+    undecodable ones. *)
+
+val pp_listing : Format.formatter -> (int * Insn.t) list -> unit

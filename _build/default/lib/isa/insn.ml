@@ -1,0 +1,277 @@
+(** The guest instruction set.
+
+    A 32-bit RISC-like ISA standing in for x86 in the paper's prototype.
+    Memory is byte-addressed, little-endian.  There are 16 registers:
+    [r0]–[r11] are general purpose, [r12] = frame pointer, [r13] = stack
+    pointer, [r14] = link register and [r15] is a hard-wired zero register.
+
+    Every instruction is encoded in 8 bytes:
+    [opcode, rd, rs1, rs2, imm(4 bytes, little-endian)].  The fixed size
+    keeps the dynamic translator and the assembler simple, which is fine
+    because the guest ISA is a substrate, not a contribution. *)
+
+let num_regs = 16
+let reg_fp = 12
+let reg_sp = 13
+let reg_lr = 14
+let reg_zero = 15
+let insn_size = 8
+
+let reg_name r =
+  match r with
+  | 12 -> "fp"
+  | 13 -> "sp"
+  | 14 -> "lr"
+  | 15 -> "zr"
+  | r -> Printf.sprintf "r%d" r
+
+(** Three-operand ALU operations, register and immediate forms. *)
+type alu =
+  | Add | Sub | Mul | Divu | Remu
+  | And | Or | Xor
+  | Shl | Shr | Sar
+  | Slt  (** signed less-than, result 0/1 *)
+  | Sltu (** unsigned less-than, result 0/1 *)
+  | Seq  (** equality, result 0/1 *)
+
+type branch_cond = Beq | Bne | Blt | Bge | Bltu | Bgeu
+
+(** Subcodes of the S2E custom opcode (paper section 4.2): the guest-side
+    interface to the engine.  These are the analogue of S2SYM / S2ENA /
+    S2DIS / S2OUT. *)
+type s2e_op =
+  | Sym_reg     (** rs1 <- fresh symbolic value; imm = name tag *)
+  | Sym_mem     (** mem[rs1 .. rs1+rs2) bytes become symbolic; imm = tag *)
+  | Enable_mp   (** enable multi-path (symbolic) execution *)
+  | Disable_mp  (** disable multi-path execution *)
+  | Print       (** log rs1 (debugging aid, S2OUT) *)
+  | Kill_path   (** terminate this path; imm = status *)
+  | Assert_op   (** report a bug if rs1 = 0 *)
+  | Concretize  (** force rs1 to a single concrete value *)
+  | Disable_irq (** suppress timer interrupts for this path (section 5) *)
+  | Enable_irq
+
+type t =
+  | Alu of { op : alu; rd : int; rs1 : int; rs2 : int }
+  | Alui of { op : alu; rd : int; rs1 : int; imm : int32 }
+  | Li of { rd : int; imm : int32 }
+  | Mov of { rd : int; rs1 : int }
+  | Lw of { rd : int; base : int; off : int32 }
+  | Lb of { rd : int; base : int; off : int32 }  (* zero-extending *)
+  | Sw of { src : int; base : int; off : int32 }
+  | Sb of { src : int; base : int; off : int32 }
+  | Jmp of { target : int32 }
+  | Jr of { rs1 : int }
+  | Jal of { target : int32 }  (* lr <- pc + 8 *)
+  | Jalr of { rs1 : int }
+  | Branch of { cond : branch_cond; rs1 : int; rs2 : int; target : int32 }
+  | In of { rd : int; port : int; port_off : int32 }  (* port = rs1 + imm *)
+  | Out of { src : int; port : int; port_off : int32 }
+  | Syscall
+  | Sysret
+  | Iret
+  | Halt
+  | Cli
+  | Sti
+  | Nop
+  | S2e of { op : s2e_op; rs1 : int; rs2 : int; imm : int32 }
+
+let alu_code = function
+  | Add -> 0 | Sub -> 1 | Mul -> 2 | Divu -> 3 | Remu -> 4
+  | And -> 5 | Or -> 6 | Xor -> 7 | Shl -> 8 | Shr -> 9 | Sar -> 10
+  | Slt -> 11 | Sltu -> 12 | Seq -> 13
+
+let alu_of_code = function
+  | 0 -> Add | 1 -> Sub | 2 -> Mul | 3 -> Divu | 4 -> Remu
+  | 5 -> And | 6 -> Or | 7 -> Xor | 8 -> Shl | 9 -> Shr | 10 -> Sar
+  | 11 -> Slt | 12 -> Sltu | 13 -> Seq
+  | c -> invalid_arg (Printf.sprintf "alu_of_code %d" c)
+
+let branch_code = function
+  | Beq -> 0 | Bne -> 1 | Blt -> 2 | Bge -> 3 | Bltu -> 4 | Bgeu -> 5
+
+let branch_of_code = function
+  | 0 -> Beq | 1 -> Bne | 2 -> Blt | 3 -> Bge | 4 -> Bltu | 5 -> Bgeu
+  | c -> invalid_arg (Printf.sprintf "branch_of_code %d" c)
+
+let s2e_code = function
+  | Sym_reg -> 0 | Sym_mem -> 1 | Enable_mp -> 2 | Disable_mp -> 3
+  | Print -> 4 | Kill_path -> 5 | Assert_op -> 6 | Concretize -> 7
+  | Disable_irq -> 8 | Enable_irq -> 9
+
+let s2e_of_code = function
+  | 0 -> Sym_reg | 1 -> Sym_mem | 2 -> Enable_mp | 3 -> Disable_mp
+  | 4 -> Print | 5 -> Kill_path | 6 -> Assert_op | 7 -> Concretize
+  | 8 -> Disable_irq | 9 -> Enable_irq
+  | c -> invalid_arg (Printf.sprintf "s2e_of_code %d" c)
+
+exception Invalid_instruction of int
+
+(* Opcode bytes. *)
+let op_alu = 0x01 (* + alu code in a second field *)
+let op_alui = 0x02
+let op_li = 0x03
+let op_mov = 0x04
+let op_lw = 0x10
+let op_lb = 0x11
+let op_sw = 0x12
+let op_sb = 0x13
+let op_jmp = 0x20
+let op_jr = 0x21
+let op_jal = 0x22
+let op_jalr = 0x23
+let op_branch = 0x24
+let op_in = 0x30
+let op_out = 0x31
+let op_syscall = 0x40
+let op_sysret = 0x41
+let op_iret = 0x42
+let op_halt = 0x43
+let op_cli = 0x44
+let op_sti = 0x45
+let op_nop = 0x46
+let op_s2e = 0x50
+
+(** Encode to 8 bytes at [buf.(off)].  The [rd] byte doubles as a function
+    code for ALU, branch and S2E opcodes, with the real [rd] packed in the
+    high nibble when both are needed. *)
+let encode insn buf off =
+  let set op rd rs1 rs2 imm =
+    Bytes.set buf off (Char.chr op);
+    Bytes.set buf (off + 1) (Char.chr (rd land 0xff));
+    Bytes.set buf (off + 2) (Char.chr (rs1 land 0xff));
+    Bytes.set buf (off + 3) (Char.chr (rs2 land 0xff));
+    Bytes.set_int32_le buf (off + 4) imm
+  in
+  match insn with
+  | Alu { op; rd; rs1; rs2 } ->
+      set op_alu (rd lor (alu_code op lsl 4)) rs1 rs2 0l
+  | Alui { op; rd; rs1; imm } ->
+      set op_alui (rd lor (alu_code op lsl 4)) rs1 0 imm
+  | Li { rd; imm } -> set op_li rd 0 0 imm
+  | Mov { rd; rs1 } -> set op_mov rd rs1 0 0l
+  | Lw { rd; base; off = o } -> set op_lw rd base 0 o
+  | Lb { rd; base; off = o } -> set op_lb rd base 0 o
+  | Sw { src; base; off = o } -> set op_sw 0 base src o
+  | Sb { src; base; off = o } -> set op_sb 0 base src o
+  | Jmp { target } -> set op_jmp 0 0 0 target
+  | Jr { rs1 } -> set op_jr 0 rs1 0 0l
+  | Jal { target } -> set op_jal 0 0 0 target
+  | Jalr { rs1 } -> set op_jalr 0 rs1 0 0l
+  | Branch { cond; rs1; rs2; target } ->
+      set op_branch (branch_code cond) rs1 rs2 target
+  | In { rd; port; port_off } -> set op_in rd port 0 port_off
+  | Out { src; port; port_off } -> set op_out 0 port src port_off
+  | Syscall -> set op_syscall 0 0 0 0l
+  | Sysret -> set op_sysret 0 0 0 0l
+  | Iret -> set op_iret 0 0 0 0l
+  | Halt -> set op_halt 0 0 0 0l
+  | Cli -> set op_cli 0 0 0 0l
+  | Sti -> set op_sti 0 0 0 0l
+  | Nop -> set op_nop 0 0 0 0l
+  | S2e { op; rs1; rs2; imm } -> set op_s2e (s2e_code op) rs1 rs2 imm
+
+(** Decode 8 bytes starting at [get off].  [get] abstracts the memory so
+    both the VM and the engine can share the decoder. *)
+let decode_with ~(get : int -> int) off =
+  let opc = get off in
+  let b1 = get (off + 1) in
+  let rs1 = get (off + 2) in
+  let rs2 = get (off + 3) in
+  let imm =
+    Int32.logor
+      (Int32.of_int (get (off + 4) lor (get (off + 5) lsl 8) lor (get (off + 6) lsl 16)))
+      (Int32.shift_left (Int32.of_int (get (off + 7))) 24)
+  in
+  match opc with
+  | o when o = op_alu ->
+      Alu { op = alu_of_code (b1 lsr 4); rd = b1 land 0xf; rs1; rs2 }
+  | o when o = op_alui ->
+      Alui { op = alu_of_code (b1 lsr 4); rd = b1 land 0xf; rs1; imm }
+  | o when o = op_li -> Li { rd = b1 land 0xf; imm }
+  | o when o = op_mov -> Mov { rd = b1 land 0xf; rs1 }
+  | o when o = op_lw -> Lw { rd = b1 land 0xf; base = rs1; off = imm }
+  | o when o = op_lb -> Lb { rd = b1 land 0xf; base = rs1; off = imm }
+  | o when o = op_sw -> Sw { src = rs2; base = rs1; off = imm }
+  | o when o = op_sb -> Sb { src = rs2; base = rs1; off = imm }
+  | o when o = op_jmp -> Jmp { target = imm }
+  | o when o = op_jr -> Jr { rs1 }
+  | o when o = op_jal -> Jal { target = imm }
+  | o when o = op_jalr -> Jalr { rs1 }
+  | o when o = op_branch ->
+      Branch { cond = branch_of_code (b1 land 0xf); rs1; rs2; target = imm }
+  | o when o = op_in -> In { rd = b1 land 0xf; port = rs1; port_off = imm }
+  | o when o = op_out -> Out { src = rs2; port = rs1; port_off = imm }
+  | o when o = op_syscall -> Syscall
+  | o when o = op_sysret -> Sysret
+  | o when o = op_iret -> Iret
+  | o when o = op_halt -> Halt
+  | o when o = op_cli -> Cli
+  | o when o = op_sti -> Sti
+  | o when o = op_nop -> Nop
+  | o when o = op_s2e -> S2e { op = s2e_of_code (b1 land 0xf); rs1; rs2; imm }
+  | o -> raise (Invalid_instruction o)
+
+let decode (buf : Bytes.t) off =
+  decode_with ~get:(fun i -> Char.code (Bytes.get buf i)) off
+
+(** Does this instruction end a translation block? *)
+let is_block_terminator = function
+  | Jmp _ | Jr _ | Jal _ | Jalr _ | Branch _ | Syscall | Sysret | Iret | Halt
+    ->
+      true
+  | Alu _ | Alui _ | Li _ | Mov _ | Lw _ | Lb _ | Sw _ | Sb _ | In _ | Out _
+  | Cli | Sti | Nop | S2e _ ->
+      false
+
+let alu_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Divu -> "divu"
+  | Remu -> "remu" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Shr -> "shr" | Sar -> "sar" | Slt -> "slt"
+  | Sltu -> "sltu" | Seq -> "seq"
+
+let branch_name = function
+  | Beq -> "beq" | Bne -> "bne" | Blt -> "blt" | Bge -> "bge"
+  | Bltu -> "bltu" | Bgeu -> "bgeu"
+
+let s2e_name = function
+  | Sym_reg -> "s2e.symreg" | Sym_mem -> "s2e.symmem"
+  | Enable_mp -> "s2e.enable" | Disable_mp -> "s2e.disable"
+  | Print -> "s2e.print" | Kill_path -> "s2e.kill"
+  | Assert_op -> "s2e.assert" | Concretize -> "s2e.concretize"
+  | Disable_irq -> "s2e.cli" | Enable_irq -> "s2e.sti"
+
+let pp ppf insn =
+  let r = reg_name in
+  match insn with
+  | Alu { op; rd; rs1; rs2 } ->
+      Fmt.pf ppf "%s %s, %s, %s" (alu_name op) (r rd) (r rs1) (r rs2)
+  | Alui { op; rd; rs1; imm } ->
+      Fmt.pf ppf "%si %s, %s, %ld" (alu_name op) (r rd) (r rs1) imm
+  | Li { rd; imm } -> Fmt.pf ppf "li %s, %ld" (r rd) imm
+  | Mov { rd; rs1 } -> Fmt.pf ppf "mov %s, %s" (r rd) (r rs1)
+  | Lw { rd; base; off } -> Fmt.pf ppf "lw %s, %ld(%s)" (r rd) off (r base)
+  | Lb { rd; base; off } -> Fmt.pf ppf "lb %s, %ld(%s)" (r rd) off (r base)
+  | Sw { src; base; off } -> Fmt.pf ppf "sw %s, %ld(%s)" (r src) off (r base)
+  | Sb { src; base; off } -> Fmt.pf ppf "sb %s, %ld(%s)" (r src) off (r base)
+  | Jmp { target } -> Fmt.pf ppf "jmp 0x%lx" target
+  | Jr { rs1 } -> Fmt.pf ppf "jr %s" (r rs1)
+  | Jal { target } -> Fmt.pf ppf "jal 0x%lx" target
+  | Jalr { rs1 } -> Fmt.pf ppf "jalr %s" (r rs1)
+  | Branch { cond; rs1; rs2; target } ->
+      Fmt.pf ppf "%s %s, %s, 0x%lx" (branch_name cond) (r rs1) (r rs2) target
+  | In { rd; port; port_off } ->
+      Fmt.pf ppf "in %s, %ld(%s)" (r rd) port_off (r port)
+  | Out { src; port; port_off } ->
+      Fmt.pf ppf "out %s, %ld(%s)" (r src) port_off (r port)
+  | Syscall -> Fmt.string ppf "syscall"
+  | Sysret -> Fmt.string ppf "sysret"
+  | Iret -> Fmt.string ppf "iret"
+  | Halt -> Fmt.string ppf "halt"
+  | Cli -> Fmt.string ppf "cli"
+  | Sti -> Fmt.string ppf "sti"
+  | Nop -> Fmt.string ppf "nop"
+  | S2e { op; rs1; rs2; imm } ->
+      Fmt.pf ppf "%s %s, %s, %ld" (s2e_name op) (r rs1) (r rs2) imm
+
+let to_string i = Fmt.str "%a" pp i

@@ -1,0 +1,115 @@
+(** The guest instruction set.
+
+    A 32-bit RISC-like ISA standing in for x86 in the paper's prototype.
+    Memory is byte-addressed, little-endian.  Sixteen registers: [r0]–[r11]
+    general purpose, [r12] frame pointer, [r13] stack pointer, [r14] link
+    register, [r15] hard-wired zero.  Every instruction encodes to 8 bytes:
+    [opcode, rd, rs1, rs2, imm32]. *)
+
+val num_regs : int
+val reg_fp : int
+val reg_sp : int
+val reg_lr : int
+val reg_zero : int
+val insn_size : int
+val reg_name : int -> string
+
+type alu =
+  | Add | Sub | Mul | Divu | Remu
+  | And | Or | Xor
+  | Shl | Shr | Sar
+  | Slt  (** signed less-than, result 0/1 *)
+  | Sltu (** unsigned less-than, result 0/1 *)
+  | Seq  (** equality, result 0/1 *)
+
+type branch_cond = Beq | Bne | Blt | Bge | Bltu | Bgeu
+
+(** Subcodes of the S2E custom opcode (paper section 4.2): the guest-side
+    interface to the engine — the analogue of S2SYM/S2ENA/S2DIS/S2OUT. *)
+type s2e_op =
+  | Sym_reg     (** rs1 ← fresh symbolic value; imm = name tag *)
+  | Sym_mem     (** mem[rs1, rs1+rs2) becomes symbolic; imm = tag *)
+  | Enable_mp
+  | Disable_mp
+  | Print
+  | Kill_path
+  | Assert_op   (** report a bug when rs1 = 0 *)
+  | Concretize
+  | Disable_irq
+  | Enable_irq
+
+type t =
+  | Alu of { op : alu; rd : int; rs1 : int; rs2 : int }
+  | Alui of { op : alu; rd : int; rs1 : int; imm : int32 }
+  | Li of { rd : int; imm : int32 }
+  | Mov of { rd : int; rs1 : int }
+  | Lw of { rd : int; base : int; off : int32 }
+  | Lb of { rd : int; base : int; off : int32 } (** zero-extending *)
+  | Sw of { src : int; base : int; off : int32 }
+  | Sb of { src : int; base : int; off : int32 }
+  | Jmp of { target : int32 }
+  | Jr of { rs1 : int }
+  | Jal of { target : int32 } (** lr ← pc + 8 *)
+  | Jalr of { rs1 : int }
+  | Branch of { cond : branch_cond; rs1 : int; rs2 : int; target : int32 }
+  | In of { rd : int; port : int; port_off : int32 } (** port = rs1 + imm *)
+  | Out of { src : int; port : int; port_off : int32 }
+  | Syscall
+  | Sysret
+  | Iret
+  | Halt
+  | Cli
+  | Sti
+  | Nop
+  | S2e of { op : s2e_op; rs1 : int; rs2 : int; imm : int32 }
+
+val alu_code : alu -> int
+val alu_of_code : int -> alu
+val branch_code : branch_cond -> int
+val branch_of_code : int -> branch_cond
+val s2e_code : s2e_op -> int
+val s2e_of_code : int -> s2e_op
+
+exception Invalid_instruction of int
+
+val op_alu : int
+val op_alui : int
+val op_li : int
+val op_mov : int
+val op_lw : int
+val op_lb : int
+val op_sw : int
+val op_sb : int
+val op_jmp : int
+val op_jr : int
+val op_jal : int
+val op_jalr : int
+val op_branch : int
+val op_in : int
+val op_out : int
+val op_syscall : int
+val op_sysret : int
+val op_iret : int
+val op_halt : int
+val op_cli : int
+val op_sti : int
+val op_nop : int
+val op_s2e : int
+
+val encode : t -> Bytes.t -> int -> unit
+(** Encode 8 bytes at an offset. *)
+
+val decode_with : get:(int -> int) -> int -> t
+(** Decode from an abstract byte source (shared by the VM and the
+    engine).  @raise Invalid_instruction on unknown opcodes. *)
+
+val decode : Bytes.t -> int -> t
+
+val is_block_terminator : t -> bool
+(** Does this instruction end a translation block? *)
+
+val alu_name : alu -> string
+val branch_name : branch_cond -> string
+val s2e_name : s2e_op -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

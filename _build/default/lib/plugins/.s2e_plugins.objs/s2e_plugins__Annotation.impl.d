@@ -1,0 +1,1 @@
+lib/plugins/annotation.ml: Events Executor Int64 List S2e_core S2e_dbt S2e_expr State

@@ -1,0 +1,1 @@
+lib/plugins/bugcheck.ml: Events Executor Int64 List Printf S2e_core S2e_dbt S2e_expr State

@@ -1,0 +1,1 @@
+lib/plugins/coverage.ml: Events Executor Hashtbl List Module_map Option S2e_core S2e_isa Searcher State

@@ -1,0 +1,1 @@
+lib/plugins/memchecker.ml: Events Executor Hashtbl Int64 List Module_map Printf S2e_core S2e_dbt S2e_expr S2e_solver S2e_vm State

@@ -1,0 +1,1 @@
+lib/plugins/path_killer.ml: Events Executor Hashtbl Int32 Option S2e_core S2e_isa State

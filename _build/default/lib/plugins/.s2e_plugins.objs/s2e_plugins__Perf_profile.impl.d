@@ -1,0 +1,1 @@
+lib/plugins/perf_profile.ml: Events Executor Hashtbl List S2e_cachesim S2e_core State

@@ -1,0 +1,1 @@
+lib/plugins/race_detector.ml: Events Executor Hashtbl List Printf S2e_core S2e_vm State

@@ -1,0 +1,1 @@
+lib/plugins/registry.ml: Buffer Char Consistency Events Executor Hashtbl Int64 List Option S2e_core S2e_dbt S2e_expr State String Symmem

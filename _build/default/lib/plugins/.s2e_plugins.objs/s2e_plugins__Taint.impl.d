@@ -1,0 +1,1 @@
+lib/plugins/taint.ml: Events Executor List Printf S2e_core S2e_expr State Symmem

@@ -1,0 +1,1 @@
+lib/plugins/tracer.ml: Events Executor Hashtbl List S2e_core S2e_expr S2e_isa State

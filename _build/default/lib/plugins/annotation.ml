@@ -1,0 +1,60 @@
+(** Annotation plugin: direct injection of custom-constrained symbolic
+    values at internal interfaces (paper section 4.1), and the vehicle for
+    LC interface annotations at the unit/environment boundary (DDT-style). *)
+
+open S2e_core
+module Expr = S2e_expr.Expr
+
+(** Replace the return value of [callee] (an environment function) with a
+    symbolic value in [\[lo, hi\]] that also admits the actual concrete
+    return value — the local-consistency contract of paper section 3.2.2. *)
+let return_in_range engine ~callee ~name ~lo ~hi =
+  Executor.annotate engine ~callee (fun t s ->
+      let v = Expr.fresh_var ~width:32 name in
+      ignore t;
+      State.add_constraint s
+        (Expr.log_and
+           (Expr.sle (Expr.const (Int64.of_int lo)) v)
+           (Expr.sle v (Expr.const (Int64.of_int hi))));
+      State.set_reg s 0 v)
+
+(** Replace the return value of [callee] with a symbolic choice among
+    [values] (e.g. {success, FAIL}). *)
+let return_choice engine ~callee ~name ~values =
+  Executor.annotate engine ~callee (fun t s ->
+      ignore t;
+      let v = Expr.fresh_var ~width:32 name in
+      let admissible =
+        List.fold_left
+          (fun acc value ->
+            Expr.log_or acc (Expr.eq v (Expr.const (Int64.of_int value))))
+          Expr.bool_f values
+      in
+      State.add_constraint s admissible;
+      State.set_reg s 0 v)
+
+(** Leave the return value completely unconstrained (RC-OC style, usable
+    under any model for targeted overapproximation). *)
+let return_unconstrained engine ~callee ~name =
+  Executor.annotate engine ~callee (fun t s ->
+      ignore t;
+      State.set_reg s 0 (Expr.fresh_var ~width:32 name))
+
+(** Run an arbitrary state transformer when [callee] returns to the unit. *)
+let on_return engine ~callee f = Executor.annotate engine ~callee f
+
+(** Inject a constrained symbolic value every time execution reaches
+    [addr]: the register [reg] is replaced by a fresh symbolic value
+    constrained to [\[lo, hi\]].  Uses the translation-marking fast path. *)
+let value_at engine ~addr ~reg ~name ~lo ~hi =
+  Events.reg_instr_translate engine.Executor.events (fun a _ ->
+      if a = addr then S2e_dbt.Dbt.mark engine.Executor.dbt a);
+  Events.reg_instr_execute engine.Executor.events (fun s a _ ->
+      if a = addr then begin
+        let v = Expr.fresh_var ~width:32 name in
+        State.add_constraint s
+          (Expr.log_and
+             (Expr.sle (Expr.const (Int64.of_int lo)) v)
+             (Expr.sle v (Expr.const (Int64.of_int hi))));
+        State.set_reg s reg v
+      end)

@@ -1,0 +1,45 @@
+(** BugCheck: the WinBugCheck analogue.  Catches guest kernel panics
+    ("blue screens"), guest faults, and kernel hangs (paths that stop
+    making progress inside the kernel). *)
+
+open S2e_core
+
+type t = {
+  mutable panics : Events.bug list;
+  mutable faults : Events.bug list;
+}
+
+(** [panic_addr] is the guest kernel's panic routine: reaching it is a
+    bugcheck. *)
+let attach engine ~panic_addr =
+  let t = { panics = []; faults = [] } in
+  Events.reg_instr_translate engine.Executor.events (fun addr _ ->
+      if addr = panic_addr then S2e_dbt.Dbt.mark engine.Executor.dbt addr);
+  Events.reg_instr_execute engine.Executor.events (fun s addr _ ->
+      if addr = panic_addr then begin
+        let code =
+          match S2e_expr.Expr.to_const (State.get_reg s 0) with
+          | Some v -> Int64.to_int v
+          | None -> -1
+        in
+        let bug =
+          { Events.bug_state = s; bug_kind = "bugcheck";
+            bug_message = Printf.sprintf "kernel panic, code 0x%x" code;
+            bug_pc = addr }
+        in
+        t.panics <- bug :: t.panics;
+        Events.bug engine.Executor.events bug;
+        Executor.kill_state engine s "bugcheck"
+      end);
+  Events.reg_state_end engine.Executor.events (fun s ->
+      match s.State.status with
+      | State.Faulted msg ->
+          t.faults <-
+            { Events.bug_state = s; bug_kind = "fault"; bug_message = msg;
+              bug_pc = s.State.pc }
+            :: t.faults
+      | _ -> ());
+  t
+
+let panics t = List.rev t.panics
+let faults t = List.rev t.faults

@@ -1,0 +1,90 @@
+(** CoverageTracker: records which instruction addresses of which modules
+    executed, globally across all paths.  Feeds Table 5 / Fig. 6 / Fig. 7
+    (basic-block coverage) and the MaxCoverage searcher. *)
+
+open S2e_core
+
+type t = {
+  engine : Executor.t;
+  executed : (int, unit) Hashtbl.t; (* instruction addresses, global *)
+  block_heat : (int, int) Hashtbl.t; (* tb start -> execution count *)
+  (* The timeline (Fig. 6 curve) counts only addresses within
+     [timeline_range] when one is given. *)
+  timeline_range : (int * int) option;
+  mutable timeline : (int * int) list; (* (total instret, covered count) *)
+  mutable last_new_cover_instret : int;
+  mutable covered_count : int;
+}
+
+let attach ?timeline_range engine =
+  let t =
+    {
+      engine;
+      executed = Hashtbl.create 4096;
+      block_heat = Hashtbl.create 1024;
+      timeline_range;
+      timeline = [];
+      last_new_cover_instret = 0;
+      covered_count = 0;
+    }
+  in
+  let in_range addr =
+    match t.timeline_range with
+    | None -> true
+    | Some (lo, hi) -> addr >= lo && addr < hi
+  in
+  Events.reg_before_instr engine.Executor.events (fun _s addr _insn ->
+      if not (Hashtbl.mem t.executed addr) then begin
+        Hashtbl.replace t.executed addr ();
+        if in_range addr then begin
+          t.covered_count <- t.covered_count + 1;
+          t.last_new_cover_instret <- engine.Executor.stats.concrete_instret;
+          t.timeline <-
+            (engine.Executor.stats.concrete_instret, t.covered_count)
+            :: t.timeline
+        end
+      end;
+      Hashtbl.replace t.block_heat addr
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.block_heat addr)));
+  t
+
+(** Fraction of a module's code covered, in [0, 1]. *)
+let module_coverage t name =
+  match Module_map.entry t.engine.Executor.modules name with
+  | None -> 0.0
+  | Some e ->
+      let total = Module_map.code_insns e in
+      if total = 0 then 0.0
+      else begin
+        let covered = ref 0 in
+        let addr = ref e.code_start in
+        while !addr < e.code_end do
+          if Hashtbl.mem t.executed !addr then incr covered;
+          addr := !addr + S2e_isa.Insn.insn_size
+        done;
+        float_of_int !covered /. float_of_int total
+      end
+
+let covered_in_range t lo hi =
+  let covered = ref 0 in
+  let addr = ref lo in
+  while !addr < hi do
+    if Hashtbl.mem t.executed !addr then incr covered;
+    addr := !addr + S2e_isa.Insn.insn_size
+  done;
+  !covered
+
+(** Instructions executed since the last time new code was discovered:
+    the staleness signal driver exercisers use to kill path families. *)
+let staleness t = t.engine.Executor.stats.concrete_instret - t.last_new_cover_instret
+
+(** Timeline of (instructions executed, covered instructions), oldest
+    first: the Fig. 6 curve. *)
+let timeline t = List.rev t.timeline
+
+(** A searcher that prefers states sitting at rarely-executed code: the
+    MaxCoverage priority selector. *)
+let max_coverage_searcher t =
+  Searcher.scored (fun s ->
+      let heat = Option.value ~default:0 (Hashtbl.find_opt t.block_heat s.State.pc) in
+      -heat)

@@ -1,0 +1,97 @@
+(** Energy profiler (paper section 6.1.4, "profile energy use of embedded
+    applications").
+
+    Given a per-instruction-class power model, accumulates the energy each
+    path consumes, so the multi-path exploration surfaces the
+    energy-hogging paths the paper suggests optimizing.  Memory traffic
+    costs extra per byte, I/O is the most expensive class — the usual
+    embedded-CPU shape. *)
+
+open S2e_core
+
+(** Energy cost model, in arbitrary nanojoule-like units. *)
+type model = {
+  alu : int;
+  mul_div : int;
+  mem_word : int;
+  mem_byte : int;
+  branch : int;
+  io : int;
+  other : int;
+}
+
+let default_model =
+  { alu = 1; mul_div = 4; mem_word = 6; mem_byte = 4; branch = 2; io = 20; other = 1 }
+
+let cost model (insn : S2e_isa.Insn.t) =
+  match insn with
+  | Alu { op = Mul | Divu | Remu; _ } | Alui { op = Mul | Divu | Remu; _ } ->
+      model.mul_div
+  | Alu _ | Alui _ | Li _ | Mov _ -> model.alu
+  | Lw _ | Sw _ -> model.mem_word
+  | Lb _ | Sb _ -> model.mem_byte
+  | Jmp _ | Jr _ | Jal _ | Jalr _ | Branch _ -> model.branch
+  | In _ | Out _ -> model.io
+  | Syscall | Sysret | Iret | Halt | Cli | Sti | Nop | S2e _ -> model.other
+
+type report = { e_path : int; e_status : string; e_energy : int }
+
+type t = {
+  model : model;
+  per_path : (int, int ref) Hashtbl.t;
+  mutable reports : report list;
+  only_range : (int * int) option;
+}
+
+let attach ?(model = default_model) ?only_range engine =
+  let t = { model; per_path = Hashtbl.create 64; reports = []; only_range } in
+  let in_range addr =
+    match t.only_range with None -> true | Some (lo, hi) -> addr >= lo && addr < hi
+  in
+  let acc (s : State.t) =
+    match Hashtbl.find_opt t.per_path s.State.id with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.replace t.per_path s.State.id r;
+        r
+  in
+  Events.reg_before_instr engine.Executor.events (fun s addr insn ->
+      if in_range addr then begin
+        let r = acc s in
+        r := !r + cost t.model insn
+      end);
+  Events.reg_fork engine.Executor.events (fun parent child _ ->
+      match Hashtbl.find_opt t.per_path parent.State.id with
+      | Some r -> Hashtbl.replace t.per_path child.State.id (ref !r)
+      | None -> ());
+  Events.reg_state_end engine.Executor.events (fun s ->
+      (match Hashtbl.find_opt t.per_path s.State.id with
+      | Some r ->
+          t.reports <-
+            { e_path = s.State.id;
+              e_status = State.status_string s.State.status;
+              e_energy = !r }
+            :: t.reports
+      | None -> ());
+      Hashtbl.remove t.per_path s.State.id);
+  t
+
+let reports t = List.rev t.reports
+
+(** The energy envelope over completed paths, plus the hungriest path. *)
+let envelope t =
+  let done_ = List.filter (fun r -> r.e_status = "halted") (reports t) in
+  match done_ with
+  | [] -> None
+  | r :: rest ->
+      let lo, hi, worst =
+        List.fold_left
+          (fun (lo, hi, worst) r ->
+            ( min lo r.e_energy,
+              max hi r.e_energy,
+              if r.e_energy > worst.e_energy then r else worst ))
+          (r.e_energy, r.e_energy, r)
+          rest
+      in
+      Some (lo, hi, worst)

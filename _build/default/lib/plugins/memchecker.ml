@@ -1,0 +1,191 @@
+(** MemoryChecker: validates every memory access the unit makes against the
+    set of regions it may legally touch — its own module (code+data), the
+    stack, and buffers obtained from the kernel allocator.  Also reports
+    use-after-free, double-free and leaks at path end.
+
+    It learns allocations by watching the guest kernel's [alloc]/[free]
+    functions: the entry instructions are marked at translation time (the
+    onInstrTranslation/onInstrExecution pattern of paper section 4.2), and
+    allocation results are captured when the call returns to the unit. *)
+
+open S2e_core
+module Expr = S2e_expr.Expr
+
+type region = { base : int; size : int }
+
+type pstate = {
+  mutable live_allocs : region list;
+  mutable freed : region list;
+  mutable pending_sizes : int list; (* sizes of alloc calls in flight *)
+}
+
+type t = {
+  engine : Executor.t;
+  alloc_addr : int;
+  free_addr : int;
+  per_path : (int, pstate) Hashtbl.t;
+  mutable extra_regions : region list; (* tool-configured shared buffers *)
+  mutable bugs : Events.bug list;
+  mutable check_leaks : bool;
+}
+
+let pstate t id =
+  match Hashtbl.find_opt t.per_path id with
+  | Some p -> p
+  | None ->
+      let p = { live_allocs = []; freed = []; pending_sizes = [] } in
+      Hashtbl.replace t.per_path id p;
+      p
+
+let allow_region t r = t.extra_regions <- r :: t.extra_regions
+
+let report t (s : State.t) message =
+  let bug =
+    { Events.bug_state = s; bug_kind = "memory"; bug_message = message;
+      bug_pc = s.State.pc }
+  in
+  t.bugs <- bug :: t.bugs;
+  Events.bug t.engine.Executor.events bug
+
+let in_region addr size r = addr >= r.base && addr + size <= r.base + r.size
+
+let attach engine ~alloc_addr ~free_addr ~unit_name =
+  let t =
+    {
+      engine;
+      alloc_addr;
+      free_addr;
+      per_path = Hashtbl.create 64;
+      extra_regions = [];
+      bugs = [];
+      check_leaks = true;
+    }
+  in
+  (* Mark the allocator entry points once they are translated. *)
+  Events.reg_instr_translate engine.Executor.events (fun addr _ ->
+      if addr = alloc_addr || addr = free_addr then
+        S2e_dbt.Dbt.mark engine.Executor.dbt addr);
+  Events.reg_instr_execute engine.Executor.events (fun s addr _ ->
+      let p = pstate t s.State.id in
+      if addr = alloc_addr then begin
+        match Expr.to_const (State.get_reg s 0) with
+        | Some size -> p.pending_sizes <- Int64.to_int size :: p.pending_sizes
+        | None -> p.pending_sizes <- 64 :: p.pending_sizes
+      end
+      else if addr = free_addr then begin
+        match Expr.to_const (State.get_reg s 0) with
+        | Some base ->
+            let base = Int64.to_int base in
+            if base = 0 then () (* free(NULL) is a no-op *)
+            else (
+              match List.partition (fun r -> r.base = base) p.live_allocs with
+              | [ r ], rest ->
+                  p.live_allocs <- rest;
+                  p.freed <- r :: p.freed
+              | [], _ ->
+                  if List.exists (fun r -> r.base = base) p.freed then
+                    report t s (Printf.sprintf "double free of 0x%x" base)
+                  else
+                    report t s (Printf.sprintf "free of invalid pointer 0x%x" base)
+              | _ :: _ :: _, _ -> ())
+        | None -> ()
+      end);
+  (* Capture alloc's return value when control comes back to the unit. *)
+  Events.reg_env_return engine.Executor.events (fun er ->
+      if er.Events.er_callee = alloc_addr then begin
+        let s = er.er_state in
+        let p = pstate t s.State.id in
+        match p.pending_sizes with
+        | size :: rest -> (
+            p.pending_sizes <- rest;
+            match Expr.to_const (State.get_reg s 0) with
+            | Some base when base <> 0L ->
+                p.live_allocs <- { base = Int64.to_int base; size } :: p.live_allocs
+            | _ -> ())
+        | [] -> ()
+      end);
+  (* Check the unit's accesses. *)
+  let unit_entry = Module_map.entry engine.Executor.modules unit_name in
+  let legal_regions p =
+    (match unit_entry with
+    | Some e -> [ { base = e.code_start; size = e.data_end - e.code_start } ]
+    | None -> [])
+    @ [ { base = S2e_vm.Layout.ram_size * 3 / 4;
+          size = S2e_vm.Layout.ram_size / 4 } ]
+    @ p.live_allocs @ t.extra_regions
+  in
+  Events.reg_memory_access engine.Executor.events (fun ma ->
+      let s = ma.Events.ma_state in
+      if Executor.in_unit engine s.State.pc then begin
+        let p = pstate t s.State.id in
+        let addr = ma.ma_concrete_addr and size = ma.ma_size in
+        let regions = legal_regions p in
+        let legal = List.exists (in_region addr size) regions in
+        if not legal then begin
+          if List.exists (in_region addr size) p.freed then
+            report t s
+              (Printf.sprintf "use after free: %s of %d bytes at 0x%x (pc 0x%x)"
+                 (if ma.ma_is_write then "write" else "read")
+                 size addr s.State.pc)
+          else
+            report t s
+              (Printf.sprintf "illegal %s of %d bytes at 0x%x (pc 0x%x)"
+                 (if ma.ma_is_write then "write" else "read")
+                 size addr s.State.pc)
+        end
+        else if not (Expr.is_const ma.ma_addr) then begin
+          (* The anchor landed in a legal region, but can the symbolic
+             address escape every legal region under the path constraints? *)
+          let within r =
+            Expr.log_and
+              (Expr.ule (Expr.const (Int64.of_int r.base)) ma.ma_addr)
+              (Expr.ule
+                 (Expr.add ma.ma_addr (Expr.const (Int64.of_int size)))
+                 (Expr.const (Int64.of_int (r.base + r.size))))
+          in
+          let somewhere_legal =
+            List.fold_left (fun acc r -> Expr.log_or acc (within r)) Expr.bool_f
+              regions
+          in
+          match
+            S2e_solver.Solver.check_with ~constraints:ma.ma_pre_constraints
+              (Expr.log_not somewhere_legal)
+          with
+          | S2e_solver.Solver.Sat _ ->
+              report t s
+                (Printf.sprintf
+                   "symbolic %s of %d bytes at pc 0x%x can escape all valid regions"
+                   (if ma.ma_is_write then "write" else "read")
+                   size s.State.pc)
+          | S2e_solver.Solver.Unsat | S2e_solver.Solver.Unknown -> ()
+        end
+      end);
+  Events.reg_fork engine.Executor.events (fun parent child _ ->
+      let p = pstate t parent.State.id in
+      Hashtbl.replace t.per_path child.State.id
+        { live_allocs = p.live_allocs; freed = p.freed;
+          pending_sizes = p.pending_sizes });
+  Events.reg_state_end engine.Executor.events (fun s ->
+      (match Hashtbl.find_opt t.per_path s.State.id with
+      | Some p when t.check_leaks && s.State.status = State.Halted ->
+          List.iter
+            (fun r ->
+              report t s
+                (Printf.sprintf "memory leak: %d bytes at 0x%x never freed"
+                   r.size r.base))
+            p.live_allocs
+      | _ -> ());
+      Hashtbl.remove t.per_path s.State.id);
+  t
+
+(** Forget a recorded allocation in [state]'s path (used by fault-injection
+    annotations that pretend an allocation failed). *)
+let forget_region t (s : State.t) base =
+  let p = pstate t s.State.id in
+  p.live_allocs <- List.filter (fun r -> r.base <> base) p.live_allocs
+
+let bugs t = List.rev t.bugs
+
+(** Distinct bug messages (the same bug found on many paths counts once). *)
+let distinct_bugs t =
+  List.sort_uniq compare (List.map (fun b -> b.Events.bug_message) (bugs t))

@@ -1,0 +1,44 @@
+(** PathKiller: deletes paths no longer of interest (paper section 4.1).
+
+    Two policies from the paper are implemented: killing paths stuck in
+    polling loops (a fixed program-counter sequence repeating more than [n]
+    times), and the driver-exerciser policy of killing all paths but one
+    when no new basic block has been discovered for a while. *)
+
+open S2e_core
+
+type t = {
+  engine : Executor.t;
+  (* polling-loop detection: per path, (pc of last block, repeat count) *)
+  repeats : (int, int * int) Hashtbl.t;
+  mutable max_repeats : int;
+  mutable kills : int;
+}
+
+let attach ?(max_repeats = 2000) engine =
+  let t = { engine; repeats = Hashtbl.create 64; max_repeats; kills = 0 } in
+  Events.reg_before_instr engine.Executor.events (fun s addr insn ->
+      match insn with
+      | S2e_isa.Insn.Jmp { target } when Int32.to_int target <= addr ->
+          (* Back-edge: candidate loop head. *)
+          let key = s.State.id in
+          let last, count =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt t.repeats key)
+          in
+          let count = if last = addr then count + 1 else 0 in
+          Hashtbl.replace t.repeats key (addr, count);
+          if count > t.max_repeats then begin
+            t.kills <- t.kills + 1;
+            Executor.kill_state engine s "polling loop"
+          end
+      | _ -> ());
+  Events.reg_state_end engine.Executor.events (fun s ->
+      Hashtbl.remove t.repeats s.State.id);
+  t
+
+(** Kill every live path except the currently selected one.  Used by the
+    driver exerciser between entry points ("kills redundant subtrees when
+    entry points return"). *)
+let keep_only t s = Executor.kill_others t.engine s "path killer sweep"
+
+let kills t = t.kills

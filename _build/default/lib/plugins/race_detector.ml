@@ -1,0 +1,90 @@
+(** DataRaceDetector: flags shared data accessed both from interrupt
+    context and from normal context while interrupts were enabled, without
+    synchronisation — the classic driver race the paper's DDT+ reports.
+
+    The detector records, per path, every non-stack address the unit writes
+    in IRQ context and every address it touches in normal context with
+    interrupts enabled; an address in both sets is a candidate race. *)
+
+open S2e_core
+
+type pstate = {
+  mutable irq_writes : (int, int) Hashtbl.t;      (* addr -> pc *)
+  mutable normal_accesses : (int, int) Hashtbl.t; (* addr -> pc *)
+}
+
+type t = {
+  engine : Executor.t;
+  per_path : (int, pstate) Hashtbl.t;
+  mutable races : Events.bug list;
+  mutable reported : (int, unit) Hashtbl.t; (* addr, report each once *)
+}
+
+let pstate t id =
+  match Hashtbl.find_opt t.per_path id with
+  | Some p -> p
+  | None ->
+      let p = { irq_writes = Hashtbl.create 16; normal_accesses = Hashtbl.create 64 } in
+      Hashtbl.replace t.per_path id p;
+      p
+
+let attach engine =
+  let t =
+    { engine; per_path = Hashtbl.create 64; races = []; reported = Hashtbl.create 16 }
+  in
+  let is_stack addr = addr >= S2e_vm.Layout.ram_size * 3 / 4 in
+  Events.reg_memory_access engine.Executor.events (fun ma ->
+      let s = ma.Events.ma_state in
+      if Executor.in_unit engine s.State.pc && not (is_stack ma.ma_concrete_addr)
+      then begin
+        let p = pstate t s.State.id in
+        let addr = ma.ma_concrete_addr in
+        if s.State.in_irq then begin
+          if ma.ma_is_write then begin
+            Hashtbl.replace p.irq_writes addr s.State.pc;
+            match Hashtbl.find_opt p.normal_accesses addr with
+            | Some pc when not (Hashtbl.mem t.reported addr) ->
+                Hashtbl.replace t.reported addr ();
+                let bug =
+                  { Events.bug_state = s; bug_kind = "race";
+                    bug_message =
+                      Printf.sprintf
+                        "data race on 0x%x: irq write at 0x%x vs access at 0x%x"
+                        addr s.State.pc pc;
+                    bug_pc = s.State.pc }
+                in
+                t.races <- bug :: t.races;
+                Events.bug engine.Executor.events bug
+            | _ -> ()
+          end
+        end
+        else if s.State.irq_enabled then begin
+          Hashtbl.replace p.normal_accesses addr s.State.pc;
+          match Hashtbl.find_opt p.irq_writes addr with
+          | Some irq_pc when not (Hashtbl.mem t.reported addr) ->
+              Hashtbl.replace t.reported addr ();
+              let bug =
+                { Events.bug_state = s; bug_kind = "race";
+                  bug_message =
+                    Printf.sprintf
+                      "data race on 0x%x: access at 0x%x vs irq write at 0x%x"
+                      addr s.State.pc irq_pc;
+                  bug_pc = s.State.pc }
+              in
+              t.races <- bug :: t.races;
+              Events.bug engine.Executor.events bug
+          | _ -> ()
+        end
+      end);
+  Events.reg_fork engine.Executor.events (fun parent child _ ->
+      match Hashtbl.find_opt t.per_path parent.State.id with
+      | Some p ->
+          Hashtbl.replace t.per_path child.State.id
+            { irq_writes = Hashtbl.copy p.irq_writes;
+              normal_accesses = Hashtbl.copy p.normal_accesses }
+      | None -> ());
+  Events.reg_state_end engine.Executor.events (fun s ->
+      Hashtbl.remove t.per_path s.State.id);
+  t
+
+let races t = List.rev t.races

@@ -1,0 +1,107 @@
+(** RegistrySelector: the MSWinRegistry analogue (paper section 4.1).
+
+    The guest kernel reads configuration through [reg_query_int]; this
+    selector intercepts those reads at the environment→unit boundary and
+    forks one path per admissible value of each watched key — the way DDT
+    injects locally consistent values at the kernel/driver interface.  The
+    environment itself keeps running concretely, so local consistency is
+    preserved without tracking symbolic data through the kernel's string
+    handling.
+
+    Under strict models (SC-CE/SC-UE/SC-SE) registry inputs stay concrete,
+    matching the paper's observation that SC-SE "keeps all registry inputs
+    concrete, which prevents several configuration-dependent blocks from
+    being explored". *)
+
+open S2e_core
+module Expr = S2e_expr.Expr
+
+type t = {
+  engine : Executor.t;
+  query_entry : int; (* address of the kernel's reg_query_int *)
+  watched : (string, int list) Hashtbl.t; (* key -> admissible values *)
+  (* per-path stack of keys for reg_query_int calls in flight *)
+  pending : (int, string list) Hashtbl.t;
+  mutable injections : int;
+}
+
+let watch t ~key ~values = Hashtbl.replace t.watched key values
+
+let active t =
+  match t.engine.Executor.config.consistency with
+  | Consistency.LC | Consistency.RC_OC | Consistency.RC_CC -> true
+  | Consistency.SC_CE | Consistency.SC_UE | Consistency.SC_SE -> false
+
+let attach engine ~query_entry =
+  let t =
+    {
+      engine;
+      query_entry;
+      watched = Hashtbl.create 8;
+      pending = Hashtbl.create 32;
+      injections = 0;
+    }
+  in
+  Events.reg_instr_translate engine.Executor.events (fun addr _ ->
+      if addr = query_entry then S2e_dbt.Dbt.mark engine.Executor.dbt addr);
+  (* Record which key each in-flight call is asking for. *)
+  Events.reg_instr_execute engine.Executor.events (fun s addr _ ->
+      if addr = query_entry then begin
+        let key =
+          match Expr.to_const (State.get_reg s 0) with
+          | Some ptr -> Symmem.read_cstring s.State.mem (Int64.to_int ptr)
+          | None -> ""
+        in
+        let stack = Option.value ~default:[] (Hashtbl.find_opt t.pending s.State.id) in
+        Hashtbl.replace t.pending s.State.id (key :: stack)
+      end);
+  Events.reg_env_return engine.Executor.events (fun er ->
+      if er.Events.er_callee = t.query_entry then begin
+        let s = er.er_state in
+        let stack = Option.value ~default:[] (Hashtbl.find_opt t.pending s.State.id) in
+        match stack with
+        | [] -> ()
+        | key :: rest ->
+            Hashtbl.replace t.pending s.State.id rest;
+            if active t then begin
+              match Hashtbl.find_opt t.watched key with
+              | None -> ()
+              | Some values ->
+                  let actual =
+                    match Expr.to_const (State.get_reg s 0) with
+                    | Some v -> Int64.to_int v
+                    | None -> 0
+                  in
+                  (* One forked path per alternative value of the key. *)
+                  List.iter
+                    (fun v ->
+                      if v <> actual then begin
+                        t.injections <- t.injections + 1;
+                        let child = Executor.plugin_fork engine s in
+                        State.set_reg child 0 (Expr.const (Int64.of_int v))
+                      end)
+                    values
+            end
+      end);
+  Events.reg_fork engine.Executor.events (fun parent child _ ->
+      match Hashtbl.find_opt t.pending parent.State.id with
+      | Some stack -> Hashtbl.replace t.pending child.State.id stack
+      | None -> ());
+  Events.reg_state_end engine.Executor.events (fun s ->
+      Hashtbl.remove t.pending s.State.id);
+  t
+
+let injections t = t.injections
+
+(* Registry blob construction (shared with the guest image builder). *)
+let build_blob entries =
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun (key, value) ->
+      Buffer.add_char buf (Char.chr (String.length key));
+      Buffer.add_string buf key;
+      Buffer.add_char buf (Char.chr (String.length value));
+      Buffer.add_string buf value)
+    entries;
+  Buffer.add_char buf '\000';
+  Buffer.contents buf

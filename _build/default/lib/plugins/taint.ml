@@ -1,0 +1,69 @@
+(** Privacy-leak analyzer (paper section 6.1.4, "analyze binaries for
+    privacy leaks").
+
+    Secrets (credit-card numbers, license keys, ...) are introduced as
+    tagged symbolic values; because the engine's concretization is lazy,
+    those values flow through the whole software stack — program, kernel,
+    driver — still carrying their symbolic provenance.  The analyzer
+    watches the points where data leaves the system (device port writes,
+    DMA-visible buffers) and reports whenever an outgoing value's
+    expression mentions a secret variable. *)
+
+open S2e_core
+module Expr = S2e_expr.Expr
+
+type leak = {
+  leak_port : int;
+  leak_pc : int;
+  leak_path : int;
+  leak_var : string; (* which secret leaked *)
+}
+
+type t = {
+  engine : Executor.t;
+  mutable secrets : (int * string) list; (* var id, label *)
+  mutable leaks : leak list;
+  mutable watched_ports : (int * int) list; (* port ranges that exit the system *)
+}
+
+let attach engine ~ports =
+  let t = { engine; secrets = []; leaks = []; watched_ports = ports } in
+  Events.reg_port_write engine.Executor.events (fun pw ->
+      let port = pw.Events.pw_port in
+      if List.exists (fun (lo, hi) -> port >= lo && port < hi) t.watched_ports
+      then begin
+        let vars = Expr.vars pw.pw_value in
+        List.iter
+          (fun (id, label) ->
+            if Expr.Int_set.mem id vars then begin
+              let s = pw.pw_state in
+              t.leaks <-
+                { leak_port = port; leak_pc = s.State.pc;
+                  leak_path = s.State.id; leak_var = label }
+                :: t.leaks;
+              Events.bug engine.Executor.events
+                { bug_state = s; bug_kind = "privacy";
+                  bug_message =
+                    Printf.sprintf "secret %S leaves the system on port 0x%x"
+                      label port;
+                  bug_pc = s.State.pc }
+            end)
+          t.secrets
+      end);
+  t
+
+(** Declare a symbolic buffer as secret: marks [len] fresh symbolic bytes
+    at [addr] in [s] and registers them for leak tracking. *)
+let mark_secret t (s : State.t) ~addr ~len ~label =
+  for i = 0 to len - 1 do
+    let v = Expr.fresh_var ~width:8 (Printf.sprintf "%s_%d" label i) in
+    (match v with
+    | Expr.Var { id; _ } -> t.secrets <- (id, label) :: t.secrets
+    | _ -> ());
+    s.State.mem <- Symmem.write_byte s.State.mem (addr + i) v
+  done
+
+(** Register an existing tagged symbolic variable as secret. *)
+let track_var t ~id ~label = t.secrets <- (id, label) :: t.secrets
+
+let leaks t = List.rev t.leaks

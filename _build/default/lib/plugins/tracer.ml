@@ -1,0 +1,92 @@
+(** ExecutionTracer: selectively records the instructions executed along
+    each path, with memory accesses, register values and hardware I/O
+    (paper section 4.1).  REV+ feeds these traces to its offline CFG
+    recovery. *)
+
+open S2e_core
+module Expr = S2e_expr.Expr
+
+type event =
+  | T_insn of { addr : int; insn : S2e_isa.Insn.t }
+  | T_mem of { addr : int; value : Expr.t; is_write : bool; size : int }
+  | T_io of { port : int; value : Expr.t; is_write : bool }
+  | T_irq of int
+
+type trace = { path_id : int; mutable events : event list (* newest first *) }
+
+type t = {
+  traces : (int, trace) Hashtbl.t;    (* per live path *)
+  mutable finished : trace list;
+  mutable trace_mem : bool;
+  mutable only_range : (int * int) option; (* restrict instruction tracing *)
+  mutable max_events : int;
+}
+
+let get_trace t id =
+  match Hashtbl.find_opt t.traces id with
+  | Some tr -> tr
+  | None ->
+      let tr = { path_id = id; events = [] } in
+      Hashtbl.replace t.traces id tr;
+      tr
+
+let record t id ev =
+  let tr = get_trace t id in
+  if List.length tr.events < t.max_events then tr.events <- ev :: tr.events
+
+let attach ?(trace_mem = false) ?only_range engine =
+  let t =
+    {
+      traces = Hashtbl.create 64;
+      finished = [];
+      trace_mem;
+      only_range;
+      max_events = 200_000;
+    }
+  in
+  let in_range addr =
+    match t.only_range with None -> true | Some (lo, hi) -> addr >= lo && addr < hi
+  in
+  Events.reg_before_instr engine.Executor.events (fun s addr insn ->
+      if in_range addr then record t s.State.id (T_insn { addr; insn }));
+  if trace_mem then
+    Events.reg_memory_access engine.Executor.events (fun ma ->
+        if in_range ma.Events.ma_state.State.pc then
+          record t ma.ma_state.State.id
+            (T_mem
+               {
+                 addr = ma.ma_concrete_addr;
+                 value = ma.ma_value;
+                 is_write = ma.ma_is_write;
+                 size = ma.ma_size;
+               }));
+  Events.reg_interrupt engine.Executor.events (fun s irq ->
+      record t s.State.id (T_irq irq));
+  Events.reg_fork engine.Executor.events (fun parent child _cond ->
+      (* The child inherits the parent's history. *)
+      let ptr = get_trace t parent.State.id in
+      Hashtbl.replace t.traces child.State.id
+        { path_id = child.State.id; events = ptr.events });
+  Events.reg_state_end engine.Executor.events (fun s ->
+      match Hashtbl.find_opt t.traces s.State.id with
+      | Some tr ->
+          t.finished <- tr :: t.finished;
+          Hashtbl.remove t.traces s.State.id
+      | None -> ());
+  t
+
+(** All completed traces, oldest first; events within a trace oldest
+    first. *)
+let finished_traces t =
+  List.rev_map (fun tr -> { tr with events = List.rev tr.events }) t.finished
+
+(** Addresses of instructions observed across all finished traces. *)
+let touched_addrs t =
+  let set = Hashtbl.create 1024 in
+  List.iter
+    (fun tr ->
+      List.iter
+        (function T_insn { addr; _ } -> Hashtbl.replace set addr () | _ -> ())
+        tr.events)
+    t.finished;
+  set

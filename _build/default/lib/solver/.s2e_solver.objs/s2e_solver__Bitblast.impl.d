@@ -1,0 +1,1 @@
+lib/solver/bitblast.ml: Array Expr Hashtbl Int64 S2e_expr Sat

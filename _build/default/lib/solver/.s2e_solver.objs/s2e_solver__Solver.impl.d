@@ -1,0 +1,1 @@
+lib/solver/solver.ml: Bitblast Expr Hashtbl List Option S2e_expr Sat Simplifier Unix

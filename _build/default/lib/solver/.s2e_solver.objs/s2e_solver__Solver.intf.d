@@ -1,0 +1,1 @@
+lib/solver/solver.mli: Expr S2e_expr

@@ -1,0 +1,360 @@
+(** A CDCL SAT solver (two-watched-literal propagation, first-UIP clause
+    learning, VSIDS-style activities, geometric restarts).
+
+    Variables are integers starting at 0.  A literal is [2*v] for the
+    positive and [2*v+1] for the negative polarity.  This is the backend the
+    bit-blaster ({!Bitblast}) targets; it plays the role STP's SAT core plays
+    in the paper's prototype. *)
+
+type lit = int
+
+let pos v : lit = v * 2
+let neg v : lit = (v * 2) + 1
+let lit_var (l : lit) = l / 2
+let lit_neg (l : lit) = l lxor 1
+let lit_sign (l : lit) = l land 1 = 0 (* true when positive *)
+
+type clause = { lits : lit array; mutable learned : bool }
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : clause array;
+  mutable nclauses : int;
+  (* watches.(l) = indices of clauses watching literal l *)
+  mutable watches : int list array;
+  (* assignment: 0 = unassigned, 1 = true, 2 = false *)
+  mutable assign : Bytes.t;
+  mutable level : int array;
+  mutable reason : int array; (* clause index or -1 *)
+  mutable trail : int array;  (* literals, in assignment order *)
+  mutable trail_len : int;
+  mutable trail_lim : int array; (* trail length at each decision level *)
+  mutable trail_lim_len : int;
+  mutable qhead : int;
+  mutable activity : float array;
+  mutable var_inc : float;
+  mutable polarity : Bytes.t; (* saved phase: 1 = last true *)
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable unsat : bool;
+}
+
+let create () =
+  {
+    nvars = 0;
+    clauses = Array.make 64 { lits = [||]; learned = false };
+    nclauses = 0;
+    watches = Array.make 16 [];
+    assign = Bytes.make 8 '\000';
+    level = Array.make 8 0;
+    reason = Array.make 8 (-1);
+    trail = Array.make 8 0;
+    trail_len = 0;
+    trail_lim = Array.make 8 0;
+    trail_lim_len = 0;
+    qhead = 0;
+    activity = Array.make 8 0.0;
+    var_inc = 1.0;
+    polarity = Bytes.make 8 '\000';
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    unsat = false;
+  }
+
+let grow_array a n default =
+  if Array.length a >= n then a
+  else begin
+    let a' = Array.make (max n (2 * Array.length a)) default in
+    Array.blit a 0 a' 0 (Array.length a);
+    a'
+  end
+
+let grow_bytes b n =
+  if Bytes.length b >= n then b
+  else begin
+    let b' = Bytes.make (max n (2 * Bytes.length b)) '\000' in
+    Bytes.blit b 0 b' 0 (Bytes.length b);
+    b'
+  end
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  s.assign <- grow_bytes s.assign s.nvars;
+  s.polarity <- grow_bytes s.polarity s.nvars;
+  s.level <- grow_array s.level s.nvars 0;
+  s.reason <- grow_array s.reason s.nvars (-1);
+  s.trail <- grow_array s.trail s.nvars 0;
+  s.activity <- grow_array s.activity s.nvars 0.0;
+  s.watches <- grow_array s.watches (2 * s.nvars) [];
+  v
+
+(* Value of a literal: 0 unassigned, 1 true, 2 false. *)
+let lit_value s (l : lit) =
+  let v = Char.code (Bytes.get s.assign (lit_var l)) in
+  if v = 0 then 0 else if lit_sign l then v else 3 - v
+
+let decision_level s = s.trail_lim_len
+
+let enqueue s (l : lit) reason =
+  let v = lit_var l in
+  Bytes.set s.assign v (Char.chr (if lit_sign l then 1 else 2));
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  s.trail.(s.trail_len) <- l;
+  s.trail_len <- s.trail_len + 1
+
+let bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end
+
+let decay s = s.var_inc <- s.var_inc /. 0.95
+
+let add_clause_internal s lits learned =
+  let c = { lits; learned } in
+  if s.nclauses >= Array.length s.clauses then
+    s.clauses <- grow_array s.clauses (s.nclauses + 1) c;
+  s.clauses.(s.nclauses) <- c;
+  let idx = s.nclauses in
+  s.nclauses <- s.nclauses + 1;
+  if Array.length lits >= 2 then begin
+    s.watches.(lits.(0)) <- idx :: s.watches.(lits.(0));
+    s.watches.(lits.(1)) <- idx :: s.watches.(lits.(1))
+  end;
+  idx
+
+(** Add a problem clause.  Performs top-level simplification: satisfied
+    clauses are dropped, false literals removed.  Must be called at decision
+    level 0. *)
+let add_clause s lits =
+  if not s.unsat then begin
+    let lits =
+      List.sort_uniq compare lits
+      |> List.filter (fun l -> lit_value s l <> 2)
+    in
+    let tautology =
+      List.exists (fun l -> List.mem (lit_neg l) lits) lits
+      || List.exists (fun l -> lit_value s l = 1) lits
+    in
+    if not tautology then
+      match lits with
+      | [] -> s.unsat <- true
+      | [ l ] -> if lit_value s l = 0 then enqueue s l (-1)
+      | lits -> ignore (add_clause_internal s (Array.of_list lits) false)
+  end
+
+(* Propagate all enqueued assignments.  Returns the index of a conflicting
+   clause, or -1. *)
+let propagate s =
+  let conflict = ref (-1) in
+  while !conflict = -1 && s.qhead < s.trail_len do
+    let l = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    let falsified = lit_neg l in
+    let ws = s.watches.(falsified) in
+    s.watches.(falsified) <- [];
+    let rec go = function
+      | [] -> ()
+      | ci :: rest -> (
+          let c = s.clauses.(ci) in
+          let lits = c.lits in
+          (* Ensure the falsified literal is at position 1. *)
+          if lits.(0) = falsified then begin
+            lits.(0) <- lits.(1);
+            lits.(1) <- falsified
+          end;
+          if lit_value s lits.(0) = 1 then begin
+            (* Clause already satisfied; keep the watch. *)
+            s.watches.(falsified) <- ci :: s.watches.(falsified);
+            go rest
+          end
+          else begin
+            (* Look for a new watch. *)
+            let n = Array.length lits in
+            let rec find i =
+              if i >= n then -1
+              else if lit_value s lits.(i) <> 2 then i
+              else find (i + 1)
+            in
+            let i = find 2 in
+            if i >= 0 then begin
+              lits.(1) <- lits.(i);
+              lits.(i) <- falsified;
+              s.watches.(lits.(1)) <- ci :: s.watches.(lits.(1));
+              go rest
+            end
+            else begin
+              s.watches.(falsified) <- ci :: s.watches.(falsified);
+              if lit_value s lits.(0) = 2 then begin
+                (* Conflict: restore remaining watches and stop. *)
+                conflict := ci;
+                List.iter
+                  (fun cj ->
+                    s.watches.(falsified) <- cj :: s.watches.(falsified))
+                  rest
+              end
+              else begin
+                enqueue s lits.(0) ci;
+                go rest
+              end
+            end
+          end)
+    in
+    go ws
+  done;
+  !conflict
+
+let backtrack s target_level =
+  if decision_level s > target_level then begin
+    let bound = s.trail_lim.(target_level) in
+    for i = s.trail_len - 1 downto bound do
+      let l = s.trail.(i) in
+      let v = lit_var l in
+      Bytes.set s.polarity v (if lit_sign l then '\001' else '\000');
+      Bytes.set s.assign v '\000';
+      s.reason.(v) <- -1
+    done;
+    s.trail_len <- bound;
+    s.qhead <- bound;
+    s.trail_lim_len <- target_level
+  end
+
+(* First-UIP conflict analysis.  Returns (learned clause, backtrack level). *)
+let analyze s conflict =
+  let seen = Bytes.make s.nvars '\000' in
+  let learned = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let idx = ref (s.trail_len - 1) in
+  let clause = ref conflict in
+  let continue = ref true in
+  while !continue do
+    let lits = s.clauses.(!clause).lits in
+    let start = if !p = -1 then 0 else 1 in
+    for i = start to Array.length lits - 1 do
+      let q = lits.(i) in
+      let v = lit_var q in
+      if Bytes.get seen v = '\000' && s.level.(v) > 0 then begin
+        Bytes.set seen v '\001';
+        bump s v;
+        if s.level.(v) >= decision_level s then incr counter
+        else learned := q :: !learned
+      end
+    done;
+    (* Select next literal to expand: most recent seen literal on trail. *)
+    let rec next () =
+      let l = s.trail.(!idx) in
+      decr idx;
+      if Bytes.get seen (lit_var l) = '\001' then l else next ()
+    in
+    let l = next () in
+    decr counter;
+    if !counter = 0 then begin
+      p := lit_neg l;
+      continue := false
+    end
+    else begin
+      clause := s.reason.(lit_var l);
+      (* Put the resolved literal at front position convention. *)
+      let lits = s.clauses.(!clause).lits in
+      if lits.(0) <> l then begin
+        let rec find i = if lits.(i) = l then i else find (i + 1) in
+        let i = find 0 in
+        lits.(i) <- lits.(0);
+        lits.(0) <- l
+      end
+    end
+  done;
+  let learned = !p :: !learned in
+  (* Backtrack level: second-highest level in the learned clause. *)
+  let blevel =
+    List.fold_left
+      (fun acc l ->
+        let v = lit_var l in
+        if l <> !p && s.level.(v) > acc then s.level.(v) else acc)
+      0 learned
+  in
+  (learned, blevel)
+
+(* Pick the unassigned variable with the highest activity. *)
+let pick_branch s =
+  let best = ref (-1) in
+  let best_act = ref (-1.0) in
+  for v = 0 to s.nvars - 1 do
+    if Bytes.get s.assign v = '\000' && s.activity.(v) > !best_act then begin
+      best := v;
+      best_act := s.activity.(v)
+    end
+  done;
+  !best
+
+type result = Sat | Unsat | Unknown
+
+(** Solve the current clause set.  On [Sat] the model can be read with
+    {!model_value}.  [max_conflicts] bounds the search ([None] = no bound). *)
+let solve ?max_conflicts s =
+  if s.unsat then Unsat
+  else begin
+    backtrack s 0;
+    let result = ref None in
+    let restart_limit = ref 100 in
+    let conflicts_here = ref 0 in
+    while !result = None do
+      let conflict = propagate s in
+      if conflict >= 0 then begin
+        s.conflicts <- s.conflicts + 1;
+        incr conflicts_here;
+        (match max_conflicts with
+        | Some m when s.conflicts > m -> result := Some Unknown
+        | _ -> ());
+        if decision_level s = 0 then begin
+          s.unsat <- true;
+          result := Some Unsat
+        end
+        else if !result = None then begin
+          let learned, blevel = analyze s conflict in
+          backtrack s blevel;
+          decay s;
+          match learned with
+          | [ l ] -> enqueue s l (-1)
+          | l :: _ ->
+              let idx = add_clause_internal s (Array.of_list learned) true in
+              enqueue s l idx
+          | [] -> assert false
+        end
+      end
+      else if !conflicts_here > !restart_limit then begin
+        conflicts_here := 0;
+        restart_limit := !restart_limit * 3 / 2;
+        backtrack s 0
+      end
+      else begin
+        let v = pick_branch s in
+        if v < 0 then result := Some Sat
+        else begin
+          s.decisions <- s.decisions + 1;
+          s.trail_lim <- grow_array s.trail_lim (s.trail_lim_len + 1) 0;
+          s.trail_lim.(s.trail_lim_len) <- s.trail_len;
+          s.trail_lim_len <- s.trail_lim_len + 1;
+          let phase = Bytes.get s.polarity v = '\001' in
+          enqueue s (if phase then pos v else neg v) (-1)
+        end
+      end
+    done;
+    match !result with Some r -> r | None -> assert false
+  end
+
+(** Value of variable [v] in the model found by the last successful
+    {!solve}.  Unassigned variables default to false. *)
+let model_value s v =
+  v < s.nvars && Bytes.get s.assign v = '\001'
+
+let stats s = (s.conflicts, s.decisions, s.propagations)

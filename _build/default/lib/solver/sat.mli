@@ -1,0 +1,41 @@
+(** A CDCL SAT solver: two-watched-literal propagation, first-UIP clause
+    learning, activity-based decisions and geometric restarts.  The backend
+    of {!Bitblast}, playing the role STP's SAT core plays in the paper's
+    prototype. *)
+
+type lit = int
+
+val pos : int -> lit
+(** Positive literal of a variable. *)
+
+val neg : int -> lit
+(** Negative literal of a variable. *)
+
+val lit_var : lit -> int
+val lit_neg : lit -> lit
+val lit_sign : lit -> bool
+(** [true] for positive literals. *)
+
+type t
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable; returns its index. *)
+
+val add_clause : t -> lit list -> unit
+(** Add a problem clause (at decision level 0).  Tautologies are dropped;
+    an empty clause makes the instance unsatisfiable. *)
+
+type result = Sat | Unsat | Unknown
+
+val solve : ?max_conflicts:int -> t -> result
+(** Solve the current clause set.  [Unknown] is returned when the conflict
+    budget is exhausted. *)
+
+val model_value : t -> int -> bool
+(** Value of a variable in the model found by the last successful
+    {!solve}. *)
+
+val stats : t -> int * int * int
+(** (conflicts, decisions, propagations). *)

@@ -1,0 +1,193 @@
+(** High-level constraint solver used by the symbolic execution engine.
+
+    Sits above {!Bitblast}/{!Sat} and adds the optimizations KLEE/STP give
+    the S2E prototype: independent-constraint slicing (only the constraints
+    sharing variables with the query are sent to the SAT core), a
+    counterexample/model cache (recent models are re-tried by evaluation
+    before any SAT call), and global statistics that the Fig. 9 benchmarks
+    report (per-query time, total solver time, query counts). *)
+
+open S2e_expr
+
+type result = Sat of Expr.model | Unsat | Unknown
+
+type stats = {
+  mutable queries : int;
+  mutable sat_queries : int; (* queries that reached the SAT core *)
+  mutable cache_hits : int;
+  mutable total_time : float;
+  mutable max_time : float;
+}
+
+let stats = { queries = 0; sat_queries = 0; cache_hits = 0; total_time = 0.; max_time = 0. }
+
+let reset_stats () =
+  stats.queries <- 0;
+  stats.sat_queries <- 0;
+  stats.cache_hits <- 0;
+  stats.total_time <- 0.;
+  stats.max_time <- 0.
+
+(* Recent models, most recent first.  Evaluating a candidate model against
+   the constraints is far cheaper than a SAT call and hits often because
+   consecutive queries along a path share most constraints. *)
+let model_cache : Expr.model list ref = ref []
+let model_cache_limit = 24
+
+let remember_model m =
+  model_cache := m :: (List.filteri (fun i _ -> i < model_cache_limit - 1) !model_cache)
+
+let satisfies m constraints =
+  List.for_all (fun c -> Expr.eval m c = 1L) constraints
+
+(* Unsatisfiable-set cache: loops whose infeasible side is re-queried every
+   iteration would otherwise pay a full SAT call each time.  Keyed by a
+   structural hash, verified by structural equality. *)
+let unsat_cache : (int, Expr.t list list) Hashtbl.t = Hashtbl.create 256
+
+let constraints_key constraints =
+  List.fold_left (fun acc c -> acc lxor Hashtbl.hash c) 0 constraints
+
+let unsat_cached constraints =
+  let key = constraints_key constraints in
+  match Hashtbl.find_opt unsat_cache key with
+  | None -> false
+  | Some entries ->
+      List.exists (fun cs -> List.equal Expr.equal cs constraints) entries
+
+let remember_unsat constraints =
+  let key = constraints_key constraints in
+  let entries = Option.value ~default:[] (Hashtbl.find_opt unsat_cache key) in
+  if List.length entries < 8 then
+    Hashtbl.replace unsat_cache key (constraints :: entries)
+
+(* ------------------------------------------------------------------ *)
+(* Independent-constraint slicing                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Keep only constraints transitively sharing variables with [seed_vars].
+   Constraints mentioning no seed variable cannot affect satisfiability of
+   the query (they are satisfiable on their own by path construction). *)
+let slice ~seed_vars constraints =
+  let remaining = ref (List.map (fun c -> (c, Expr.vars c)) constraints) in
+  let relevant = ref [] in
+  let frontier = ref seed_vars in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let keep, rest =
+      List.partition
+        (fun (_, vs) -> not (Expr.Int_set.disjoint vs !frontier))
+        !remaining
+    in
+    if keep <> [] then begin
+      changed := true;
+      List.iter
+        (fun (c, vs) ->
+          relevant := c :: !relevant;
+          frontier := Expr.Int_set.union !frontier vs)
+        keep;
+      remaining := rest
+    end
+  done;
+  !relevant
+
+(* ------------------------------------------------------------------ *)
+(* Core check                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let max_conflicts = ref 200_000
+
+let run_sat constraints =
+  stats.sat_queries <- stats.sat_queries + 1;
+  let sat = Sat.create () in
+  let ctx = Bitblast.create sat in
+  List.iter (Bitblast.assert_true ctx) constraints;
+  match Sat.solve ~max_conflicts:!max_conflicts sat with
+  | Sat.Sat ->
+      let m = Bitblast.model ctx in
+      remember_model m;
+      Sat m
+  | Sat.Unsat -> Unsat
+  | Sat.Unknown -> Unknown
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  stats.total_time <- stats.total_time +. dt;
+  if dt > stats.max_time then stats.max_time <- dt;
+  r
+
+(** Is the conjunction of [constraints] satisfiable?  Returns a model on
+    success. *)
+let check constraints =
+  stats.queries <- stats.queries + 1;
+  timed (fun () ->
+      let constraints = List.map Simplifier.simplify constraints in
+      if List.exists (fun c -> Expr.equal c Expr.bool_f) constraints then Unsat
+      else
+        let constraints =
+          List.filter (fun c -> not (Expr.equal c Expr.bool_t)) constraints
+        in
+        if constraints = [] then Sat Expr.Int_map.empty
+        else
+          match List.find_opt (fun m -> satisfies m constraints) !model_cache with
+          | Some m ->
+              stats.cache_hits <- stats.cache_hits + 1;
+              Sat m
+          | None ->
+              if unsat_cached constraints then begin
+                stats.cache_hits <- stats.cache_hits + 1;
+                Unsat
+              end
+              else begin
+                let r = run_sat constraints in
+                (match r with Unsat -> remember_unsat constraints | _ -> ());
+                r
+              end)
+
+(** Satisfiability of [constraints ∧ cond]: used to decide branch
+    feasibility.  The constraint set is sliced around [cond]'s variables. *)
+let check_with ~constraints cond =
+  let sliced = slice ~seed_vars:(Expr.vars cond) constraints in
+  check (cond :: sliced)
+
+(** A concrete value for [e] consistent with [constraints], if any. *)
+let get_value ~constraints e =
+  match Expr.to_const e with
+  | Some v -> Some v
+  | None -> (
+      let sliced = slice ~seed_vars:(Expr.vars e) constraints in
+      match check sliced with
+      | Sat m -> Some (Expr.eval m e)
+      | Unsat | Unknown -> None)
+
+(** Must [e] evaluate to a single value under [constraints]?  Returns that
+    value when it is unique. *)
+let get_unique_value ~constraints e =
+  match Expr.to_const e with
+  | Some v -> Some v
+  | None -> (
+      match get_value ~constraints e with
+      | None -> None
+      | Some v ->
+          let differs = Expr.ne e (Expr.const ~width:(Expr.width e) v) in
+          (match check_with ~constraints differs with
+          | Unsat -> Some v
+          | Sat _ | Unknown -> None))
+
+(** Up to [limit] distinct concrete values for [e] under [constraints]. *)
+let get_values ~constraints ~limit e =
+  let rec go acc extra n =
+    if n = 0 then List.rev acc
+    else
+      let sliced = slice ~seed_vars:(Expr.vars e) constraints in
+      match check (extra @ sliced) with
+      | Sat m ->
+          let v = Expr.eval m e in
+          let block = Expr.ne e (Expr.const ~width:(Expr.width e) v) in
+          go (v :: acc) (block :: extra) (n - 1)
+      | Unsat | Unknown -> List.rev acc
+  in
+  go [] [] limit

@@ -1,0 +1,48 @@
+(** High-level constraint solver used by the symbolic execution engine.
+
+    Sits above {!Bitblast}/{!Sat} and adds the optimizations KLEE/STP give
+    the paper's prototype: independent-constraint slicing, a model cache
+    (recent satisfying assignments re-tried by evaluation before any SAT
+    call), an unsatisfiable-set cache, and global statistics for the
+    Fig. 9 benchmarks. *)
+
+open S2e_expr
+
+type result = Sat of Expr.model | Unsat | Unknown
+
+type stats = {
+  mutable queries : int;
+  mutable sat_queries : int; (** queries that reached the SAT core *)
+  mutable cache_hits : int;
+  mutable total_time : float;
+  mutable max_time : float;
+}
+
+val stats : stats
+val reset_stats : unit -> unit
+
+val model_cache : Expr.model list ref
+(** Recent models, most recent first.  Exposed for the cache ablation. *)
+
+val max_conflicts : int ref
+(** SAT-core conflict budget per query; exceeding it yields [Unknown]. *)
+
+val slice : seed_vars:Expr.Int_set.t -> Expr.t list -> Expr.t list
+(** Keep only constraints transitively sharing variables with
+    [seed_vars]. *)
+
+val check : Expr.t list -> result
+(** Is the conjunction satisfiable?  Returns a model on success. *)
+
+val check_with : constraints:Expr.t list -> Expr.t -> result
+(** Satisfiability of [constraints ∧ cond], slicing [constraints] around
+    [cond]'s variables: the branch-feasibility query. *)
+
+val get_value : constraints:Expr.t list -> Expr.t -> int64 option
+(** A concrete value for the expression consistent with the constraints. *)
+
+val get_unique_value : constraints:Expr.t list -> Expr.t -> int64 option
+(** The expression's value when the constraints determine it uniquely. *)
+
+val get_values : constraints:Expr.t list -> limit:int -> Expr.t -> int64 list
+(** Up to [limit] distinct feasible values. *)

@@ -1,0 +1,1 @@
+lib/tools/profs.ml: Consistency Events Executor Int64 List Option Path_killer Perf_profile S2e_core S2e_expr S2e_guest S2e_plugins S2e_solver S2e_vm State String Symmem Unix

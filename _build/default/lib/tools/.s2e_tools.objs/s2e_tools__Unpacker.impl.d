@@ -1,0 +1,1 @@
+lib/tools/unpacker.ml: Bytes Char Consistency Events Executor Fmt Hashtbl List S2e_core S2e_expr S2e_guest S2e_isa S2e_vm

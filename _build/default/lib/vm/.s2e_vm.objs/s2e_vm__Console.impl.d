@@ -1,0 +1,1 @@
+lib/vm/console.ml: Char Device String

@@ -1,0 +1,1 @@
+lib/vm/devices.ml: Console Device Layout Netdev Timer

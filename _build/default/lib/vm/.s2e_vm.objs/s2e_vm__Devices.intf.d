@@ -1,0 +1,1 @@
+lib/vm/devices.mli: Console Device Netdev Timer

@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Asm Bytes Char Console Device Devices Insn Int32 Layout List Printf S2e_isa

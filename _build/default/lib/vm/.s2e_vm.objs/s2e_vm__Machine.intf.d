@@ -1,0 +1,1 @@
+lib/vm/machine.mli: Bytes Devices S2e_isa

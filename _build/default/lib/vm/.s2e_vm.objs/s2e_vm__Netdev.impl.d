@@ -1,0 +1,1 @@
+lib/vm/netdev.ml: Array Device Layout List

@@ -1,0 +1,1 @@
+lib/vm/netdev.mli: Device

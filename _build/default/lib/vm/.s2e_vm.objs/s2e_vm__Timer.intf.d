@@ -1,0 +1,1 @@
+lib/vm/timer.mli: Device

@@ -1,0 +1,14 @@
+(** Console device: one output port; reads return a ready status. *)
+
+type t = { mutable out : string }
+
+let create () = { out = "" }
+let clone t = { out = t.out }
+
+let read_port t off = match off with 1 -> 1 | _ -> ignore t; 0
+
+let write_port t off v : Device.action list =
+  if off = 0 then t.out <- t.out ^ String.make 1 (Char.chr (v land 0xff));
+  []
+
+let output t = t.out

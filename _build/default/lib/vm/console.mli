@@ -1,0 +1,11 @@
+(** Console device: one output port; reads return a ready status. *)
+
+type t
+
+val create : unit -> t
+val clone : t -> t
+val read_port : t -> int -> int
+val write_port : t -> int -> int -> Device.action list
+
+val output : t -> string
+(** Everything the guest has printed so far. *)

@@ -1,0 +1,13 @@
+(** Common device types.
+
+    Devices are plain mutable records with explicit [clone] functions so the
+    engine can snapshot them per execution state, exactly like the paper's
+    use of QEMU's snapshot mechanism for virtual devices (section 5). *)
+
+(** Side effects a port write can request from the machine.  DMA is
+    expressed as data to copy rather than direct memory access so both the
+    concrete machine and the symbolic engine can apply it to their own
+    notion of memory. *)
+type action =
+  | Dma_write of { addr : int; data : int array }
+  | Raise_irq of int

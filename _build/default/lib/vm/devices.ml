@@ -1,0 +1,29 @@
+(** The machine's device complement, dispatched by port number.  This record
+    is part of every execution state and must be cloned on fork. *)
+
+type t = { console : Console.t; timer : Timer.t; netdev : Netdev.t }
+
+let create ?card_id () =
+  { console = Console.create (); timer = Timer.create (); netdev = Netdev.create ?card_id () }
+
+let clone t =
+  {
+    console = Console.clone t.console;
+    timer = Timer.clone t.timer;
+    netdev = Netdev.clone t.netdev;
+  }
+
+(* Decompose an absolute port number into (device, offset). *)
+let read_port t port =
+  if port >= Layout.port_netdev then Netdev.read_port t.netdev (port - Layout.port_netdev)
+  else if port >= Layout.port_timer then Timer.read_port t.timer (port - Layout.port_timer)
+  else Console.read_port t.console (port - Layout.port_console)
+
+let write_port t port v : Device.action list =
+  if port >= Layout.port_netdev then Netdev.write_port t.netdev (port - Layout.port_netdev) v
+  else if port >= Layout.port_timer then Timer.write_port t.timer (port - Layout.port_timer) v
+  else Console.write_port t.console (port - Layout.port_console) v
+
+(** Advance device time by [n] instruction ticks; returns pending IRQ
+    numbers. *)
+let tick t n = if Timer.tick t.timer n then [ Layout.irq_timer ] else []

@@ -1,0 +1,15 @@
+(** The machine's device complement, dispatched by port number.  This
+    record is part of every execution state and must be cloned on fork
+    (the analogue of QEMU's per-snapshot virtual device state). *)
+
+type t = { console : Console.t; timer : Timer.t; netdev : Netdev.t }
+
+val create : ?card_id:int -> unit -> t
+val clone : t -> t
+
+val read_port : t -> int -> int
+val write_port : t -> int -> int -> Device.action list
+
+val tick : t -> int -> int list
+(** Advance device time by instruction ticks; returns pending IRQ
+    numbers. *)

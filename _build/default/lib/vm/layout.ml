@@ -1,0 +1,29 @@
+(** Guest physical memory and I/O port layout. *)
+
+let ram_size = 1 lsl 20 (* 1 MiB *)
+
+(* Vector table (word addresses at the base of RAM). *)
+let vec_reset = 0x0
+let vec_irq = 0x4
+let vec_syscall = 0x8
+let vec_fault = 0xc
+
+(* Images are linked at this origin; the stack grows down from the top of
+   RAM. *)
+let image_origin = 0x1000
+let stack_top = ram_size - 16
+
+(* I/O port bases. *)
+let port_console = 0x00
+let port_timer = 0x10
+let port_netdev = 0x20
+
+(* Registry (guest configuration store) region: the image builder places
+   key/value records here; the kernel reads them like the Windows registry
+   reads hives.  The RegistrySelector plugin overlays symbolic bytes on
+   selected values. *)
+let registry_base = 0x0800
+let registry_size = 0x0800
+
+let irq_timer = 0
+let irq_netdev = 1

@@ -1,0 +1,233 @@
+(** Concrete full-system virtual machine.
+
+    This is the "vanilla VM" of the evaluation: a direct interpreter over
+    concrete state, with devices, interrupts and syscalls.  The symbolic
+    engine in [lib/core] implements the same guest semantics over symbolic
+    state; sharing {!S2e_isa.Insn} and {!Devices} keeps the two in sync. *)
+
+open S2e_isa
+
+type status =
+  | Running
+  | Halted
+  | Faulted of string
+
+type t = {
+  mem : Bytes.t;
+  regs : int array; (* values in [0, 2^32) *)
+  mutable pc : int;
+  mutable irq_enabled : bool;
+  mutable in_irq : bool;
+  mutable iepc : int; (* return address for iret *)
+  mutable sepc : int; (* return address for sysret *)
+  mutable last_irq : int;
+  mutable pending_irqs : int list;
+  mutable status : status;
+  mutable instret : int; (* retired instruction count *)
+  devices : Devices.t;
+}
+
+let mask32 v = v land 0xFFFFFFFF
+
+let create ?card_id () =
+  {
+    mem = Bytes.make Layout.ram_size '\000';
+    regs = Array.make Insn.num_regs 0;
+    pc = Layout.image_origin;
+    irq_enabled = false;
+    in_irq = false;
+    iepc = 0;
+    sepc = 0;
+    last_irq = 0;
+    pending_irqs = [];
+    status = Running;
+    instret = 0;
+    devices = Devices.create ?card_id ();
+  }
+
+let load_image t (img : Asm.image) =
+  Bytes.blit img.code 0 t.mem img.origin (Bytes.length img.code);
+  t.pc <- img.origin;
+  t.regs.(Insn.reg_sp) <- Layout.stack_top
+
+exception Fault of string
+
+let check_addr t addr len =
+  if addr < 0 || addr + len > Bytes.length t.mem then
+    raise (Fault (Printf.sprintf "memory access out of range: 0x%x" addr))
+
+let read8 t addr =
+  check_addr t addr 1;
+  Char.code (Bytes.get t.mem addr)
+
+let write8 t addr v =
+  check_addr t addr 1;
+  Bytes.set t.mem addr (Char.chr (v land 0xff))
+
+let read32 t addr =
+  check_addr t addr 4;
+  Int32.to_int (Bytes.get_int32_le t.mem addr) land 0xFFFFFFFF
+
+let write32 t addr v =
+  check_addr t addr 4;
+  Bytes.set_int32_le t.mem addr (Int32.of_int (mask32 v))
+
+let get_reg t r = if r = Insn.reg_zero then 0 else t.regs.(r)
+let set_reg t r v = if r <> Insn.reg_zero then t.regs.(r) <- mask32 v
+
+let to_signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let alu_eval op a b =
+  match op with
+  | Insn.Add -> a + b
+  | Insn.Sub -> a - b
+  | Insn.Mul -> a * b
+  | Insn.Divu -> if b = 0 then 0xFFFFFFFF else a / b
+  | Insn.Remu -> if b = 0 then a else a mod b
+  | Insn.And -> a land b
+  | Insn.Or -> a lor b
+  | Insn.Xor -> a lxor b
+  | Insn.Shl -> a lsl (b land 31)
+  | Insn.Shr -> a lsr (b land 31)
+  | Insn.Sar -> to_signed a asr (b land 31)
+  | Insn.Slt -> if to_signed a < to_signed b then 1 else 0
+  | Insn.Sltu -> if a < b then 1 else 0
+  | Insn.Seq -> if a = b then 1 else 0
+
+let branch_taken cond a b =
+  match cond with
+  | Insn.Beq -> a = b
+  | Insn.Bne -> a <> b
+  | Insn.Blt -> to_signed a < to_signed b
+  | Insn.Bge -> to_signed a >= to_signed b
+  | Insn.Bltu -> a < b
+  | Insn.Bgeu -> a >= b
+
+let apply_actions t actions =
+  List.iter
+    (fun action ->
+      match action with
+      | Device.Dma_write { addr; data } ->
+          Array.iteri (fun i b -> write8 t (addr + i) b) data
+      | Device.Raise_irq irq -> t.pending_irqs <- t.pending_irqs @ [ irq ])
+    actions
+
+let deliver_irq t irq =
+  t.last_irq <- irq;
+  t.iepc <- t.pc;
+  t.in_irq <- true;
+  t.irq_enabled <- false;
+  t.pc <- read32 t Layout.vec_irq
+
+(* Special machine ports handled outside the device complement. *)
+let port_irq_cause = 0x0f
+
+let step t =
+  match t.status with
+  | Halted | Faulted _ -> ()
+  | Running -> (
+      try
+        (* Interrupt delivery happens between instructions. *)
+        (match t.pending_irqs with
+        | irq :: rest when t.irq_enabled && not t.in_irq ->
+            t.pending_irqs <- rest;
+            deliver_irq t irq
+        | _ -> ());
+        let insn =
+          try Insn.decode t.mem t.pc
+          with Insn.Invalid_instruction op ->
+            raise (Fault (Printf.sprintf "invalid opcode 0x%x at 0x%x" op t.pc))
+        in
+        let next = t.pc + Insn.insn_size in
+        t.instret <- t.instret + 1;
+        (match insn with
+        | Alu { op; rd; rs1; rs2 } ->
+            set_reg t rd (alu_eval op (get_reg t rs1) (get_reg t rs2));
+            t.pc <- next
+        | Alui { op; rd; rs1; imm } ->
+            set_reg t rd (alu_eval op (get_reg t rs1) (mask32 (Int32.to_int imm)));
+            t.pc <- next
+        | Li { rd; imm } ->
+            set_reg t rd (mask32 (Int32.to_int imm));
+            t.pc <- next
+        | Mov { rd; rs1 } ->
+            set_reg t rd (get_reg t rs1);
+            t.pc <- next
+        | Lw { rd; base; off } ->
+            set_reg t rd (read32 t (mask32 (get_reg t base + Int32.to_int off)));
+            t.pc <- next
+        | Lb { rd; base; off } ->
+            set_reg t rd (read8 t (mask32 (get_reg t base + Int32.to_int off)));
+            t.pc <- next
+        | Sw { src; base; off } ->
+            write32 t (mask32 (get_reg t base + Int32.to_int off)) (get_reg t src);
+            t.pc <- next
+        | Sb { src; base; off } ->
+            write8 t (mask32 (get_reg t base + Int32.to_int off)) (get_reg t src);
+            t.pc <- next
+        | Jmp { target } -> t.pc <- Int32.to_int target land 0xFFFFFFFF
+        | Jr { rs1 } -> t.pc <- get_reg t rs1
+        | Jal { target } ->
+            set_reg t Insn.reg_lr next;
+            t.pc <- Int32.to_int target land 0xFFFFFFFF
+        | Jalr { rs1 } ->
+            let target = get_reg t rs1 in
+            set_reg t Insn.reg_lr next;
+            t.pc <- target
+        | Branch { cond; rs1; rs2; target } ->
+            if branch_taken cond (get_reg t rs1) (get_reg t rs2) then
+              t.pc <- Int32.to_int target land 0xFFFFFFFF
+            else t.pc <- next
+        | In { rd; port; port_off } ->
+            let p = mask32 (get_reg t port + Int32.to_int port_off) in
+            let v =
+              if p = port_irq_cause then t.last_irq
+              else Devices.read_port t.devices p
+            in
+            set_reg t rd v;
+            t.pc <- next
+        | Out { src; port; port_off } ->
+            let p = mask32 (get_reg t port + Int32.to_int port_off) in
+            apply_actions t (Devices.write_port t.devices p (get_reg t src));
+            t.pc <- next
+        | Syscall ->
+            t.sepc <- next;
+            t.pc <- read32 t Layout.vec_syscall
+        | Sysret -> t.pc <- t.sepc
+        | Iret ->
+            t.pc <- t.iepc;
+            t.in_irq <- false;
+            t.irq_enabled <- true
+        | Halt -> t.status <- Halted
+        | Cli ->
+            t.irq_enabled <- false;
+            t.pc <- next
+        | Sti ->
+            t.irq_enabled <- true;
+            t.pc <- next
+        | Nop -> t.pc <- next
+        | S2e { op; rs1; imm; _ } ->
+            (* On bare hardware the S2E opcodes are inert, except for the
+               assertion opcode which faults when violated, so concrete runs
+               still catch seeded assertion bugs. *)
+            (match op with
+            | Insn.Assert_op when get_reg t rs1 = 0 ->
+                raise (Fault (Printf.sprintf "guest assertion failed (tag %ld)" imm))
+            | Insn.Kill_path -> t.status <- Halted
+            | _ -> ());
+            t.pc <- next);
+        let irqs = Devices.tick t.devices 1 in
+        List.iter (fun irq -> t.pending_irqs <- t.pending_irqs @ [ irq ]) irqs
+      with Fault msg -> t.status <- Faulted msg)
+
+(** Run for at most [fuel] instructions.  Returns the final status
+    ([Running] when fuel ran out first). *)
+let run ?(fuel = 10_000_000) t =
+  let budget = ref fuel in
+  while t.status = Running && !budget > 0 do
+    step t;
+    decr budget
+  done;
+  t.status
+
+let console_output t = Console.output t.devices.console

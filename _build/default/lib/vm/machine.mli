@@ -1,0 +1,43 @@
+(** Concrete full-system virtual machine: the "vanilla VM" baseline of the
+    paper's overhead measurements, and the oracle the compiler and guest
+    test suites run against.  Shares {!S2e_isa.Insn} semantics and the
+    {!Devices} models with the symbolic engine. *)
+
+type status =
+  | Running
+  | Halted
+  | Faulted of string
+
+type t = {
+  mem : Bytes.t;
+  regs : int array; (** values in [0, 2^32) *)
+  mutable pc : int;
+  mutable irq_enabled : bool;
+  mutable in_irq : bool;
+  mutable iepc : int;
+  mutable sepc : int;
+  mutable last_irq : int;
+  mutable pending_irqs : int list;
+  mutable status : status;
+  mutable instret : int;
+  devices : Devices.t;
+}
+
+val create : ?card_id:int -> unit -> t
+
+val load_image : t -> S2e_isa.Asm.image -> unit
+(** Copy the image into RAM, point pc at its origin and set up the stack. *)
+
+val read8 : t -> int -> int
+val write8 : t -> int -> int -> unit
+val read32 : t -> int -> int
+val write32 : t -> int -> int -> unit
+
+val step : t -> unit
+(** Execute one instruction (including interrupt delivery and device
+    ticks).  Faults change [status] instead of raising. *)
+
+val run : ?fuel:int -> t -> status
+(** Run until halt/fault or [fuel] instructions ([Running] on timeout). *)
+
+val console_output : t -> string

@@ -1,0 +1,150 @@
+(** Simulated network interface card.
+
+    A port-programmed NIC with an RX FIFO readable either byte-by-byte
+    through the DATA port (RTL8029-style programmed I/O) or via a DMA
+    command that copies the pending frame into guest memory (PCnet-style).
+    Receiving a frame raises the netdev IRQ.  The device also exposes a
+    card-type identifier that drivers branch on, mirroring the CardType
+    registry behaviour discussed in the paper's evaluation.
+
+    Port offsets (from {!Layout.port_netdev}):
+    - 0 STATUS (in): bit0 link, bit1 rx-ready, bit2 tx-done, bits 8..15 card id
+    - 1 CMD (out): 1 reset, 2 enable rx, 3 tx start, 4 ack irq, 5 dma rx,
+      6 rx done (pop the consumed frame)
+    - 2 DATA: in = next rx byte, out = append tx byte
+    - 3 RX_LEN (in)
+    - 4 TX_STATUS (in)
+    - 5 IRQ_MASK (out)
+    - 6 DMA_ADDR (out)
+    - 7 DMA_LEN (out)
+    - 8 MAC (in): successive reads return the 6 MAC bytes *)
+
+type t = {
+  card_id : int;
+  mutable link_up : bool;
+  mutable rx_enabled : bool;
+  mutable irq_mask : int;
+  mutable rx_queue : int array list; (* pending frames, oldest first *)
+  mutable rx_pos : int;              (* read cursor into head frame *)
+  mutable tx_buf : int list;         (* bytes written so far, reversed *)
+  mutable tx_frames : int array list;(* completed transmissions, newest first *)
+  mutable dma_addr : int;
+  mutable dma_len : int;
+  mutable mac_pos : int;
+  mutable irq_pending : bool;
+}
+
+let mac = [| 0x52; 0x54; 0x00; 0xbe; 0xef; 0x01 |]
+
+let create ?(card_id = 1) () =
+  {
+    card_id;
+    link_up = true;
+    rx_enabled = false;
+    irq_mask = 0;
+    rx_queue = [];
+    rx_pos = 0;
+    tx_buf = [];
+    tx_frames = [];
+    dma_addr = 0;
+    dma_len = 0;
+    mac_pos = 0;
+    irq_pending = false;
+  }
+
+let clone t = { t with rx_queue = t.rx_queue }
+
+(** Deliver a frame to the device (the workload generator's entry point).
+    Returns the IRQ-raise action when the driver unmasked interrupts. *)
+let inject_frame t frame : Device.action list =
+  t.rx_queue <- t.rx_queue @ [ frame ];
+  if t.rx_enabled && t.irq_mask land 1 <> 0 then begin
+    t.irq_pending <- true;
+    [ Device.Raise_irq Layout.irq_netdev ]
+  end
+  else []
+
+let head_frame t = match t.rx_queue with [] -> None | f :: _ -> Some f
+
+let read_port t off =
+  match off with
+  | 0 ->
+      (if t.link_up then 1 else 0)
+      lor (if t.rx_queue <> [] then 2 else 0)
+      lor 4 (* tx always ready in simulation *)
+      lor (t.card_id lsl 8)
+  | 2 -> (
+      match head_frame t with
+      | Some f when t.rx_pos < Array.length f ->
+          let b = f.(t.rx_pos) in
+          t.rx_pos <- t.rx_pos + 1;
+          b
+      | _ -> 0)
+  | 3 -> ( match head_frame t with Some f -> Array.length f | None -> 0)
+  | 4 -> 1
+  | 8 ->
+      let b = mac.(t.mac_pos mod 6) in
+      t.mac_pos <- t.mac_pos + 1;
+      b
+  | _ -> 0
+
+let pop_frame t =
+  (match t.rx_queue with [] -> () | _ :: rest -> t.rx_queue <- rest);
+  t.rx_pos <- 0
+
+let write_port t off v : Device.action list =
+  match off with
+  | 1 -> (
+      match v with
+      | 1 ->
+          (* Reset clears device-side state but keeps queued frames so a
+             reset-then-enable init sequence can still receive traffic the
+             harness injected before boot. *)
+          t.rx_enabled <- false;
+          t.rx_pos <- 0;
+          t.tx_buf <- [];
+          t.mac_pos <- 0;
+          t.irq_pending <- false;
+          []
+      | 2 ->
+          t.rx_enabled <- true;
+          (* Frames queued before receive was enabled raise the IRQ now. *)
+          if t.rx_queue <> [] && t.irq_mask land 1 <> 0 then begin
+            t.irq_pending <- true;
+            [ Device.Raise_irq Layout.irq_netdev ]
+          end
+          else []
+      | 3 ->
+          (* tx start: commit accumulated bytes as one frame *)
+          t.tx_frames <- Array.of_list (List.rev t.tx_buf) :: t.tx_frames;
+          t.tx_buf <- [];
+          []
+      | 4 ->
+          t.irq_pending <- false;
+          []
+      | 5 -> (
+          (* DMA the pending frame into guest memory *)
+          match head_frame t with
+          | Some f ->
+              let n = min t.dma_len (Array.length f) in
+              [ Device.Dma_write { addr = t.dma_addr; data = Array.sub f 0 n } ]
+          | None -> [])
+      | 6 ->
+          pop_frame t;
+          []
+      | _ -> [])
+  | 2 ->
+      t.tx_buf <- (v land 0xff) :: t.tx_buf;
+      []
+  | 5 ->
+      t.irq_mask <- v;
+      []
+  | 6 ->
+      t.dma_addr <- v;
+      []
+  | 7 ->
+      t.dma_len <- v;
+      []
+  | _ -> []
+
+let transmitted t = List.rev t.tx_frames

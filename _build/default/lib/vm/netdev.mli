@@ -1,0 +1,39 @@
+(** Simulated network interface card.
+
+    A port-programmed NIC with an RX FIFO readable byte-by-byte through the
+    DATA port (RTL8029-style programmed I/O) or via a DMA command that
+    copies the pending frame into guest memory (PCnet-style).  Exposes a
+    card-type identifier in STATUS bits 8–15 that drivers branch on.
+
+    Port offsets from {!Layout.port_netdev}: 0 STATUS (bit0 link, bit1
+    rx-ready, bit2 tx-done), 1 CMD (1 reset, 2 enable rx, 3 tx, 4 ack irq,
+    5 dma rx, 6 rx done), 2 DATA, 3 RX_LEN, 4 TX_STATUS, 5 IRQ_MASK,
+    6 DMA_ADDR, 7 DMA_LEN, 8 MAC. *)
+
+type t = {
+  card_id : int;
+  mutable link_up : bool;
+  mutable rx_enabled : bool;
+  mutable irq_mask : int;
+  mutable rx_queue : int array list;
+  mutable rx_pos : int;
+  mutable tx_buf : int list;
+  mutable tx_frames : int array list;
+  mutable dma_addr : int;
+  mutable dma_len : int;
+  mutable mac_pos : int;
+  mutable irq_pending : bool;
+}
+
+val create : ?card_id:int -> unit -> t
+val clone : t -> t
+
+val inject_frame : t -> int array -> Device.action list
+(** Deliver a frame (the workload generator's entry point).  Returns the
+    IRQ action when the driver has receive and the IRQ unmasked. *)
+
+val read_port : t -> int -> int
+val write_port : t -> int -> int -> Device.action list
+
+val transmitted : t -> int array list
+(** Frames the driver transmitted, oldest first. *)

@@ -1,0 +1,46 @@
+(** Timer device: raises the timer IRQ every [interval] ticks once enabled.
+    One tick is one executed guest instruction; the engine slows this virtual
+    clock down while running symbolically (paper section 5, "handling time"). *)
+
+type t = {
+  mutable enabled : bool;
+  mutable interval : int;
+  mutable countdown : int;
+  mutable fired : int;
+}
+
+let create () = { enabled = false; interval = 10_000; countdown = 10_000; fired = 0 }
+
+let clone t =
+  { enabled = t.enabled; interval = t.interval; countdown = t.countdown; fired = t.fired }
+
+let read_port t off =
+  match off with
+  | 0 -> if t.enabled then 1 else 0
+  | 1 -> t.interval
+  | 2 -> t.fired
+  | _ -> 0
+
+let write_port t off v : Device.action list =
+  (match off with
+  | 0 ->
+      t.enabled <- v <> 0;
+      t.countdown <- t.interval
+  | 1 ->
+      t.interval <- max 1 v;
+      t.countdown <- t.interval
+  | _ -> ());
+  []
+
+(** Advance by [n] ticks; returns true when the IRQ line should be raised. *)
+let tick t n =
+  if not t.enabled then false
+  else begin
+    t.countdown <- t.countdown - n;
+    if t.countdown <= 0 then begin
+      t.countdown <- t.countdown + t.interval;
+      t.fired <- t.fired + 1;
+      true
+    end
+    else false
+  end

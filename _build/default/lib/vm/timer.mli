@@ -1,0 +1,17 @@
+(** Timer device: raises the timer IRQ every [interval] ticks once
+    enabled.  One tick is one executed guest instruction; the engine slows
+    this virtual clock while running symbolically (paper section 5). *)
+
+type t
+
+val create : unit -> t
+val clone : t -> t
+
+val read_port : t -> int -> int
+(** 0 = enabled flag, 1 = interval, 2 = number of firings. *)
+
+val write_port : t -> int -> int -> Device.action list
+(** 0 = enable/disable, 1 = interval. *)
+
+val tick : t -> int -> bool
+(** Advance by ticks; [true] when the IRQ line should be raised. *)

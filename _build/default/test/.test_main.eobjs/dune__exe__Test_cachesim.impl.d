@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Cache Hierarchy List QCheck2 QCheck_alcotest S2e_cachesim Tlb

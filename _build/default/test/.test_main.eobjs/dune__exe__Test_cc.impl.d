@@ -1,0 +1,1 @@
+test/test_cc.ml: Alcotest Cc Char Machine Printf QCheck2 QCheck_alcotest S2e_cc S2e_vm

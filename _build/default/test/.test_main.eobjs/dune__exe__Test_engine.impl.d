@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Cc Consistency Events Executor Int64 List Option S2e_cc S2e_core S2e_dbt S2e_expr S2e_isa S2e_solver State

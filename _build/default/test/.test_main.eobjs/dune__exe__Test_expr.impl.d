@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Expr Fun Int64 QCheck2 QCheck_alcotest S2e_expr Simplifier

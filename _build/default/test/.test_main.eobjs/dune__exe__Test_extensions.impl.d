@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Bytes Char Consistency Energy Executor List Printf S2e_core S2e_guest S2e_isa S2e_plugins S2e_tools S2e_vm Taint

@@ -1,0 +1,1 @@
+test/test_guest.ml: Alcotest Array Drivers_src Guest List Machine Netdev S2e_guest S2e_vm String Workloads_src

@@ -1,0 +1,1 @@
+test/test_isa_vm.ml: Alcotest Array Asm Bytes Char Disasm Insn Int32 Layout List Machine Netdev QCheck2 QCheck_alcotest S2e_isa S2e_vm

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Expr Int64 List QCheck2 QCheck_alcotest S2e_expr S2e_solver Sat Solver

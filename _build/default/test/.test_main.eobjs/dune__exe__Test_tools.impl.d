@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Array Char Consistency Ddt List Model_exp Printf Profs Rev S2e_core S2e_guest S2e_tools String

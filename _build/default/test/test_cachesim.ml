@@ -1,0 +1,92 @@
+(* Tests for the cache/TLB simulator. *)
+
+open S2e_cachesim
+
+let cfg ?(size = 1024) ?(line = 64) ?(assoc = 2) name =
+  { Cache.size; line_size = line; associativity = assoc; name }
+
+let test_cold_misses () =
+  let c = Cache.create (cfg "t") in
+  Alcotest.(check bool) "first access misses" false (Cache.access c 0);
+  Alcotest.(check bool) "second access hits" true (Cache.access c 0);
+  Alcotest.(check bool) "same line hits" true (Cache.access c 63);
+  Alcotest.(check bool) "next line misses" false (Cache.access c 64)
+
+let test_associativity_lru () =
+  (* 2-way, 1024B, 64B lines -> 8 sets.  Lines mapping to set 0 are
+     multiples of 512. *)
+  let c = Cache.create (cfg "t") in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 512);
+  Alcotest.(check bool) "both ways resident" true (Cache.access c 0);
+  ignore (Cache.access c 1024); (* evicts LRU = 512 *)
+  Alcotest.(check bool) "0 still resident" true (Cache.access c 0);
+  Alcotest.(check bool) "512 evicted" false (Cache.access c 512)
+
+let test_clone_independent () =
+  let c = Cache.create (cfg "t") in
+  ignore (Cache.access c 0);
+  let c' = Cache.clone c in
+  ignore (Cache.access c' 4096);
+  let _, m = Cache.stats c in
+  let _, m' = Cache.stats c' in
+  Alcotest.(check int) "original misses" 1 m;
+  Alcotest.(check int) "clone misses" 2 m'
+
+let prop_miss_count_bounded =
+  QCheck2.Test.make ~count:100 ~name:"misses never exceed accesses"
+    QCheck2.Gen.(list_size (int_bound 200) (int_bound 100_000))
+    (fun addrs ->
+      let c = Cache.create (cfg "t") in
+      List.iter (fun a -> ignore (Cache.access c a)) addrs;
+      let acc, m = Cache.stats c in
+      acc = List.length addrs && m <= acc)
+
+let prop_repeat_hits =
+  QCheck2.Test.make ~count:50 ~name:"re-access of a small working set hits"
+    QCheck2.Gen.(int_bound 7)
+    (fun n ->
+      let c = Cache.create (cfg ~size:4096 ~assoc:4 "t") in
+      let addrs = List.init (n + 1) (fun i -> i * 64) in
+      List.iter (fun a -> ignore (Cache.access c a)) addrs;
+      List.for_all (fun a -> Cache.access c a) addrs)
+
+let test_tlb_and_page_faults () =
+  let t = Tlb.create ~page_size:4096 ~entries:4 () in
+  Tlb.access t 0;
+  Tlb.access t 4096;
+  Tlb.access t 0;
+  let acc, misses, faults = Tlb.stats t in
+  Alcotest.(check int) "accesses" 3 acc;
+  Alcotest.(check int) "tlb misses" 2 misses;
+  Alcotest.(check int) "page faults" 2 faults;
+  (* revisiting a resident page is not a fault even after TLB eviction *)
+  Tlb.access t (2 * 4096);
+  Tlb.access t (3 * 4096);
+  Tlb.access t (4 * 4096);
+  Tlb.access t (5 * 4096); (* page 0 evicted from TLB by now *)
+  Tlb.access t 0;
+  let _, _, faults = Tlb.stats t in
+  Alcotest.(check int) "page 0 still resident" 6 faults
+
+let test_hierarchy () =
+  let h = Hierarchy.create () in
+  Hierarchy.fetch h 0x1000;
+  Hierarchy.data h 0x2000;
+  Hierarchy.data h 0x2000;
+  let t = Hierarchy.totals h in
+  Alcotest.(check int) "i1 misses" 1 t.Hierarchy.i1_misses;
+  Alcotest.(check int) "d1 misses" 1 t.d1_misses;
+  Alcotest.(check int) "l2 misses" 2 t.l2_misses;
+  Alcotest.(check int) "page faults" 2 t.page_faults
+
+let tests =
+  [
+    Alcotest.test_case "cold misses" `Quick test_cold_misses;
+    Alcotest.test_case "associativity + LRU" `Quick test_associativity_lru;
+    Alcotest.test_case "clone independence" `Quick test_clone_independent;
+    QCheck_alcotest.to_alcotest prop_miss_count_bounded;
+    QCheck_alcotest.to_alcotest prop_repeat_hits;
+    Alcotest.test_case "tlb and page faults" `Quick test_tlb_and_page_faults;
+    Alcotest.test_case "hierarchy" `Quick test_hierarchy;
+  ]

@@ -1,0 +1,309 @@
+(* Compiler tests: compile MC programs, run them on the concrete machine and
+   check their observable results. *)
+
+open S2e_vm
+open S2e_cc
+
+(* A minimal runtime: set up the stack, call main, write main's result to a
+   known memory cell, halt. *)
+let runtime =
+  {|
+__start:
+  li sp, 0xFFFF0
+  jal main
+  li r1, 0x900
+  sw r0, 0(r1)
+  halt
+|}
+
+let run_mc ?fuel source =
+  let linked = Cc.link ~runtime_asm:runtime [ ("test", source) ] in
+  let m = Machine.create () in
+  Machine.load_image m linked.image;
+  let status = Machine.run ?fuel m in
+  let result = Machine.read32 m 0x900 in
+  (m, status, result)
+
+let check_result ?fuel source expected =
+  let _, status, result = run_mc ?fuel source in
+  (match status with
+  | Machine.Halted -> ()
+  | Machine.Faulted msg -> Alcotest.failf "faulted: %s" msg
+  | Machine.Running -> Alcotest.fail "out of fuel");
+  Alcotest.(check int) "result" expected result
+
+let test_arith () =
+  check_result {| int main() { return (3 + 4) * 5 - 36 / 6; } |} 29
+
+let test_vars () =
+  check_result
+    {|
+int main() {
+  int a = 10;
+  int b;
+  b = a * 3;
+  return a + b;
+}
+|}
+    40
+
+let test_if_else () =
+  check_result
+    {|
+int classify(int x) {
+  if (x < 0) return 0 - 1;
+  else if (x == 0) return 0;
+  else return 1;
+}
+int main() { return classify(0-5) + 10 * classify(0) + 100 * classify(7); }
+|}
+    99
+
+let test_while_loop () =
+  check_result
+    {|
+int main() {
+  int sum = 0;
+  int i = 1;
+  while (i <= 10) { sum = sum + i; i = i + 1; }
+  return sum;
+}
+|}
+    55
+
+let test_for_loop () =
+  check_result
+    {|
+int main() {
+  int sum = 0;
+  for (int i = 0; i < 5; i = i + 1) sum = sum + i * i;
+  return sum;
+}
+|}
+    30
+
+let test_break_continue () =
+  check_result
+    {|
+int main() {
+  int sum = 0;
+  for (int i = 0; i < 100; i = i + 1) {
+    if (i % 2 == 0) continue;
+    if (i > 10) break;
+    sum = sum + i;
+  }
+  return sum;
+}
+|}
+    (1 + 3 + 5 + 7 + 9)
+
+let test_recursion () =
+  check_result
+    {|
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(12); }
+|}
+    144
+
+let test_arrays () =
+  check_result
+    {|
+int a[8];
+int main() {
+  for (int i = 0; i < 8; i = i + 1) a[i] = i * 10;
+  int sum = 0;
+  for (int i = 0; i < 8; i = i + 1) sum = sum + a[i];
+  return sum;
+}
+|}
+    280
+
+let test_local_arrays () =
+  check_result
+    {|
+int main() {
+  char buf[16];
+  buf[0] = 'A';
+  buf[1] = buf[0] + 1;
+  return buf[0] * 1000 + buf[1];
+}
+|}
+    (65 * 1000 + 66)
+
+let test_pointers () =
+  check_result
+    {|
+int g = 5;
+int bump(int *p) { *p = *p + 1; return *p; }
+int main() {
+  int x = 10;
+  bump(&x);
+  bump(&g);
+  int *q = &x;
+  return *q * 100 + g;
+}
+|}
+    (11 * 100 + 6)
+
+let test_pointer_arith () =
+  check_result
+    {|
+int a[4];
+int main() {
+  int *p = a;
+  *p = 7;
+  *(p + 2) = 9;
+  return a[0] + a[2];
+}
+|}
+    16
+
+let test_strings () =
+  check_result
+    {|
+int strlen(char *s) {
+  int n = 0;
+  while (s[n]) n = n + 1;
+  return n;
+}
+int main() { return strlen("hello world"); }
+|}
+    11
+
+let test_globals_init () =
+  check_result
+    {|
+int table[] = {2, 3, 5, 7, 11};
+char name[] = "mc";
+int big = 0x1234;
+int main() { return table[2] + table[4] + name[0] + big; }
+|}
+    (5 + 11 + Char.code 'm' + 0x1234)
+
+let test_const_decl () =
+  check_result
+    {|
+const int WIDTH = 8;
+const int AREA = WIDTH * WIDTH;
+int main() { return AREA + WIDTH; }
+|}
+    72
+
+let test_short_circuit () =
+  check_result
+    {|
+int calls = 0;
+int bump() { calls = calls + 1; return 1; }
+int main() {
+  int a = 0 && bump();
+  int b = 1 || bump();
+  int c = 1 && bump();
+  return calls * 100 + a + b * 10 + c;
+}
+|}
+    111
+
+let test_ternary () =
+  check_result {| int main() { int x = 7; return x > 5 ? 100 : 200; } |} 100
+
+let test_logical_ops () =
+  check_result
+    {|
+int main() {
+  int x = 0xF0;
+  return ((x | 0x0F) ^ 0xFF) + (x >> 4) + (1 << 3) + (!0) + (~0 & 0xFF);
+}
+|}
+    (0 + 0xF + 8 + 1 + 0xFF)
+
+let test_console_io () =
+  let m, status, _ =
+    run_mc
+      {|
+const int CONSOLE = 0;
+int putc(int c) { return __out(CONSOLE, c); }
+int puts(char *s) {
+  int i = 0;
+  while (s[i]) { putc(s[i]); i = i + 1; }
+  return i;
+}
+int main() { return puts("mc says hi"); }
+|}
+  in
+  Alcotest.(check bool) "halted" true (status = Machine.Halted);
+  Alcotest.(check string) "console" "mc says hi" (Machine.console_output m)
+
+let test_comments () =
+  check_result
+    {|
+// line comment
+/* block
+   comment */
+int main() { return 1; /* trailing */ }
+|}
+    1
+
+let test_multi_module () =
+  let linked =
+    Cc.link ~runtime_asm:runtime
+      [
+        ("libm", {| int square(int x) { return x * x; } |});
+        ("test", {| int main() { return square(9); } |});
+      ]
+  in
+  let m = Machine.create () in
+  Machine.load_image m linked.image;
+  ignore (Machine.run m);
+  Alcotest.(check int) "cross-module call" 81 (Machine.read32 m 0x900);
+  (* Module ranges must be disjoint and ordered. *)
+  let libm = Cc.module_range linked "libm" in
+  let test = Cc.module_range linked "test" in
+  Alcotest.(check bool) "ranges ordered" true (libm.m_end <= test.m_start);
+  Alcotest.(check bool) "code within module" true
+    (libm.m_start < libm.m_code_end && libm.m_code_end <= libm.m_end)
+
+(* Property: compiled arithmetic agrees with OCaml arithmetic. *)
+let prop_arith =
+  QCheck2.Test.make ~count:40 ~name:"compiled arithmetic matches reference"
+    QCheck2.Gen.(triple (int_bound 1000) (int_bound 1000) (int_bound 4))
+    (fun (a, b, op) ->
+      let expr, expected =
+        match op with
+        | 0 -> (Printf.sprintf "%d + %d" a b, a + b)
+        | 1 -> (Printf.sprintf "%d * %d" a b, a * b)
+        | 2 -> (Printf.sprintf "%d - %d" a b, (a - b) land 0xFFFFFFFF)
+        | 3 -> (Printf.sprintf "%d / (%d + 1)" a b, a / (b + 1))
+        | _ -> (Printf.sprintf "(%d ^ %d) & 0xFFFF" a b, (a lxor b) land 0xFFFF)
+      in
+      let _, status, result =
+        run_mc (Printf.sprintf "int main() { return %s; }" expr)
+      in
+      status = Machine.Halted && result = expected)
+
+let tests =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "variables" `Quick test_vars;
+    Alcotest.test_case "if/else" `Quick test_if_else;
+    Alcotest.test_case "while" `Quick test_while_loop;
+    Alcotest.test_case "for" `Quick test_for_loop;
+    Alcotest.test_case "break/continue" `Quick test_break_continue;
+    Alcotest.test_case "recursion" `Quick test_recursion;
+    Alcotest.test_case "global arrays" `Quick test_arrays;
+    Alcotest.test_case "local arrays" `Quick test_local_arrays;
+    Alcotest.test_case "pointers" `Quick test_pointers;
+    Alcotest.test_case "pointer arithmetic" `Quick test_pointer_arith;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "global initializers" `Quick test_globals_init;
+    Alcotest.test_case "const declarations" `Quick test_const_decl;
+    Alcotest.test_case "short circuit" `Quick test_short_circuit;
+    Alcotest.test_case "ternary" `Quick test_ternary;
+    Alcotest.test_case "bitwise ops" `Quick test_logical_ops;
+    Alcotest.test_case "console io" `Quick test_console_io;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "multi-module link" `Quick test_multi_module;
+    QCheck_alcotest.to_alcotest prop_arith;
+  ]

@@ -1,0 +1,160 @@
+(* Unit and property tests for the expression library and the bitfield
+   simplifier. *)
+
+open S2e_expr
+
+let e32 v = Expr.const ~width:32 (Int64.of_int v)
+let check_i64 = Alcotest.(check int64)
+
+let test_const_fold () =
+  check_i64 "add" 7L (Expr.eval Expr.Int_map.empty Expr.(add (e32 3) (e32 4) |> Fun.id));
+  (match Expr.add (e32 3) (e32 4) with
+  | Expr.Const { value = 7L; width = 32 } -> ()
+  | e -> Alcotest.failf "expected folded const, got %s" (Expr.to_string e));
+  (match Expr.mul (e32 0) (Expr.fresh_var "x") with
+  | Expr.Const { value = 0L; _ } -> ()
+  | e -> Alcotest.failf "0*x should fold, got %s" (Expr.to_string e))
+
+let test_width_norm () =
+  let c = Expr.const ~width:8 300L in
+  check_i64 "mask to width" 44L (Expr.eval Expr.Int_map.empty c)
+
+let test_identities () =
+  let x = Expr.fresh_var ~width:32 "x" in
+  assert (Expr.equal (Expr.add x (e32 0)) x);
+  assert (Expr.equal (Expr.bxor x x) (e32 0));
+  assert (Expr.equal (Expr.band x x) x);
+  assert (Expr.equal (Expr.sub x x) (e32 0));
+  assert (Expr.equal (Expr.ite Expr.bool_t x (e32 5)) x)
+
+let test_extract_concat () =
+  let x = Expr.fresh_var ~width:32 "x" in
+  let lo = Expr.extract ~hi:15 ~lo:0 x in
+  let hi = Expr.extract ~hi:31 ~lo:16 x in
+  (* re-fusing adjacent extracts of the same expression *)
+  assert (Expr.equal (Expr.concat ~high:hi ~low:lo) x);
+  let m = Expr.Int_map.singleton
+      (match x with Expr.Var { id; _ } -> id | _ -> assert false)
+      0xAABBCCDDL in
+  check_i64 "extract lo" 0xCCDDL (Expr.eval m lo);
+  check_i64 "extract hi" 0xAABBL (Expr.eval m hi)
+
+let test_sext_zext () =
+  let b = Expr.const ~width:8 0x80L in
+  check_i64 "sext" 0xFFFFFF80L (Expr.eval Expr.Int_map.empty (Expr.sext ~width:32 b));
+  check_i64 "zext" 0x80L (Expr.eval Expr.Int_map.empty (Expr.zext ~width:32 b))
+
+let test_div_semantics () =
+  check_i64 "div0" 0xFFFFFFFFL
+    (Expr.eval Expr.Int_map.empty (Expr.udiv (e32 5) (e32 0)));
+  check_i64 "rem0" 5L (Expr.eval Expr.Int_map.empty (Expr.urem (e32 5) (e32 0)));
+  check_i64 "div" 3L (Expr.eval Expr.Int_map.empty (Expr.udiv (e32 13) (e32 4)))
+
+let test_simplifier_known_bits () =
+  let x = Expr.fresh_var ~width:32 "x" in
+  (* (x | 0xff) & 0xff is fully known: 0xff *)
+  let e = Expr.band (Expr.bor x (e32 0xff)) (e32 0xff) in
+  (match Simplifier.simplify e with
+  | Expr.Const { value = 0xffL; _ } -> ()
+  | e -> Alcotest.failf "known-bits fold failed: %s" (Expr.to_string e));
+  (* ((x << 16) >> 16) & 0xffff0000 = 0 is NOT true; but (x << 16) & 0xff is 0 *)
+  let e2 = Expr.band (Expr.shl x (e32 16)) (e32 0xff) in
+  (match Simplifier.simplify e2 with
+  | Expr.Const { value = 0L; _ } -> ()
+  | e -> Alcotest.failf "shift known-zeros failed: %s" (Expr.to_string e))
+
+let test_simplifier_demanded_bits () =
+  let x = Expr.fresh_var ~width:32 "x" in
+  (* Masking away bits that an OR set: ((x | 0xff00) & 0xff) should drop
+     the OR entirely. *)
+  let e = Expr.band (Expr.bor x (e32 0xff00)) (e32 0xff) in
+  let s = Simplifier.simplify e in
+  assert (Expr.size s <= Expr.size (Expr.band x (e32 0xff)));
+  (* The eflags pattern the DBT generates: extract one bit of a masked or. *)
+  let flags = Expr.bor (Expr.band x (e32 1)) (e32 0x10) in
+  let bit0 = Expr.extract ~hi:0 ~lo:0 flags in
+  let s2 = Simplifier.simplify bit0 in
+  assert (Expr.size s2 <= Expr.size bit0)
+
+(* Property: simplification preserves evaluation. *)
+let arb_expr =
+  let open QCheck2.Gen in
+  let leaf vars =
+    oneof
+      [
+        map (fun v -> Expr.const ~width:32 (Int64.of_int v)) (int_bound 1000);
+        oneofl vars;
+      ]
+  in
+  let rec gen vars n =
+    if n <= 0 then leaf vars
+    else
+      let sub = gen vars (n / 2) in
+      oneof
+        [
+          leaf vars;
+          map2 Expr.add sub sub;
+          map2 Expr.sub sub sub;
+          map2 Expr.band sub sub;
+          map2 Expr.bor sub sub;
+          map2 Expr.bxor sub sub;
+          map Expr.bnot sub;
+          map2 (fun a s -> Expr.shl a (Expr.const ~width:32 (Int64.of_int (s mod 32))))
+            sub (int_bound 31);
+          map2 (fun a s -> Expr.lshr a (Expr.const ~width:32 (Int64.of_int (s mod 32))))
+            sub (int_bound 31);
+          map2 Expr.mul sub sub;
+          map3 (fun c a b -> Expr.ite (Expr.eq c (Expr.const 0L)) a b) sub sub sub;
+        ]
+  in
+  gen
+
+let prop_simplify_preserves_eval =
+  let x = Expr.fresh_var ~width:32 "px" in
+  let y = Expr.fresh_var ~width:32 "py" in
+  let xid = match x with Expr.Var { id; _ } -> id | _ -> assert false in
+  let yid = match y with Expr.Var { id; _ } -> id | _ -> assert false in
+  QCheck2.Test.make ~count:500 ~name:"simplify preserves eval"
+    QCheck2.Gen.(
+      triple (arb_expr [ x; y ] 6) (int_bound 0xFFFFFF) (int_bound 0xFFFFFF))
+    (fun (e, vx, vy) ->
+      let m =
+        Expr.Int_map.(add xid (Int64.of_int vx) (singleton yid (Int64.of_int vy)))
+      in
+      Expr.eval m e = Expr.eval m (Simplifier.simplify e))
+
+let prop_smart_constructors_match_eval =
+  QCheck2.Test.make ~count:500 ~name:"smart constructors fold correctly"
+    QCheck2.Gen.(triple (int_bound 0xFFFF) (int_bound 0xFFFF) (int_bound 9))
+    (fun (a, b, op) ->
+      let ea = Expr.const ~width:16 (Int64.of_int a) in
+      let eb = Expr.const ~width:16 (Int64.of_int b) in
+      let f, g =
+        match op with
+        | 0 -> Expr.add, Expr.eval_binop Expr.Add
+        | 1 -> Expr.sub, Expr.eval_binop Expr.Sub
+        | 2 -> Expr.mul, Expr.eval_binop Expr.Mul
+        | 3 -> Expr.band, Expr.eval_binop Expr.And
+        | 4 -> Expr.bor, Expr.eval_binop Expr.Or
+        | 5 -> Expr.bxor, Expr.eval_binop Expr.Xor
+        | 6 -> Expr.udiv, Expr.eval_binop Expr.Udiv
+        | 7 -> Expr.urem, Expr.eval_binop Expr.Urem
+        | 8 -> Expr.shl, (fun a b w -> Expr.eval_binop Expr.Shl a b w)
+        | _ -> Expr.lshr, (fun a b w -> Expr.eval_binop Expr.Lshr a b w)
+      in
+      Expr.eval Expr.Int_map.empty (f ea eb)
+      = g (Int64.of_int a) (Int64.of_int b) 16)
+
+let tests =
+  [
+    Alcotest.test_case "constant folding" `Quick test_const_fold;
+    Alcotest.test_case "width normalisation" `Quick test_width_norm;
+    Alcotest.test_case "algebraic identities" `Quick test_identities;
+    Alcotest.test_case "extract/concat" `Quick test_extract_concat;
+    Alcotest.test_case "sext/zext" `Quick test_sext_zext;
+    Alcotest.test_case "division semantics" `Quick test_div_semantics;
+    Alcotest.test_case "simplifier known bits" `Quick test_simplifier_known_bits;
+    Alcotest.test_case "simplifier demanded bits" `Quick test_simplifier_demanded_bits;
+    QCheck_alcotest.to_alcotest prop_simplify_preserves_eval;
+    QCheck_alcotest.to_alcotest prop_smart_constructors_match_eval;
+  ]

@@ -1,0 +1,157 @@
+(* Tests for the section-6.1.4 extension analyzers (privacy, energy) and
+   the RC-CC dynamic unpacker. *)
+
+open S2e_core
+open S2e_plugins
+module Guest = S2e_guest.Guest
+
+let make_engine ?(consistency = Consistency.LC) ?registry ~unit_modules
+    ~workload () =
+  let img =
+    Guest.build ?registry
+      ~driver:("pcnet", List.assoc "pcnet" Guest.drivers)
+      ~workload ()
+  in
+  let config = Executor.default_config () in
+  config.consistency <- consistency;
+  let engine = Executor.create ~config () in
+  Guest.load_into_engine engine img;
+  Executor.set_unit engine unit_modules;
+  (engine, img)
+
+let run engine img =
+  let s0 = Executor.boot engine ~entry:img.Guest.entry () in
+  ( s0,
+    fun () ->
+      Executor.run
+        ~limits:{ Executor.max_instructions = Some 2_000_000;
+                  max_seconds = Some 20.0; max_completed = None }
+        engine s0 )
+
+(* --- privacy / taint --- *)
+
+let netdev_ports = (S2e_vm.Layout.port_netdev, S2e_vm.Layout.port_netdev + 16)
+
+let test_taint_detects_leak () =
+  (* A program that sends a secret over the network: the secret flows
+     through the kernel and the driver (lazy concretization keeps it
+     symbolic) and must be flagged when it reaches the NIC's data port. *)
+  let engine, img =
+    make_engine ~unit_modules:[ "w" ]
+      ~workload:("w", {|
+char card_number[8];
+int main() {
+  char packet[16];
+  kmemcpy(packet, card_number, 8);
+  net_send(packet, 8);
+  return 0;
+}
+|}) ()
+  in
+  let taint = Taint.attach engine ~ports:[ netdev_ports ] in
+  let s0, go = run engine img in
+  Taint.mark_secret taint s0 ~addr:(Guest.symbol img "card_number") ~len:8
+    ~label:"card";
+  ignore (go ());
+  Alcotest.(check bool) "leak detected" true (Taint.leaks taint <> []);
+  match Taint.leaks taint with
+  | l :: _ -> Alcotest.(check string) "which secret" "card" l.Taint.leak_var
+  | [] -> ()
+
+let test_taint_no_false_positive () =
+  (* Sending unrelated data must not be flagged. *)
+  let engine, img =
+    make_engine ~unit_modules:[ "w" ]
+      ~workload:("w", {|
+char card_number[8];
+int main() {
+  char packet[16];
+  kmemset(packet, 0x41, 8);
+  net_send(packet, 8);
+  return card_number[0] & 0;
+}
+|}) ()
+  in
+  let taint = Taint.attach engine ~ports:[ netdev_ports ] in
+  let s0, go = run engine img in
+  Taint.mark_secret taint s0 ~addr:(Guest.symbol img "card_number") ~len:8
+    ~label:"card";
+  ignore (go ());
+  Alcotest.(check (list string)) "no leaks" []
+    (List.map (fun l -> l.Taint.leak_var) (Taint.leaks taint))
+
+(* --- energy --- *)
+
+let test_energy_envelope () =
+  let engine, img =
+    make_engine ~unit_modules:[ "w" ]
+      ~workload:("w", {|
+int main() {
+  int n = __s2e_sym_int(1);
+  if (n < 0) return 0;
+  if (n > 3) return 0;
+  int acc = 0;
+  for (int i = 0; i < n * 10; i = i + 1) acc = acc + i * i;
+  return acc;
+}
+|}) ()
+  in
+  let energy = Energy.attach engine in
+  let _, go = run engine img in
+  ignore (go ());
+  match Energy.envelope energy with
+  | None -> Alcotest.fail "no energy reports"
+  | Some (lo, hi, worst) ->
+      Alcotest.(check bool) "spread exists" true (hi > lo);
+      Alcotest.(check int) "worst path has max energy" hi worst.Energy.e_energy
+
+let test_energy_io_is_expensive () =
+  (* The same instruction count with I/O must cost more energy. *)
+  let model = Energy.default_model in
+  Alcotest.(check bool) "io > alu" true (model.io > model.alu);
+  let io_cost =
+    Energy.cost model (S2e_isa.Insn.Out { src = 0; port = 15; port_off = 0l })
+  in
+  let alu_cost =
+    Energy.cost model (S2e_isa.Insn.Alu { op = Add; rd = 0; rs1 = 1; rs2 = 2 })
+  in
+  Alcotest.(check bool) "cost function honours class" true (io_cost > alu_cost)
+
+(* --- dynamic unpacker (RC-CC) --- *)
+
+let test_unpacker_decrypts_and_disassembles () =
+  let r = S2e_tools.Unpacker.run ~max_seconds:15.0 () in
+  Alcotest.(check bool) "decryption stub is correct" true r.decrypt_ok;
+  (* RC-CC must reach every CFG edge of the decrypted payload: full
+     coverage of the packed region. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "full packed-region recovery (%.0f%%)"
+       (100. *. r.covered_fraction))
+    true
+    (r.covered_fraction > 0.99);
+  (* The payload's 4 outcomes all explored. *)
+  Alcotest.(check bool) "all payload paths" true (r.paths >= 4)
+
+let test_packed_image_is_garbled () =
+  (* Before decryption, the packed region must not decode as the original
+     function (otherwise the experiment proves nothing). *)
+  let img, lo, _ = S2e_tools.Unpacker.build_packed () in
+  let code = img.linked.image.code in
+  let origin = img.linked.image.origin in
+  let first = Char.code (Bytes.get code (lo - origin)) in
+  (* The original first byte is the opcode of "subi sp, sp, 8" = op_alui;
+     after XOR it must differ. *)
+  Alcotest.(check bool) "first opcode is encrypted" true
+    (first <> S2e_isa.Insn.op_alui)
+
+let tests =
+  [
+    Alcotest.test_case "taint: leak detected" `Quick test_taint_detects_leak;
+    Alcotest.test_case "taint: no false positive" `Quick test_taint_no_false_positive;
+    Alcotest.test_case "energy: envelope" `Quick test_energy_envelope;
+    Alcotest.test_case "energy: io cost" `Quick test_energy_io_is_expensive;
+    Alcotest.test_case "unpacker: RC-CC disassembly" `Slow
+      test_unpacker_decrypts_and_disassembles;
+    Alcotest.test_case "unpacker: payload encrypted in image" `Quick
+      test_packed_image_is_garbled;
+  ]

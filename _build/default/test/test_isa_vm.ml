@@ -1,0 +1,266 @@
+(* Tests for the assembler, instruction codec and the concrete machine. *)
+
+open S2e_isa
+open S2e_vm
+
+let assemble = Asm.assemble ~origin:Layout.image_origin
+
+let run_program ?fuel src =
+  let img = assemble src in
+  let m = Machine.create () in
+  Machine.load_image m img;
+  let status = Machine.run ?fuel m in
+  (m, status)
+
+let test_roundtrip () =
+  let insns =
+    Insn.
+      [
+        Alu { op = Add; rd = 1; rs1 = 2; rs2 = 3 };
+        Alui { op = Xor; rd = 4; rs1 = 5; imm = 0x1234l };
+        Li { rd = 0; imm = -1l };
+        Mov { rd = 7; rs1 = 8 };
+        Lw { rd = 1; base = 13; off = 16l };
+        Sb { src = 2; base = 12; off = -4l };
+        Jmp { target = 0x2000l };
+        Jal { target = 0x3000l };
+        Branch { cond = Bltu; rs1 = 1; rs2 = 2; target = 0x1008l };
+        In { rd = 3; port = 15; port_off = 0x20l };
+        Out { src = 3; port = 15; port_off = 0x21l };
+        Syscall; Sysret; Iret; Halt; Cli; Sti; Nop;
+        S2e { op = Sym_reg; rs1 = 1; rs2 = 15; imm = 7l };
+      ]
+  in
+  let buf = Bytes.make (8 * List.length insns) '\000' in
+  List.iteri (fun i insn -> Insn.encode insn buf (8 * i)) insns;
+  List.iteri
+    (fun i insn ->
+      let insn' = Insn.decode buf (8 * i) in
+      if insn <> insn' then
+        Alcotest.failf "roundtrip mismatch: %s vs %s" (Insn.to_string insn)
+          (Insn.to_string insn'))
+    insns
+
+let prop_roundtrip =
+  QCheck2.Test.make ~count:300 ~name:"encode/decode roundtrip (random alu)"
+    QCheck2.Gen.(
+      quad (int_bound 13) (int_bound 15) (int_bound 15) (int_bound 0xFFFF))
+    (fun (op, rd, rs1, imm) ->
+      let insn =
+        Insn.Alui { op = Insn.alu_of_code op; rd; rs1; imm = Int32.of_int imm }
+      in
+      let buf = Bytes.make 8 '\000' in
+      Insn.encode insn buf 0;
+      Insn.decode buf 0 = insn)
+
+let test_asm_labels () =
+  let img =
+    assemble
+      {|
+start:
+  li r0, 5
+  jal func
+  halt
+func:
+  addi r0, r0, 1
+  jr lr
+|}
+  in
+  Alcotest.(check int) "start" Layout.image_origin (Asm.symbol img "start");
+  Alcotest.(check int) "func" (Layout.image_origin + 24) (Asm.symbol img "func")
+
+let test_machine_arith () =
+  let m, status =
+    run_program
+      {|
+  li r0, 21
+  addi r1, r0, 21
+  mul r2, r0, r1
+  halt
+|}
+  in
+  Alcotest.(check bool) "halted" true (status = Machine.Halted);
+  Alcotest.(check int) "r1" 42 m.regs.(1);
+  Alcotest.(check int) "r2" (21 * 42) m.regs.(2)
+
+let test_machine_loop () =
+  (* Sum 1..10 with a loop. *)
+  let m, status =
+    run_program
+      {|
+  li r0, 0      ; sum
+  li r1, 1      ; i
+  li r2, 11
+loop:
+  bgeu r1, r2, done
+  add r0, r0, r1
+  addi r1, r1, 1
+  jmp loop
+done:
+  halt
+|}
+  in
+  Alcotest.(check bool) "halted" true (status = Machine.Halted);
+  Alcotest.(check int) "sum" 55 m.regs.(0)
+
+let test_machine_memory () =
+  let m, _ =
+    run_program
+      {|
+  li r0, 0xDEADBEEF
+  sw r0, -8(sp)
+  lw r1, -8(sp)
+  lb r2, -8(sp)
+  lb r3, -5(sp)
+  halt
+|}
+  in
+  Alcotest.(check int) "lw" 0xDEADBEEF m.regs.(1);
+  Alcotest.(check int) "lb low" 0xEF m.regs.(2);
+  Alcotest.(check int) "lb high" 0xDE m.regs.(3)
+
+let test_machine_console () =
+  let m, _ =
+    run_program
+      {|
+  li r0, 'H'
+  out r0, 0(zr)
+  li r0, 'i'
+  out r0, 0(zr)
+  halt
+|}
+  in
+  Alcotest.(check string) "console" "Hi" (Machine.console_output m)
+
+let test_machine_syscall () =
+  let m, status =
+    run_program
+      {|
+entry:
+  li r0, vector
+  lw r1, 0(r0)
+  sw r1, 8(zr)       ; install syscall vector
+  li r0, 123
+  syscall
+  halt
+vector:
+  .word handler
+handler:
+  addi r0, r0, 1
+  sysret
+|}
+  in
+  Alcotest.(check bool) "halted" true (status = Machine.Halted);
+  Alcotest.(check int) "syscall ran" 124 m.regs.(0)
+
+let test_machine_irq () =
+  (* Program a timer, spin, and count IRQs in r5. *)
+  let m, status =
+    run_program ~fuel:4000
+      {|
+entry:
+  li r0, handler
+  sw r0, 4(zr)       ; install irq vector
+  li r5, 0
+  li r0, 100
+  out r0, 0x11(zr)   ; timer interval = 100
+  li r0, 1
+  out r0, 0x10(zr)   ; timer enable
+  sti
+spin:
+  li r6, 3
+  bgeu r5, r6, done
+  jmp spin
+done:
+  halt
+handler:
+  addi r5, r5, 1
+  iret
+|}
+  in
+  Alcotest.(check bool) "halted" true (status = Machine.Halted);
+  Alcotest.(check int) "three irqs" 3 m.regs.(5)
+
+let test_machine_fault () =
+  let _, status = run_program {|
+  li r0, 0x7FFFFFFF
+  lw r1, 0(r0)
+  halt
+|} in
+  match status with
+  | Machine.Faulted _ -> ()
+  | _ -> Alcotest.fail "expected fault"
+
+let test_netdev_pio () =
+  (* Inject a frame, then read it back through the DATA port. *)
+  let img = assemble {|
+  li r0, 2
+  out r0, 0x21(zr)    ; enable rx
+wait:
+  in r1, 0x20(zr)     ; status
+  andi r1, r1, 2
+  beq r1, zr, wait
+  in r2, 0x23(zr)     ; rx_len
+  in r3, 0x22(zr)     ; first byte
+  in r4, 0x22(zr)     ; second byte
+  halt
+|} in
+  let m = Machine.create () in
+  Machine.load_image m img;
+  ignore (Netdev.inject_frame m.devices.netdev [| 0xAA; 0xBB; 0xCC |]);
+  let status = Machine.run m in
+  Alcotest.(check bool) "halted" true (status = Machine.Halted);
+  Alcotest.(check int) "len" 3 m.regs.(2);
+  Alcotest.(check int) "b0" 0xAA m.regs.(3);
+  Alcotest.(check int) "b1" 0xBB m.regs.(4)
+
+let test_netdev_dma () =
+  let img = assemble {|
+  li r0, 2
+  out r0, 0x21(zr)    ; enable rx
+  li r0, 0x8000
+  out r0, 0x26(zr)    ; dma addr
+  li r0, 16
+  out r0, 0x27(zr)    ; dma len
+  li r0, 5
+  out r0, 0x21(zr)    ; cmd: dma rx
+  li r5, 0x8000
+  lb r1, 0(r5)
+  lb r2, 1(r5)
+  halt
+|} in
+  let m = Machine.create () in
+  Machine.load_image m img;
+  ignore (Netdev.inject_frame m.devices.netdev [| 0x11; 0x22 |]);
+  let status = Machine.run m in
+  Alcotest.(check bool) "halted" true (status = Machine.Halted);
+  Alcotest.(check int) "dma b0" 0x11 m.regs.(1);
+  Alcotest.(check int) "dma b1" 0x22 m.regs.(2)
+
+let test_disasm () =
+  let img = assemble {|
+  li r0, 7
+  halt
+|} in
+  let get i = Char.code (Bytes.get img.code (i - img.origin)) in
+  let listing =
+    Disasm.disassemble_range ~get ~start:img.origin ~stop:(img.origin + 16)
+  in
+  Alcotest.(check int) "two insns" 2 (List.length listing)
+
+let tests =
+  [
+    Alcotest.test_case "insn roundtrip" `Quick test_roundtrip;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    Alcotest.test_case "assembler labels" `Quick test_asm_labels;
+    Alcotest.test_case "machine arithmetic" `Quick test_machine_arith;
+    Alcotest.test_case "machine loop" `Quick test_machine_loop;
+    Alcotest.test_case "machine memory" `Quick test_machine_memory;
+    Alcotest.test_case "console device" `Quick test_machine_console;
+    Alcotest.test_case "syscall/sysret" `Quick test_machine_syscall;
+    Alcotest.test_case "timer interrupt" `Quick test_machine_irq;
+    Alcotest.test_case "memory fault" `Quick test_machine_fault;
+    Alcotest.test_case "netdev programmed io" `Quick test_netdev_pio;
+    Alcotest.test_case "netdev dma" `Quick test_netdev_dma;
+    Alcotest.test_case "disassembler" `Quick test_disasm;
+  ]

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "s2e"
+    [
+      ("expr", Test_expr.tests);
+      ("solver", Test_solver.tests);
+      ("isa_vm", Test_isa_vm.tests);
+      ("cc", Test_cc.tests);
+      ("core", Test_core_units.tests);
+      ("engine", Test_engine.tests);
+      ("guest", Test_guest.tests);
+      ("cachesim", Test_cachesim.tests);
+      ("plugins", Test_plugins.tests);
+      ("extensions", Test_extensions.tests);
+      ("tools", Test_tools.tests);
+    ]

@@ -1,0 +1,242 @@
+(* Tests for the stock plugins, over small purpose-built guest stacks. *)
+
+open S2e_core
+open S2e_plugins
+module Expr = S2e_expr.Expr
+module Guest = S2e_guest.Guest
+
+let make_engine ?(consistency = Consistency.LC) ?registry ~unit_modules
+    ~driver ~workload () =
+  let img = Guest.build ?registry ~driver ~workload () in
+  let config = Executor.default_config () in
+  config.consistency <- consistency;
+  let engine = Executor.create ~config () in
+  Guest.load_into_engine engine img;
+  Executor.set_unit engine unit_modules;
+  (engine, img)
+
+let nulldrv = ("nulldrv", S2e_guest.Drivers_src.nulldrv)
+
+let run engine img =
+  let s0 = Executor.boot engine ~entry:img.Guest.entry () in
+  Executor.run
+    ~limits:{ Executor.max_instructions = Some 2_000_000;
+              max_seconds = Some 20.0; max_completed = None }
+    engine s0
+
+let test_coverage_plugin () =
+  let engine, img =
+    make_engine ~unit_modules:[ "w" ] ~driver:nulldrv
+      ~workload:("w", {|
+int main() {
+  int x = __s2e_sym_int(1);
+  if (x > 5) return 1;
+  return 0;
+}
+|}) ()
+  in
+  let cov = Coverage.attach engine in
+  ignore (run engine img);
+  let c = Coverage.module_coverage cov "w" in
+  Alcotest.(check bool) "full coverage of tiny unit" true (c > 0.95);
+  Alcotest.(check bool) "timeline grows" true
+    (List.length (Coverage.timeline cov) > 10)
+
+let test_tracer_plugin () =
+  let engine, img =
+    make_engine ~unit_modules:[ "w" ] ~driver:nulldrv
+      ~workload:("w", {|
+int main() {
+  int x = __s2e_sym_int(1);
+  if (x == 3) return 1;
+  return 0;
+}
+|}) ()
+  in
+  let w = Module_map.entry engine.Executor.modules "w" |> Option.get in
+  let tracer = Tracer.attach ~only_range:(w.code_start, w.code_end) engine in
+  ignore (run engine img);
+  let traces = Tracer.finished_traces tracer in
+  Alcotest.(check int) "two traces" 2 (List.length traces);
+  (* Both traces share the prefix up to the fork. *)
+  List.iter
+    (fun (tr : Tracer.trace) ->
+      Alcotest.(check bool) "trace nonempty" true (List.length tr.events > 5))
+    traces
+
+let test_path_killer_polling_loop () =
+  let engine, img =
+    make_engine ~unit_modules:[ "w" ] ~driver:nulldrv
+      ~workload:("w", {|
+int main() {
+  while (1) { }
+  return 0;
+}
+|}) ()
+  in
+  let killer = Path_killer.attach ~max_repeats:100 engine in
+  let completed = run engine img in
+  Alcotest.(check int) "loop killed" 1 completed;
+  Alcotest.(check int) "killer fired" 1 (Path_killer.kills killer)
+
+let test_memchecker_overflow () =
+  let engine, img =
+    make_engine ~unit_modules:[ "w" ] ~driver:nulldrv
+      ~workload:("w", {|
+int main() {
+  int *p = alloc(16);
+  if (!p) return 0 - 1;
+  p[4] = 1;          // one past the end
+  kfree(p);
+  return 0;
+}
+|}) ()
+  in
+  let checker =
+    Memchecker.attach engine
+      ~alloc_addr:(Guest.symbol img "alloc")
+      ~free_addr:(Guest.symbol img "kfree")
+      ~unit_name:"w"
+  in
+  ignore (run engine img);
+  match Memchecker.bugs checker with
+  | [ b ] ->
+      Alcotest.(check bool) "overflow reported" true
+        (String.length b.Events.bug_message > 0)
+  | l -> Alcotest.failf "expected 1 bug, got %d" (List.length l)
+
+let test_memchecker_leak_and_double_free () =
+  let engine, img =
+    make_engine ~unit_modules:[ "w" ] ~driver:nulldrv
+      ~workload:("w", {|
+int main() {
+  int *a = alloc(16);
+  int *b = alloc(16);
+  kfree(b);
+  kfree(b);          // double free
+  return 0;          // a leaks
+}
+|}) ()
+  in
+  let checker =
+    Memchecker.attach engine
+      ~alloc_addr:(Guest.symbol img "alloc")
+      ~free_addr:(Guest.symbol img "kfree")
+      ~unit_name:"w"
+  in
+  ignore (run engine img);
+  let msgs = Memchecker.distinct_bugs checker in
+  Alcotest.(check bool) "double free reported" true
+    (List.exists (fun m -> String.length m >= 11 && String.sub m 0 11 = "double free") msgs);
+  Alcotest.(check bool) "leak reported" true
+    (List.exists (fun m -> String.length m >= 11 && String.sub m 0 11 = "memory leak") msgs)
+
+let test_annotation_return_range () =
+  (* Annotating an environment function's return makes the unit fork. *)
+  let engine, img =
+    make_engine ~unit_modules:[ "w" ]
+      ~driver:nulldrv
+      ~workload:("w", {|
+int get_status() { return 1; }
+int classify() {
+  int v = kstrlen("xx");   // env call whose return we annotate
+  if (v < 0) return 1;
+  if (v > 10) return 2;
+  return 0;
+}
+int main() { return classify(); }
+|}) ()
+  in
+  Annotation.return_in_range engine
+    ~callee:(Guest.symbol img "kstrlen")
+    ~name:"len" ~lo:(-5) ~hi:100;
+  let completed = run engine img in
+  Alcotest.(check int) "three outcomes" 3 completed
+
+let test_registry_selector_forks () =
+  let engine, img =
+    make_engine ~unit_modules:[ "w" ]
+      ~registry:[ ("Mode", "1") ]
+      ~driver:nulldrv
+      ~workload:("w", {|
+int main() {
+  int mode = reg_query_int("Mode", 1);
+  if (mode == 1) return 10;
+  if (mode == 2) return 20;
+  return 30;
+}
+|}) ()
+  in
+  let reg = Registry.attach engine ~query_entry:(Guest.symbol img "reg_query_int") in
+  Registry.watch reg ~key:"Mode" ~values:[ 1; 2; 9 ];
+  let completed = run engine img in
+  Alcotest.(check int) "three config paths" 3 completed;
+  Alcotest.(check int) "two injections" 2 (Registry.injections reg)
+
+let test_registry_selector_inactive_under_strict () =
+  let engine, img =
+    make_engine ~consistency:Consistency.SC_SE ~unit_modules:[ "w" ]
+      ~registry:[ ("Mode", "1") ]
+      ~driver:nulldrv
+      ~workload:("w", {|
+int main() {
+  int mode = reg_query_int("Mode", 1);
+  if (mode == 1) return 10;
+  return 30;
+}
+|}) ()
+  in
+  let reg = Registry.attach engine ~query_entry:(Guest.symbol img "reg_query_int") in
+  Registry.watch reg ~key:"Mode" ~values:[ 1; 2; 9 ];
+  let completed = run engine img in
+  Alcotest.(check int) "registry concrete under SC-SE" 1 completed
+
+let test_perf_profile_counts () =
+  let engine, img =
+    make_engine ~unit_modules:[ "w" ] ~driver:nulldrv
+      ~workload:("w", {|
+int main() {
+  int sum = 0;
+  for (int i = 0; i < 100; i = i + 1) sum = sum + i;
+  return sum;
+}
+|}) ()
+  in
+  let prof = Perf_profile.attach engine in
+  ignore (run engine img);
+  match Perf_profile.reports prof with
+  | [ r ] ->
+      Alcotest.(check bool) "counted instructions" true (r.r_instructions > 500);
+      Alcotest.(check bool) "loop has reads+writes" true (r.r_reads + r.r_writes > 100)
+  | l -> Alcotest.failf "expected 1 report, got %d" (List.length l)
+
+let test_bugcheck_panic () =
+  let engine, img =
+    make_engine ~unit_modules:[ "w" ] ~driver:nulldrv
+      ~workload:("w", {|
+int main() {
+  int x = __s2e_sym_int(1);
+  if (x == 42) __syscall(8, 0xDEAD, 0, 0);   // panic
+  return 0;
+}
+|}) ()
+  in
+  let bc = Bugcheck.attach engine ~panic_addr:(Guest.symbol img "panic") in
+  ignore (run engine img);
+  Alcotest.(check int) "one bugcheck" 1 (List.length (Bugcheck.panics bc))
+
+let tests =
+  [
+    Alcotest.test_case "coverage tracker" `Quick test_coverage_plugin;
+    Alcotest.test_case "execution tracer" `Quick test_tracer_plugin;
+    Alcotest.test_case "path killer (polling loop)" `Quick test_path_killer_polling_loop;
+    Alcotest.test_case "memchecker overflow" `Quick test_memchecker_overflow;
+    Alcotest.test_case "memchecker leak + double free" `Quick
+      test_memchecker_leak_and_double_free;
+    Alcotest.test_case "annotation return range" `Quick test_annotation_return_range;
+    Alcotest.test_case "registry selector forks" `Quick test_registry_selector_forks;
+    Alcotest.test_case "registry inactive under SC-SE" `Quick
+      test_registry_selector_inactive_under_strict;
+    Alcotest.test_case "performance profile" `Quick test_perf_profile_counts;
+    Alcotest.test_case "bugcheck panic" `Quick test_bugcheck_panic;
+  ]

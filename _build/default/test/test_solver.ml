@@ -1,0 +1,187 @@
+(* Tests for the SAT core, the bit-blaster and the high-level solver. *)
+
+open S2e_expr
+open S2e_solver
+
+let test_sat_basic () =
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  Sat.add_clause s [ Sat.pos a; Sat.pos b ];
+  Sat.add_clause s [ Sat.neg a ];
+  (match Sat.solve s with
+  | Sat.Sat ->
+      assert (not (Sat.model_value s a));
+      assert (Sat.model_value s b)
+  | _ -> Alcotest.fail "expected sat");
+  Sat.add_clause s [ Sat.neg b ];
+  (match Sat.solve s with
+  | Sat.Unsat -> ()
+  | _ -> Alcotest.fail "expected unsat")
+
+let test_sat_pigeonhole () =
+  (* 3 pigeons, 2 holes: classic small unsat instance exercising learning. *)
+  let s = Sat.create () in
+  let v = Array.init 3 (fun _ -> Array.init 2 (fun _ -> Sat.new_var s)) in
+  for p = 0 to 2 do
+    Sat.add_clause s [ Sat.pos v.(p).(0); Sat.pos v.(p).(1) ]
+  done;
+  for h = 0 to 1 do
+    for p1 = 0 to 2 do
+      for p2 = p1 + 1 to 2 do
+        Sat.add_clause s [ Sat.neg v.(p1).(h); Sat.neg v.(p2).(h) ]
+      done
+    done
+  done;
+  match Sat.solve s with
+  | Sat.Unsat -> ()
+  | _ -> Alcotest.fail "pigeonhole should be unsat"
+
+let x32 () = Expr.fresh_var ~width:32 "x"
+
+let test_solver_simple () =
+  let x = x32 () in
+  (* x + 1 = 10 *)
+  let c = Expr.eq (Expr.add x (Expr.const 1L)) (Expr.const 10L) in
+  match Solver.check [ c ] with
+  | Solver.Sat m -> Alcotest.(check int64) "x" 9L (Expr.eval m x)
+  | _ -> Alcotest.fail "expected sat"
+
+let test_solver_unsat () =
+  let x = x32 () in
+  let c1 = Expr.ult x (Expr.const 5L) in
+  let c2 = Expr.ult (Expr.const 10L) x in
+  match Solver.check [ c1; c2 ] with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "expected unsat"
+
+let test_solver_mul () =
+  let x = x32 () in
+  let c = Expr.eq (Expr.mul x (Expr.const 6L)) (Expr.const 42L) in
+  match Solver.check [ c ] with
+  | Solver.Sat m ->
+      let v = Expr.eval m x in
+      Alcotest.(check int64) "6x=42" 42L
+        (Int64.logand (Int64.mul v 6L) 0xFFFFFFFFL)
+  | _ -> Alcotest.fail "expected sat"
+
+let test_solver_div () =
+  let x = Expr.fresh_var ~width:8 "d" in
+  let c = Expr.eq (Expr.udiv (Expr.const ~width:8 100L) x) (Expr.const ~width:8 7L) in
+  match Solver.check [ c ] with
+  | Solver.Sat m ->
+      let v = Expr.eval m x in
+      Alcotest.(check int64) "100/x=7" 7L (Int64.unsigned_div 100L v)
+  | _ -> Alcotest.fail "expected sat"
+
+let test_solver_signed () =
+  let x = x32 () in
+  let c1 = Expr.slt x (Expr.const 0L) in
+  let c2 = Expr.slt (Expr.const (-10L)) x in
+  match Solver.check [ c1; c2 ] with
+  | Solver.Sat m ->
+      let v = Expr.sext64 (Expr.eval m x) 32 in
+      assert (v < 0L && v > -10L)
+  | _ -> Alcotest.fail "expected sat"
+
+let test_solver_shift () =
+  let x = Expr.fresh_var ~width:8 "s" in
+  (* (1 << x) = 16  ==> x = 4 *)
+  let c = Expr.eq (Expr.shl (Expr.const ~width:8 1L) x) (Expr.const ~width:8 16L) in
+  match Solver.check [ c ] with
+  | Solver.Sat m -> Alcotest.(check int64) "x" 4L (Int64.logand (Expr.eval m x) 7L)
+  | _ -> Alcotest.fail "expected sat"
+
+let test_get_values () =
+  let x = Expr.fresh_var ~width:8 "v" in
+  let c = Expr.ult x (Expr.const ~width:8 3L) in
+  let vs = Solver.get_values ~constraints:[ c ] ~limit:10 x in
+  Alcotest.(check int) "3 values" 3 (List.length vs);
+  List.iter (fun v -> assert (Int64.unsigned_compare v 3L < 0)) vs
+
+let test_get_unique () =
+  let x = x32 () in
+  let c = Expr.eq x (Expr.const 77L) in
+  (match Solver.get_unique_value ~constraints:[ c ] x with
+  | Some 77L -> ()
+  | _ -> Alcotest.fail "expected unique 77");
+  let c2 = Expr.ult x (Expr.const 100L) in
+  match Solver.get_unique_value ~constraints:[ c2 ] x with
+  | None -> ()
+  | Some _ -> Alcotest.fail "not unique"
+
+let test_slicing () =
+  (* Unrelated constraints must not affect the query result. *)
+  let x = x32 () and y = x32 () in
+  let cx = Expr.eq x (Expr.const 1L) in
+  let cy = Expr.ult y (Expr.const 50L) in
+  let sliced = Solver.slice ~seed_vars:(Expr.vars x) [ cx; cy ] in
+  Alcotest.(check int) "only x constraint kept" 1 (List.length sliced)
+
+(* Property: every model returned by the solver satisfies the constraints. *)
+let prop_models_satisfy =
+  QCheck2.Test.make ~count:60 ~name:"solver models satisfy constraints"
+    QCheck2.Gen.(
+      quad (int_bound 255) (int_bound 255) (int_bound 3) (int_bound 3))
+    (fun (a, b, op1, op2) ->
+      let x = Expr.fresh_var ~width:8 "qx" in
+      let mk op c =
+        let c = Expr.const ~width:8 (Int64.of_int c) in
+        match op with
+        | 0 -> Expr.ult x c
+        | 1 -> Expr.ule c x
+        | 2 -> Expr.eq (Expr.band x (Expr.const ~width:8 0x0fL)) (Expr.band c (Expr.const ~width:8 0x0fL))
+        | _ -> Expr.ne x c
+      in
+      let cs = [ mk op1 a; mk op2 b ] in
+      match Solver.check cs with
+      | Solver.Sat m -> List.for_all (fun c -> Expr.eval m c = 1L) cs
+      | Solver.Unsat ->
+          (* Cross-check against brute force over the 8-bit domain. *)
+          let xid = match x with Expr.Var { id; _ } -> id | _ -> assert false in
+          let exists = ref false in
+          for v = 0 to 255 do
+            let m = Expr.Int_map.singleton xid (Int64.of_int v) in
+            if List.for_all (fun c -> Expr.eval m c = 1L) cs then exists := true
+          done;
+          not !exists
+      | Solver.Unknown -> true)
+
+(* Property: solver agrees with brute force on arbitrary 8-bit formulas. *)
+let prop_solver_vs_brute =
+  QCheck2.Test.make ~count:40 ~name:"solver agrees with brute force"
+    QCheck2.Gen.(triple (int_bound 255) (int_bound 7) (int_bound 255))
+    (fun (k, shift, m8) ->
+      let x = Expr.fresh_var ~width:8 "bx" in
+      let lhs =
+        Expr.bxor
+          (Expr.shl x (Expr.const ~width:8 (Int64.of_int shift)))
+          (Expr.const ~width:8 (Int64.of_int m8))
+      in
+      let c = Expr.eq lhs (Expr.const ~width:8 (Int64.of_int k)) in
+      let xid = match x with Expr.Var { id; _ } -> id | _ -> assert false in
+      let brute = ref false in
+      for v = 0 to 255 do
+        let m = Expr.Int_map.singleton xid (Int64.of_int v) in
+        if Expr.eval m c = 1L then brute := true
+      done;
+      match Solver.check [ c ] with
+      | Solver.Sat _ -> !brute
+      | Solver.Unsat -> not !brute
+      | Solver.Unknown -> true)
+
+let tests =
+  [
+    Alcotest.test_case "sat basic" `Quick test_sat_basic;
+    Alcotest.test_case "sat pigeonhole (learning)" `Quick test_sat_pigeonhole;
+    Alcotest.test_case "solver linear" `Quick test_solver_simple;
+    Alcotest.test_case "solver unsat interval" `Quick test_solver_unsat;
+    Alcotest.test_case "solver multiplication" `Quick test_solver_mul;
+    Alcotest.test_case "solver division" `Quick test_solver_div;
+    Alcotest.test_case "solver signed compare" `Quick test_solver_signed;
+    Alcotest.test_case "solver symbolic shift" `Quick test_solver_shift;
+    Alcotest.test_case "get_values enumerates" `Quick test_get_values;
+    Alcotest.test_case "get_unique_value" `Quick test_get_unique;
+    Alcotest.test_case "independent slicing" `Quick test_slicing;
+    QCheck_alcotest.to_alcotest prop_models_satisfy;
+    QCheck_alcotest.to_alcotest prop_solver_vs_brute;
+  ]

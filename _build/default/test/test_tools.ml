@@ -1,0 +1,159 @@
+(* End-to-end tests for the three tools: the paper's headline results must
+   reproduce.  These runs take a few seconds each. *)
+
+open S2e_core
+open S2e_tools
+
+(* --- DDT+: 2 bugs under SC-SE, all 7 under LC (paper section 6.1.1) --- *)
+
+let test_ddt_scse () =
+  let pcnet = Ddt.run ~max_seconds:20.0 ~driver:"pcnet" ~consistency:Consistency.SC_SE () in
+  let rtl = Ddt.run ~max_seconds:20.0 ~driver:"rtl8029" ~consistency:Consistency.SC_SE () in
+  Alcotest.(check int) "2 bugs total under SC-SE" 2
+    (Ddt.seeded_bug_count pcnet + Ddt.seeded_bug_count rtl)
+
+let test_ddt_lc () =
+  let pcnet = Ddt.run ~max_seconds:25.0 ~driver:"pcnet" ~consistency:Consistency.LC () in
+  let rtl = Ddt.run ~max_seconds:25.0 ~driver:"rtl8029" ~consistency:Consistency.LC () in
+  let total = Ddt.seeded_bug_count pcnet + Ddt.seeded_bug_count rtl in
+  Alcotest.(check int) "7 bugs total under LC" 7 total;
+  (* The bug classes the paper lists: memory corruption, leaks, races. *)
+  let kinds =
+    List.sort_uniq compare
+      (List.map (fun (b : Ddt.bug_report) -> b.kind) (pcnet.bugs @ rtl.bugs))
+  in
+  Alcotest.(check (list string)) "bug classes" [ "memory"; "race" ] kinds
+
+let test_ddt_no_bugs_in_clean_drivers () =
+  List.iter
+    (fun driver ->
+      let r = Ddt.run ~max_seconds:12.0 ~driver ~consistency:Consistency.LC () in
+      Alcotest.(check int) (driver ^ " clean") 0 (Ddt.seeded_bug_count r))
+    [ "c111"; "rtl8139" ]
+
+(* --- REV+: better coverage than the RevNIC-style baseline (Table 5) --- *)
+
+let test_rev_beats_baseline () =
+  let plus = Rev.run ~max_seconds:10.0 ~mode:`Rev_plus ~driver:"rtl8139" () in
+  let base = Rev.run ~max_seconds:10.0 ~mode:`Revnic_baseline ~driver:"rtl8139" () in
+  Alcotest.(check bool)
+    (Printf.sprintf "REV+ (%.0f%%) >= baseline (%.0f%%)"
+       (100. *. plus.coverage) (100. *. base.coverage))
+    true
+    (plus.coverage >= base.coverage);
+  Alcotest.(check bool) "meaningful coverage" true (plus.coverage > 0.5)
+
+let test_rev_synthesis () =
+  let r = Rev.run ~max_seconds:8.0 ~driver:"rtl8029" () in
+  Alcotest.(check bool) "blocks recovered" true (List.length r.cfg.blocks > 10);
+  let listing = Rev.synthesize r.cfg in
+  (* Entry points appear as labels in the synthesized driver. *)
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "driver_init synthesized" true
+    (contains "driver_init:" listing);
+  Alcotest.(check bool) "control-flow edges present" true
+    (contains "// ->" listing)
+
+(* --- PROFS (section 6.1.3) --- *)
+
+let test_profs_url_linear_in_slashes () =
+  let r =
+    Profs.run ~max_seconds:15.0
+      ~workload:("urlparse", S2e_guest.Workloads_src.urlparse)
+      ()
+  in
+  let pts =
+    List.filter_map
+      (fun p ->
+        if p.Profs.p_status = "halted" then
+          Some
+            ( float_of_int (Profs.count_input_byte p ~prefix:"sym1" (Char.code '/')),
+              float_of_int p.Profs.p_instructions )
+        else None)
+      r.paths
+  in
+  Alcotest.(check bool) "many paths" true (List.length pts > 100);
+  match Profs.regression pts with
+  | None -> Alcotest.fail "no regression"
+  | Some (slope, _) ->
+      (* The paper reports a small constant cost per '/' character. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "per-slash cost positive and small (%.1f)" slope)
+        true
+        (slope > 1.0 && slope < 100.0)
+
+let test_profs_ping_finds_infinite_loop () =
+  let reply = Array.make 28 0 in
+  reply.(0) <- 0x45;
+  let driver = ("pcnet", List.assoc "pcnet" S2e_guest.Guest.drivers) in
+  let r =
+    Profs.run ~max_seconds:25.0 ~driver ~frames:[ reply ]
+      ~workload:("ping", S2e_guest.Workloads_src.ping ~buggy:true)
+      ()
+  in
+  Alcotest.(check bool) "unbounded path detected" true r.unbounded
+
+let test_profs_ping_envelope_after_patch () =
+  let reply = Array.make 28 0 in
+  reply.(0) <- 0x45;
+  let driver = ("pcnet", List.assoc "pcnet" S2e_guest.Guest.drivers) in
+  let r =
+    Profs.run ~max_seconds:25.0 ~driver ~frames:[ reply ]
+      ~workload:("ping", S2e_guest.Workloads_src.ping ~buggy:false)
+      ()
+  in
+  Alcotest.(check bool) "no unbounded path" false r.unbounded;
+  match Profs.envelope r with
+  | None -> Alcotest.fail "no envelope"
+  | Some (lo, hi) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "envelope [%d, %d] is a real spread" lo hi)
+        true
+        (lo > 0 && hi > lo)
+
+(* --- Consistency-model experiments (section 6.3) --- *)
+
+let test_models_driver_coverage_ordering () =
+  let run model = Model_exp.run_driver ~max_seconds:8.0 ~driver:"c111" ~consistency:model () in
+  let rc_oc = run Consistency.RC_OC in
+  let lc = run Consistency.LC in
+  let sc_ue = run Consistency.SC_UE in
+  (* Weaker models achieve at least as much coverage; SC-UE fails to load
+     the driver (paper Fig. 7). *)
+  Alcotest.(check bool) "RC-OC >= LC - eps" true (rc_oc.coverage >= lc.coverage -. 0.05);
+  Alcotest.(check bool) "SC-UE driver fails to load" true (sc_ue.coverage < 0.3);
+  Alcotest.(check bool) "SC-UE finishes immediately" true (sc_ue.seconds < 2.0);
+  Alcotest.(check int) "SC-UE explores one path" 1 sc_ue.paths
+
+let test_models_mua () =
+  let lc = Model_exp.run_mua ~max_seconds:8.0 ~consistency:Consistency.LC () in
+  let sc_se = Model_exp.run_mua ~max_seconds:8.0 ~consistency:Consistency.SC_SE () in
+  (* LC bypasses the lexer; SC-SE drowns in it (paper section 6.3). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "LC (%.0f%%) > SC-SE (%.0f%%) on the interpreter"
+       (100. *. lc.coverage) (100. *. sc_se.coverage))
+    true
+    (lc.coverage > sc_se.coverage)
+
+let tests =
+  [
+    Alcotest.test_case "DDT+ finds 2 bugs under SC-SE" `Slow test_ddt_scse;
+    Alcotest.test_case "DDT+ finds 7 bugs under LC" `Slow test_ddt_lc;
+    Alcotest.test_case "DDT+ reports nothing on clean drivers" `Slow
+      test_ddt_no_bugs_in_clean_drivers;
+    Alcotest.test_case "REV+ beats RevNIC baseline" `Slow test_rev_beats_baseline;
+    Alcotest.test_case "REV+ synthesizes a driver" `Slow test_rev_synthesis;
+    Alcotest.test_case "PROFS: URL cost linear in slashes" `Slow
+      test_profs_url_linear_in_slashes;
+    Alcotest.test_case "PROFS: ping infinite loop" `Slow
+      test_profs_ping_finds_infinite_loop;
+    Alcotest.test_case "PROFS: ping envelope after patch" `Slow
+      test_profs_ping_envelope_after_patch;
+    Alcotest.test_case "models: driver coverage ordering" `Slow
+      test_models_driver_coverage_ordering;
+    Alcotest.test_case "models: mua LC beats SC-SE" `Slow test_models_mua;
+  ]
