@@ -1,0 +1,7 @@
+#!/bin/sh
+# Tier-1 verification: full build plus the whole test suite.
+# Run from anywhere inside the repository.
+set -eu
+cd "$(dirname "$0")/.."
+dune build @all
+dune runtest

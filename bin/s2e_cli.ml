@@ -157,6 +157,121 @@ let profs_cmd =
        ~doc:"Multi-path performance profiling (PROFS, paper section 6.1.3)")
     Term.(const run $ workload_arg $ seconds_arg)
 
+(* --- explore: (parallel) multi-path exploration of a guest workload --- *)
+
+let explore_cmd =
+  let open S2e_core in
+  let jobs_arg =
+    let doc =
+      "Parallel exploration workers (OCaml domains).  Each worker owns a \
+       private searcher and solver context; 1 reproduces the serial engine \
+       bit-for-bit, N>1 explores the same path set in parallel."
+    in
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let workload_arg =
+    let doc = "Workload: exerciser, urlparse, ping, ping-buggy or mua." in
+    Arg.(value & opt string "exerciser" & info [ "workload" ] ~docv:"W" ~doc)
+  in
+  let searcher_arg =
+    let doc =
+      Printf.sprintf "Path selector per worker: one of %s."
+        (String.concat ", " Searcher.selector_names)
+    in
+    Arg.(value & opt string "dfs" & info [ "searcher" ] ~docv:"SEL" ~doc)
+  in
+  let cases_arg =
+    let doc =
+      "Print one line per completed path (sorted): status plus the \
+       canonical test case.  Identical across --jobs values by \
+       construction; diff two runs to verify."
+    in
+    Arg.(value & flag & info [ "cases" ] ~doc)
+  in
+  let run driver workload model jobs seconds searcher cases =
+    let driver_src =
+      if driver = "nulldrv" then S2e_guest.Drivers_src.nulldrv
+      else begin
+        check_driver driver;
+        List.assoc driver Guest.drivers
+      end
+    in
+    let wl =
+      match workload with
+      | "exerciser" -> ("exerciser", S2e_guest.Workloads_src.exerciser)
+      | "urlparse" -> ("urlparse", S2e_guest.Workloads_src.urlparse)
+      | "ping" -> ("ping", S2e_guest.Workloads_src.ping ~buggy:false)
+      | "ping-buggy" -> ("ping", S2e_guest.Workloads_src.ping ~buggy:true)
+      | "mua" -> ("mua", S2e_guest.Workloads_src.mua)
+      | w ->
+          Fmt.epr "unknown workload %S@." w;
+          exit 2
+    in
+    (match Searcher.of_name searcher with
+    | _ -> ()
+    | exception Invalid_argument msg ->
+        Fmt.epr "%s@." msg;
+        exit 2);
+    if jobs < 1 then begin
+      Fmt.epr "--jobs must be >= 1 (got %d)@." jobs;
+      exit 2
+    end;
+    let consistency = Consistency.of_name model in
+    let img = Guest.build ~driver:(driver, driver_src) ~workload:wl () in
+    let netdev_ports =
+      (S2e_vm.Layout.port_netdev, S2e_vm.Layout.port_netdev + 16)
+    in
+    let make_engine () =
+      let config = Executor.default_config () in
+      config.consistency <- consistency;
+      config.symbolic_hardware_ports <- [ netdev_ports ];
+      let engine = Executor.create ~config () in
+      engine.Executor.searcher <- Searcher.of_name searcher;
+      Guest.load_into_engine engine img;
+      Executor.set_unit engine [ driver; wl |> fst ];
+      engine
+    in
+    let limits =
+      {
+        Executor.max_instructions = None;
+        max_seconds = Some seconds;
+        max_completed = None;
+      }
+    in
+    let r =
+      Parallel.explore ~jobs ~limits ~make_engine
+        ~boot:(fun eng -> Executor.boot eng ~entry:img.entry ())
+        ()
+    in
+    Fmt.pr "jobs: %d@." r.Parallel.jobs;
+    Fmt.pr "wall seconds: %.2f@." r.wall_seconds;
+    Fmt.pr "paths completed: %d@." r.stats.Executor.states_completed;
+    Fmt.pr "states created: %d@." r.stats.states_created;
+    Fmt.pr "forks: %d@." r.stats.forks;
+    Fmt.pr "instructions: %d (%d symbolic)@." r.stats.concrete_instret
+      r.stats.sym_instret;
+    Fmt.pr "steals: %d@." r.steals;
+    Fmt.pr "solver: %d queries, %d to SAT core, %d cache hits, %.2fs@."
+      r.solver_stats.S2e_solver.Solver.queries r.solver_stats.sat_queries
+      r.solver_stats.cache_hits r.solver_stats.total_time;
+    if cases then
+      r.completed
+      |> List.map (fun (s : State.t) ->
+             Printf.sprintf "%s | %s"
+               (State.status_string s.State.status)
+               (Parallel.test_case_to_string (Parallel.test_case s)))
+      |> List.sort compare
+      |> List.iter (Fmt.pr "%s@.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Explore a guest workload multi-path, optionally across parallel \
+          workers (--jobs)")
+    Term.(
+      const run $ driver_arg $ workload_arg $ model_arg $ jobs_arg
+      $ seconds_arg $ searcher_arg $ cases_arg)
+
 (* --- models --- *)
 
 let models_cmd =
@@ -192,4 +307,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "s2e" ~doc)
-          [ run_cmd; ddt_cmd; rev_cmd; profs_cmd; models_cmd ]))
+          [ run_cmd; ddt_cmd; rev_cmd; profs_cmd; models_cmd; explore_cmd ]))

@@ -74,6 +74,10 @@ type t = {
   mutable unit_ranges : (int * int) list; (* code ranges of the unit *)
   mutable searcher : Searcher.t;
   stats : stats;
+  (* Solver context this engine threads through every query.  Defaults to
+     the process-wide [Solver.default_ctx]; parallel workers install a
+     private context each so caches and statistics never race. *)
+  mutable solver : Solver.ctx;
   mutable live : State.t list;
   mutable base_mem : Bytes.t;
   (* LC interface annotations, keyed by environment function address. *)
@@ -81,7 +85,7 @@ type t = {
   mutable var_tags : (int * string) list; (* symbolic variable provenance *)
 }
 
-let create ?(config = default_config ()) () =
+let create ?(config = default_config ()) ?(solver = Solver.default_ctx) () =
   {
     config;
     events = Events.create ();
@@ -90,6 +94,7 @@ let create ?(config = default_config ()) () =
     unit_ranges = [];
     searcher = Searcher.dfs ();
     stats = new_stats ();
+    solver;
     live = [];
     base_mem = Bytes.create 0;
     annotations = Hashtbl.create 16;
@@ -176,7 +181,7 @@ let concretize t (s : State.t) e =
   | Some v -> v
   | None -> (
       t.stats.concretizations <- t.stats.concretizations + 1;
-      match Solver.get_value ~constraints:s.constraints e with
+      match Solver.get_value ~ctx:t.solver ~constraints:s.constraints e with
       | Some v ->
           State.add_constraint s (Expr.eq e (Expr.const ~width:(Expr.width e) v));
           s.soft_constraints <- s.soft_constraints + 1;
@@ -213,7 +218,7 @@ let do_read t (s : State.t) addr_e size =
       if
         (not (in_unit t s.pc))
         && t.config.consistency = Consistency.LC
-        && Solver.get_unique_value ~constraints:s.constraints addr_e = None
+        && Solver.get_unique_value ~ctx:t.solver ~constraints:s.constraints addr_e = None
       then
         end_state t s
           (State.Aborted "LC: symbolic address dereferenced in environment")
@@ -257,7 +262,7 @@ let do_write t (s : State.t) addr_e v size =
         if
           (not (in_unit t s.pc))
           && t.config.consistency = Consistency.LC
-          && Solver.get_unique_value ~constraints:s.constraints addr_e = None
+          && Solver.get_unique_value ~ctx:t.solver ~constraints:s.constraints addr_e = None
         then
           end_state t s
             (State.Aborted "LC: symbolic address written in environment")
@@ -314,9 +319,9 @@ let symbolic_branch t (s : State.t) cond ~taken_pc ~fall_pc =
       else s.pc <- taken_pc
     end
     else begin
-      let feas_true = Solver.check_with ~constraints:s.constraints cond in
+      let feas_true = Solver.check_with ~ctx:t.solver ~constraints:s.constraints cond in
       let feas_false =
-        Solver.check_with ~constraints:s.constraints (Expr.log_not cond)
+        Solver.check_with ~ctx:t.solver ~constraints:s.constraints (Expr.log_not cond)
       in
       match feas_true, feas_false with
       | (Solver.Sat _ | Solver.Unknown), Solver.Unsat ->
@@ -342,9 +347,9 @@ let symbolic_branch t (s : State.t) cond ~taken_pc ~fall_pc =
     match if unit_here then Consistency.Concretize else Consistency.env_branch model with
     | Consistency.Follow_symbolic ->
         (* SC-SE in the environment: fork there too. *)
-        let feas_true = Solver.check_with ~constraints:s.constraints cond in
+        let feas_true = Solver.check_with ~ctx:t.solver ~constraints:s.constraints cond in
         let feas_false =
-          Solver.check_with ~constraints:s.constraints (Expr.log_not cond)
+          Solver.check_with ~ctx:t.solver ~constraints:s.constraints (Expr.log_not cond)
         in
         (match feas_true, feas_false with
         | (Solver.Sat _ | Solver.Unknown), Solver.Unsat ->
@@ -366,9 +371,9 @@ let symbolic_branch t (s : State.t) cond ~taken_pc ~fall_pc =
            inconsistency when the data is genuinely undetermined — values
            pinned by earlier constraints (e.g. a null-checked pointer) are
            followed like concrete ones. *)
-        let feas_true = Solver.check_with ~constraints:s.constraints cond in
+        let feas_true = Solver.check_with ~ctx:t.solver ~constraints:s.constraints cond in
         let feas_false =
-          Solver.check_with ~constraints:s.constraints (Expr.log_not cond)
+          Solver.check_with ~ctx:t.solver ~constraints:s.constraints (Expr.log_not cond)
         in
         match feas_true, feas_false with
         | (Solver.Sat _ | Solver.Unknown), Solver.Unsat ->
@@ -651,14 +656,14 @@ let exec_insn t (s : State.t) addr insn =
                 (Printf.sprintf "assertion failed at 0x%x (tag %ld)" addr imm);
               end_state t s (State.Faulted "assertion failed")
           | None -> (
-              match Solver.check_with ~constraints:s.constraints (Expr.log_not c) with
+              match Solver.check_with ~ctx:t.solver ~constraints:s.constraints (Expr.log_not c) with
               | Solver.Sat _ ->
                   report_bug t s "assertion"
                     (Printf.sprintf
                        "assertion can fail at 0x%x (tag %ld) for some inputs"
                        addr imm);
                   (* Continue down the passing side if it exists. *)
-                  (match Solver.check_with ~constraints:s.constraints c with
+                  (match Solver.check_with ~ctx:t.solver ~constraints:s.constraints c with
                   | Solver.Sat _ | Solver.Unknown -> State.add_constraint s c
                   | Solver.Unsat ->
                       end_state t s (State.Faulted "assertion always fails"))
@@ -728,6 +733,24 @@ let exec_tb t (s : State.t) =
     let irqs = Vm.Devices.tick s.devices ticks in
     List.iter (fun irq -> s.pending_irqs <- s.pending_irqs @ [ irq ]) irqs
   end
+
+(** Execute one translation block of [s], absorbing path termination.
+    Building block for external schedulers ({!Parallel}). *)
+let exec_block t s = try exec_tb t s with Path_end -> ()
+
+(** Adopt [s] into this engine's frontier: used when a parallel worker
+    receives a state forked (or booted) by another engine. *)
+let adopt t (s : State.t) =
+  t.live <- s :: t.live;
+  let live_count = List.length t.live in
+  if live_count > t.stats.max_live_states then t.stats.max_live_states <- live_count;
+  t.searcher.add s
+
+(** Remove [s] from this engine's frontier without terminating it: the
+    donation half of work stealing. *)
+let disown t (s : State.t) =
+  t.searcher.remove s;
+  t.live <- List.filter (fun s' -> s'.State.id <> s.State.id) t.live
 
 type run_limits = {
   max_instructions : int option;

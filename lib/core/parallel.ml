@@ -1,0 +1,310 @@
+(** Parallel multi-path exploration over OCaml 5 domains (paper section 3:
+    selective symbolic execution is embarrassingly parallel across
+    execution-tree subtrees; section 6: "runs as fast as the hardware
+    allows").
+
+    Each worker owns a private {!Executor.t} — and therefore a private
+    {!Searcher.t}, translation-block cache, event bus and
+    {!S2e_solver.Solver.ctx} — so the hot path (decode, expression
+    construction, SAT solving) runs with zero shared-state contention.
+    The only synchronization is a mutex-protected steal pool of states:
+
+    - A worker whose frontier grows donates states at fork points while
+      any peer is starving (the pool holds fewer states than there are
+      idle workers).  Donated states come from the oldest end of the
+      victim's frontier, i.e. the fork points closest to the root, which
+      head the richest unexplored subtrees.
+    - An idle worker steals from the pool; execution states are
+      self-contained (registers, copy-on-write memory overlay, devices,
+      constraints), so adoption is O(1).
+
+    Determinism: with [jobs = 1] exploration is bit-for-bit the serial
+    {!Executor.run}.  With [jobs = N] the *set* of terminated paths (and
+    the fork/termination totals) matches serial exploration, because every
+    per-path decision — branch feasibility, concretization picks, symbolic
+    pointer anchoring — is a pure function of the path's own constraint
+    set: solver contexts cache only answers, never influence them
+    ({!S2e_solver.Solver.get_value} bypasses the model cache).  Only
+    scheduling order, and order-dependent aggregates like the live-state
+    high watermark, may differ. *)
+
+module Solver = S2e_solver.Solver
+open S2e_expr
+
+type result = {
+  jobs : int;
+  completed : State.t list;  (** terminated states from every worker *)
+  stats : Executor.stats;    (** aggregated over workers *)
+  solver_stats : Solver.stats;  (** aggregated over worker contexts *)
+  steals : int;              (** states adopted from the steal pool *)
+  wall_seconds : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared scheduler state                                              *)
+(* ------------------------------------------------------------------ *)
+
+type shared = {
+  m : Mutex.t;
+  cv : Condition.t;
+  pool : State.t Queue.t;       (* stealable frontier states *)
+  mutable outstanding : int;    (* live states anywhere in the system *)
+  mutable idle : int;           (* workers blocked on [cv] *)
+  stop : bool Atomic.t;         (* a budget limit fired *)
+  mutable steals : int;
+  mutable max_live : int;       (* high watermark of [outstanding] *)
+  completed : int Atomic.t;     (* global completed-path count *)
+  instret : int Atomic.t;       (* global executed-instruction count *)
+}
+
+let make_shared () =
+  {
+    m = Mutex.create ();
+    cv = Condition.create ();
+    pool = Queue.create ();
+    outstanding = 0;
+    idle = 0;
+    stop = Atomic.make false;
+    steals = 0;
+    max_live = 0;
+    completed = Atomic.make 0;
+    instret = Atomic.make 0;
+  }
+
+let over_budget (limits : Executor.run_limits) shared ~started =
+  (match limits.max_instructions with
+  | Some m -> Atomic.get shared.instret > m
+  | None -> false)
+  || (match limits.max_seconds with
+     | Some sec -> Unix.gettimeofday () -. started > sec
+     | None -> false)
+  ||
+  match limits.max_completed with
+  | Some m -> Atomic.get shared.completed >= m
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Worker                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Fork/termination events are buffered during a translation block and
+   folded into the shared scheduler state between blocks: the event fires
+   before the child is registered with the victim's searcher, so donating
+   in the handler itself would race with the executor's own bookkeeping. *)
+type worker = {
+  eng : Executor.t;
+  mutable forked : State.t list;       (* children born this block *)
+  mutable ended : State.t list;        (* states terminated this block *)
+  mutable terminated : State.t list;   (* all terminations, for the result *)
+}
+
+let make_worker eng =
+  let w = { eng; forked = []; ended = []; terminated = [] } in
+  Events.reg_fork eng.Executor.events (fun _parent child _cond ->
+      w.forked <- child :: w.forked);
+  Events.reg_state_end eng.Executor.events (fun s -> w.ended <- s :: w.ended);
+  w
+
+(* Fold the block's fork/termination deltas into the scheduler and donate
+   frontier states while peers are starving.  Returns with [shared.m]
+   unlocked. *)
+let sync_after_block shared w =
+  let forks = List.length w.forked in
+  let ends = List.length w.ended in
+  w.forked <- [];
+  w.terminated <- List.rev_append w.ended w.terminated;
+  w.ended <- [];
+  if ends > 0 then ignore (Atomic.fetch_and_add shared.completed ends);
+  Mutex.lock shared.m;
+  shared.outstanding <- shared.outstanding + forks - ends;
+  if shared.outstanding > shared.max_live then
+    shared.max_live <- shared.outstanding;
+  if shared.outstanding = 0 then Condition.broadcast shared.cv
+  else begin
+    (* Donate from the oldest end of our frontier (fork points nearest the
+       root) while the pool cannot feed every idle worker. *)
+    let rec donate () =
+      if
+        shared.idle > Queue.length shared.pool
+        && List.length w.eng.Executor.live > 1
+      then begin
+        match List.rev w.eng.Executor.live with
+        | [] -> ()
+        | victim :: _ ->
+            Executor.disown w.eng victim;
+            Queue.push victim shared.pool;
+            Condition.signal shared.cv;
+            donate ()
+      end
+    in
+    donate ()
+  end;
+  Mutex.unlock shared.m
+
+(* Blocking steal: take a state from the pool, or wait until either work
+   appears, the system drains, or a budget limit fires. *)
+let steal shared =
+  Mutex.lock shared.m;
+  let rec go () =
+    if Atomic.get shared.stop then None
+    else
+      match Queue.take_opt shared.pool with
+      | Some s ->
+          shared.steals <- shared.steals + 1;
+          Some s
+      | None ->
+          if shared.outstanding = 0 then None
+          else begin
+            shared.idle <- shared.idle + 1;
+            Condition.wait shared.cv shared.m;
+            shared.idle <- shared.idle - 1;
+            go ()
+          end
+  in
+  let r = go () in
+  Mutex.unlock shared.m;
+  r
+
+let request_stop shared =
+  Atomic.set shared.stop true;
+  Mutex.lock shared.m;
+  Condition.broadcast shared.cv;
+  Mutex.unlock shared.m
+
+let worker_loop shared (limits : Executor.run_limits) ~started w =
+  let eng = w.eng in
+  let rec loop () =
+    if over_budget limits shared ~started then request_stop shared;
+    if not (Atomic.get shared.stop) then
+      match eng.Executor.searcher.Searcher.select () with
+      | Some s ->
+          let i0 = eng.Executor.stats.concrete_instret in
+          Executor.exec_block eng s;
+          ignore
+            (Atomic.fetch_and_add shared.instret
+               (eng.Executor.stats.concrete_instret - i0));
+          sync_after_block shared w;
+          loop ()
+      | None -> (
+          match steal shared with
+          | Some s ->
+              Executor.adopt eng s;
+              loop ()
+          | None -> ())
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let merge_exec_stats ~(into : Executor.stats) (src : Executor.stats) =
+  into.states_created <- into.states_created + src.states_created;
+  into.states_completed <- into.states_completed + src.states_completed;
+  into.forks <- into.forks + src.forks;
+  into.concrete_instret <- into.concrete_instret + src.concrete_instret;
+  into.sym_instret <- into.sym_instret + src.sym_instret;
+  into.concretizations <- into.concretizations + src.concretizations;
+  into.aborts <- into.aborts + src.aborts;
+  if src.max_live_states > into.max_live_states then
+    into.max_live_states <- src.max_live_states;
+  if src.footprint_watermark > into.footprint_watermark then
+    into.footprint_watermark <- src.footprint_watermark
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Explore the execution tree rooted at [boot worker0_engine] with [jobs]
+    workers.  [make_engine] is called once per worker and must return a
+    fully configured engine (image loaded, unit set, plugins attached);
+    each engine is given a private solver context.  [boot] produces the
+    initial state from the first worker's engine. *)
+let explore ?(jobs = 1) ?(limits = Executor.no_limits)
+    ~(make_engine : unit -> Executor.t) ~(boot : Executor.t -> State.t) () =
+  if jobs < 1 then invalid_arg "Parallel.explore: jobs must be >= 1";
+  let started = Unix.gettimeofday () in
+  let engines =
+    List.init jobs (fun _ ->
+        let eng = make_engine () in
+        eng.Executor.solver <- Solver.create_ctx ();
+        eng)
+  in
+  let finish ~completed ~steals ~max_live =
+    let stats = Executor.new_stats () in
+    List.iter (fun eng -> merge_exec_stats ~into:stats eng.Executor.stats) engines;
+    if max_live > stats.max_live_states then stats.max_live_states <- max_live;
+    let solver_stats = Solver.new_stats () in
+    List.iter
+      (fun eng ->
+        Solver.merge_stats ~into:solver_stats eng.Executor.solver.Solver.ctx_stats)
+      engines;
+    {
+      jobs;
+      completed;
+      stats;
+      solver_stats;
+      steals;
+      wall_seconds = Unix.gettimeofday () -. started;
+    }
+  in
+  match engines with
+  | [ eng ] ->
+      (* Single worker: exactly the serial engine loop. *)
+      let terminated = ref [] in
+      Events.reg_state_end eng.Executor.events (fun s ->
+          terminated := s :: !terminated);
+      let s0 = boot eng in
+      ignore (Executor.run ~limits eng s0);
+      finish ~completed:(List.rev !terminated) ~steals:0
+        ~max_live:eng.Executor.stats.max_live_states
+  | eng0 :: _ ->
+      let shared = make_shared () in
+      let workers = List.map make_worker engines in
+      let s0 = boot eng0 in
+      Executor.adopt eng0 s0;
+      shared.outstanding <- 1;
+      shared.max_live <- 1;
+      let domains =
+        List.map
+          (fun w -> Domain.spawn (fun () -> worker_loop shared limits ~started w))
+          workers
+      in
+      List.iter Domain.join domains;
+      let completed =
+        List.concat_map (fun w -> List.rev w.terminated) workers
+      in
+      finish ~completed ~steals:shared.steals ~max_live:shared.max_live
+  | [] -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Canonical test cases                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** The concrete input assignment characterizing a terminated path: every
+    named symbolic variable occurring in the path constraints, bound to
+    the deterministic model the SAT core produces for that constraint set.
+    Independent of worker count, scheduling and solver-cache history, so
+    sorted test-case lists compare equal between serial and parallel
+    runs. *)
+let test_case (s : State.t) =
+  let vars =
+    List.fold_left
+      (fun acc c ->
+        Expr.fold_vars
+          (fun acc id name width ->
+            if List.mem_assoc id acc then acc else (id, (name, width)) :: acc)
+          acc c)
+      [] s.State.constraints
+  in
+  match Solver.check ~ctx:(Solver.create_ctx ()) s.State.constraints with
+  | Solver.Sat m ->
+      vars
+      |> List.map (fun (id, (name, width)) ->
+             (name, Expr.eval m (Expr.Var { id; name; width })))
+      |> List.sort compare
+  | Solver.Unsat | Solver.Unknown -> []
+
+let test_case_to_string tc =
+  String.concat ","
+    (List.map (fun (name, v) -> Printf.sprintf "%s=%Ld" name v) tc)

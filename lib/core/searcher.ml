@@ -83,8 +83,20 @@ let scored score =
     size = (fun () -> List.length (filter_live !states));
   }
 
+(* Default score for the coverage-seeking selector: prefer shallow states,
+   breaking ties toward the path that has executed the fewest instructions.
+   Without global coverage feedback this approximates MaxCoverage's "get
+   out of explored neighbourhoods" bias (paper section 4.1). *)
+let maxcov_score (s : State.t) = -((s.depth * 1_000_000) + s.instret)
+
+let selector_names = [ "dfs"; "bfs"; "random"; "scored"; "maxcov" ]
+
 let of_name = function
   | "dfs" -> dfs ()
   | "bfs" -> bfs ()
   | "random" -> random ()
-  | s -> invalid_arg (Printf.sprintf "unknown searcher %S" s)
+  | "scored" | "maxcov" -> scored maxcov_score
+  | s ->
+      invalid_arg
+        (Printf.sprintf "unknown searcher %S (valid selectors: %s)" s
+           (String.concat ", " selector_names))

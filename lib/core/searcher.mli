@@ -22,5 +22,12 @@ val scored : (State.t -> int) -> t
 (** Pick the live state maximizing the score, recomputed per selection —
     the building block of the MaxCoverage selector. *)
 
+val selector_names : string list
+(** Every name {!of_name} accepts. *)
+
 val of_name : string -> t
-(** "dfs" | "bfs" | "random"; @raise Invalid_argument otherwise. *)
+(** "dfs" | "bfs" | "random" | "scored" | "maxcov" ("maxcov" is an alias
+    for "scored" with the default coverage-seeking score: shallowest state
+    first, fewest-executed-instructions tiebreak).
+    @raise Invalid_argument on any other name, listing the valid
+    selectors. *)

@@ -51,12 +51,13 @@ type t = {
      branch in the environment aborts; no extra state needed. *)
 }
 
-let counter = ref 0
+(* Atomic so states can be forked concurrently by parallel exploration
+   workers without id collisions. *)
+let counter = Atomic.make 0
 
 let create ~mem ~devices ~pc =
-  incr counter;
   {
-    id = !counter;
+    id = Atomic.fetch_and_add counter 1 + 1;
     parent = 0;
     pc;
     regs = Array.make S2e_isa.Insn.num_regs (Expr.const 0L);
@@ -82,10 +83,9 @@ let create ~mem ~devices ~pc =
 
 (** Fork a copy for the other side of a branch. *)
 let fork t =
-  incr counter;
   {
     t with
-    id = !counter;
+    id = Atomic.fetch_and_add counter 1 + 1;
     parent = t.id;
     regs = Array.copy t.regs;
     devices = S2e_vm.Devices.clone t.devices;

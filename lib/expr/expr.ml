@@ -72,11 +72,12 @@ let is_const = function Const _ -> true | _ -> false
 
 let to_const = function Const { value; _ } -> Some value | _ -> None
 
-let var_counter = ref 0
+(* Atomic so parallel exploration workers can mint variables
+   concurrently without duplicating ids. *)
+let var_counter = Atomic.make 0
 
 let fresh_var ?(width = 32) name =
-  incr var_counter;
-  Var { id = !var_counter; name; width }
+  Var { id = Atomic.fetch_and_add var_counter 1 + 1; name; width }
 
 (* Structural equality; physical equality is checked first as a fast path. *)
 let rec equal a b =

@@ -4,8 +4,16 @@
     the S2E prototype: independent-constraint slicing (only the constraints
     sharing variables with the query are sent to the SAT core), a
     counterexample/model cache (recent models are re-tried by evaluation
-    before any SAT call), and global statistics that the Fig. 9 benchmarks
-    report (per-query time, total solver time, query counts). *)
+    before any SAT call), an unsatisfiable-set cache, and statistics that
+    the Fig. 9 benchmarks report (per-query time, total solver time, query
+    counts).
+
+    All mutable solver state — the two caches, the statistics and the
+    conflict budget — lives in an explicit {!ctx} record so that parallel
+    workers can each own a private solver context ({!S2e_core.Parallel}).
+    The module-level [stats]/[model_cache]/[max_conflicts]/[reset_stats]
+    bindings are thin views of {!default_ctx}, kept so single-threaded
+    callers and the existing benchmarks compile unchanged. *)
 
 open S2e_expr
 
@@ -19,47 +27,82 @@ type stats = {
   mutable max_time : float;
 }
 
-let stats = { queries = 0; sat_queries = 0; cache_hits = 0; total_time = 0.; max_time = 0. }
+(** One solver context: caches + statistics + budget.  Contexts are not
+    thread-safe; each domain must use its own. *)
+type ctx = {
+  ctx_stats : stats;
+  (* Recent models, most recent first.  Evaluating a candidate model
+     against the constraints is far cheaper than a SAT call and hits often
+     because consecutive queries along a path share most constraints. *)
+  model_cache : Expr.model list ref;
+  (* Unsatisfiable-set cache: loops whose infeasible side is re-queried
+     every iteration would otherwise pay a full SAT call each time.  Keyed
+     by a structural hash, verified by structural equality. *)
+  unsat_cache : (int, Expr.t list list) Hashtbl.t;
+  max_conflicts : int ref;
+}
 
-let reset_stats () =
-  stats.queries <- 0;
-  stats.sat_queries <- 0;
-  stats.cache_hits <- 0;
-  stats.total_time <- 0.;
-  stats.max_time <- 0.
+let new_stats () =
+  { queries = 0; sat_queries = 0; cache_hits = 0; total_time = 0.; max_time = 0. }
 
-(* Recent models, most recent first.  Evaluating a candidate model against
-   the constraints is far cheaper than a SAT call and hits often because
-   consecutive queries along a path share most constraints. *)
-let model_cache : Expr.model list ref = ref []
+let create_ctx ?(max_conflicts = 200_000) () =
+  {
+    ctx_stats = new_stats ();
+    model_cache = ref [];
+    unsat_cache = Hashtbl.create 256;
+    max_conflicts = ref max_conflicts;
+  }
+
+let default_ctx = create_ctx ()
+
+(* Legacy module-level views over the default context. *)
+let stats = default_ctx.ctx_stats
+let model_cache = default_ctx.model_cache
+let max_conflicts = default_ctx.max_conflicts
+
+let reset_stats ?(ctx = default_ctx) () =
+  let st = ctx.ctx_stats in
+  st.queries <- 0;
+  st.sat_queries <- 0;
+  st.cache_hits <- 0;
+  st.total_time <- 0.;
+  st.max_time <- 0.
+
+let clear_caches ctx =
+  ctx.model_cache := [];
+  Hashtbl.reset ctx.unsat_cache
+
+let merge_stats ~into src =
+  into.queries <- into.queries + src.queries;
+  into.sat_queries <- into.sat_queries + src.sat_queries;
+  into.cache_hits <- into.cache_hits + src.cache_hits;
+  into.total_time <- into.total_time +. src.total_time;
+  if src.max_time > into.max_time then into.max_time <- src.max_time
+
 let model_cache_limit = 24
 
-let remember_model m =
-  model_cache := m :: (List.filteri (fun i _ -> i < model_cache_limit - 1) !model_cache)
+let remember_model ctx m =
+  ctx.model_cache :=
+    m :: List.filteri (fun i _ -> i < model_cache_limit - 1) !(ctx.model_cache)
 
 let satisfies m constraints =
   List.for_all (fun c -> Expr.eval m c = 1L) constraints
 
-(* Unsatisfiable-set cache: loops whose infeasible side is re-queried every
-   iteration would otherwise pay a full SAT call each time.  Keyed by a
-   structural hash, verified by structural equality. *)
-let unsat_cache : (int, Expr.t list list) Hashtbl.t = Hashtbl.create 256
-
 let constraints_key constraints =
   List.fold_left (fun acc c -> acc lxor Hashtbl.hash c) 0 constraints
 
-let unsat_cached constraints =
+let unsat_cached ctx constraints =
   let key = constraints_key constraints in
-  match Hashtbl.find_opt unsat_cache key with
+  match Hashtbl.find_opt ctx.unsat_cache key with
   | None -> false
   | Some entries ->
       List.exists (fun cs -> List.equal Expr.equal cs constraints) entries
 
-let remember_unsat constraints =
+let remember_unsat ctx constraints =
   let key = constraints_key constraints in
-  let entries = Option.value ~default:[] (Hashtbl.find_opt unsat_cache key) in
+  let entries = Option.value ~default:[] (Hashtbl.find_opt ctx.unsat_cache key) in
   if List.length entries < 8 then
-    Hashtbl.replace unsat_cache key (constraints :: entries)
+    Hashtbl.replace ctx.unsat_cache key (constraints :: entries)
 
 (* ------------------------------------------------------------------ *)
 (* Independent-constraint slicing                                      *)
@@ -96,34 +139,36 @@ let slice ~seed_vars constraints =
 (* Core check                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let max_conflicts = ref 200_000
-
-let run_sat constraints =
-  stats.sat_queries <- stats.sat_queries + 1;
+let run_sat ctx constraints =
+  ctx.ctx_stats.sat_queries <- ctx.ctx_stats.sat_queries + 1;
   let sat = Sat.create () in
-  let ctx = Bitblast.create sat in
-  List.iter (Bitblast.assert_true ctx) constraints;
-  match Sat.solve ~max_conflicts:!max_conflicts sat with
+  let bctx = Bitblast.create sat in
+  List.iter (Bitblast.assert_true bctx) constraints;
+  match Sat.solve ~max_conflicts:!(ctx.max_conflicts) sat with
   | Sat.Sat ->
-      let m = Bitblast.model ctx in
-      remember_model m;
+      let m = Bitblast.model bctx in
+      remember_model ctx m;
       Sat m
   | Sat.Unsat -> Unsat
   | Sat.Unknown -> Unknown
 
-let timed f =
+let timed ctx f =
+  let st = ctx.ctx_stats in
   let t0 = Unix.gettimeofday () in
   let r = f () in
   let dt = Unix.gettimeofday () -. t0 in
-  stats.total_time <- stats.total_time +. dt;
-  if dt > stats.max_time then stats.max_time <- dt;
+  st.total_time <- st.total_time +. dt;
+  if dt > st.max_time then st.max_time <- dt;
   r
 
-(** Is the conjunction of [constraints] satisfiable?  Returns a model on
-    success. *)
-let check constraints =
-  stats.queries <- stats.queries + 1;
-  timed (fun () ->
+(* [use_model_cache:false] makes the returned model a pure function of the
+   constraint set (the SAT core is deterministic), independent of any
+   queries the context answered before.  Value-picking paths (concretize,
+   get_value) rely on this so that serial and parallel exploration pin the
+   same concrete values and hence explore the same path set. *)
+let check_ctx ~use_model_cache ctx constraints =
+  ctx.ctx_stats.queries <- ctx.ctx_stats.queries + 1;
+  timed ctx (fun () ->
       let constraints = List.map Simplifier.simplify constraints in
       if List.exists (fun c -> Expr.equal c Expr.bool_f) constraints then Unsat
       else
@@ -132,58 +177,71 @@ let check constraints =
         in
         if constraints = [] then Sat Expr.Int_map.empty
         else
-          match List.find_opt (fun m -> satisfies m constraints) !model_cache with
+          let cached_model =
+            if use_model_cache then
+              List.find_opt (fun m -> satisfies m constraints) !(ctx.model_cache)
+            else None
+          in
+          match cached_model with
           | Some m ->
-              stats.cache_hits <- stats.cache_hits + 1;
+              ctx.ctx_stats.cache_hits <- ctx.ctx_stats.cache_hits + 1;
               Sat m
           | None ->
-              if unsat_cached constraints then begin
-                stats.cache_hits <- stats.cache_hits + 1;
+              if unsat_cached ctx constraints then begin
+                ctx.ctx_stats.cache_hits <- ctx.ctx_stats.cache_hits + 1;
                 Unsat
               end
               else begin
-                let r = run_sat constraints in
-                (match r with Unsat -> remember_unsat constraints | _ -> ());
+                let r = run_sat ctx constraints in
+                (match r with Unsat -> remember_unsat ctx constraints | _ -> ());
                 r
               end)
 
+(** Is the conjunction of [constraints] satisfiable?  Returns a model on
+    success. *)
+let check ?(ctx = default_ctx) constraints =
+  check_ctx ~use_model_cache:true ctx constraints
+
 (** Satisfiability of [constraints ∧ cond]: used to decide branch
     feasibility.  The constraint set is sliced around [cond]'s variables. *)
-let check_with ~constraints cond =
+let check_with ?(ctx = default_ctx) ~constraints cond =
   let sliced = slice ~seed_vars:(Expr.vars cond) constraints in
-  check (cond :: sliced)
+  check ~ctx (cond :: sliced)
 
-(** A concrete value for [e] consistent with [constraints], if any. *)
-let get_value ~constraints e =
+(** A concrete value for [e] consistent with [constraints], if any.  The
+    model cache is bypassed so the pick depends only on the constraint set,
+    not on the context's history (see {!check_ctx}). *)
+let get_value ?(ctx = default_ctx) ~constraints e =
   match Expr.to_const e with
   | Some v -> Some v
   | None -> (
       let sliced = slice ~seed_vars:(Expr.vars e) constraints in
-      match check sliced with
+      match check_ctx ~use_model_cache:false ctx sliced with
       | Sat m -> Some (Expr.eval m e)
       | Unsat | Unknown -> None)
 
 (** Must [e] evaluate to a single value under [constraints]?  Returns that
     value when it is unique. *)
-let get_unique_value ~constraints e =
+let get_unique_value ?(ctx = default_ctx) ~constraints e =
   match Expr.to_const e with
   | Some v -> Some v
   | None -> (
-      match get_value ~constraints e with
+      match get_value ~ctx ~constraints e with
       | None -> None
       | Some v ->
           let differs = Expr.ne e (Expr.const ~width:(Expr.width e) v) in
-          (match check_with ~constraints differs with
+          (match check_with ~ctx ~constraints differs with
           | Unsat -> Some v
           | Sat _ | Unknown -> None))
 
-(** Up to [limit] distinct concrete values for [e] under [constraints]. *)
-let get_values ~constraints ~limit e =
+(** Up to [limit] distinct concrete values for [e] under [constraints].
+    Deterministic: enumeration bypasses the model cache. *)
+let get_values ?(ctx = default_ctx) ~constraints ~limit e =
   let rec go acc extra n =
     if n = 0 then List.rev acc
     else
       let sliced = slice ~seed_vars:(Expr.vars e) constraints in
-      match check (extra @ sliced) with
+      match check_ctx ~use_model_cache:false ctx (extra @ sliced) with
       | Sat m ->
           let v = Expr.eval m e in
           let block = Expr.ne e (Expr.const ~width:(Expr.width e) v) in

@@ -3,8 +3,13 @@
     Sits above {!Bitblast}/{!Sat} and adds the optimizations KLEE/STP give
     the paper's prototype: independent-constraint slicing, a model cache
     (recent satisfying assignments re-tried by evaluation before any SAT
-    call), an unsatisfiable-set cache, and global statistics for the
-    Fig. 9 benchmarks. *)
+    call), an unsatisfiable-set cache, and statistics for the Fig. 9
+    benchmarks.
+
+    All mutable solver state lives in an explicit {!ctx}; every query
+    function takes an optional [?ctx] defaulting to {!default_ctx}, so
+    legacy single-threaded callers are unaffected while parallel workers
+    ({!S2e_core.Parallel}) thread a private context each. *)
 
 open S2e_expr
 
@@ -18,31 +23,69 @@ type stats = {
   mutable max_time : float;
 }
 
+type ctx = {
+  ctx_stats : stats;
+  model_cache : Expr.model list ref;
+      (** Recent models, most recent first.  Exposed for the cache
+          ablation. *)
+  unsat_cache : (int, Expr.t list list) Hashtbl.t;
+  max_conflicts : int ref;
+      (** SAT-core conflict budget per query; exceeding it yields
+          [Unknown]. *)
+}
+(** One solver context: caches + statistics + conflict budget.  A context
+    is single-threaded; concurrent domains must each own one. *)
+
+val create_ctx : ?max_conflicts:int -> unit -> ctx
+(** A fresh context with empty caches and zeroed statistics. *)
+
+val default_ctx : ctx
+(** The context used when [?ctx] is omitted — the process-wide solver
+    state legacy callers share. *)
+
+val new_stats : unit -> stats
+
+val reset_stats : ?ctx:ctx -> unit -> unit
+(** Zero the context's statistics (default: {!default_ctx}'s). *)
+
+val clear_caches : ctx -> unit
+(** Drop the model and unsat caches (statistics are untouched). *)
+
+val merge_stats : into:stats -> stats -> unit
+(** Accumulate [src] into [into]: sums counters and times, maxes
+    [max_time].  Used to fold per-worker statistics into an aggregate. *)
+
 val stats : stats
-val reset_stats : unit -> unit
+(** = [default_ctx.ctx_stats]. *)
 
 val model_cache : Expr.model list ref
-(** Recent models, most recent first.  Exposed for the cache ablation. *)
+(** = [default_ctx.model_cache]. *)
 
 val max_conflicts : int ref
-(** SAT-core conflict budget per query; exceeding it yields [Unknown]. *)
+(** = [default_ctx.max_conflicts]. *)
 
 val slice : seed_vars:Expr.Int_set.t -> Expr.t list -> Expr.t list
 (** Keep only constraints transitively sharing variables with
     [seed_vars]. *)
 
-val check : Expr.t list -> result
+val check : ?ctx:ctx -> Expr.t list -> result
 (** Is the conjunction satisfiable?  Returns a model on success. *)
 
-val check_with : constraints:Expr.t list -> Expr.t -> result
+val check_with : ?ctx:ctx -> constraints:Expr.t list -> Expr.t -> result
 (** Satisfiability of [constraints ∧ cond], slicing [constraints] around
     [cond]'s variables: the branch-feasibility query. *)
 
-val get_value : constraints:Expr.t list -> Expr.t -> int64 option
-(** A concrete value for the expression consistent with the constraints. *)
+val get_value : ?ctx:ctx -> constraints:Expr.t list -> Expr.t -> int64 option
+(** A concrete value for the expression consistent with the constraints.
+    The pick is a pure function of the constraint set (the model cache is
+    bypassed), so serial and parallel exploration concretize
+    identically. *)
 
-val get_unique_value : constraints:Expr.t list -> Expr.t -> int64 option
+val get_unique_value :
+  ?ctx:ctx -> constraints:Expr.t list -> Expr.t -> int64 option
 (** The expression's value when the constraints determine it uniquely. *)
 
-val get_values : constraints:Expr.t list -> limit:int -> Expr.t -> int64 list
-(** Up to [limit] distinct feasible values. *)
+val get_values :
+  ?ctx:ctx -> constraints:Expr.t list -> limit:int -> Expr.t -> int64 list
+(** Up to [limit] distinct feasible values, deterministically
+    enumerated. *)

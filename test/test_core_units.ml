@@ -130,6 +130,40 @@ let test_searcher_scored () =
   | Some s -> Alcotest.(check int) "max score wins" s2.State.id s.State.id
   | None -> Alcotest.fail "empty"
 
+let test_searcher_of_name () =
+  (* Every published selector name resolves. *)
+  List.iter
+    (fun name -> ignore (Searcher.of_name name))
+    Searcher.selector_names;
+  Alcotest.(check bool) "scored accepted" true
+    (List.mem "scored" Searcher.selector_names);
+  (* maxcov is backed by scored with the shallowest-first default score. *)
+  let shallow = dummy_state 1 and deep = dummy_state 2 in
+  deep.State.depth <- 5;
+  let mc = Searcher.of_name "maxcov" in
+  mc.add deep;
+  mc.add shallow;
+  (match mc.select () with
+  | Some s -> Alcotest.(check int) "maxcov prefers shallow" shallow.State.id s.State.id
+  | None -> Alcotest.fail "empty");
+  (* Unknown names raise Invalid_argument enumerating valid selectors. *)
+  match Searcher.of_name "coverage-first" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+      List.iter
+        (fun name ->
+          let contained =
+            let ln = String.length name and lm = String.length msg in
+            let rec scan i =
+              i + ln <= lm && (String.sub msg i ln = name || scan (i + 1))
+            in
+            scan 0
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "error lists %S" name)
+            true contained)
+        Searcher.selector_names
+
 (* --- Module map --- *)
 
 let test_module_map () =
@@ -269,6 +303,7 @@ let tests =
     Alcotest.test_case "searcher bfs" `Quick test_searcher_bfs_fifo;
     Alcotest.test_case "searcher skips dead" `Quick test_searcher_skips_dead;
     Alcotest.test_case "searcher scored" `Quick test_searcher_scored;
+    Alcotest.test_case "searcher of_name selectors" `Quick test_searcher_of_name;
     Alcotest.test_case "module map" `Quick test_module_map;
     Alcotest.test_case "dbt cache, marks, smc invalidation" `Quick
       test_dbt_cache_and_marks;

@@ -2,11 +2,13 @@ let () =
   Alcotest.run "s2e"
     [
       ("expr", Test_expr.tests);
+      ("prop_expr", Test_prop_expr.tests);
       ("solver", Test_solver.tests);
       ("isa_vm", Test_isa_vm.tests);
       ("cc", Test_cc.tests);
       ("core", Test_core_units.tests);
       ("engine", Test_engine.tests);
+      ("parallel", Test_parallel.tests);
       ("guest", Test_guest.tests);
       ("cachesim", Test_cachesim.tests);
       ("plugins", Test_plugins.tests);

@@ -1,0 +1,156 @@
+(* Property-based differential testing of the bitfield-theory simplifier
+   (paper section 5): for randomly generated expression trees, the
+   simplified expression must evaluate identically to the original under
+   random concrete models.  The smart constructors get the same treatment
+   for free, since generation goes through them.
+
+   Hand-rolled seeded generation (rather than qcheck shrinking) keeps the
+   trees well-width-formed: operand widths must agree, and
+   extract/concat/extension nodes need coherent width bookkeeping. *)
+
+open S2e_expr
+
+let widths = [ 1; 8; 16; 32 ]
+let trees_per_width = 500
+let models_per_tree = 3
+let vars_per_width = 3
+
+(* One variable pool shared by all trees so different trees exercise
+   common subexpressions; fresh ids keep them distinct from other tests. *)
+let var_pool =
+  List.map
+    (fun w ->
+      (w, Array.init vars_per_width (fun i -> Expr.fresh_var ~width:w (Printf.sprintf "p%d_%d" w i))))
+    widths
+
+let vars_of_width w = List.assoc w var_pool
+
+let random_value rng w =
+  (* Mix small values (likely to trigger special cases: 0, 1, all-ones)
+     with uniform bits. *)
+  match Random.State.int rng 4 with
+  | 0 -> 0L
+  | 1 -> 1L
+  | 2 -> Expr.mask w
+  | _ -> Expr.norm (Random.State.int64 rng Int64.max_int) w
+
+let choose rng l = List.nth l (Random.State.int rng (List.length l))
+
+let binops =
+  Expr.[ Add; Sub; Mul; Udiv; Urem; And; Or; Xor; Shl; Lshr; Ashr ]
+
+let cmpops = Expr.[ Eq; Ult; Ule; Slt; Sle ]
+
+(* Generate a random expression of exactly [w] bits. *)
+let rec gen rng w depth =
+  if depth = 0 then leaf rng w
+  else
+    match Random.State.int rng 10 with
+    | 0 -> leaf rng w
+    | 1 -> Expr.unop (choose rng Expr.[ Neg; Bnot ]) (gen rng w (depth - 1))
+    | 2 | 3 | 4 ->
+        Expr.binop (choose rng binops) (gen rng w (depth - 1))
+          (gen rng w (depth - 1))
+    | 5 ->
+        Expr.ite (gen rng 1 (depth - 1)) (gen rng w (depth - 1))
+          (gen rng w (depth - 1))
+    | 6 ->
+        (* extract a w-bit field out of a wider expression *)
+        let wider = List.filter (fun w' -> w' > w) widths in
+        if wider = [] then leaf rng w
+        else
+          let wa = choose rng wider in
+          let lo = Random.State.int rng (wa - w + 1) in
+          Expr.extract ~hi:(lo + w - 1) ~lo (gen rng wa (depth - 1))
+    | 7 ->
+        (* concat two halves when w splits into supported widths *)
+        let splits =
+          List.filter_map
+            (fun wh -> if List.mem (w - wh) widths then Some wh else None)
+            widths
+        in
+        if splits = [] then leaf rng w
+        else
+          let wh = choose rng splits in
+          Expr.concat
+            ~high:(gen rng wh (depth - 1))
+            ~low:(gen rng (w - wh) (depth - 1))
+    | 8 ->
+        let narrower = List.filter (fun w' -> w' < w) widths in
+        if narrower = [] then leaf rng w
+        else
+          let wa = choose rng narrower in
+          let ext = if Random.State.bool rng then Expr.zext else Expr.sext in
+          ext ~width:w (gen rng wa (depth - 1))
+    | _ ->
+        if w = 1 then
+          let wa = choose rng widths in
+          Expr.cmp (choose rng cmpops) (gen rng wa (depth - 1))
+            (gen rng wa (depth - 1))
+        else
+          Expr.binop (choose rng binops) (gen rng w (depth - 1))
+            (gen rng w (depth - 1))
+
+and leaf rng w =
+  if Random.State.bool rng then Expr.const ~width:w (random_value rng w)
+  else (vars_of_width w).(Random.State.int rng vars_per_width)
+
+let random_model rng e =
+  Expr.fold_vars
+    (fun m id _name width -> Expr.Int_map.add id (random_value rng width) m)
+    Expr.Int_map.empty e
+
+let check_tree rng w e =
+  let simplified = Simplifier.simplify e in
+  for _ = 1 to models_per_tree do
+    let m = random_model rng e in
+    let expect = Expr.eval m e in
+    let got = Expr.eval m simplified in
+    if expect <> got then
+      Alcotest.failf
+        "simplify changed semantics (width %d):@.  original: %s@.  \
+         simplified: %s@.  model: {%s}@.  original=%Ld simplified=%Ld"
+        w (Expr.to_string e)
+        (Expr.to_string simplified)
+        (String.concat "; "
+           (List.map
+              (fun (id, v) -> Printf.sprintf "v%d=%Ld" id v)
+              (Expr.Int_map.bindings m)))
+        expect got
+  done
+
+let test_simplifier_differential () =
+  let rng = Random.State.make [| 0x5E2E; 2025 |] in
+  List.iter
+    (fun w ->
+      for _ = 1 to trees_per_width do
+        let depth = 1 + Random.State.int rng 5 in
+        check_tree rng w (gen rng w depth)
+      done)
+    widths
+
+(* The simplifier must also be idempotent: a second pass cannot change the
+   (already canonical) result's semantics, and the tree must not grow. *)
+let test_simplifier_idempotent_size () =
+  let rng = Random.State.make [| 77; 1234 |] in
+  List.iter
+    (fun w ->
+      for _ = 1 to 100 do
+        let e = gen rng w 4 in
+        let s1 = Simplifier.simplify e in
+        let s2 = Simplifier.simplify s1 in
+        for _ = 1 to models_per_tree do
+          let m = random_model rng e in
+          Alcotest.(check int64)
+            "second pass stable" (Expr.eval m s1) (Expr.eval m s2)
+        done
+      done)
+    widths
+
+let tests =
+  [
+    Alcotest.test_case "simplifier differential (random trees x models)"
+      `Quick test_simplifier_differential;
+    Alcotest.test_case "simplifier idempotent" `Quick
+      test_simplifier_idempotent_size;
+  ]

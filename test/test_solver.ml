@@ -169,6 +169,95 @@ let prop_solver_vs_brute =
       | Solver.Unsat -> not !brute
       | Solver.Unknown -> true)
 
+(* --- solver-context / cache soundness ------------------------------- *)
+
+let verdict_tag = function
+  | Solver.Sat _ -> "sat"
+  | Solver.Unsat -> "unsat"
+  | Solver.Unknown -> "unknown"
+
+(* Randomized overlapping query sequences on one warm context: cache hits
+   (model cache and unsat cache) must never flip a verdict relative to a
+   cold context.  Queries deliberately repeat and share sub-conjunctions
+   so the caches actually fire. *)
+let test_cache_soundness () =
+  let rng = Random.State.make [| 0xCAC4E; 7 |] in
+  let xs = Array.init 3 (fun i -> Expr.fresh_var ~width:8 (Printf.sprintf "cs%d" i)) in
+  let pool =
+    (* A mix of satisfiable, contradictory and overlapping constraints. *)
+    [
+      Expr.ult xs.(0) (Expr.const ~width:8 10L);
+      Expr.ult (Expr.const ~width:8 20L) xs.(0);
+      Expr.eq xs.(1) (Expr.add xs.(0) (Expr.const ~width:8 1L));
+      Expr.eq (Expr.band xs.(2) (Expr.const ~width:8 3L)) (Expr.const ~width:8 2L);
+      Expr.ne xs.(2) xs.(1);
+      Expr.ule xs.(1) (Expr.const ~width:8 200L);
+      Expr.eq xs.(0) (Expr.const ~width:8 5L);
+    ]
+  in
+  let pool = Array.of_list pool in
+  let warm = Solver.create_ctx () in
+  for _ = 1 to 60 do
+    let n = 1 + Random.State.int rng 4 in
+    let cs =
+      List.init n (fun _ -> pool.(Random.State.int rng (Array.length pool)))
+    in
+    let w = Solver.check ~ctx:warm cs in
+    let c = Solver.check ~ctx:(Solver.create_ctx ()) cs in
+    Alcotest.(check string)
+      "warm verdict = cold verdict" (verdict_tag c) (verdict_tag w);
+    (* Any Sat model — cached or fresh — must actually satisfy. *)
+    match w with
+    | Solver.Sat m ->
+        List.iter (fun cst -> Alcotest.(check int64) "model satisfies" 1L (Expr.eval m cst)) cs
+    | _ -> ()
+  done;
+  (* The sequence above repeats queries: the warm context must have hits,
+     otherwise this test exercises nothing. *)
+  Alcotest.(check bool) "warm cache was exercised" true
+    (warm.Solver.ctx_stats.Solver.cache_hits > 0)
+
+(* Contexts are isolated: queries on one leave another (and the default)
+   untouched, and reset/clear act per-context. *)
+let test_ctx_isolation () =
+  let a = Solver.create_ctx () and b = Solver.create_ctx () in
+  Alcotest.(check int) "fresh ctx starts at zero" 0 a.Solver.ctx_stats.Solver.queries;
+  let x = Expr.fresh_var ~width:8 "iso" in
+  let c = Expr.ult x (Expr.const ~width:8 4L) in
+  let default_before = Solver.stats.Solver.queries in
+  (match Solver.check ~ctx:a [ c ] with
+  | Solver.Sat _ -> ()
+  | _ -> Alcotest.fail "expected sat");
+  Alcotest.(check int) "ctx a counted its query" 1 a.Solver.ctx_stats.Solver.queries;
+  Alcotest.(check int) "ctx b untouched" 0 b.Solver.ctx_stats.Solver.queries;
+  Alcotest.(check int) "default ctx untouched" default_before Solver.stats.Solver.queries;
+  Alcotest.(check bool) "ctx a cached a model" true (!(a.Solver.model_cache) <> []);
+  Alcotest.(check bool) "ctx b cache empty" true (!(b.Solver.model_cache) = []);
+  Solver.reset_stats ~ctx:a ();
+  Alcotest.(check int) "reset zeroes only ctx a" 0 a.Solver.ctx_stats.Solver.queries;
+  Solver.clear_caches a;
+  Alcotest.(check bool) "clear_caches empties model cache" true (!(a.Solver.model_cache) = []);
+  Alcotest.(check int) "clear_caches keeps unsat cache empty too" 0
+    (Hashtbl.length a.Solver.unsat_cache)
+
+(* Concretization picks bypass the model cache, so a warm context returns
+   the same value as a cold one regardless of query history. *)
+let test_get_value_warm_vs_cold () =
+  let x = Expr.fresh_var ~width:8 "gv" in
+  let cs = [ Expr.ult x (Expr.const ~width:8 100L) ] in
+  let warm = Solver.create_ctx () in
+  (* Pollute the warm cache with models from different constraint sets. *)
+  ignore (Solver.check ~ctx:warm [ Expr.eq x (Expr.const ~width:8 42L) ]);
+  ignore (Solver.check ~ctx:warm [ Expr.ult (Expr.const ~width:8 50L) x ]);
+  let vw = Solver.get_value ~ctx:warm ~constraints:cs x in
+  let vc = Solver.get_value ~ctx:(Solver.create_ctx ()) ~constraints:cs x in
+  (match (vw, vc) with
+  | Some a, Some b -> Alcotest.(check int64) "warm pick = cold pick" b a
+  | _ -> Alcotest.fail "expected values");
+  let vsw = Solver.get_values ~ctx:warm ~constraints:cs ~limit:5 x in
+  let vsc = Solver.get_values ~ctx:(Solver.create_ctx ()) ~constraints:cs ~limit:5 x in
+  Alcotest.(check (list int64)) "get_values history-independent" vsc vsw
+
 let tests =
   [
     Alcotest.test_case "sat basic" `Quick test_sat_basic;
@@ -182,6 +271,11 @@ let tests =
     Alcotest.test_case "get_values enumerates" `Quick test_get_values;
     Alcotest.test_case "get_unique_value" `Quick test_get_unique;
     Alcotest.test_case "independent slicing" `Quick test_slicing;
+    Alcotest.test_case "cache soundness (warm vs cold verdicts)" `Quick
+      test_cache_soundness;
+    Alcotest.test_case "solver context isolation" `Quick test_ctx_isolation;
+    Alcotest.test_case "get_value warm vs cold" `Quick
+      test_get_value_warm_vs_cold;
     QCheck_alcotest.to_alcotest prop_models_satisfy;
     QCheck_alcotest.to_alcotest prop_solver_vs_brute;
   ]
