@@ -749,6 +749,91 @@ let parallel () =
     cores
 
 (* ---------------------------------------------------------------- *)
+(* Telemetry breakdown: Table-5-of-DBT-papers-style time accounting   *)
+(* ---------------------------------------------------------------- *)
+
+(* Where does a run's wall-clock go?  Replays the parallel workload
+   serially with the lib/obs registry reset, then reads the phase spans'
+   exclusive times out of the final snapshot.  The solver fraction is the
+   number the paper's Fig. 9 tracks per consistency model. *)
+let breakdown () =
+  section "Telemetry: per-phase time breakdown of a multi-path run";
+  let module Obs = S2e_obs in
+  let img =
+    Guest.build
+      ~driver:("nulldrv", S2e_guest.Drivers_src.nulldrv)
+      ~workload:("pbench", parallel_workload)
+      ()
+  in
+  let make_engine () =
+    let config = Executor.default_config () in
+    config.consistency <- Consistency.LC;
+    let engine = Executor.create ~config () in
+    Guest.load_into_engine engine img;
+    Executor.set_unit engine [ "pbench" ];
+    engine
+  in
+  Obs.Metrics.reset ();
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Parallel.explore ~jobs:1
+      ~limits:
+        {
+          Executor.max_instructions = None;
+          max_seconds = Some (budget *. 4.);
+          max_completed = None;
+        }
+      ~make_engine
+      ~boot:(fun eng -> Executor.boot eng ~entry:img.entry ())
+      ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let snap = Obs.Metrics.snapshot () in
+  let phases =
+    List.filter_map
+      (fun (name, v) ->
+        let n = String.length name in
+        if
+          n > 8
+          && String.sub name 0 6 = "phase."
+          && String.sub name (n - 2) 2 = "_s"
+        then
+          match v with
+          | Obs.Metrics.Float s -> Some (String.sub name 6 (n - 8), s)
+          | _ -> None
+        else None)
+      snap
+  in
+  let accounted = List.fold_left (fun a (_, s) -> a +. s) 0. phases in
+  Printf.printf "%d paths in %.2fs wall (%.2fs accounted by phase spans)\n"
+    r.stats.Executor.states_completed wall accounted;
+  Printf.printf "%-12s %8s %8s\n" "phase" "self (s)" "share";
+  List.iter
+    (fun (name, s) ->
+      Printf.printf "%-12s %8.3f %7.1f%%\n" name s
+        (if accounted > 0. then 100. *. s /. accounted else 0.))
+    (List.sort (fun (_, a) (_, b) -> compare b a) phases);
+  let solver_s =
+    try List.assoc "solver" phases with Not_found -> 0.
+  in
+  let instr = Obs.Metrics.get_int snap "engine.instructions" in
+  Printf.printf
+    "BENCH {\"name\":\"breakdown\",\"paths\":%d,\"wall_s\":%.3f,\
+     \"accounted_s\":%.3f,\"solver_frac\":%.4f,\"instr_per_sec\":%.0f,\
+     \"queries\":%d,\"tb_hit_rate\":%.4f}\n"
+    r.stats.Executor.states_completed wall accounted
+    (if accounted > 0. then solver_s /. accounted else 0.)
+    (if wall > 0. then float_of_int instr /. wall else 0.)
+    (Obs.Metrics.get_int snap "solver.queries")
+    (let h = float_of_int (Obs.Metrics.get_int snap "dbt.tb_hits") in
+     let m = float_of_int (Obs.Metrics.get_int snap "dbt.tb_misses") in
+     if h +. m > 0. then h /. (h +. m) else 0.);
+  Printf.printf
+    "\nThe solver share dominating a symbolic workload (and execute\n\
+     dominating a concrete one) is the paper's Fig. 9 shape; phase spans\n\
+     subtract nested time, so the shares sum to ~100%%.\n"
+
+(* ---------------------------------------------------------------- *)
 
 let experiments =
   [
@@ -766,6 +851,7 @@ let experiments =
     ("pagesize", pagesize);
     ("ablate", ablate);
     ("parallel", parallel);
+    ("breakdown", breakdown);
   ]
 
 let () =

@@ -5,3 +5,20 @@ set -eu
 cd "$(dirname "$0")/.."
 dune build @all
 dune runtest
+
+# Telemetry smoke test: a short parallel exploration must stream parsable
+# run-stats JSONL (>= 2 periodic snapshots + a final line), and the stats
+# renderer must accept the file.
+stats_file=$(mktemp /tmp/s2e-stats-XXXXXX.jsonl)
+trap 'rm -f "$stats_file"' EXIT
+dune exec bin/s2e_cli.exe -- explore --driver nulldrv --workload urlparse \
+  --jobs 2 --seconds 2 --stats-out "$stats_file" --stats-interval 0.05 \
+  > /dev/null
+test -s "$stats_file" || { echo "CI: stats file empty" >&2; exit 1; }
+lines=$(wc -l < "$stats_file")
+[ "$lines" -ge 3 ] || { echo "CI: expected >=3 snapshots, got $lines" >&2; exit 1; }
+grep -q '"kind":"final"' "$stats_file" \
+  || { echo "CI: no final snapshot line" >&2; exit 1; }
+dune exec bin/s2e_cli.exe -- stats "$stats_file" > /dev/null \
+  || { echo "CI: stats renderer rejected the JSONL" >&2; exit 1; }
+echo "CI: telemetry smoke test passed ($lines snapshot lines)"

@@ -7,6 +7,7 @@
 open Cmdliner
 open S2e_tools
 module Guest = S2e_guest.Guest
+module Obs = S2e_obs
 
 let driver_arg =
   let names = List.map fst Guest.drivers in
@@ -188,7 +189,21 @@ let explore_cmd =
     in
     Arg.(value & flag & info [ "cases" ] ~doc)
   in
-  let run driver workload model jobs seconds searcher cases =
+  let stats_out_arg =
+    let doc =
+      "Stream run statistics to $(docv) as JSONL: one snapshot object per \
+       line, ['kind':'periodic'] while exploring plus an exact \
+       ['kind':'final'] line after all workers join.  Render with the \
+       $(b,stats) subcommand."
+    in
+    Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE" ~doc)
+  in
+  let stats_interval_arg =
+    let doc = "Seconds between periodic snapshots (with $(b,--stats-out))." in
+    Arg.(value & opt float 0.5 & info [ "stats-interval" ] ~docv:"SEC" ~doc)
+  in
+  let run driver workload model jobs seconds searcher cases stats_out
+      stats_interval =
     let driver_src =
       if driver = "nulldrv" then S2e_guest.Drivers_src.nulldrv
       else begin
@@ -238,11 +253,31 @@ let explore_cmd =
         max_completed = None;
       }
     in
+    let reporter =
+      match stats_out with
+      | None -> None
+      | Some path ->
+          if stats_interval <= 0. then begin
+            Fmt.epr "--stats-interval must be > 0 (got %g)@." stats_interval;
+            exit 2
+          end;
+          (* Zero the registry so the final snapshot's totals are exactly
+             this run's totals (the registry is process-wide). *)
+          Obs.Metrics.reset ();
+          let oc = open_out path in
+          Some (oc, Obs.Reporter.start ~interval:stats_interval oc)
+    in
     let r =
       Parallel.explore ~jobs ~limits ~make_engine
         ~boot:(fun eng -> Executor.boot eng ~entry:img.entry ())
         ()
     in
+    (match reporter with
+    | None -> ()
+    | Some (oc, rep) ->
+        (* Workers are joined by [explore], so the final line is exact. *)
+        Obs.Reporter.stop rep;
+        close_out oc);
     Fmt.pr "jobs: %d@." r.Parallel.jobs;
     Fmt.pr "wall seconds: %.2f@." r.wall_seconds;
     Fmt.pr "paths completed: %d@." r.stats.Executor.states_completed;
@@ -270,7 +305,193 @@ let explore_cmd =
           workers (--jobs)")
     Term.(
       const run $ driver_arg $ workload_arg $ model_arg $ jobs_arg
-      $ seconds_arg $ searcher_arg $ cases_arg)
+      $ seconds_arg $ searcher_arg $ cases_arg $ stats_out_arg
+      $ stats_interval_arg)
+
+(* --- stats: render a run-stats JSONL file --- *)
+
+let stats_cmd =
+  let file_arg =
+    let doc = "Run-stats JSONL file written by $(b,explore --stats-out)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let lines =
+      match open_in file with
+      | exception Sys_error msg ->
+          Fmt.epr "%s@." msg;
+          exit 2
+      | ic ->
+          let rec go acc =
+            match input_line ic with
+            | line -> go (if String.trim line = "" then acc else line :: acc)
+            | exception End_of_file ->
+                close_in ic;
+                List.rev acc
+          in
+          go []
+    in
+    if lines = [] then begin
+      Fmt.epr "%s: no snapshots (empty stats file)@." file;
+      exit 2
+    end;
+    let parsed =
+      List.mapi
+        (fun i line ->
+          match Obs.Jsonl.parse line with
+          | Ok j -> j
+          | Error msg ->
+              Fmt.epr "%s: line %d unparsable: %s@." file (i + 1) msg;
+              exit 2)
+        lines
+    in
+    (* Prefer the exact post-join "final" snapshot; a run cut short still
+       renders from its last periodic line. *)
+    let final =
+      match
+        List.find_opt
+          (fun j -> Obs.Jsonl.str_member "kind" j = Some "final")
+          (List.rev parsed)
+      with
+      | Some j -> j
+      | None -> List.nth parsed (List.length parsed - 1)
+    in
+    let metrics =
+      Option.value ~default:(Obs.Jsonl.Obj [])
+        (Obs.Jsonl.member "metrics" final)
+    in
+    let m name = Option.value ~default:0. (Obs.Jsonl.num_member name metrics) in
+    let mi name = int_of_float (m name) in
+    let elapsed =
+      Option.value ~default:0. (Obs.Jsonl.num_member "elapsed_s" final)
+    in
+    let periodic =
+      List.length
+        (List.filter
+           (fun j -> Obs.Jsonl.str_member "kind" j = Some "periodic")
+           parsed)
+    in
+    let pct part whole = if whole <= 0. then 0. else 100. *. part /. whole in
+    Fmt.pr "run: %.2f s, %d periodic snapshot(s)%s, %d worker(s)@." elapsed
+      periodic
+      (if Obs.Jsonl.str_member "kind" final = Some "final" then " + final"
+       else " (no final line: run was cut short)")
+      (max 1 (mi "parallel.workers"));
+    Fmt.pr "paths: %d completed (%d aborted), %d live, %d forks, max %d live@."
+      (mi "engine.states_completed")
+      (mi "engine.aborts") (mi "engine.live_states") (mi "engine.forks")
+      (mi "engine.max_live_states");
+    let instr = m "engine.instructions" in
+    Fmt.pr "instructions: %d (%d symbolic), %.0f instr/s@." (mi "engine.instructions")
+      (mi "engine.sym_instructions")
+      (if elapsed > 0. then instr /. elapsed else 0.);
+    let queries = m "solver.queries" in
+    Fmt.pr
+      "solver: %d queries (%d reached SAT core), %.1f%% query-cache hits@."
+      (mi "solver.queries") (mi "solver.sat_queries")
+      (pct (m "solver.cache_hits") queries);
+    let tb_hits = m "dbt.tb_hits" and tb_misses = m "dbt.tb_misses" in
+    Fmt.pr "tb cache: %.1f%% hits (%d hits, %d misses), %d invalidations@."
+      (pct tb_hits (tb_hits +. tb_misses))
+      (mi "dbt.tb_hits") (mi "dbt.tb_misses")
+      (mi "dbt.tb_invalidations");
+    Fmt.pr
+      "engine: %d concretizations, max constraint set %d, %d steals, %d \
+       donations@."
+      (mi "engine.concretizations")
+      (mi "engine.max_constraint_set")
+      (mi "parallel.steals") (mi "parallel.donations");
+    (* Phase breakdown: every "phase.<name>_s" fcounter holds that phase's
+       exclusive (self) time, so fractions of their sum add up to ~100%. *)
+    let phases =
+      List.filter_map
+        (fun (name, v) ->
+          let n = String.length name in
+          if
+            n > 8
+            && String.sub name 0 6 = "phase."
+            && String.sub name (n - 2) 2 = "_s"
+          then
+            match Obs.Jsonl.to_num v with
+            | Some secs -> Some (String.sub name 6 (n - 8), secs)
+            | None -> None
+          else None)
+        (Option.value ~default:[] (Obs.Jsonl.to_obj metrics))
+    in
+    let total_phase = List.fold_left (fun a (_, s) -> a +. s) 0. phases in
+    if phases <> [] then begin
+      Fmt.pr "phase breakdown (self time, %.2f s accounted):@." total_phase;
+      List.iter
+        (fun (name, secs) ->
+          Fmt.pr "  %-12s %5.1f%%  %8.3f s  (%d enters)@." name
+            (pct secs total_phase) secs
+            (mi (Printf.sprintf "phase.%s_count" name)))
+        (List.sort (fun (_, a) (_, b) -> compare b a) phases)
+    end;
+    (* Solver query latency histogram. *)
+    (match
+       Obs.Jsonl.member "hist" final
+       |> Option.map (fun h -> Obs.Jsonl.member "solver.query_s" h)
+     with
+    | Some (Some h) ->
+        let bounds =
+          Option.value ~default: []
+            (Option.bind (Obs.Jsonl.member "bounds" h) Obs.Jsonl.to_arr)
+          |> List.filter_map Obs.Jsonl.to_num
+        in
+        let counts =
+          Option.value ~default: []
+            (Option.bind (Obs.Jsonl.member "counts" h) Obs.Jsonl.to_arr)
+          |> List.filter_map Obs.Jsonl.to_num
+        in
+        let total = List.fold_left ( +. ) 0. counts in
+        if total > 0. then begin
+          Fmt.pr "solver query latency (%.0f queries, %.3f s total):@." total
+            (Option.value ~default:0. (Obs.Jsonl.num_member "sum" h));
+          List.iteri
+            (fun i c ->
+              if c > 0. then
+                let label =
+                  if i < List.length bounds then
+                    Printf.sprintf "<= %gs" (List.nth bounds i)
+                  else "overflow"
+                in
+                Fmt.pr "  %-10s %6.0f  (%.1f%%)@." label c (pct c total))
+            counts
+        end
+    | _ -> ());
+    (* Per-worker breakdown from the per-shard views. *)
+    (match Obs.Jsonl.member "shards" final with
+    | Some (Obs.Jsonl.Arr shards) when List.length shards > 1 ->
+        Fmt.pr "per-worker (registry shard):@.";
+        List.iter
+          (fun sh ->
+            let id =
+              int_of_float
+                (Option.value ~default:(-1.)
+                   (Obs.Jsonl.num_member "shard" sh))
+            in
+            let sm =
+              Option.value ~default:(Obs.Jsonl.Obj [])
+                (Obs.Jsonl.member "metrics" sh)
+            in
+            let g name =
+              int_of_float
+                (Option.value ~default:0. (Obs.Jsonl.num_member name sm))
+            in
+            Fmt.pr "  shard %d: %d instr, %d paths, %d forks, %d steals@." id
+              (g "engine.instructions")
+              (g "engine.states_completed")
+              (g "engine.forks") (g "parallel.steals"))
+          shards
+    | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Render the final breakdown of a run-stats JSONL file (explore \
+          --stats-out)")
+    Term.(const run $ file_arg)
 
 (* --- models --- *)
 
@@ -307,4 +528,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "s2e" ~doc)
-          [ run_cmd; ddt_cmd; rev_cmd; profs_cmd; models_cmd; explore_cmd ]))
+          [
+            run_cmd; ddt_cmd; rev_cmd; profs_cmd; models_cmd; explore_cmd;
+            stats_cmd;
+          ]))

@@ -17,6 +17,28 @@ open S2e_isa
 module Vm = S2e_vm
 module Dbt = S2e_dbt.Dbt
 module Solver = S2e_solver.Solver
+module Obs = S2e_obs
+
+(* Telemetry (lib/obs).  The per-engine [stats] record below stays the
+   per-worker view {!Parallel} aggregates; these registry metrics are the
+   domain-sharded process-wide view the run-stats reporter streams.  Both
+   are incremented at the same sites so totals cannot drift. *)
+let m_instructions = Obs.Metrics.counter "engine.instructions"
+let m_sym_instructions = Obs.Metrics.counter "engine.sym_instructions"
+let m_forks = Obs.Metrics.counter "engine.forks"
+let m_states_created = Obs.Metrics.counter "engine.states_created"
+let m_states_completed = Obs.Metrics.counter "engine.states_completed"
+let m_concretizations = Obs.Metrics.counter "engine.concretizations"
+let m_aborts = Obs.Metrics.counter "engine.aborts"
+let m_live = Obs.Metrics.gauge ~merge:Obs.Metrics.Sum "engine.live_states"
+let m_max_live = Obs.Metrics.gauge ~merge:Obs.Metrics.Max "engine.max_live_states"
+
+let m_max_constraints =
+  Obs.Metrics.gauge ~merge:Obs.Metrics.Max "engine.max_constraint_set"
+
+let execute_phase = Obs.Span.phase "execute"
+let fork_phase = Obs.Span.phase "fork"
+let concretize_phase = Obs.Span.phase "concretize"
 
 type config = {
   mutable consistency : Consistency.t;
@@ -143,6 +165,7 @@ let boot t ?card_id ~entry () =
   let devices = Vm.Devices.create ?card_id () in
   let s = State.create ~mem ~devices ~pc:entry in
   t.stats.states_created <- t.stats.states_created + 1;
+  Obs.Metrics.incr m_states_created;
   s
 
 (* ------------------------------------------------------------------ *)
@@ -163,10 +186,16 @@ let fresh_sym t name width =
 let end_state t (s : State.t) status =
   s.status <- status;
   t.stats.states_completed <- t.stats.states_completed + 1;
-  (match status with State.Aborted _ -> t.stats.aborts <- t.stats.aborts + 1 | _ -> ());
+  Obs.Metrics.incr m_states_completed;
+  (match status with
+  | State.Aborted _ ->
+      t.stats.aborts <- t.stats.aborts + 1;
+      Obs.Metrics.incr m_aborts
+  | _ -> ());
   Events.state_end t.events s;
   t.searcher.remove s;
   t.live <- List.filter (fun s' -> s'.State.id <> s.State.id) t.live;
+  Obs.Metrics.set m_live (List.length t.live);
   raise Path_end
 
 let report_bug t (s : State.t) kind message =
@@ -179,14 +208,17 @@ let report_bug t (s : State.t) kind message =
 let concretize t (s : State.t) e =
   match Expr.to_const e with
   | Some v -> v
-  | None -> (
+  | None ->
       t.stats.concretizations <- t.stats.concretizations + 1;
-      match Solver.get_value ~ctx:t.solver ~constraints:s.constraints e with
-      | Some v ->
-          State.add_constraint s (Expr.eq e (Expr.const ~width:(Expr.width e) v));
-          s.soft_constraints <- s.soft_constraints + 1;
-          v
-      | None -> end_state t s (State.Aborted "infeasible concretization"))
+      Obs.Metrics.incr m_concretizations;
+      Obs.Span.timed concretize_phase (fun () ->
+          match Solver.get_value ~ctx:t.solver ~constraints:s.constraints e with
+          | Some v ->
+              State.add_constraint s
+                (Expr.eq e (Expr.const ~width:(Expr.width e) v));
+              s.soft_constraints <- s.soft_constraints + 1;
+              v
+          | None -> end_state t s (State.Aborted "infeasible concretization"))
 
 let concrete_addr t s e = Int64.to_int (concretize t s e) land 0xFFFFFFFF
 
@@ -282,20 +314,26 @@ let do_write t (s : State.t) addr_e v size =
 (* ------------------------------------------------------------------ *)
 
 let do_fork t (s : State.t) cond ~taken_pc ~fall_pc =
-  (* Parent takes the branch; child takes the fall-through. *)
-  let child = State.fork s in
-  t.stats.states_created <- t.stats.states_created + 1;
-  t.stats.forks <- t.stats.forks + 1;
-  State.add_constraint s cond;
-  State.add_constraint child (Expr.log_not cond);
-  s.pc <- taken_pc;
-  child.pc <- fall_pc;
-  t.live <- child :: t.live;
-  let live_count = List.length t.live in
-  if live_count > t.stats.max_live_states then t.stats.max_live_states <- live_count;
-  Events.fork t.events s child cond;
-  t.searcher.add child;
-  child
+  Obs.Span.timed fork_phase (fun () ->
+      (* Parent takes the branch; child takes the fall-through. *)
+      let child = State.fork s in
+      t.stats.states_created <- t.stats.states_created + 1;
+      t.stats.forks <- t.stats.forks + 1;
+      Obs.Metrics.incr m_states_created;
+      Obs.Metrics.incr m_forks;
+      State.add_constraint s cond;
+      State.add_constraint child (Expr.log_not cond);
+      s.pc <- taken_pc;
+      child.pc <- fall_pc;
+      t.live <- child :: t.live;
+      let live_count = List.length t.live in
+      if live_count > t.stats.max_live_states then
+        t.stats.max_live_states <- live_count;
+      Obs.Metrics.set m_live live_count;
+      Obs.Metrics.set m_max_live live_count;
+      Events.fork t.events s child cond;
+      t.searcher.add child;
+      child)
 
 (* Decide a branch with a symbolic condition. *)
 let symbolic_branch t (s : State.t) cond ~taken_pc ~fall_pc =
@@ -310,9 +348,12 @@ let symbolic_branch t (s : State.t) cond ~taken_pc ~fall_pc =
         let child = State.fork s in
         t.stats.states_created <- t.stats.states_created + 1;
         t.stats.forks <- t.stats.forks + 1;
+        Obs.Metrics.incr m_states_created;
+        Obs.Metrics.incr m_forks;
         s.pc <- taken_pc;
         child.pc <- fall_pc;
         t.live <- child :: t.live;
+        Obs.Metrics.set m_live (List.length t.live);
         Events.fork t.events s child cond;
         t.searcher.add child
       end
@@ -684,8 +725,11 @@ let fetch_byte t (s : State.t) addr =
   | Some b -> b
   | None -> end_state t s (State.Faulted "executing symbolic code")
 
-(* Execute one translation block of [s]. *)
-let exec_tb t (s : State.t) =
+(* Execute one translation block of [s].  The whole block runs inside an
+   "execute" phase span; translate/solver/fork/concretize spans nested
+   under it subtract themselves, so the span records pure guest-execution
+   self time. *)
+let exec_tb_body t (s : State.t) =
   check_env_return t s;
   (* Interrupt delivery between blocks. *)
   (match s.pending_irqs with
@@ -728,11 +772,17 @@ let exec_tb t (s : State.t) =
   in
   t.stats.concrete_instret <- t.stats.concrete_instret + n;
   t.stats.sym_instret <- t.stats.sym_instret + (s.sym_instret - sym_before);
+  Obs.Metrics.add m_instructions n;
+  Obs.Metrics.add m_sym_instructions (s.sym_instret - sym_before);
+  Obs.Metrics.set m_max_constraints (List.length s.constraints);
   s.virtual_time <- Int64.add s.virtual_time (Int64.of_int ticks);
   if s.status = State.Active && not s.irqs_suppressed then begin
     let irqs = Vm.Devices.tick s.devices ticks in
     List.iter (fun irq -> s.pending_irqs <- s.pending_irqs @ [ irq ]) irqs
   end
+
+let exec_tb t (s : State.t) =
+  Obs.Span.timed execute_phase (fun () -> exec_tb_body t s)
 
 (** Execute one translation block of [s], absorbing path termination.
     Building block for external schedulers ({!Parallel}). *)
@@ -744,13 +794,16 @@ let adopt t (s : State.t) =
   t.live <- s :: t.live;
   let live_count = List.length t.live in
   if live_count > t.stats.max_live_states then t.stats.max_live_states <- live_count;
+  Obs.Metrics.set m_live live_count;
+  Obs.Metrics.set m_max_live live_count;
   t.searcher.add s
 
 (** Remove [s] from this engine's frontier without terminating it: the
     donation half of work stealing. *)
 let disown t (s : State.t) =
   t.searcher.remove s;
-  t.live <- List.filter (fun s' -> s'.State.id <> s.State.id) t.live
+  t.live <- List.filter (fun s' -> s'.State.id <> s.State.id) t.live;
+  Obs.Metrics.set m_live (List.length t.live)
 
 type run_limits = {
   max_instructions : int option;
@@ -803,9 +856,13 @@ let plugin_fork t (s : State.t) =
   let child = State.fork s in
   t.stats.states_created <- t.stats.states_created + 1;
   t.stats.forks <- t.stats.forks + 1;
+  Obs.Metrics.incr m_states_created;
+  Obs.Metrics.incr m_forks;
   t.live <- child :: t.live;
   let live_count = List.length t.live in
   if live_count > t.stats.max_live_states then t.stats.max_live_states <- live_count;
+  Obs.Metrics.set m_live live_count;
+  Obs.Metrics.set m_max_live live_count;
   Events.fork t.events s child Expr.bool_t;
   t.searcher.add child;
   child
@@ -817,17 +874,21 @@ let kill_others t keep reason =
       if s.id <> keep.State.id && State.is_active s then begin
         s.status <- State.Killed reason;
         t.stats.states_completed <- t.stats.states_completed + 1;
+        Obs.Metrics.incr m_states_completed;
         Events.state_end t.events s;
         t.searcher.remove s
       end)
     t.live;
-  t.live <- List.filter State.is_active t.live
+  t.live <- List.filter State.is_active t.live;
+  Obs.Metrics.set m_live (List.length t.live)
 
 let kill_state t (s : State.t) reason =
   if State.is_active s then begin
     s.status <- State.Killed reason;
     t.stats.states_completed <- t.stats.states_completed + 1;
+    Obs.Metrics.incr m_states_completed;
     Events.state_end t.events s;
     t.searcher.remove s;
-    t.live <- List.filter State.is_active t.live
+    t.live <- List.filter State.is_active t.live;
+    Obs.Metrics.set m_live (List.length t.live)
   end

@@ -29,7 +29,17 @@
     high watermark, may differ. *)
 
 module Solver = S2e_solver.Solver
+module Obs = S2e_obs
 open S2e_expr
+
+(* Scheduler telemetry.  Steals land in the thief's own registry shard, so
+   {!S2e_obs.Metrics.shard_snapshots} gives a per-worker steal count for
+   free; "steal" span time is the scheduler-overhead column of a Table-5
+   style breakdown (lock waits + idle blocking on the pool). *)
+let m_steals = Obs.Metrics.counter "parallel.steals"
+let m_donations = Obs.Metrics.counter "parallel.donations"
+let m_workers = Obs.Metrics.gauge ~merge:Obs.Metrics.Max "parallel.workers"
+let steal_phase = Obs.Span.phase "steal"
 
 type result = {
   jobs : int;
@@ -133,6 +143,7 @@ let sync_after_block shared w =
         | victim :: _ ->
             Executor.disown w.eng victim;
             Queue.push victim shared.pool;
+            Obs.Metrics.incr m_donations;
             Condition.signal shared.cv;
             donate ()
       end
@@ -144,26 +155,28 @@ let sync_after_block shared w =
 (* Blocking steal: take a state from the pool, or wait until either work
    appears, the system drains, or a budget limit fires. *)
 let steal shared =
-  Mutex.lock shared.m;
-  let rec go () =
-    if Atomic.get shared.stop then None
-    else
-      match Queue.take_opt shared.pool with
-      | Some s ->
-          shared.steals <- shared.steals + 1;
-          Some s
-      | None ->
-          if shared.outstanding = 0 then None
-          else begin
-            shared.idle <- shared.idle + 1;
-            Condition.wait shared.cv shared.m;
-            shared.idle <- shared.idle - 1;
-            go ()
-          end
-  in
-  let r = go () in
-  Mutex.unlock shared.m;
-  r
+  Obs.Span.timed steal_phase (fun () ->
+      Mutex.lock shared.m;
+      let rec go () =
+        if Atomic.get shared.stop then None
+        else
+          match Queue.take_opt shared.pool with
+          | Some s ->
+              shared.steals <- shared.steals + 1;
+              Obs.Metrics.incr m_steals;
+              Some s
+          | None ->
+              if shared.outstanding = 0 then None
+              else begin
+                shared.idle <- shared.idle + 1;
+                Condition.wait shared.cv shared.m;
+                shared.idle <- shared.idle - 1;
+                go ()
+              end
+      in
+      let r = go () in
+      Mutex.unlock shared.m;
+      r)
 
 let request_stop shared =
   Atomic.set shared.stop true;
@@ -223,6 +236,7 @@ let merge_exec_stats ~(into : Executor.stats) (src : Executor.stats) =
 let explore ?(jobs = 1) ?(limits = Executor.no_limits)
     ~(make_engine : unit -> Executor.t) ~(boot : Executor.t -> State.t) () =
   if jobs < 1 then invalid_arg "Parallel.explore: jobs must be >= 1";
+  Obs.Metrics.set m_workers jobs;
   let started = Unix.gettimeofday () in
   let engines =
     List.init jobs (fun _ ->

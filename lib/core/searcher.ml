@@ -2,6 +2,8 @@
     DepthFirst, BreadthFirst, Random, plus a generic scored searcher that
     MaxCoverage builds on). *)
 
+module Obs = S2e_obs
+
 type t = {
   add : State.t -> unit;
   remove : State.t -> unit;
@@ -9,10 +11,33 @@ type t = {
   size : unit -> int;
 }
 
+(* Scheduling telemetry: adds = states entering a frontier (initial state,
+   forks, steals); selects = scheduling decisions that yielded a state.
+   Shared by every selector so strategies are comparable. *)
+let m_adds = Obs.Metrics.counter "searcher.adds"
+let m_selects = Obs.Metrics.counter "searcher.selects"
+
+let instrument t =
+  {
+    t with
+    add =
+      (fun s ->
+        Obs.Metrics.incr m_adds;
+        t.add s);
+    select =
+      (fun () ->
+        match t.select () with
+        | Some _ as r ->
+            Obs.Metrics.incr m_selects;
+            r
+        | None -> None);
+  }
+
 let filter_live states = List.filter State.is_active states
 
 let dfs () =
   let stack = ref [] in
+  instrument
   {
     add = (fun s -> stack := s :: !stack);
     remove = (fun s -> stack := List.filter (fun s' -> s'.State.id <> s.State.id) !stack);
@@ -26,6 +51,7 @@ let dfs () =
 let bfs () =
   let queue = Queue.create () in
   let live = Hashtbl.create 64 in
+  instrument
   {
     add =
       (fun s ->
@@ -51,6 +77,7 @@ let bfs () =
 let random ?(seed = 42) () =
   let rng = Random.State.make [| seed |] in
   let states = ref [] in
+  instrument
   {
     add = (fun s -> states := s :: !states);
     remove = (fun s -> states := List.filter (fun s' -> s'.State.id <> s.State.id) !states);
@@ -67,6 +94,7 @@ let random ?(seed = 42) () =
     so scores may depend on global analysis state such as coverage). *)
 let scored score =
   let states = ref [] in
+  instrument
   {
     add = (fun s -> states := s :: !states);
     remove = (fun s -> states := List.filter (fun s' -> s'.State.id <> s.State.id) !states);

@@ -9,6 +9,15 @@
     affected blocks, which is how self-modifying guests stay correct. *)
 
 open S2e_isa
+module Obs = S2e_obs
+
+(* TB-cache telemetry: hit/miss rates are the translation-cost half of
+   the paper's overhead story (section 6.2), and invalidations count
+   self-modifying-code churn. *)
+let m_tb_hits = Obs.Metrics.counter "dbt.tb_hits"
+let m_tb_misses = Obs.Metrics.counter "dbt.tb_misses"
+let m_tb_invalidations = Obs.Metrics.counter "dbt.tb_invalidations"
+let translate_phase = Obs.Span.phase "translate"
 
 type tb = {
   tb_start : int;
@@ -45,23 +54,28 @@ let is_marked t addr = Hashtbl.mem t.marks addr
     [on_translate] is invoked once per freshly decoded instruction. *)
 let translate t ~fetch ~on_translate pc =
   match Hashtbl.find_opt t.cache pc with
-  | Some tb -> tb
+  | Some tb ->
+      Obs.Metrics.incr m_tb_hits;
+      tb
   | None ->
       t.translations <- t.translations + 1;
-      let rec go addr acc n =
-        let insn = Insn.decode_with ~get:fetch addr in
-        on_translate addr insn;
-        let acc = (addr, insn) :: acc in
-        if Insn.is_block_terminator insn || n + 1 >= t.max_block then
-          List.rev acc
-        else go (addr + Insn.insn_size) acc (n + 1)
-      in
-      let insns = Array.of_list (go pc [] 0) in
-      let tb = { tb_start = pc; insns; exec_count = 0 } in
-      Hashtbl.replace t.cache pc tb;
-      let last, _ = insns.(Array.length insns - 1) in
-      t.translated_ranges <- (pc, last + Insn.insn_size) :: t.translated_ranges;
-      tb
+      Obs.Metrics.incr m_tb_misses;
+      Obs.Span.timed translate_phase (fun () ->
+          let rec go addr acc n =
+            let insn = Insn.decode_with ~get:fetch addr in
+            on_translate addr insn;
+            let acc = (addr, insn) :: acc in
+            if Insn.is_block_terminator insn || n + 1 >= t.max_block then
+              List.rev acc
+            else go (addr + Insn.insn_size) acc (n + 1)
+          in
+          let insns = Array.of_list (go pc [] 0) in
+          let tb = { tb_start = pc; insns; exec_count = 0 } in
+          Hashtbl.replace t.cache pc tb;
+          let last, _ = insns.(Array.length insns - 1) in
+          t.translated_ranges <-
+            (pc, last + Insn.insn_size) :: t.translated_ranges;
+          tb)
 
 (** Invalidate any block covering [addr] (a guest write hit translated
     code). *)
@@ -76,6 +90,7 @@ let invalidate t addr =
           if addr >= start && addr < stop then start :: acc else acc)
         t.cache []
     in
+    Obs.Metrics.add m_tb_invalidations (List.length victims);
     List.iter (Hashtbl.remove t.cache) victims;
     t.translated_ranges <-
       List.filter

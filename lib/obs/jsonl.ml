@@ -1,0 +1,245 @@
+(** Minimal JSON support for the telemetry stream: a writer for snapshot
+    lines and a recursive-descent parser for the [stats] renderer.  No
+    external dependency; covers the JSON subset the reporter emits (plus
+    standard escapes) and rejects anything malformed with a position. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_num b f =
+  if Float.is_nan f || Float.abs f = infinity then
+    Buffer.add_string b "null" (* JSON has no nan/inf *)
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" f)
+  else Buffer.add_string b (Printf.sprintf "%.9g" f)
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Num f -> add_num b f
+  | Str s -> escape_string b s
+  | Arr xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          write b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape_string b k;
+          Buffer.add_char b ':';
+          write b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string j =
+  let b = Buffer.create 256 in
+  write b j;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> error (Printf.sprintf "expected %c" c)
+  in
+  let literal lit v =
+    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit
+    then begin
+      pos := !pos + String.length lit;
+      v
+    end
+    else error "invalid literal"
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents b
+      | '\\' ->
+          (if !pos >= n then error "unterminated escape";
+           let e = s.[!pos] in
+           advance ();
+           match e with
+           | '"' -> Buffer.add_char b '"'
+           | '\\' -> Buffer.add_char b '\\'
+           | '/' -> Buffer.add_char b '/'
+           | 'n' -> Buffer.add_char b '\n'
+           | 't' -> Buffer.add_char b '\t'
+           | 'r' -> Buffer.add_char b '\r'
+           | 'b' -> Buffer.add_char b '\b'
+           | 'f' -> Buffer.add_char b '\012'
+           | 'u' ->
+               if !pos + 4 > n then error "truncated \\u escape";
+               let hex = String.sub s !pos 4 in
+               pos := !pos + 4;
+               let code =
+                 try int_of_string ("0x" ^ hex)
+                 with Failure _ -> error "bad \\u escape"
+               in
+               (* Encode the code point as UTF-8 (BMP only, no surrogate
+                  pairing — the writer never emits them). *)
+               if code < 0x80 then Buffer.add_char b (Char.chr code)
+               else if code < 0x800 then begin
+                 Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                 Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+               end
+               else begin
+                 Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                 Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                 Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+               end
+           | _ -> error "bad escape");
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let sub = String.sub s start (!pos - start) in
+    match float_of_string_opt sub with
+    | Some f -> Num f
+    | None -> error (Printf.sprintf "bad number %S" sub)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> error "expected , or } in object"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> error "expected , or ] in array"
+          in
+          Arr (elements [])
+        end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> error (Printf.sprintf "unexpected character %c" c)
+  in
+  match parse_value () with
+  | v ->
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+      else Ok v
+  | exception Bad msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+let to_num = function Num f -> Some f | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_obj = function Obj kvs -> Some kvs | _ -> None
+let to_arr = function Arr xs -> Some xs | _ -> None
+
+let num_member k j = Option.bind (member k j) to_num
+let str_member k j = Option.bind (member k j) to_str

@@ -1,0 +1,26 @@
+(** Minimal dependency-free JSON reader/writer for the telemetry stream
+    (one JSON object per line — JSONL). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact one-line rendering.  Integral floats print without a decimal
+    point; NaN/infinity become [null]. *)
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON value; [Error] carries the offset of the
+    first problem. *)
+
+val member : string -> t -> t option
+val to_num : t -> float option
+val to_str : t -> string option
+val to_obj : t -> (string * t) list option
+val to_arr : t -> t list option
+val num_member : string -> t -> float option
+val str_member : string -> t -> string option

@@ -1,0 +1,76 @@
+(** Domain-sharded metrics registry.
+
+    Counters, gauges and fixed-bucket histograms whose cells live in
+    per-domain shards: an update is a plain array store into the calling
+    domain's shard (no locks, no atomics on the hot path), and
+    {!snapshot} merges the shards lock-free.  Shards persist after their
+    domain dies, so a snapshot taken after [Domain.join] of all writers
+    is exact; a snapshot taken mid-run may be a few increments stale but
+    never tears or crashes.  Registration and {!reset} are the only
+    synchronized (cold) paths. *)
+
+type t
+(** A registry.  Most callers use the process-wide {!default}. *)
+
+val default : t
+val create : unit -> t
+
+type gauge_merge =
+  | Sum  (** per-domain last value, summed across shards (e.g. live paths) *)
+  | Max  (** per-domain running max, maxed across shards (watermarks) *)
+
+type counter
+type gauge
+type fcounter
+type histogram
+
+val counter : ?reg:t -> string -> counter
+(** Monotonic int counter, summed across shards.  Registration is
+    idempotent: the same name yields a handle to the same cells. *)
+
+val gauge : ?reg:t -> ?merge:gauge_merge -> string -> gauge
+(** Point-in-time int value; [merge] (default [Max]) picks the
+    cross-shard combination. *)
+
+val fcounter : ?reg:t -> string -> fcounter
+(** Monotonic float accumulator (e.g. seconds), summed across shards.
+    {!Span} phases are built on these. *)
+
+val histogram : ?reg:t -> bounds:float array -> string -> histogram
+(** Fixed-bucket histogram.  [bounds] are strictly increasing upper
+    bounds; an observation [v] lands in the first bucket with
+    [v <= bound], or the overflow bucket past the last bound.
+    @raise Invalid_argument on empty or non-increasing bounds. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> int -> unit
+val fadd : fcounter -> float -> unit
+val observe : histogram -> float -> unit
+
+type value =
+  | Int of int
+  | Float of float
+  | Hist of { bounds : float array; counts : int array; sum : float }
+
+type snapshot = (string * value) list
+(** Metric name to merged value, in registration order. *)
+
+val snapshot : ?reg:t -> unit -> snapshot
+(** Lock-free merged view of every shard. *)
+
+val shard_snapshots : ?reg:t -> unit -> (int * snapshot) list
+(** Per-shard (unmerged) views keyed by shard id in creation order: the
+    per-worker breakdown when each worker runs in its own domain. *)
+
+val find : snapshot -> string -> value option
+
+val get_int : snapshot -> string -> int
+(** The metric's int value, or 0 when absent / not an int. *)
+
+val get_float : snapshot -> string -> float
+(** The metric's numeric value as a float, or 0. when absent. *)
+
+val reset : ?reg:t -> unit -> unit
+(** Zero every cell of every shard.  Callers must ensure no writer domain
+    is concurrently active (typically: between runs). *)

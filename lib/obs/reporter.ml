@@ -1,0 +1,131 @@
+(** Periodic run-stats reporter: serializes registry snapshots as JSONL.
+
+    [start] spawns a dedicated domain that takes a lock-free
+    {!Metrics.snapshot} every [interval] seconds and appends one JSON
+    object per line to the output channel; [stop] joins the domain and
+    emits a last line with ["kind":"final"], which — taken after the
+    worker domains have been joined — is an exact merge of every shard.
+
+    Line schema:
+    {v
+    {"ts": <unix time>, "elapsed_s": <since start>, "seq": N,
+     "kind": "periodic" | "final",
+     "metrics": {"<name>": <number>, ...},
+     "hist": {"<name>": {"bounds": [...], "counts": [...], "sum": S}, ...},
+     "shards": [{"shard": I, "metrics": {<nonzero cells only>}}, ...]}
+    v} *)
+
+type t = {
+  reg : Metrics.t;
+  out : out_channel;
+  started : float;
+  interval : float;
+  stop_flag : bool Atomic.t;
+  mutable seq : int; (* written by the reporter domain, then — after the
+                        join in [stop] — by the stopping domain *)
+  mutable dom : unit Domain.t option;
+}
+
+let snapshot_line t ~kind =
+  let snap = Metrics.snapshot ~reg:t.reg () in
+  let metrics, hists =
+    List.fold_left
+      (fun (ms, hs) (name, v) ->
+        match v with
+        | Metrics.Int n -> ((name, Jsonl.Num (float_of_int n)) :: ms, hs)
+        | Metrics.Float f -> ((name, Jsonl.Num f) :: ms, hs)
+        | Metrics.Hist { bounds; counts; sum } ->
+            let h =
+              Jsonl.Obj
+                [
+                  ("bounds",
+                   Jsonl.Arr (Array.to_list bounds |> List.map (fun b -> Jsonl.Num b)));
+                  ("counts",
+                   Jsonl.Arr
+                     (Array.to_list counts
+                     |> List.map (fun c -> Jsonl.Num (float_of_int c))));
+                  ("sum", Jsonl.Num sum);
+                ]
+            in
+            (ms, (name, h) :: hs))
+      ([], []) snap
+  in
+  let shards =
+    Metrics.shard_snapshots ~reg:t.reg ()
+    |> List.map (fun (id, snap) ->
+           let cells =
+             List.filter_map
+               (fun (name, v) ->
+                 match v with
+                 | Metrics.Int 0 -> None
+                 | Metrics.Int n -> Some (name, Jsonl.Num (float_of_int n))
+                 | Metrics.Float f ->
+                     if f = 0. then None else Some (name, Jsonl.Num f)
+                 | Metrics.Hist _ -> None)
+               snap
+           in
+           Jsonl.Obj
+             [ ("shard", Jsonl.Num (float_of_int id)); ("metrics", Jsonl.Obj cells) ])
+  in
+  let now = Unix.gettimeofday () in
+  Jsonl.Obj
+    [
+      ("ts", Jsonl.Num now);
+      ("elapsed_s", Jsonl.Num (now -. t.started));
+      ("seq", Jsonl.Num (float_of_int t.seq));
+      ("kind", Jsonl.Str kind);
+      ("metrics", Jsonl.Obj (List.rev metrics));
+      ("hist", Jsonl.Obj (List.rev hists));
+      ("shards", Jsonl.Arr shards);
+    ]
+
+let emit t ~kind =
+  output_string t.out (Jsonl.to_string (snapshot_line t ~kind));
+  output_char t.out '\n';
+  flush t.out;
+  t.seq <- t.seq + 1
+
+let loop t =
+  let chunk = Float.min 0.02 (Float.max 0.001 (t.interval /. 4.)) in
+  let rec sleep_until deadline =
+    if not (Atomic.get t.stop_flag) then begin
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining > 0. then begin
+        Unix.sleepf (Float.min chunk remaining);
+        sleep_until deadline
+      end
+    end
+  in
+  let rec go deadline =
+    sleep_until deadline;
+    if not (Atomic.get t.stop_flag) then begin
+      emit t ~kind:"periodic";
+      go (deadline +. t.interval)
+    end
+  in
+  go (t.started +. t.interval)
+
+let start ?(reg = Metrics.default) ~interval out =
+  if interval <= 0. then invalid_arg "Reporter.start: interval must be > 0";
+  let t =
+    {
+      reg;
+      out;
+      started = Unix.gettimeofday ();
+      interval;
+      stop_flag = Atomic.make false;
+      seq = 0;
+      dom = None;
+    }
+  in
+  t.dom <- Some (Domain.spawn (fun () -> loop t));
+  t
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  (match t.dom with
+  | Some d ->
+      Domain.join d;
+      t.dom <- None
+  | None -> ());
+  emit t ~kind:"final"

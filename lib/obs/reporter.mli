@@ -1,0 +1,18 @@
+(** Periodic run-stats reporter: a dedicated domain appends one JSON
+    snapshot line ({!Metrics.snapshot} plus per-shard views) to a channel
+    every interval; {!stop} joins it and writes an exact final line. *)
+
+type t
+
+val start : ?reg:Metrics.t -> interval:float -> out_channel -> t
+(** Spawn the reporter domain.  Lines carry ["kind":"periodic"].  The
+    channel is flushed after every line and is {e not} closed by this
+    module.  @raise Invalid_argument when [interval <= 0]. *)
+
+val stop : t -> unit
+(** Stop and join the reporter domain, then emit a ["kind":"final"] line.
+    Call after joining any worker domains so the final merge is exact. *)
+
+val emit : t -> kind:string -> unit
+(** Write one snapshot line immediately (used for the final line; exposed
+    for tests). *)

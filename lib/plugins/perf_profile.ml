@@ -4,14 +4,19 @@
     hierarchy plus TLB and page-fault model for every fetch and data
     access.  The per-path simulator state is cloned on fork so each path's
     counts reflect exactly its own history — the multi-path profiling no
-    sampling profiler can do. *)
+    sampling profiler can do.
+
+    Per-path instruction counts come straight from the engine's own
+    [State.instret] (forks inherit it, so it is exactly the path's executed
+    instructions); the plugin used to keep a private duplicate.  Aggregate
+    counts (instructions/sec, forks, solver share) live in the lib/obs
+    metrics registry, not here. *)
 
 open S2e_core
 module Hierarchy = S2e_cachesim.Hierarchy
 
 type pstate = {
   hier : Hierarchy.t;
-  mutable instructions : int;
   mutable reads : int;
   mutable writes : int;
 }
@@ -29,7 +34,6 @@ type t = {
   engine : Executor.t;
   per_path : (int, pstate) Hashtbl.t;
   mutable reports : report list;
-  mutable only_range : (int * int) option; (* profile only this code range *)
   (* "best case" search support: kill paths exceeding the current minimum *)
   mutable min_bound : int option;
   mutable track_min : bool;
@@ -39,66 +43,55 @@ let pstate t (s : State.t) =
   match Hashtbl.find_opt t.per_path s.State.id with
   | Some p -> p
   | None ->
-      let p =
-        { hier = Hierarchy.create (); instructions = 0; reads = 0; writes = 0 }
-      in
+      let p = { hier = Hierarchy.create (); reads = 0; writes = 0 } in
       Hashtbl.replace t.per_path s.State.id p;
       p
 
-let attach ?only_range engine =
+let attach engine =
   let t =
     {
       engine;
       per_path = Hashtbl.create 64;
       reports = [];
-      only_range;
       min_bound = None;
       track_min = false;
     }
   in
-  let in_range addr =
-    match t.only_range with None -> true | Some (lo, hi) -> addr >= lo && addr < hi
-  in
   Events.reg_before_instr engine.Executor.events (fun s addr _ ->
-      if in_range addr then begin
-        let p = pstate t s in
-        p.instructions <- p.instructions + 1;
-        Hierarchy.fetch p.hier addr;
-        (* Best-case-input search: abandon paths that already exceed the
-           best bound seen so far (paper's modified PerformanceProfile +
-           PathKiller combination). *)
-        match t.min_bound with
-        | Some m when t.track_min && p.instructions > m ->
-            Executor.kill_state engine s "exceeds best-case bound"
-        | _ -> ()
-      end);
+      let p = pstate t s in
+      Hierarchy.fetch p.hier addr;
+      (* Best-case-input search: abandon paths that already exceed the
+         best bound seen so far (paper's modified PerformanceProfile +
+         PathKiller combination). *)
+      match t.min_bound with
+      | Some m when t.track_min && s.State.instret > m ->
+          Executor.kill_state engine s "exceeds best-case bound"
+      | _ -> ());
   Events.reg_memory_access engine.Executor.events (fun ma ->
       let s = ma.Events.ma_state in
-      if in_range s.State.pc then begin
-        let p = pstate t s in
-        if ma.ma_is_write then p.writes <- p.writes + 1
-        else p.reads <- p.reads + 1;
-        Hierarchy.data p.hier ma.ma_concrete_addr
-      end);
+      let p = pstate t s in
+      if ma.ma_is_write then p.writes <- p.writes + 1
+      else p.reads <- p.reads + 1;
+      Hierarchy.data p.hier ma.ma_concrete_addr);
   Events.reg_fork engine.Executor.events (fun parent child _ ->
       match Hashtbl.find_opt t.per_path parent.State.id with
       | Some p ->
           Hashtbl.replace t.per_path child.State.id
-            { hier = Hierarchy.clone p.hier; instructions = p.instructions;
-              reads = p.reads; writes = p.writes }
+            { hier = Hierarchy.clone p.hier; reads = p.reads; writes = p.writes }
       | None -> ());
   Events.reg_state_end engine.Executor.events (fun s ->
       (match Hashtbl.find_opt t.per_path s.State.id with
       | Some p ->
           (if t.track_min && s.State.status = State.Halted then
              match t.min_bound with
-             | None -> t.min_bound <- Some p.instructions
-             | Some m -> if p.instructions < m then t.min_bound <- Some p.instructions);
+             | None -> t.min_bound <- Some s.State.instret
+             | Some m ->
+                 if s.State.instret < m then t.min_bound <- Some s.State.instret);
           t.reports <-
             {
               r_path = s.State.id;
               r_status = State.status_string s.State.status;
-              r_instructions = p.instructions;
+              r_instructions = s.State.instret;
               r_reads = p.reads;
               r_writes = p.writes;
               r_totals = Hierarchy.totals p.hier;

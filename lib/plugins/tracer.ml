@@ -12,7 +12,14 @@ type event =
   | T_io of { port : int; value : Expr.t; is_write : bool }
   | T_irq of int
 
-type trace = { path_id : int; mutable events : event list (* newest first *) }
+type trace = {
+  path_id : int;
+  mutable events : event list; (* newest first *)
+  (* Length of [events], maintained incrementally: the cap check in
+     [record] runs per event, and [List.length] there would make tracing
+     O(n²) in the trace length. *)
+  mutable count : int;
+}
 
 type t = {
   traces : (int, trace) Hashtbl.t;    (* per live path *)
@@ -26,13 +33,16 @@ let get_trace t id =
   match Hashtbl.find_opt t.traces id with
   | Some tr -> tr
   | None ->
-      let tr = { path_id = id; events = [] } in
+      let tr = { path_id = id; events = []; count = 0 } in
       Hashtbl.replace t.traces id tr;
       tr
 
 let record t id ev =
   let tr = get_trace t id in
-  if List.length tr.events < t.max_events then tr.events <- ev :: tr.events
+  if tr.count < t.max_events then begin
+    tr.events <- ev :: tr.events;
+    tr.count <- tr.count + 1
+  end
 
 let attach ?(trace_mem = false) ?only_range engine =
   let t =
@@ -66,7 +76,7 @@ let attach ?(trace_mem = false) ?only_range engine =
       (* The child inherits the parent's history. *)
       let ptr = get_trace t parent.State.id in
       Hashtbl.replace t.traces child.State.id
-        { path_id = child.State.id; events = ptr.events });
+        { path_id = child.State.id; events = ptr.events; count = ptr.count });
   Events.reg_state_end engine.Executor.events (fun s ->
       match Hashtbl.find_opt t.traces s.State.id with
       | Some tr ->

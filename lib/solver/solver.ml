@@ -16,8 +16,24 @@
     callers and the existing benchmarks compile unchanged. *)
 
 open S2e_expr
+module Obs = S2e_obs
 
 type result = Sat of Expr.model | Unsat | Unknown
+
+(* Process-wide telemetry (lib/obs).  [ctx_stats] stays the per-context
+   view parallel workers aggregate; the registry is the merged live view
+   the run-stats reporter streams.  Both are fed from the same sites, so
+   they cannot drift. *)
+let m_queries = Obs.Metrics.counter "solver.queries"
+let m_sat_queries = Obs.Metrics.counter "solver.sat_queries"
+let m_cache_hits = Obs.Metrics.counter "solver.cache_hits"
+
+let m_query_hist =
+  Obs.Metrics.histogram
+    ~bounds:[| 1e-5; 3e-5; 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.0 |]
+    "solver.query_s"
+
+let solver_phase = Obs.Span.phase "solver"
 
 type stats = {
   mutable queries : int;
@@ -141,6 +157,7 @@ let slice ~seed_vars constraints =
 
 let run_sat ctx constraints =
   ctx.ctx_stats.sat_queries <- ctx.ctx_stats.sat_queries + 1;
+  Obs.Metrics.incr m_sat_queries;
   let sat = Sat.create () in
   let bctx = Bitblast.create sat in
   List.iter (Bitblast.assert_true bctx) constraints;
@@ -152,14 +169,18 @@ let run_sat ctx constraints =
   | Sat.Unsat -> Unsat
   | Sat.Unknown -> Unknown
 
+(* Each query runs inside a "solver" phase span: the span feeds the
+   registry's exclusive-time breakdown, and its single pair of clock
+   readings also feeds the per-context totals and the latency histogram
+   through [on_elapsed]. *)
 let timed ctx f =
   let st = ctx.ctx_stats in
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  let dt = Unix.gettimeofday () -. t0 in
-  st.total_time <- st.total_time +. dt;
-  if dt > st.max_time then st.max_time <- dt;
-  r
+  Obs.Span.timed solver_phase
+    ~on_elapsed:(fun dt ->
+      st.total_time <- st.total_time +. dt;
+      if dt > st.max_time then st.max_time <- dt;
+      Obs.Metrics.observe m_query_hist dt)
+    f
 
 (* [use_model_cache:false] makes the returned model a pure function of the
    constraint set (the SAT core is deterministic), independent of any
@@ -168,6 +189,7 @@ let timed ctx f =
    same concrete values and hence explore the same path set. *)
 let check_ctx ~use_model_cache ctx constraints =
   ctx.ctx_stats.queries <- ctx.ctx_stats.queries + 1;
+  Obs.Metrics.incr m_queries;
   timed ctx (fun () ->
       let constraints = List.map Simplifier.simplify constraints in
       if List.exists (fun c -> Expr.equal c Expr.bool_f) constraints then Unsat
@@ -185,10 +207,12 @@ let check_ctx ~use_model_cache ctx constraints =
           match cached_model with
           | Some m ->
               ctx.ctx_stats.cache_hits <- ctx.ctx_stats.cache_hits + 1;
+              Obs.Metrics.incr m_cache_hits;
               Sat m
           | None ->
               if unsat_cached ctx constraints then begin
                 ctx.ctx_stats.cache_hits <- ctx.ctx_stats.cache_hits + 1;
+                Obs.Metrics.incr m_cache_hits;
                 Unsat
               end
               else begin

@@ -9,6 +9,7 @@ let () =
       ("core", Test_core_units.tests);
       ("engine", Test_engine.tests);
       ("parallel", Test_parallel.tests);
+      ("obs", Test_obs.tests);
       ("guest", Test_guest.tests);
       ("cachesim", Test_cachesim.tests);
       ("plugins", Test_plugins.tests);
