@@ -834,9 +834,83 @@ let breakdown () =
      subtract nested time, so the shares sum to ~100%%.\n"
 
 (* ---------------------------------------------------------------- *)
+(* Distributed exploration: multi-process fork-server throughput      *)
+(* ---------------------------------------------------------------- *)
+
+(* Same solver-heavy workload as the `parallel` experiment, distributed
+   across worker processes instead of domains.  Runs with a fixed
+   per-run wall budget and compares drained-path throughput.  Listed
+   FIRST in [experiments]: Fork-mode workers must be spawned before any
+   experiment has spun up OCaml domains. *)
+let dist () =
+  section "Distributed exploration: multi-process fork-server throughput";
+  let module Coordinator = S2e_dist.Coordinator in
+  let img =
+    Guest.build
+      ~driver:("nulldrv", S2e_guest.Drivers_src.nulldrv)
+      ~workload:("pbench", parallel_workload)
+      ()
+  in
+  let make_engine () =
+    let config = Executor.default_config () in
+    config.consistency <- Consistency.LC;
+    let engine = Executor.create ~config () in
+    Guest.load_into_engine engine img;
+    Executor.set_unit engine [ "pbench" ];
+    engine
+  in
+  let seconds = Float.min 2.0 (budget /. 5.) in
+  let run procs =
+    Coordinator.explore ~procs
+      ~limits:
+        {
+          Executor.max_instructions = None;
+          max_seconds = Some seconds;
+          max_completed = None;
+        }
+      ~spawn:(Coordinator.Fork { jobs = 1; slice = 0.02; make_engine })
+      ~make_engine
+      ~boot:(fun eng -> Executor.boot eng ~entry:img.entry ())
+      ()
+  in
+  Printf.printf "per-run budget: %.1f s, workload: pbench (solver-heavy)\n"
+    seconds;
+  Printf.printf "%-8s %10s %8s %10s %8s %9s %10s\n" "procs" "wall (s)" "paths"
+    "paths/s" "steals" "requeues" "speedup";
+  let rate (r : Coordinator.result) =
+    if r.wall_seconds > 0. then
+      float_of_int r.stats.Executor.states_completed /. r.wall_seconds
+    else 0.
+  in
+  let serial = run 1 in
+  let report (r : Coordinator.result) =
+    Printf.printf "%-8d %10.2f %8d %10.1f %8d %9d %9.2fx\n%!" r.procs
+      r.wall_seconds r.stats.Executor.states_completed (rate r) r.steals
+      r.requeues
+      (if rate serial > 0. then rate r /. rate serial else 0.)
+  in
+  report serial;
+  let results = List.map (fun procs -> let r = run procs in report r; r) [ 2; 4 ] in
+  List.iter
+    (fun (r : Coordinator.result) ->
+      Printf.printf
+        "BENCH {\"name\":\"dist_explore\",\"procs\":%d,\"serial_paths_per_s\":\
+         %.3f,\"paths_per_s\":%.3f,\"speedup\":%.3f,\"paths\":%d,\"steals\":%d,\
+         \"requeues\":%d,\"restarts\":%d,\"unexplored\":%d}\n"
+        r.procs (rate serial) (rate r)
+        (if rate serial > 0. then rate r /. rate serial else 0.)
+        r.stats.Executor.states_completed r.steals r.requeues r.restarts
+        r.unexplored)
+    results;
+  Printf.printf
+    "\nEach worker process rebuilds the engine stack and decodes serialized\n\
+     fork-point states; on a single core the processes time-slice and\n\
+     throughput stays ~1x (this machine reports %d core(s)).\n"
+    (Domain.recommended_domain_count ())
 
 let experiments =
   [
+    ("dist", dist);
     ("table4", table4);
     ("table5", table5);
     ("fig6", fig6);

@@ -22,3 +22,34 @@ grep -q '"kind":"final"' "$stats_file" \
 dune exec bin/s2e_cli.exe -- stats "$stats_file" > /dev/null \
   || { echo "CI: stats renderer rejected the JSONL" >&2; exit 1; }
 echo "CI: telemetry smoke test passed ($lines snapshot lines)"
+
+# Distributed-exploration smoke test: a two-process run on a small
+# workload must succeed, report its process count, and emit exactly the
+# serial run's test cases (the dist determinism guarantee).
+serial_out=$(mktemp /tmp/s2e-serial-XXXXXX.txt)
+dist_out=$(mktemp /tmp/s2e-dist-XXXXXX.txt)
+trap 'rm -f "$stats_file" "$serial_out" "$dist_out"' EXIT
+dune exec bin/s2e_cli.exe -- explore --driver nulldrv --workload symloop \
+  --jobs 1 --seconds 30 --cases > "$serial_out"
+dune exec bin/s2e_cli.exe -- explore --driver nulldrv --workload symloop \
+  --procs 2 --seconds 30 --cases > "$dist_out"
+grep -q '^procs: 2$' "$dist_out" \
+  || { echo "CI: dist run did not report procs: 2" >&2; exit 1; }
+serial_cases=$(grep -c '|' "$serial_out")
+dist_cases=$(grep -c '|' "$dist_out")
+[ "$serial_cases" -gt 1 ] \
+  || { echo "CI: serial run produced no test cases" >&2; exit 1; }
+[ "$serial_cases" = "$dist_cases" ] \
+  || { echo "CI: case count mismatch (serial $serial_cases, dist $dist_cases)" >&2; exit 1; }
+grep '|' "$serial_out" > "$serial_out.cases"
+grep '|' "$dist_out" > "$dist_out.cases"
+diff "$serial_out.cases" "$dist_out.cases" > /dev/null \
+  || { echo "CI: dist test cases differ from serial" >&2; exit 1; }
+rm -f "$serial_out.cases" "$dist_out.cases"
+echo "CI: dist smoke test passed ($dist_cases cases, procs=2 == jobs=1)"
+
+# Distributed bench must emit its BENCH JSON lines within a small budget.
+S2E_BENCH_SECONDS=5 timeout 60 dune exec bench/main.exe dist \
+  | grep -q '^BENCH {"name":"dist_explore"' \
+  || { echo "CI: bench dist emitted no BENCH line" >&2; exit 1; }
+echo "CI: bench dist smoke test passed"

@@ -158,33 +158,156 @@ let profs_cmd =
        ~doc:"Multi-path performance profiling (PROFS, paper section 6.1.3)")
     Term.(const run $ workload_arg $ seconds_arg)
 
-(* --- explore: (parallel) multi-path exploration of a guest workload --- *)
+(* --- explore: (parallel / distributed) multi-path exploration --- *)
+
+(* Engine specification shared by `explore` (coordinator side) and the
+   internal `worker` entry point: both must build bit-identical engines
+   or state snapshots would not decode (the codec pins the base-image
+   fingerprint). *)
+
+let workload_names =
+  [ "exerciser"; "urlparse"; "ping"; "ping-buggy"; "mua"; "symloop" ]
+
+let workload_src = function
+  | "exerciser" -> Some ("exerciser", S2e_guest.Workloads_src.exerciser)
+  | "urlparse" -> Some ("urlparse", S2e_guest.Workloads_src.urlparse)
+  | "ping" -> Some ("ping", S2e_guest.Workloads_src.ping ~buggy:false)
+  | "ping-buggy" -> Some ("ping", S2e_guest.Workloads_src.ping ~buggy:true)
+  | "mua" -> Some ("mua", S2e_guest.Workloads_src.mua)
+  | "symloop" -> Some ("symloop", S2e_guest.Workloads_src.symloop)
+  | _ -> None
+
+(* Validate every exploration argument before any engine setup starts,
+   with one consistent error shape: `s2e <cmd>: <problem>` to stderr,
+   exit code 2. *)
+let validate_explore_args ~cmd ~driver ~workload ~model ~searcher ~jobs ~procs
+    ~seconds ~stats_interval =
+  let fail msg =
+    Fmt.epr "s2e %s: %s@." cmd msg;
+    exit 2
+  in
+  if driver <> "nulldrv" && not (List.mem_assoc driver Guest.drivers) then
+    fail
+      (Printf.sprintf "unknown driver %S (have: nulldrv, %s)" driver
+         (String.concat ", " (List.map fst Guest.drivers)));
+  if workload_src workload = None then
+    fail
+      (Printf.sprintf "unknown workload %S (have: %s)" workload
+         (String.concat ", " workload_names));
+  (match S2e_core.Consistency.of_name model with
+  | _ -> ()
+  | exception Invalid_argument msg -> fail msg);
+  (match S2e_core.Searcher.of_name searcher with
+  | _ -> ()
+  | exception Invalid_argument msg -> fail msg);
+  if jobs < 1 then fail (Printf.sprintf "--jobs must be >= 1 (got %d)" jobs);
+  if procs < 1 then fail (Printf.sprintf "--procs must be >= 1 (got %d)" procs);
+  if seconds <= 0. then
+    fail (Printf.sprintf "--seconds must be > 0 (got %g)" seconds);
+  if stats_interval <= 0. then
+    fail
+      (Printf.sprintf "--stats-interval must be > 0 (got %g)" stats_interval)
+
+(* Image + engine factory for a validated (driver, workload, model,
+   searcher) spec.  The image is built once, outside the closure. *)
+let engine_factory ~driver ~workload ~model ~searcher =
+  let open S2e_core in
+  let driver_src =
+    if driver = "nulldrv" then S2e_guest.Drivers_src.nulldrv
+    else List.assoc driver Guest.drivers
+  in
+  let wl = Option.get (workload_src workload) in
+  let consistency = Consistency.of_name model in
+  let img = Guest.build ~driver:(driver, driver_src) ~workload:wl () in
+  let netdev_ports =
+    (S2e_vm.Layout.port_netdev, S2e_vm.Layout.port_netdev + 16)
+  in
+  let make_engine () =
+    let config = Executor.default_config () in
+    config.consistency <- consistency;
+    config.symbolic_hardware_ports <- [ netdev_ports ];
+    let engine = Executor.create ~config () in
+    engine.Executor.searcher <- Searcher.of_name searcher;
+    Guest.load_into_engine engine img;
+    Executor.set_unit engine [ driver; fst wl ];
+    engine
+  in
+  (img, make_engine)
+
+(* One "kind":"final" JSONL line from an already-merged snapshot (the
+   distributed path: worker registries arrive as Bye snapshots, not as
+   local shards, so the periodic reporter cannot see them). *)
+let write_merged_stats path snap ~elapsed =
+  let open Obs in
+  let metrics, hists =
+    List.fold_left
+      (fun (ms, hs) (name, v) ->
+        match (v : Metrics.value) with
+        | Metrics.Int i -> ((name, Jsonl.Num (float_of_int i)) :: ms, hs)
+        | Metrics.Float f -> ((name, Jsonl.Num f) :: ms, hs)
+        | Metrics.Hist { bounds; counts; sum } ->
+            let nums l = Jsonl.Arr (List.map (fun x -> Jsonl.Num x) l) in
+            ( ms,
+              ( name,
+                Jsonl.Obj
+                  [
+                    ("bounds", nums (Array.to_list bounds));
+                    ( "counts",
+                      nums (List.map float_of_int (Array.to_list counts)) );
+                    ("sum", Jsonl.Num sum);
+                  ] )
+              :: hs ))
+      ([], []) snap
+  in
+  let line =
+    Jsonl.Obj
+      [
+        ("kind", Jsonl.Str "final");
+        ("elapsed_s", Jsonl.Num elapsed);
+        ("metrics", Jsonl.Obj (List.rev metrics));
+        ("hist", Jsonl.Obj (List.rev hists));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Jsonl.to_string line);
+  output_char oc '\n';
+  close_out oc
+
+let jobs_arg =
+  let doc =
+    "Parallel exploration workers (OCaml domains) per process.  Each worker \
+     owns a private searcher and solver context; 1 reproduces the serial \
+     engine bit-for-bit, N>1 explores the same path set in parallel."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let explore_workload_arg =
+  let doc =
+    Printf.sprintf "Workload: one of %s." (String.concat ", " workload_names)
+  in
+  Arg.(value & opt string "exerciser" & info [ "workload" ] ~docv:"W" ~doc)
+
+let searcher_arg =
+  let doc =
+    Printf.sprintf "Path selector per worker: one of %s."
+      (String.concat ", " S2e_core.Searcher.selector_names)
+  in
+  Arg.(value & opt string "dfs" & info [ "searcher" ] ~docv:"SEL" ~doc)
 
 let explore_cmd =
   let open S2e_core in
-  let jobs_arg =
+  let procs_arg =
     let doc =
-      "Parallel exploration workers (OCaml domains).  Each worker owns a \
-       private searcher and solver context; 1 reproduces the serial engine \
-       bit-for-bit, N>1 explores the same path set in parallel."
+      "Distribute exploration across $(docv) worker processes (fork-server \
+       coordinator).  Composes with --jobs: each process runs that many \
+       domains.  1 keeps everything in-process."
     in
-    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
-  in
-  let workload_arg =
-    let doc = "Workload: exerciser, urlparse, ping, ping-buggy or mua." in
-    Arg.(value & opt string "exerciser" & info [ "workload" ] ~docv:"W" ~doc)
-  in
-  let searcher_arg =
-    let doc =
-      Printf.sprintf "Path selector per worker: one of %s."
-        (String.concat ", " Searcher.selector_names)
-    in
-    Arg.(value & opt string "dfs" & info [ "searcher" ] ~docv:"SEL" ~doc)
+    Arg.(value & opt int 1 & info [ "procs" ] ~docv:"N" ~doc)
   in
   let cases_arg =
     let doc =
       "Print one line per completed path (sorted): status plus the \
-       canonical test case.  Identical across --jobs values by \
+       canonical test case.  Identical across --jobs and --procs values by \
        construction; diff two runs to verify."
     in
     Arg.(value & flag & info [ "cases" ] ~doc)
@@ -193,8 +316,9 @@ let explore_cmd =
     let doc =
       "Stream run statistics to $(docv) as JSONL: one snapshot object per \
        line, ['kind':'periodic'] while exploring plus an exact \
-       ['kind':'final'] line after all workers join.  Render with the \
-       $(b,stats) subcommand."
+       ['kind':'final'] line after all workers join (with --procs > 1, only \
+       the merged final line is written).  Render with the $(b,stats) \
+       subcommand."
     in
     Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE" ~doc)
   in
@@ -202,50 +326,11 @@ let explore_cmd =
     let doc = "Seconds between periodic snapshots (with $(b,--stats-out))." in
     Arg.(value & opt float 0.5 & info [ "stats-interval" ] ~docv:"SEC" ~doc)
   in
-  let run driver workload model jobs seconds searcher cases stats_out
+  let run driver workload model jobs procs seconds searcher cases stats_out
       stats_interval =
-    let driver_src =
-      if driver = "nulldrv" then S2e_guest.Drivers_src.nulldrv
-      else begin
-        check_driver driver;
-        List.assoc driver Guest.drivers
-      end
-    in
-    let wl =
-      match workload with
-      | "exerciser" -> ("exerciser", S2e_guest.Workloads_src.exerciser)
-      | "urlparse" -> ("urlparse", S2e_guest.Workloads_src.urlparse)
-      | "ping" -> ("ping", S2e_guest.Workloads_src.ping ~buggy:false)
-      | "ping-buggy" -> ("ping", S2e_guest.Workloads_src.ping ~buggy:true)
-      | "mua" -> ("mua", S2e_guest.Workloads_src.mua)
-      | w ->
-          Fmt.epr "unknown workload %S@." w;
-          exit 2
-    in
-    (match Searcher.of_name searcher with
-    | _ -> ()
-    | exception Invalid_argument msg ->
-        Fmt.epr "%s@." msg;
-        exit 2);
-    if jobs < 1 then begin
-      Fmt.epr "--jobs must be >= 1 (got %d)@." jobs;
-      exit 2
-    end;
-    let consistency = Consistency.of_name model in
-    let img = Guest.build ~driver:(driver, driver_src) ~workload:wl () in
-    let netdev_ports =
-      (S2e_vm.Layout.port_netdev, S2e_vm.Layout.port_netdev + 16)
-    in
-    let make_engine () =
-      let config = Executor.default_config () in
-      config.consistency <- consistency;
-      config.symbolic_hardware_ports <- [ netdev_ports ];
-      let engine = Executor.create ~config () in
-      engine.Executor.searcher <- Searcher.of_name searcher;
-      Guest.load_into_engine engine img;
-      Executor.set_unit engine [ driver; wl |> fst ];
-      engine
-    in
+    validate_explore_args ~cmd:"explore" ~driver ~workload ~model ~searcher
+      ~jobs ~procs ~seconds ~stats_interval;
+    let img, make_engine = engine_factory ~driver ~workload ~model ~searcher in
     let limits =
       {
         Executor.max_instructions = None;
@@ -253,60 +338,153 @@ let explore_cmd =
         max_completed = None;
       }
     in
-    let reporter =
-      match stats_out with
-      | None -> None
+    let boot eng = Executor.boot eng ~entry:img.entry () in
+    let print_cases lines =
+      lines |> List.sort compare |> List.iter (Fmt.pr "%s@.")
+    in
+    if procs = 1 then begin
+      let reporter =
+        match stats_out with
+        | None -> None
+        | Some path ->
+            (* Zero the registry so the final snapshot's totals are exactly
+               this run's totals (the registry is process-wide). *)
+            Obs.Metrics.reset ();
+            let oc = open_out path in
+            Some (oc, Obs.Reporter.start ~interval:stats_interval oc)
+      in
+      let r = Parallel.explore ~jobs ~limits ~make_engine ~boot () in
+      (match reporter with
+      | None -> ()
+      | Some (oc, rep) ->
+          (* Workers are joined by [explore], so the final line is exact. *)
+          Obs.Reporter.stop rep;
+          close_out oc);
+      Fmt.pr "procs: 1@.";
+      Fmt.pr "jobs: %d@." r.Parallel.jobs;
+      Fmt.pr "wall seconds: %.2f@." r.wall_seconds;
+      Fmt.pr "paths completed: %d@." r.stats.Executor.states_completed;
+      Fmt.pr "states created: %d@." r.stats.states_created;
+      Fmt.pr "forks: %d@." r.stats.forks;
+      Fmt.pr "instructions: %d (%d symbolic)@." r.stats.concrete_instret
+        r.stats.sym_instret;
+      Fmt.pr "steals: %d@." r.steals;
+      Fmt.pr "solver: %d queries, %d to SAT core, %d cache hits, %.2fs@."
+        r.solver_stats.S2e_solver.Solver.queries r.solver_stats.sat_queries
+        r.solver_stats.cache_hits r.solver_stats.total_time;
+      if cases then
+        print_cases
+          (List.map
+             (fun (s : State.t) ->
+               Printf.sprintf "%s | %s"
+                 (State.status_string s.State.status)
+                 (Parallel.test_case_to_string (Parallel.test_case s)))
+             r.completed)
+    end
+    else begin
+      (* Distributed: fork-server coordinator + `s2e_cli worker` children
+         (each re-building the same engine spec from these arguments). *)
+      let argv =
+        [|
+          Sys.executable_name;
+          "worker";
+          "--driver";
+          driver;
+          "--workload";
+          workload;
+          "--model";
+          model;
+          "--searcher";
+          searcher;
+          "--jobs";
+          string_of_int jobs;
+        |]
+      in
+      Obs.Metrics.reset ();
+      let r =
+        S2e_dist.Coordinator.explore ~procs ~limits ~cases
+          ~handle_sigint:true
+          ~spawn:(S2e_dist.Coordinator.Exec { argv })
+          ~make_engine ~boot ()
+      in
+      (match stats_out with
+      | None -> ()
       | Some path ->
-          if stats_interval <= 0. then begin
-            Fmt.epr "--stats-interval must be > 0 (got %g)@." stats_interval;
-            exit 2
-          end;
-          (* Zero the registry so the final snapshot's totals are exactly
-             this run's totals (the registry is process-wide). *)
-          Obs.Metrics.reset ();
-          let oc = open_out path in
-          Some (oc, Obs.Reporter.start ~interval:stats_interval oc)
-    in
-    let r =
-      Parallel.explore ~jobs ~limits ~make_engine
-        ~boot:(fun eng -> Executor.boot eng ~entry:img.entry ())
-        ()
-    in
-    (match reporter with
-    | None -> ()
-    | Some (oc, rep) ->
-        (* Workers are joined by [explore], so the final line is exact. *)
-        Obs.Reporter.stop rep;
-        close_out oc);
-    Fmt.pr "jobs: %d@." r.Parallel.jobs;
-    Fmt.pr "wall seconds: %.2f@." r.wall_seconds;
-    Fmt.pr "paths completed: %d@." r.stats.Executor.states_completed;
-    Fmt.pr "states created: %d@." r.stats.states_created;
-    Fmt.pr "forks: %d@." r.stats.forks;
-    Fmt.pr "instructions: %d (%d symbolic)@." r.stats.concrete_instret
-      r.stats.sym_instret;
-    Fmt.pr "steals: %d@." r.steals;
-    Fmt.pr "solver: %d queries, %d to SAT core, %d cache hits, %.2fs@."
-      r.solver_stats.S2e_solver.Solver.queries r.solver_stats.sat_queries
-      r.solver_stats.cache_hits r.solver_stats.total_time;
-    if cases then
-      r.completed
-      |> List.map (fun (s : State.t) ->
-             Printf.sprintf "%s | %s"
-               (State.status_string s.State.status)
-               (Parallel.test_case_to_string (Parallel.test_case s)))
-      |> List.sort compare
-      |> List.iter (Fmt.pr "%s@.")
+          write_merged_stats path r.S2e_dist.Coordinator.obs
+            ~elapsed:r.wall_seconds);
+      Fmt.pr "procs: %d@." r.S2e_dist.Coordinator.procs;
+      Fmt.pr "jobs: %d@." jobs;
+      Fmt.pr "wall seconds: %.2f@." r.wall_seconds;
+      Fmt.pr "paths completed: %d@." r.stats.Executor.states_completed;
+      Fmt.pr "states created: %d@." r.stats.states_created;
+      Fmt.pr "forks: %d@." r.stats.forks;
+      Fmt.pr "instructions: %d (%d symbolic)@." r.stats.concrete_instret
+        r.stats.sym_instret;
+      Fmt.pr "steals: %d, requeues: %d, restarts: %d@." r.steals r.requeues
+        r.restarts;
+      if r.unexplored > 0 then Fmt.pr "unexplored states: %d@." r.unexplored;
+      Fmt.pr "solver: %d queries, %d to SAT core, %d cache hits, %.2fs@."
+        r.solver_stats.S2e_solver.Solver.queries r.solver_stats.sat_queries
+        r.solver_stats.cache_hits r.solver_stats.total_time;
+      if cases then
+        print_cases
+          (List.map
+             (fun (p : S2e_dist.Proto.path) ->
+               Printf.sprintf "%s | %s" p.p_status
+                 (Parallel.test_case_to_string p.p_case))
+             r.paths)
+    end
   in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
          "Explore a guest workload multi-path, optionally across parallel \
-          workers (--jobs)")
+          workers (--jobs) and worker processes (--procs)")
     Term.(
-      const run $ driver_arg $ workload_arg $ model_arg $ jobs_arg
-      $ seconds_arg $ searcher_arg $ cases_arg $ stats_out_arg
+      const run $ driver_arg $ explore_workload_arg $ model_arg $ jobs_arg
+      $ procs_arg $ seconds_arg $ searcher_arg $ cases_arg $ stats_out_arg
       $ stats_interval_arg)
+
+(* --- worker: internal fork-server entry point for `explore --procs` --- *)
+
+let worker_cmd =
+  let slice_arg =
+    let doc = "Wall-clock seconds per exploration slice between control polls." in
+    Arg.(value & opt float 0.05 & info [ "slice" ] ~docv:"SEC" ~doc)
+  in
+  let run driver workload model jobs searcher slice =
+    validate_explore_args ~cmd:"worker" ~driver ~workload ~model ~searcher
+      ~jobs ~procs:1 ~seconds:1. ~stats_interval:1.;
+    if slice <= 0. then begin
+      Fmt.epr "s2e worker: --slice must be > 0 (got %g)@." slice;
+      exit 2
+    end;
+    let fd =
+      match Sys.getenv_opt "S2E_DIST_FD" with
+      | Some s -> (
+          match int_of_string_opt s with
+          | Some n when n >= 0 -> S2e_dist.Proto.fd_of_int n
+          | _ ->
+              Fmt.epr "s2e worker: malformed S2E_DIST_FD %S@." s;
+              exit 2)
+      | None ->
+          Fmt.epr
+            "s2e worker: internal command (spawned by explore --procs); \
+             S2E_DIST_FD is not set@.";
+          exit 2
+    in
+    let _img, make_engine =
+      engine_factory ~driver ~workload ~model ~searcher
+    in
+    S2e_dist.Worker.serve ~jobs ~slice ~fd ~make_engine ()
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Internal: exploration worker process (spawned by explore --procs)")
+    Term.(
+      const run $ driver_arg $ explore_workload_arg $ model_arg $ jobs_arg
+      $ searcher_arg $ slice_arg)
 
 (* --- stats: render a run-stats JSONL file --- *)
 
@@ -530,5 +708,5 @@ let () =
        (Cmd.group (Cmd.info "s2e" ~doc)
           [
             run_cmd; ddt_cmd; rev_cmd; profs_cmd; models_cmd; explore_cmd;
-            stats_cmd;
+            worker_cmd; stats_cmd;
           ]))

@@ -88,6 +88,22 @@ let new_stats () =
     aborts = 0;
   }
 
+(** Fold [src] into [into]: counters add, high watermarks take the max.
+    The single aggregation used by {!Parallel} (across domain workers) and
+    [Dist] (across worker processes), so the two schedulers cannot drift. *)
+let merge_stats ~(into : stats) (src : stats) =
+  into.states_created <- into.states_created + src.states_created;
+  into.states_completed <- into.states_completed + src.states_completed;
+  into.forks <- into.forks + src.forks;
+  into.concrete_instret <- into.concrete_instret + src.concrete_instret;
+  into.sym_instret <- into.sym_instret + src.sym_instret;
+  into.concretizations <- into.concretizations + src.concretizations;
+  into.aborts <- into.aborts + src.aborts;
+  if src.max_live_states > into.max_live_states then
+    into.max_live_states <- src.max_live_states;
+  if src.footprint_watermark > into.footprint_watermark then
+    into.footprint_watermark <- src.footprint_watermark
+
 type t = {
   config : config;
   events : Events.t;
@@ -813,11 +829,8 @@ type run_limits = {
 
 let no_limits = { max_instructions = None; max_seconds = None; max_completed = None }
 
-(** Explore from [initial] until the searcher drains or a limit is hit.
-    Returns the number of completed paths. *)
-let run ?(limits = no_limits) t initial =
-  t.live <- [ initial ];
-  t.searcher.add initial;
+(* Drive the searcher until it drains or a limit fires. *)
+let run_loop ~(limits : run_limits) t =
   let started = Unix.gettimeofday () in
   let over_budget () =
     (match limits.max_instructions with
@@ -845,7 +858,22 @@ let run ?(limits = no_limits) t initial =
           end;
           loop ()
   in
-  loop ();
+  loop ()
+
+(** Explore from [initial] until the searcher drains or a limit is hit.
+    Returns the number of completed paths. *)
+let run ?(limits = no_limits) t initial =
+  t.live <- [ initial ];
+  t.searcher.add initial;
+  run_loop ~limits t;
+  t.stats.states_completed
+
+(** {!run} generalized to a whole frontier of already-created (forked,
+    or decoded from another process) states.  States left in [t.live]
+    afterwards are the unexplored remainder when a limit fired. *)
+let run_frontier ?(limits = no_limits) t states =
+  List.iter (adopt t) states;
+  run_loop ~limits t;
   t.stats.states_completed
 
 (** Fork [s] on behalf of a plugin (e.g. to inject alternative concrete

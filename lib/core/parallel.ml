@@ -44,6 +44,7 @@ let steal_phase = Obs.Span.phase "steal"
 type result = {
   jobs : int;
   completed : State.t list;  (** terminated states from every worker *)
+  frontier : State.t list;   (** states still live when a limit fired *)
   stats : Executor.stats;    (** aggregated over workers *)
   solver_stats : Solver.stats;  (** aggregated over worker contexts *)
   steals : int;              (** states adopted from the steal pool *)
@@ -208,45 +209,25 @@ let worker_loop shared (limits : Executor.run_limits) ~started w =
   loop ()
 
 (* ------------------------------------------------------------------ *)
-(* Aggregation                                                         *)
+(* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let merge_exec_stats ~(into : Executor.stats) (src : Executor.stats) =
-  into.states_created <- into.states_created + src.states_created;
-  into.states_completed <- into.states_completed + src.states_completed;
-  into.forks <- into.forks + src.forks;
-  into.concrete_instret <- into.concrete_instret + src.concrete_instret;
-  into.sym_instret <- into.sym_instret + src.sym_instret;
-  into.concretizations <- into.concretizations + src.concretizations;
-  into.aborts <- into.aborts + src.aborts;
-  if src.max_live_states > into.max_live_states then
-    into.max_live_states <- src.max_live_states;
-  if src.footprint_watermark > into.footprint_watermark then
-    into.footprint_watermark <- src.footprint_watermark
+let make_engines ~jobs make_engine =
+  List.init jobs (fun _ ->
+      let eng = make_engine () in
+      eng.Executor.solver <- Solver.create_ctx ();
+      eng)
 
-(* ------------------------------------------------------------------ *)
-(* Entry point                                                         *)
-(* ------------------------------------------------------------------ *)
-
-(** Explore the execution tree rooted at [boot worker0_engine] with [jobs]
-    workers.  [make_engine] is called once per worker and must return a
-    fully configured engine (image loaded, unit set, plugins attached);
-    each engine is given a private solver context.  [boot] produces the
-    initial state from the first worker's engine. *)
-let explore ?(jobs = 1) ?(limits = Executor.no_limits)
-    ~(make_engine : unit -> Executor.t) ~(boot : Executor.t -> State.t) () =
-  if jobs < 1 then invalid_arg "Parallel.explore: jobs must be >= 1";
+(* Explore all of [states] on [engines], returning completed paths plus
+   whatever was still live when a limit fired. *)
+let explore_states ~jobs ~limits engines states =
   Obs.Metrics.set m_workers jobs;
   let started = Unix.gettimeofday () in
-  let engines =
-    List.init jobs (fun _ ->
-        let eng = make_engine () in
-        eng.Executor.solver <- Solver.create_ctx ();
-        eng)
-  in
-  let finish ~completed ~steals ~max_live =
+  let finish ~completed ~frontier ~steals ~max_live =
     let stats = Executor.new_stats () in
-    List.iter (fun eng -> merge_exec_stats ~into:stats eng.Executor.stats) engines;
+    List.iter
+      (fun eng -> Executor.merge_stats ~into:stats eng.Executor.stats)
+      engines;
     if max_live > stats.max_live_states then stats.max_live_states <- max_live;
     let solver_stats = Solver.new_stats () in
     List.iter
@@ -256,6 +237,7 @@ let explore ?(jobs = 1) ?(limits = Executor.no_limits)
     {
       jobs;
       completed;
+      frontier;
       stats;
       solver_stats;
       steals;
@@ -268,17 +250,19 @@ let explore ?(jobs = 1) ?(limits = Executor.no_limits)
       let terminated = ref [] in
       Events.reg_state_end eng.Executor.events (fun s ->
           terminated := s :: !terminated);
-      let s0 = boot eng in
-      ignore (Executor.run ~limits eng s0);
-      finish ~completed:(List.rev !terminated) ~steals:0
-        ~max_live:eng.Executor.stats.max_live_states
-  | eng0 :: _ ->
+      ignore (Executor.run_frontier ~limits eng states);
+      finish ~completed:(List.rev !terminated) ~frontier:eng.Executor.live
+        ~steals:0 ~max_live:eng.Executor.stats.max_live_states
+  | _ :: _ ->
       let shared = make_shared () in
       let workers = List.map make_worker engines in
-      let s0 = boot eng0 in
-      Executor.adopt eng0 s0;
-      shared.outstanding <- 1;
-      shared.max_live <- 1;
+      let engine_arr = Array.of_list engines in
+      List.iteri
+        (fun i s -> Executor.adopt engine_arr.(i mod jobs) s)
+        states;
+      let n = List.length states in
+      shared.outstanding <- n;
+      shared.max_live <- n;
       let domains =
         List.map
           (fun w -> Domain.spawn (fun () -> worker_loop shared limits ~started w))
@@ -288,8 +272,34 @@ let explore ?(jobs = 1) ?(limits = Executor.no_limits)
       let completed =
         List.concat_map (fun w -> List.rev w.terminated) workers
       in
-      finish ~completed ~steals:shared.steals ~max_live:shared.max_live
+      let frontier =
+        List.concat_map (fun eng -> eng.Executor.live) engines
+        @ Queue.fold (fun acc s -> s :: acc) [] shared.pool
+      in
+      finish ~completed ~frontier ~steals:shared.steals
+        ~max_live:shared.max_live
   | [] -> assert false
+
+(** Explore the execution tree rooted at [boot worker0_engine] with [jobs]
+    workers.  [make_engine] is called once per worker and must return a
+    fully configured engine (image loaded, unit set, plugins attached);
+    each engine is given a private solver context.  [boot] produces the
+    initial state from the first worker's engine. *)
+let explore ?(jobs = 1) ?(limits = Executor.no_limits)
+    ~(make_engine : unit -> Executor.t) ~(boot : Executor.t -> State.t) () =
+  if jobs < 1 then invalid_arg "Parallel.explore: jobs must be >= 1";
+  let engines = make_engines ~jobs make_engine in
+  let s0 = boot (List.hd engines) in
+  explore_states ~jobs ~limits engines [ s0 ]
+
+(** Explore a frontier of already-created states — the distributed
+    workers' entry point: states decoded from a coordinator snapshot are
+    resumed exactly where the fork point left them. *)
+let explore_frontier ?(jobs = 1) ?(limits = Executor.no_limits)
+    ~(make_engine : unit -> Executor.t) states =
+  if jobs < 1 then invalid_arg "Parallel.explore_frontier: jobs must be >= 1";
+  let engines = make_engines ~jobs make_engine in
+  explore_states ~jobs ~limits engines states
 
 (* ------------------------------------------------------------------ *)
 (* Canonical test cases                                                *)

@@ -18,6 +18,8 @@
 type result = {
   jobs : int;
   completed : State.t list;  (** terminated states from every worker *)
+  frontier : State.t list;
+      (** states still live when a limit fired; empty on a drained run *)
   stats : Executor.stats;  (** aggregated over workers *)
   solver_stats : S2e_solver.Solver.stats;  (** aggregated worker contexts *)
   steals : int;  (** states adopted from the steal pool *)
@@ -36,6 +38,20 @@ val explore :
     unit declared, plugins attached; it is then given a private solver
     context), boots the initial state from the first worker's engine via
     [boot], and explores until the frontier drains or a limit fires.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val explore_frontier :
+  ?jobs:int ->
+  ?limits:Executor.run_limits ->
+  make_engine:(unit -> Executor.t) ->
+  State.t list ->
+  result
+(** {!explore} over a frontier of already-created states instead of a
+    fresh boot — the resumption primitive distributed workers use on
+    states decoded from a coordinator snapshot.  The result's [frontier]
+    holds whatever was still live when a limit fired, so exploration can
+    be sliced: run with a small [max_seconds], service control messages,
+    resume on [frontier].
     @raise Invalid_argument if [jobs < 1]. *)
 
 val test_case : State.t -> (string * int64) list

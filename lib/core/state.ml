@@ -55,6 +55,13 @@ type t = {
    workers without id collisions. *)
 let counter = Atomic.make 0
 
+(* Raise the counter to at least [n] so states decoded from another
+   process never collide with locally forked ones. *)
+let rec bump_id_counter n =
+  let cur = Atomic.get counter in
+  if cur < n && not (Atomic.compare_and_set counter cur n) then
+    bump_id_counter n
+
 let create ~mem ~devices ~pc =
   {
     id = Atomic.fetch_and_add counter 1 + 1;

@@ -51,6 +51,11 @@ type t = {
 
 val create : mem:Symmem.t -> devices:S2e_vm.Devices.t -> pc:int -> t
 
+val bump_id_counter : int -> unit
+(** Raise the state-id counter to at least the given value.  Used when
+    adopting states serialized by another process so locally forked ids
+    never collide with decoded ones. *)
+
 val fork : t -> t
 (** Copy for the other side of a branch: registers copied, devices cloned,
     memory and constraints shared structurally. *)

@@ -34,6 +34,20 @@ let check t addr =
     reported by the Fig. 8 benchmark. *)
 let overlay_size t = Int_map.cardinal t.overlay
 
+let base t = t.base
+
+(** Fold over overlay entries in increasing address order (serialization). *)
+let fold_overlay f t acc = Int_map.fold f t.overlay acc
+
+(** Rebuild a memory from a base image and a decoded overlay list. *)
+let of_overlay ~base entries =
+  {
+    base;
+    overlay =
+      List.fold_left (fun m (a, e) -> Int_map.add a e m) Int_map.empty entries;
+    size = Bytes.length base;
+  }
+
 let read_byte t addr =
   check t addr;
   match Int_map.find_opt addr t.overlay with

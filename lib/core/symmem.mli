@@ -17,6 +17,16 @@ val create : base:Bytes.t -> t
 val overlay_size : t -> int
 (** Number of privately written bytes: a per-path footprint proxy. *)
 
+val base : t -> Bytes.t
+(** The shared concrete base image (do not mutate). *)
+
+val fold_overlay : (int -> Expr.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over overlay entries in increasing address order; used by the
+    distribution codec to serialize the copy-on-write layer. *)
+
+val of_overlay : base:Bytes.t -> (int * Expr.t) list -> t
+(** Rebuild a memory from a base image plus decoded overlay entries. *)
+
 val read_byte : t -> int -> Expr.t
 (** Width-8 expression. *)
 

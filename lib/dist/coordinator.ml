@@ -1,0 +1,435 @@
+(** Fork-server coordinator: multi-process distribution of the
+    exploration frontier (the ROADMAP's scale step past OCaml-domain
+    workers, in the style of Manticore's multiprocessing coordinator).
+
+    The coordinator boots the root state on a local engine, serializes
+    it, and feeds a queue of {e items} (one snapshot blob each) to N
+    worker processes over socketpairs.  Load balancing is pull-based:
+    when the queue runs dry and a worker sits idle, the busiest worker
+    (by last-reported frontier size) receives a [Steal] and answers by
+    checkpointing its whole remaining frontier, which re-enters the
+    queue as fresh items.
+
+    Crash tolerance rests on the atomic-handoff discipline of {!Proto}:
+    a worker's results leave it only in the one message that retires its
+    item, so on any worker death — fd EOF, checksum-torn frame, missed
+    heartbeats — the coordinator requeues the item blob it still holds
+    and respawns the worker (bounded restarts with backoff; items that
+    repeatedly kill workers are dropped after [max_item_attempts]).
+    SIGINT (when [handle_sigint]) and wall-clock/path budgets drain
+    gracefully: busy workers checkpoint their frontiers, every worker
+    reports its telemetry snapshot in [Bye], and the merged report
+    accounts for every path explored plus every state left unexplored. *)
+
+module Executor = S2e_core.Executor
+module State = S2e_core.State
+module Solver = S2e_solver.Solver
+module Obs = S2e_obs
+
+(** How to start a worker process. *)
+type spawn =
+  | Fork of { jobs : int; slice : float; make_engine : unit -> Executor.t }
+      (** [Unix.fork] and run {!Worker.serve} in the child.  Only safe
+          while no other domain is (or has been) active in this
+          process; tests and benchmarks use this. *)
+  | Exec of { argv : string array }
+      (** Spawn [argv] (typically [s2e_cli worker ...]); the worker end
+          of the socketpair is passed via [S2E_DIST_FD]. *)
+
+(** Scheduling events, exposed for logging and fault-injection tests. *)
+type event =
+  | Spawned of { pid : int; slot : int }
+  | Dispatched of { pid : int; item : int }
+  | Completed of { pid : int; item : int; paths : int }
+  | Checkpointed of { pid : int; item : int; states : int }
+  | Crashed of { pid : int; requeued : bool }
+  | Respawned of { pid : int; slot : int }
+
+type result = {
+  procs : int;
+  paths : Proto.path list;
+      (** every terminated path, with its test case when [cases] was set *)
+  stats : Executor.stats;  (** merged over workers + the local boot *)
+  solver_stats : Solver.stats;
+  obs : Obs.Metrics.snapshot;  (** merged worker registries + local *)
+  steals : int;  (** checkpoints triggered by steal requests *)
+  requeues : int;  (** in-flight items recovered from dead workers *)
+  restarts : int;  (** worker processes respawned *)
+  unexplored : int;  (** frontier states left when the run stopped *)
+  wall_seconds : float;
+}
+
+type item = { it_id : int; it_blob : string; mutable it_attempts : int }
+type wstatus = Starting | Idle | Busy of item
+
+type wrk = {
+  w_slot : int;
+  mutable w_pid : int;
+  mutable w_fd : Unix.file_descr;
+  mutable w_status : wstatus;
+  mutable w_alive : bool;
+  mutable w_shutdown : bool;  (* Shutdown already sent *)
+  mutable w_last : float;  (* time of last message received *)
+  mutable w_steal : float;  (* time Steal was sent; 0. = none pending *)
+  mutable w_nak : float;  (* time of last steal refusal (cooldown) *)
+  mutable w_frontier : int;  (* last reported frontier size *)
+}
+
+let strip_dist_fd env =
+  Array.to_list env
+  |> List.filter (fun s ->
+         not (String.length s >= 12 && String.sub s 0 12 = "S2E_DIST_FD="))
+
+let spawn_process spawn ~other_fds =
+  let parent_fd, child_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match spawn with
+  | Fork { jobs; slice; make_engine } -> (
+      (* Keep buffered output from being flushed twice. *)
+      flush stdout;
+      flush stderr;
+      match Unix.fork () with
+      | 0 ->
+          Unix.close parent_fd;
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            other_fds;
+          (try Worker.serve ~jobs ~slice ~fd:child_fd ~make_engine ()
+           with _ -> ());
+          Unix._exit 0
+      | pid ->
+          Unix.close child_fd;
+          (pid, parent_fd))
+  | Exec { argv } ->
+      Unix.set_close_on_exec parent_fd;
+      let env =
+        Array.of_list
+          (strip_dist_fd (Unix.environment ())
+          @ [ "S2E_DIST_FD=" ^ string_of_int (Proto.int_of_fd child_fd) ])
+      in
+      let pid =
+        Unix.create_process_env argv.(0) argv env Unix.stdin Unix.stdout
+          Unix.stderr
+      in
+      Unix.close child_fd;
+      (pid, parent_fd)
+
+let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
+    ?(max_item_attempts = 3) ?(heartbeat_timeout = 10.) ?(cases = false)
+    ?(handle_sigint = false) ?(on_event = fun (_ : event) -> ()) ~spawn
+    ~(make_engine : unit -> Executor.t) ~(boot : Executor.t -> State.t) () =
+  if procs < 1 then invalid_arg "Coordinator.explore: procs must be >= 1";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let t0 = Unix.gettimeofday () in
+  let deadline =
+    match limits.Executor.max_seconds with
+    | Some s -> t0 +. s
+    | None -> infinity
+  in
+  (* Boot locally: path/fork accounting then matches {!Parallel.explore}
+     (boot counts one created state on the coordinator side). *)
+  let eng = make_engine () in
+  let s0 = boot eng in
+  let stats = Executor.new_stats () in
+  Executor.merge_stats ~into:stats eng.Executor.stats;
+  let solver_stats = Solver.new_stats () in
+  let paths = ref [] in
+  let obs_snaps = ref [] in
+  let queue : item Queue.t = Queue.create () in
+  let next_item = ref 0 in
+  let enqueue_blob blob =
+    Queue.push { it_id = !next_item; it_blob = blob; it_attempts = 0 } queue;
+    incr next_item
+  in
+  enqueue_blob (Codec.encode_state s0);
+  let steals = ref 0 in
+  let requeues = ref 0 in
+  let restarts = ref 0 in
+  let dropped = ref 0 in
+  let draining = ref false in
+  let interrupted = ref false in
+  let old_sigint =
+    if handle_sigint then
+      Some
+        (Sys.signal Sys.sigint
+           (Sys.Signal_handle (fun _ -> interrupted := true)))
+    else None
+  in
+  let workers =
+    Array.init procs (fun slot ->
+        {
+          w_slot = slot;
+          w_pid = 0;
+          w_fd = Unix.stdin;
+          w_status = Starting;
+          w_alive = false;
+          w_shutdown = false;
+          w_last = 0.;
+          w_steal = 0.;
+          w_nak = 0.;
+          w_frontier = 0;
+        })
+  in
+  let live_fds () =
+    Array.fold_left
+      (fun acc w -> if w.w_alive then w.w_fd :: acc else acc)
+      [] workers
+  in
+  let do_spawn slot =
+    let pid, fd = spawn_process spawn ~other_fds:(live_fds ()) in
+    let w = workers.(slot) in
+    w.w_pid <- pid;
+    w.w_fd <- fd;
+    w.w_status <- Starting;
+    w.w_alive <- true;
+    w.w_shutdown <- false;
+    w.w_last <- Unix.gettimeofday ();
+    w.w_steal <- 0.;
+    w.w_nak <- 0.;
+    w.w_frontier <- 0;
+    on_event (Spawned { pid; slot })
+  in
+  let reap w =
+    (try Unix.close w.w_fd with Unix.Unix_error _ -> ());
+    try ignore (Unix.waitpid [] w.w_pid) with Unix.Unix_error _ -> ()
+  in
+  (* A worker died (EOF, torn frame, heartbeat timeout): recover its
+     in-flight item and respawn unless the run is draining anyway. *)
+  let crash w =
+    if w.w_alive then begin
+      w.w_alive <- false;
+      (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+      reap w;
+      let requeued =
+        match w.w_status with
+        | Busy it ->
+            w.w_status <- Idle;
+            it.it_attempts <- it.it_attempts + 1;
+            if it.it_attempts > max_item_attempts then begin
+              incr dropped;
+              false
+            end
+            else begin
+              Queue.push it queue;
+              incr requeues;
+              true
+            end
+        | _ -> false
+      in
+      on_event (Crashed { pid = w.w_pid; requeued });
+      if (not !draining) && !restarts < max_restarts then begin
+        incr restarts;
+        (* brief backoff so a crash-looping configuration cannot spin *)
+        Unix.sleepf (Float.min 0.5 (0.05 *. float_of_int !restarts));
+        do_spawn w.w_slot;
+        on_event (Respawned { pid = workers.(w.w_slot).w_pid; slot = w.w_slot })
+      end
+    end
+  in
+  let handle_msg w (m : Proto.msg) =
+    w.w_last <- Unix.gettimeofday ();
+    match m with
+    | Proto.Hello { version; _ } ->
+        if version <> Proto.version then
+          failwith "dist: worker protocol version mismatch";
+        if w.w_status = Starting then w.w_status <- Idle
+    | Proto.Heartbeat { frontier; _ } -> w.w_frontier <- frontier
+    | Proto.Nak _ ->
+        w.w_steal <- 0.;
+        w.w_nak <- Unix.gettimeofday ()
+    | Proto.Result { item; paths = ps; stats = st; solver = sv } ->
+        w.w_steal <- 0.;
+        w.w_frontier <- 0;
+        w.w_status <- Idle;
+        paths := List.rev_append ps !paths;
+        Executor.merge_stats ~into:stats st;
+        Solver.merge_stats ~into:solver_stats sv;
+        on_event (Completed { pid = w.w_pid; item; paths = List.length ps })
+    | Proto.Checkpoint { item; paths = ps; stats = st; solver = sv; states }
+      ->
+        let was_steal = w.w_steal > 0. in
+        w.w_steal <- 0.;
+        w.w_frontier <- 0;
+        w.w_status <- Idle;
+        paths := List.rev_append ps !paths;
+        Executor.merge_stats ~into:stats st;
+        Solver.merge_stats ~into:solver_stats sv;
+        List.iter enqueue_blob states;
+        if was_steal then incr steals;
+        on_event
+          (Checkpointed { pid = w.w_pid; item; states = List.length states })
+    | Proto.Bye { obs } ->
+        obs_snaps := obs :: !obs_snaps;
+        w.w_alive <- false;
+        reap w
+    | Proto.Work _ | Proto.Steal | Proto.Ping | Proto.Shutdown ->
+        () (* coordinator-only messages; ignore *)
+  in
+  Array.iteri (fun slot _ -> do_spawn slot) workers;
+  let completed_enough () =
+    (match limits.Executor.max_completed with
+    | Some m -> stats.Executor.states_completed >= m
+    | None -> false)
+    ||
+    match limits.Executor.max_instructions with
+    | Some m -> stats.Executor.concrete_instret > m
+    | None -> false
+  in
+  let have_busy () =
+    Array.exists
+      (fun w ->
+        w.w_alive && match w.w_status with Busy _ -> true | _ -> false)
+      workers
+  in
+  let rec loop () =
+    let now = Unix.gettimeofday () in
+    if (!interrupted || now > deadline || completed_enough ())
+       && not !draining
+    then begin
+      (* Budget hit or Ctrl-C: graceful drain.  Busy workers checkpoint
+         their frontiers; nothing new is dispatched. *)
+      draining := true;
+      Array.iter
+        (fun w ->
+          if w.w_alive && not w.w_shutdown then begin
+            (try
+               Proto.send w.w_fd Proto.Shutdown;
+               w.w_shutdown <- true
+             with Proto.Closed | Codec.Error _ -> crash w)
+          end)
+        workers
+    end;
+    let continue =
+      if !draining then have_busy ()
+      else
+        Array.exists (fun w -> w.w_alive) workers
+        && ((not (Queue.is_empty queue)) || have_busy ())
+    in
+    if continue then begin
+      if not !draining then begin
+        (* Dispatch queued items to idle workers. *)
+        Array.iter
+          (fun w ->
+            if w.w_alive && w.w_status = Idle && not (Queue.is_empty queue)
+            then begin
+              let it = Queue.pop queue in
+              let budget =
+                if deadline = infinity then 0.
+                else deadline -. Unix.gettimeofday ()
+              in
+              match
+                Proto.send w.w_fd
+                  (Proto.Work
+                     { item = it.it_id; budget; cases; blob = it.it_blob })
+              with
+              | () ->
+                  w.w_status <- Busy it;
+                  on_event (Dispatched { pid = w.w_pid; item = it.it_id })
+              | exception (Proto.Closed | Codec.Error _) ->
+                  Queue.push it queue;
+                  crash w
+            end)
+          workers;
+        (* Rebalance: queue dry + idle workers → steal from the busiest
+           worker (largest reported frontier) without a pending steal. *)
+        if
+          Queue.is_empty queue
+          && Array.exists (fun w -> w.w_alive && w.w_status = Idle) workers
+        then begin
+          let victim = ref None in
+          Array.iter
+            (fun w ->
+              match w.w_status with
+              | Busy _
+                when w.w_alive && w.w_steal = 0. && now -. w.w_nak >= 0.25 ->
+                  (match !victim with
+                  | Some v when v.w_frontier >= w.w_frontier -> ()
+                  | _ -> victim := Some w)
+              | _ -> ())
+            workers;
+          match !victim with
+          | Some w -> (
+              try
+                Proto.send w.w_fd Proto.Steal;
+                w.w_steal <- now
+              with Proto.Closed | Codec.Error _ -> crash w)
+          | None -> ()
+        end
+      end;
+      (* Steal requests a worker never answered (long solver call) are
+         retried after a grace period. *)
+      Array.iter
+        (fun w -> if w.w_steal > 0. && now -. w.w_steal > 2. then w.w_steal <- 0.)
+        workers;
+      (* Liveness: a worker silent past the timeout is declared dead. *)
+      Array.iter
+        (fun w ->
+          if w.w_alive && now -. w.w_last > heartbeat_timeout then crash w)
+        workers;
+      let readable =
+        match Unix.select (live_fds ()) [] [] 0.05 with
+        | r, _, _ -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+      in
+      List.iter
+        (fun fd ->
+          match
+            Array.find_opt (fun w -> w.w_alive && w.w_fd == fd) workers
+          with
+          | None -> ()
+          | Some w -> (
+              match Proto.recv fd with
+              | m -> handle_msg w m
+              | exception (Proto.Closed | Codec.Error _) -> crash w))
+        readable;
+      loop ()
+    end
+  in
+  loop ();
+  (* Final collection: every surviving worker checkpoints (already done
+     if it was busy) and reports telemetry in Bye. *)
+  Array.iter
+    (fun w ->
+      if w.w_alive then begin
+        if not w.w_shutdown then begin
+          (try
+             Proto.send w.w_fd Proto.Shutdown;
+             w.w_shutdown <- true
+           with Proto.Closed | Codec.Error _ ->
+             w.w_alive <- false;
+             reap w)
+        end;
+        let give_up = Unix.gettimeofday () +. 5. in
+        while w.w_alive && Unix.gettimeofday () < give_up do
+          match Proto.recv_opt w.w_fd ~timeout:0.2 with
+          | Some m -> handle_msg w m
+          | None -> ()
+          | exception (Proto.Closed | Codec.Error _) ->
+              w.w_alive <- false;
+              reap w
+        done;
+        if w.w_alive then begin
+          (* unresponsive at shutdown: reclaim it the hard way *)
+          w.w_alive <- false;
+          (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+          reap w
+        end
+      end)
+    workers;
+  (match old_sigint with
+  | Some h -> Sys.set_signal Sys.sigint h
+  | None -> ());
+  let obs =
+    Obs.Metrics.merge_snapshots (Obs.Metrics.snapshot () :: !obs_snaps)
+  in
+  {
+    procs;
+    paths = List.rev !paths;
+    stats;
+    solver_stats;
+    obs;
+    steals = !steals;
+    requeues = !requeues;
+    restarts = !restarts;
+    unexplored = Queue.length queue + !dropped;
+    wall_seconds = Unix.gettimeofday () -. t0;
+  }

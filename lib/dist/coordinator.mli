@@ -1,0 +1,78 @@
+(** Fork-server coordinator: multi-process distribution of the
+    exploration frontier with crash-tolerant work accounting and merged
+    telemetry.  See {!explore}. *)
+
+module Executor = S2e_core.Executor
+module State = S2e_core.State
+module Solver = S2e_solver.Solver
+module Obs = S2e_obs
+
+(** How to start a worker process. *)
+type spawn =
+  | Fork of { jobs : int; slice : float; make_engine : unit -> Executor.t }
+      (** [Unix.fork] and run {!Worker.serve} in the child.  Only safe
+          while no OCaml domain has been spawned in this process. *)
+  | Exec of { argv : string array }
+      (** Spawn [argv] (typically [s2e_cli worker ...]); the worker end
+          of the socketpair is passed via the [S2E_DIST_FD] environment
+          variable. *)
+
+(** Scheduling events, exposed for logging and fault-injection tests. *)
+type event =
+  | Spawned of { pid : int; slot : int }
+  | Dispatched of { pid : int; item : int }
+  | Completed of { pid : int; item : int; paths : int }
+  | Checkpointed of { pid : int; item : int; states : int }
+  | Crashed of { pid : int; requeued : bool }
+  | Respawned of { pid : int; slot : int }
+
+type result = {
+  procs : int;
+  paths : Proto.path list;
+      (** every terminated path, with its test case when [cases] was set *)
+  stats : Executor.stats;  (** merged over workers + the local boot *)
+  solver_stats : Solver.stats;
+  obs : Obs.Metrics.snapshot;  (** merged worker registries + local *)
+  steals : int;  (** checkpoints triggered by steal requests *)
+  requeues : int;  (** in-flight items recovered from dead workers *)
+  restarts : int;  (** worker processes respawned *)
+  unexplored : int;  (** frontier states left when the run stopped *)
+  wall_seconds : float;
+}
+
+val explore :
+  ?procs:int ->
+  ?limits:Executor.run_limits ->
+  ?max_restarts:int ->
+  ?max_item_attempts:int ->
+  ?heartbeat_timeout:float ->
+  ?cases:bool ->
+  ?handle_sigint:bool ->
+  ?on_event:(event -> unit) ->
+  spawn:spawn ->
+  make_engine:(unit -> Executor.t) ->
+  boot:(Executor.t -> State.t) ->
+  unit ->
+  result
+(** [explore ~spawn ~make_engine ~boot ()] boots the initial state on a
+    local engine, spawns [procs] worker processes (default 2), and
+    drives the distributed frontier to exhaustion or until [limits] is
+    hit.
+
+    Work items (serialized fork-point states) are dispatched one per
+    worker; when the queue runs dry the busiest worker is asked to
+    [Steal]-checkpoint its frontier, which re-enters the queue.  A
+    worker that dies or goes silent past [heartbeat_timeout] seconds
+    (default 10) has its in-flight item requeued (at most
+    [max_item_attempts] attempts per item, default 3) and is respawned
+    with backoff (at most [max_restarts] times, default 8).  With
+    [cases] workers additionally solve the canonical test case of every
+    terminated path (one cold solver query per path, amortized across
+    slices); otherwise [p_case] fields come back empty.  When
+    [handle_sigint] is set, Ctrl-C triggers a graceful drain: busy
+    workers checkpoint, and the returned [unexplored] counts what was
+    left.  [on_event] observes scheduling decisions (used by the
+    fault-injection tests).
+
+    The result merges every worker's paths, executor and solver stats,
+    and metrics-registry snapshot with the coordinator's own. *)

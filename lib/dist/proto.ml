@@ -1,0 +1,337 @@
+(** Length-prefixed socket message protocol between the coordinator and
+    its worker processes.
+
+    Every message travels in one frame: [u32 length | payload | u32
+    checksum], with the payload's first byte a message tag.  A frame is
+    written with a single [write] sequence and verified on receipt, so a
+    worker dying mid-send surfaces as {!Closed} or a checksum
+    {!Codec.Error} — never as a silently half-read message.
+
+    Work accounting is crash-consistent by construction: a worker holds
+    at most one in-flight {e item} (a serialized frontier), reports
+    terminated paths only in the single [Result] or [Checkpoint] message
+    that retires the item, and answers a [Steal] by checkpointing its
+    {e entire} remaining frontier in one atomic message.  If the process
+    dies at any point before that message, the coordinator requeues the
+    original item blob and no path can be double-counted or lost. *)
+
+module Solver = S2e_solver.Solver
+module Obs = S2e_obs
+module Executor = S2e_core.Executor
+open Codec.Wire
+
+exception Closed
+(** Peer hung up (EOF/EPIPE/reset) — on a worker fd this means the
+    process died or exited. *)
+
+let version = 1
+
+(** A terminated path, reduced to what the coordinator reports: the
+    status string and the canonical test case. *)
+type path = {
+  p_status : string;
+  p_case : (string * int64) list;
+}
+
+type msg =
+  | Hello of { version : int; pid : int; jobs : int }
+      (** worker → coordinator, once, immediately after spawn *)
+  | Work of { item : int; budget : float; cases : bool; blob : string }
+      (** coordinator → worker: explore this serialized state;
+          [budget <= 0.] means unlimited.  [cases] asks for canonical
+          test cases to be solved for each terminated path — off by
+          default because it costs one cold solver query per path. *)
+  | Steal  (** coordinator → worker: give back your surplus frontier *)
+  | Ping  (** coordinator → worker: liveness probe *)
+  | Shutdown  (** coordinator → worker: checkpoint, report and exit *)
+  | Heartbeat of { pid : int; frontier : int }
+      (** worker → coordinator: alive, with current frontier size *)
+  | Nak of { item : int }
+      (** worker → coordinator: steal declined (frontier too small) *)
+  | Result of {
+      item : int;
+      paths : path list;
+      stats : Executor.stats;
+      solver : Solver.stats;
+    }  (** worker → coordinator: item fully drained *)
+  | Checkpoint of {
+      item : int;
+      paths : path list;
+      stats : Executor.stats;
+      solver : Solver.stats;
+      states : string list;  (** serialized unexplored frontier *)
+    }
+      (** worker → coordinator: item retired early (steal, shutdown or
+          budget); paths/stats cover work done so far, [states] is the
+          whole remaining frontier *)
+  | Bye of { obs : Obs.Metrics.snapshot }
+      (** worker → coordinator: final telemetry, sent just before exit *)
+
+(* ------------------------------------------------------------------ *)
+(* Payload encoding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let encode_exec_stats b (s : Executor.stats) =
+  i64 b (Int64.of_int s.states_created);
+  i64 b (Int64.of_int s.states_completed);
+  i64 b (Int64.of_int s.max_live_states);
+  i64 b (Int64.of_int s.forks);
+  i64 b (Int64.of_int s.concrete_instret);
+  i64 b (Int64.of_int s.sym_instret);
+  i64 b (Int64.of_int s.footprint_watermark);
+  i64 b (Int64.of_int s.concretizations);
+  i64 b (Int64.of_int s.aborts)
+
+let decode_exec_stats r : Executor.stats =
+  let n () = Int64.to_int (ri64 r) in
+  let states_created = n () in
+  let states_completed = n () in
+  let max_live_states = n () in
+  let forks = n () in
+  let concrete_instret = n () in
+  let sym_instret = n () in
+  let footprint_watermark = n () in
+  let concretizations = n () in
+  let aborts = n () in
+  {
+    Executor.states_created;
+    states_completed;
+    max_live_states;
+    forks;
+    concrete_instret;
+    sym_instret;
+    footprint_watermark;
+    concretizations;
+    aborts;
+  }
+
+let encode_solver_stats b (s : Solver.stats) =
+  i64 b (Int64.of_int s.queries);
+  i64 b (Int64.of_int s.sat_queries);
+  i64 b (Int64.of_int s.cache_hits);
+  f64 b s.total_time;
+  f64 b s.max_time
+
+let decode_solver_stats r : Solver.stats =
+  let queries = Int64.to_int (ri64 r) in
+  let sat_queries = Int64.to_int (ri64 r) in
+  let cache_hits = Int64.to_int (ri64 r) in
+  let total_time = rf64 r in
+  let max_time = rf64 r in
+  { Solver.queries; sat_queries; cache_hits; total_time; max_time }
+
+let encode_path b p =
+  str b p.p_status;
+  list b
+    (fun (name, v) ->
+      str b name;
+      i64 b v)
+    p.p_case
+
+let decode_path r =
+  let p_status = rstr r in
+  let p_case =
+    rlist r (fun r ->
+        let name = rstr r in
+        let v = ri64 r in
+        (name, v))
+  in
+  { p_status; p_case }
+
+let encode_obs_value b (v : Obs.Metrics.value) =
+  match v with
+  | Int n ->
+      u8 b 0;
+      i64 b (Int64.of_int n)
+  | Float f ->
+      u8 b 1;
+      f64 b f
+  | Hist { bounds; counts; sum } ->
+      u8 b 2;
+      u32 b (Array.length bounds);
+      Array.iter (f64 b) bounds;
+      u32 b (Array.length counts);
+      Array.iter (fun c -> i64 b (Int64.of_int c)) counts;
+      f64 b sum
+
+let decode_obs_value r : Obs.Metrics.value =
+  match ru8 r with
+  | 0 -> Int (Int64.to_int (ri64 r))
+  | 1 -> Float (rf64 r)
+  | 2 ->
+      let nb = ru32 r in
+      if nb > 4096 then raise (Codec.Error "histogram bounds out of range");
+      let bounds = Array.of_list (read_n r nb rf64) in
+      let nc = ru32 r in
+      if nc > 4096 then raise (Codec.Error "histogram counts out of range");
+      let counts =
+        Array.of_list (read_n r nc (fun r -> Int64.to_int (ri64 r)))
+      in
+      let sum = rf64 r in
+      Hist { bounds; counts; sum }
+  | t -> raise (Codec.Error (Printf.sprintf "unknown obs value tag %d" t))
+
+let encode_obs b (snap : Obs.Metrics.snapshot) =
+  list b
+    (fun (name, v) ->
+      str b name;
+      encode_obs_value b v)
+    snap
+
+let decode_obs r : Obs.Metrics.snapshot =
+  rlist r (fun r ->
+      let name = rstr r in
+      let v = decode_obs_value r in
+      (name, v))
+
+let encode_msg m =
+  let b = create () in
+  (match m with
+  | Hello { version; pid; jobs } ->
+      u8 b 0;
+      u32 b version;
+      u32 b pid;
+      u32 b jobs
+  | Work { item; budget; cases; blob } ->
+      u8 b 1;
+      u32 b item;
+      f64 b budget;
+      u8 b (if cases then 1 else 0);
+      str b blob
+  | Steal -> u8 b 2
+  | Ping -> u8 b 3
+  | Shutdown -> u8 b 4
+  | Heartbeat { pid; frontier } ->
+      u8 b 5;
+      u32 b pid;
+      u32 b frontier
+  | Nak { item } ->
+      u8 b 6;
+      u32 b item
+  | Result { item; paths; stats; solver } ->
+      u8 b 7;
+      u32 b item;
+      list b (encode_path b) paths;
+      encode_exec_stats b stats;
+      encode_solver_stats b solver
+  | Checkpoint { item; paths; stats; solver; states } ->
+      u8 b 8;
+      u32 b item;
+      list b (encode_path b) paths;
+      encode_exec_stats b stats;
+      encode_solver_stats b solver;
+      list b (str b) states
+  | Bye { obs } ->
+      u8 b 9;
+      encode_obs b obs);
+  contents b
+
+let decode_msg payload =
+  let r = reader payload in
+  let m =
+    match ru8 r with
+    | 0 ->
+        let version = ru32 r in
+        let pid = ru32 r in
+        let jobs = ru32 r in
+        Hello { version; pid; jobs }
+    | 1 ->
+        let item = ru32 r in
+        let budget = rf64 r in
+        let cases = ru8 r <> 0 in
+        let blob = rstr r in
+        Work { item; budget; cases; blob }
+    | 2 -> Steal
+    | 3 -> Ping
+    | 4 -> Shutdown
+    | 5 ->
+        let pid = ru32 r in
+        let frontier = ru32 r in
+        Heartbeat { pid; frontier }
+    | 6 -> Nak { item = ru32 r }
+    | 7 ->
+        let item = ru32 r in
+        let paths = rlist r decode_path in
+        let stats = decode_exec_stats r in
+        let solver = decode_solver_stats r in
+        Result { item; paths; stats; solver }
+    | 8 ->
+        let item = ru32 r in
+        let paths = rlist r decode_path in
+        let stats = decode_exec_stats r in
+        let solver = decode_solver_stats r in
+        let states = rlist r rstr in
+        Checkpoint { item; paths; stats; solver; states }
+    | 9 -> Bye { obs = decode_obs r }
+    | t -> raise (Codec.Error (Printf.sprintf "unknown message tag %d" t))
+  in
+  if pos r <> String.length payload then
+    raise (Codec.Error "trailing bytes after message");
+  m
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let max_frame = 256 * 1024 * 1024
+
+let rec write_all fd buf ofs len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf ofs len with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> raise Closed
+    in
+    write_all fd buf (ofs + n) (len - n)
+  end
+
+let rec read_exact fd buf ofs len =
+  if len > 0 then begin
+    let n =
+      try Unix.read fd buf ofs len with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> -1
+      | Unix.Unix_error (Unix.ECONNRESET, _, _) -> raise Closed
+    in
+    if n = 0 then raise Closed
+    else if n < 0 then read_exact fd buf ofs len (* EINTR: retry *)
+    else read_exact fd buf (ofs + n) (len - n)
+  end
+
+let send fd m =
+  let payload = encode_msg m in
+  let plen = String.length payload in
+  if plen > max_frame then raise (Codec.Error "frame too large");
+  let b = create () in
+  u32 b plen;
+  raw b payload;
+  u32 b (Codec.fnv32 payload);
+  let frame = contents b in
+  write_all fd (Bytes.unsafe_of_string frame) 0 (String.length frame)
+
+let recv fd =
+  let hdr = Bytes.create 4 in
+  read_exact fd hdr 0 4;
+  let r = reader (Bytes.to_string hdr) in
+  let plen = ru32 r in
+  if plen > max_frame then raise (Codec.Error "frame length out of range");
+  let body = Bytes.create (plen + 4) in
+  read_exact fd body 0 (plen + 4);
+  let body = Bytes.to_string body in
+  let payload = String.sub body 0 plen in
+  let expect = ru32 (reader ~pos:plen body) in
+  if expect <> Codec.fnv32 payload then
+    raise (Codec.Error "frame checksum mismatch");
+  decode_msg payload
+
+(** Wait up to [timeout] seconds for a frame; [None] on timeout.
+    [timeout = 0.] polls. *)
+let recv_opt fd ~timeout =
+  match Unix.select [ fd ] [] [] timeout with
+  | [], _, _ -> None
+  | _ -> Some (recv fd)
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
+
+(* Unix.file_descr is an int on Unix systems; distribution passes the
+   worker's socket across exec via an environment variable. *)
+external int_of_fd : Unix.file_descr -> int = "%identity"
+external fd_of_int : int -> Unix.file_descr = "%identity"

@@ -1,0 +1,77 @@
+(** Length-prefixed, checksummed socket message protocol between the
+    coordinator and its worker processes.
+
+    Frame layout: [u32 payload-length | payload | u32 FNV-1a checksum].
+    A torn or corrupted frame raises {!Closed} or {!Codec.Error} — never
+    a half-read message.
+
+    The work-accounting state machine is crash-consistent: a worker
+    holds at most one in-flight item, retires it with exactly one
+    [Result] (frontier drained) or [Checkpoint] (steal / shutdown /
+    budget: remaining frontier returned whole, in one atomic message),
+    and a worker death before that message simply requeues the original
+    item blob — no path is lost or double-counted. *)
+
+module Solver = S2e_solver.Solver
+module Obs = S2e_obs
+module Executor = S2e_core.Executor
+
+exception Closed
+(** Peer hung up: EOF, EPIPE or connection reset. *)
+
+val version : int
+(** Protocol version carried in [Hello]; a mismatch is fatal. *)
+
+(** A terminated path as the coordinator reports it. *)
+type path = {
+  p_status : string;  (** {!S2e_core.State.status_string} of the end state *)
+  p_case : (string * int64) list;
+      (** canonical test case ({!S2e_core.Parallel.test_case}); [[]]
+          when the run did not request test cases *)
+}
+
+type msg =
+  | Hello of { version : int; pid : int; jobs : int }
+  | Work of { item : int; budget : float; cases : bool; blob : string }
+  | Steal
+  | Ping
+  | Shutdown
+  | Heartbeat of { pid : int; frontier : int }
+  | Nak of { item : int }
+  | Result of {
+      item : int;
+      paths : path list;
+      stats : Executor.stats;
+      solver : Solver.stats;
+    }
+  | Checkpoint of {
+      item : int;
+      paths : path list;
+      stats : Executor.stats;
+      solver : Solver.stats;
+      states : string list;
+    }
+  | Bye of { obs : Obs.Metrics.snapshot }
+
+val encode_msg : msg -> string
+(** Payload bytes (no frame header); exposed for tests. *)
+
+val decode_msg : string -> msg
+(** Strict inverse of {!encode_msg}.  @raise Codec.Error on malformed
+    payloads. *)
+
+val send : Unix.file_descr -> msg -> unit
+(** Frame and write the whole message.  @raise Closed if the peer died. *)
+
+val recv : Unix.file_descr -> msg
+(** Block for one frame.  @raise Closed on EOF, @raise Codec.Error on a
+    corrupt frame. *)
+
+val recv_opt : Unix.file_descr -> timeout:float -> msg option
+(** Wait up to [timeout] seconds for a frame ([0.] polls); [None] on
+    timeout. *)
+
+val int_of_fd : Unix.file_descr -> int
+val fd_of_int : int -> Unix.file_descr
+(** Unix file descriptors are ints; used to hand a socket across
+    [exec] via the [S2E_DIST_FD] environment variable. *)

@@ -1,0 +1,299 @@
+(** Worker-process side of distributed exploration.
+
+    A worker owns a private {!Executor} stack (engines, searcher,
+    translation cache, solver contexts) and explores one {e item} — a
+    serialized fork-point state — at a time.  Exploration is sliced:
+    each slice runs for a short wall-clock budget, then the control
+    socket is polled.  That keeps steal, shutdown and liveness latency
+    bounded by the slice length without threading interrupts through the
+    engine.
+
+    With [jobs = 1] (the default) the worker drives one {e persistent}
+    engine with {!Executor.run_loop} slices, so the translation-block
+    cache and the solver context's query cache stay warm across slices
+    and items — the distributed hot path matches the serial engine's.
+    With [jobs > 1] each slice fans the frontier out across OCaml
+    domains via {!S2e_core.Parallel.explore_frontier}.
+
+    Protocol discipline (the crash-consistency contract of {!Proto}):
+    terminated paths and stats deltas for an item leave this process
+    only in the single [Result] or [Checkpoint] that retires the item,
+    and a [Checkpoint] carries the {e entire} remaining frontier.  If
+    the process dies before that message, the coordinator still holds
+    the original item blob and loses nothing. *)
+
+module Parallel = S2e_core.Parallel
+module Executor = S2e_core.Executor
+module Events = S2e_core.Events
+module State = S2e_core.State
+module Solver = S2e_solver.Solver
+module Obs = S2e_obs
+
+(* Shutdown acknowledged: unwind out of the serve loop. *)
+exception Done
+
+(* Solving the canonical test case costs a cold solver query per path,
+   so it is done only when the coordinator asked for it ([cases] in the
+   Work message) — and, crucially, incrementally between slices with
+   heartbeats interleaved, never as one silent burst at retire time
+   (which would trip the coordinator's liveness timeout on items with
+   many terminated paths). *)
+let path_of_state ~cases (s : State.t) =
+  {
+    Proto.p_status = State.status_string s.State.status;
+    p_case = (if cases then Parallel.test_case s else []);
+  }
+
+let copy_exec_stats s =
+  let c = Executor.new_stats () in
+  Executor.merge_stats ~into:c s;
+  c
+
+let copy_solver_stats s =
+  let c = Solver.new_stats () in
+  Solver.merge_stats ~into:c s;
+  c
+
+(* Since-mark deltas against a persistent engine's cumulative stats.
+   Counters subtract; high-watermark fields report the current watermark
+   (the coordinator merges them with max, so this stays an upper bound
+   contributed by this worker). *)
+let exec_delta ~prev (cur : Executor.stats) : Executor.stats =
+  {
+    Executor.states_created = cur.Executor.states_created - prev.Executor.states_created;
+    states_completed = cur.states_completed - prev.states_completed;
+    max_live_states = cur.max_live_states;
+    forks = cur.forks - prev.forks;
+    concrete_instret = cur.concrete_instret - prev.concrete_instret;
+    sym_instret = cur.sym_instret - prev.sym_instret;
+    footprint_watermark = cur.footprint_watermark;
+    concretizations = cur.concretizations - prev.concretizations;
+    aborts = cur.aborts - prev.aborts;
+  }
+
+let solver_delta ~prev (cur : Solver.stats) : Solver.stats =
+  {
+    Solver.queries = cur.Solver.queries - prev.Solver.queries;
+    sat_queries = cur.sat_queries - prev.sat_queries;
+    cache_hits = cur.cache_hits - prev.cache_hits;
+    total_time = cur.total_time -. prev.total_time;
+    max_time = cur.max_time;
+  }
+
+(* One item's exploration, sliced.  The control loop below is written
+   once against this interface; the two implementations differ in how a
+   slice runs. *)
+type slicer = {
+  sl_base : Bytes.t;  (* local base image, for decoding items *)
+  sl_start : State.t -> unit;  (* begin an item at its decoded root *)
+  sl_run : deadline:float -> unit;  (* advance exploration one slice *)
+  sl_frontier : unit -> State.t list;  (* unexplored remainder *)
+  sl_drop : unit -> unit;  (* discard the frontier (after a checkpoint) *)
+  sl_drain : unit -> State.t list;
+      (* states terminated since the last drain, oldest first *)
+  sl_stats : unit -> Executor.stats * Solver.stats;  (* deltas this item *)
+}
+
+(* jobs = 1: one engine for the whole worker lifetime.  Items are adopted
+   into its searcher; slices continue the same run loop, so caches stay
+   warm and the engine behaves exactly like a serial run interrupted
+   every [slice] seconds. *)
+let serial_slicer ~slice ~make_engine () =
+  let eng : Executor.t = make_engine () in
+  eng.Executor.solver <- Solver.create_ctx ();
+  let terminated = ref [] in
+  Events.reg_state_end eng.Executor.events (fun s ->
+      terminated := s :: !terminated);
+  let prev_e = ref (copy_exec_stats eng.Executor.stats) in
+  let prev_s = ref (copy_solver_stats eng.Executor.solver.Solver.ctx_stats) in
+  {
+    sl_base = eng.Executor.base_mem;
+    sl_start =
+      (fun s0 ->
+        terminated := [];
+        prev_e := copy_exec_stats eng.Executor.stats;
+        prev_s := copy_solver_stats eng.Executor.solver.Solver.ctx_stats;
+        Executor.adopt eng s0);
+    sl_run =
+      (fun ~deadline ->
+        let now = Unix.gettimeofday () in
+        let limits =
+          {
+            Executor.max_instructions = None;
+            max_seconds = Some (Float.min slice (deadline -. now));
+            max_completed = None;
+          }
+        in
+        Executor.run_loop ~limits eng);
+    sl_frontier = (fun () -> eng.Executor.live);
+    sl_drop =
+      (fun () -> List.iter (Executor.disown eng) eng.Executor.live);
+    sl_drain =
+      (fun () ->
+        let pending = List.rev !terminated in
+        terminated := [];
+        pending);
+    sl_stats =
+      (fun () ->
+        ( exec_delta ~prev:!prev_e eng.Executor.stats,
+          solver_delta ~prev:!prev_s eng.Executor.solver.Solver.ctx_stats ));
+  }
+
+(* jobs > 1: each slice fans the current frontier across domains with
+   fresh engines (states are self-contained, adoption is O(1)). *)
+let parallel_slicer ~jobs ~slice ~make_engine () =
+  let base = (make_engine ()).Executor.base_mem in
+  let frontier = ref [] in
+  let terminated = ref [] in
+  let stats = ref (Executor.new_stats ()) in
+  let solver = ref (Solver.new_stats ()) in
+  {
+    sl_base = base;
+    sl_start =
+      (fun s0 ->
+        frontier := [ s0 ];
+        terminated := [];
+        stats := Executor.new_stats ();
+        solver := Solver.new_stats ());
+    sl_run =
+      (fun ~deadline ->
+        let now = Unix.gettimeofday () in
+        let limits =
+          {
+            Executor.max_instructions = None;
+            max_seconds = Some (Float.min slice (deadline -. now));
+            max_completed = None;
+          }
+        in
+        let r = Parallel.explore_frontier ~jobs ~limits ~make_engine !frontier in
+        terminated := List.rev_append r.Parallel.completed !terminated;
+        Executor.merge_stats ~into:!stats r.Parallel.stats;
+        Solver.merge_stats ~into:!solver r.Parallel.solver_stats;
+        frontier := r.Parallel.frontier);
+    sl_frontier = (fun () -> !frontier);
+    sl_drop = (fun () -> frontier := []);
+    sl_drain =
+      (fun () ->
+        let pending = List.rev !terminated in
+        terminated := [];
+        pending);
+    sl_stats = (fun () -> (!stats, !solver));
+  }
+
+let serve ?(jobs = 1) ?(slice = 0.05) ?(heartbeat = 0.25) ~fd
+    ~(make_engine : unit -> Executor.t) () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* A terminal Ctrl-C hits the whole process group; workers must stay
+     alive to checkpoint their frontier when the coordinator drains. *)
+  Sys.set_signal Sys.sigint Sys.Signal_ignore;
+  (* A fork-spawned worker inherits the parent's metric shards; its
+     report must cover only its own work. *)
+  Obs.Metrics.reset ();
+  let sl =
+    if jobs = 1 then serial_slicer ~slice ~make_engine ()
+    else parallel_slicer ~jobs ~slice ~make_engine ()
+  in
+  let pid = Unix.getpid () in
+  let last_hb = ref (Unix.gettimeofday ()) in
+  let hb frontier =
+    Proto.send fd (Proto.Heartbeat { pid; frontier });
+    last_hb := Unix.gettimeofday ()
+  in
+  let maybe_hb frontier =
+    if Unix.gettimeofday () -. !last_hb >= heartbeat then hb frontier
+  in
+  let bye () = Proto.send fd (Proto.Bye { obs = Obs.Metrics.snapshot () }) in
+  let run_item ~item ~budget ~cases blob =
+    let deadline =
+      if budget <= 0. then infinity else Unix.gettimeofday () +. budget
+    in
+    sl.sl_start (Codec.decode_state ~base:sl.sl_base blob);
+    let paths = ref [] in
+    (* Convert newly terminated states to reportable paths.  With
+       [cases] each conversion is a solver query, so keep heartbeating:
+       the retire message itself then only has to send bytes. *)
+    let drain () =
+      match sl.sl_drain () with
+      | [] -> ()
+      | pending ->
+          let frontier = List.length (sl.sl_frontier ()) in
+          List.iter
+            (fun s ->
+              paths := path_of_state ~cases s :: !paths;
+              maybe_hb frontier)
+            pending
+    in
+    let checkpoint () =
+      drain ();
+      let stats, solver = sl.sl_stats () in
+      Proto.send fd
+        (Proto.Checkpoint
+           {
+             item;
+             paths = List.rev !paths;
+             stats;
+             solver;
+             states = List.map Codec.encode_state (sl.sl_frontier ());
+           });
+      sl.sl_drop ()
+    in
+    let finished = ref false in
+    while not !finished do
+      (* Service control traffic between slices. *)
+      (match Proto.recv_opt fd ~timeout:0. with
+      | Some Proto.Steal ->
+          if List.length (sl.sl_frontier ()) >= 2 then begin
+            checkpoint ();
+            finished := true
+          end
+          else Proto.send fd (Proto.Nak { item })
+      | Some Proto.Shutdown ->
+          checkpoint ();
+          bye ();
+          raise Done
+      | Some Proto.Ping -> hb (List.length (sl.sl_frontier ()))
+      | Some _ | None -> ());
+      if not !finished then begin
+        if sl.sl_frontier () = [] then begin
+          drain ();
+          let stats, solver = sl.sl_stats () in
+          Proto.send fd
+            (Proto.Result { item; paths = List.rev !paths; stats; solver });
+          finished := true
+        end
+        else if Unix.gettimeofday () >= deadline then begin
+          (* Out of budget: return the unexplored remainder. *)
+          checkpoint ();
+          finished := true
+        end
+        else begin
+          sl.sl_run ~deadline;
+          drain ();
+          maybe_hb (List.length (sl.sl_frontier ()))
+        end
+      end
+    done
+  in
+  try
+    Proto.send fd (Proto.Hello { version = Proto.version; pid; jobs });
+    let rec idle () =
+      match Proto.recv_opt fd ~timeout:heartbeat with
+      | None ->
+          hb 0;
+          idle ()
+      | Some (Proto.Work { item; budget; cases; blob }) ->
+          run_item ~item ~budget ~cases blob;
+          idle ()
+      | Some Proto.Shutdown -> bye ()
+      | Some Proto.Ping ->
+          hb 0;
+          idle ()
+      | Some _ ->
+          (* e.g. a Steal that raced our Result: nothing to give; the
+             coordinator clears its pending steal on our next message. *)
+          idle ()
+    in
+    idle ()
+  with
+  | Done -> ()
+  | Proto.Closed -> () (* coordinator died; exit quietly *)

@@ -1,0 +1,27 @@
+(** Worker-process side of distributed exploration: decode items, slice
+    exploration through {!S2e_core.Parallel.explore_frontier}, service
+    steal/shutdown/liveness between slices, and retire each item with
+    one atomic [Result] or [Checkpoint]. *)
+
+module Executor = S2e_core.Executor
+
+val serve :
+  ?jobs:int ->
+  ?slice:float ->
+  ?heartbeat:float ->
+  fd:Unix.file_descr ->
+  make_engine:(unit -> Executor.t) ->
+  unit ->
+  unit
+(** [serve ~fd ~make_engine ()] runs the worker loop on coordinator
+    socket [fd] until a [Shutdown] arrives or the coordinator hangs up.
+
+    [jobs] is the domains-per-process fan-out each slice uses (default
+    1); [slice] the wall-clock seconds per exploration slice between
+    control polls (default 0.05); [heartbeat] the liveness interval in
+    seconds (default 0.25).  [make_engine] must return a fully
+    configured engine whose loaded base image matches the
+    coordinator's — snapshots pin the image fingerprint and a mismatch
+    is a decode error.  Resets the default metrics registry on entry so
+    the final [Bye] snapshot covers exactly this worker's work; ignores
+    SIGINT/SIGPIPE (the coordinator owns shutdown). *)

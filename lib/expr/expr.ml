@@ -79,6 +79,13 @@ let var_counter = Atomic.make 0
 let fresh_var ?(width = 32) name =
   Var { id = Atomic.fetch_and_add var_counter 1 + 1; name; width }
 
+(* Raise the counter to at least [n] so variables decoded from another
+   process never collide with locally minted ones. *)
+let rec bump_var_counter n =
+  let cur = Atomic.get var_counter in
+  if cur < n && not (Atomic.compare_and_set var_counter cur n) then
+    bump_var_counter n
+
 (* Structural equality; physical equality is checked first as a fast path. *)
 let rec equal a b =
   a == b

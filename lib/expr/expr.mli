@@ -64,6 +64,11 @@ val of_bool : bool -> t
 val fresh_var : ?width:int -> string -> t
 (** A fresh symbolic variable with a unique id. *)
 
+val bump_var_counter : int -> unit
+(** Raise the fresh-variable counter to at least the given value.  Used
+    when adopting variables serialized by another process so locally
+    minted ids never collide with decoded ones. *)
+
 val is_const : t -> bool
 val to_const : t -> int64 option
 val equal : t -> t -> bool

@@ -440,3 +440,21 @@ int main() {
   return mua_interp();
 }
 |}
+
+(* Tiny 32-path symbolic loop: one symbolic byte, five tested bits.  Small
+   enough to drain in well under a second, so differential smoke tests
+   (--jobs N vs --procs N) can compare complete path sets. *)
+let symloop =
+  {|
+int main() {
+  char v[1];
+  __s2e_sym_mem(v, 1, 1);
+  int x = v[0];
+  int acc = 0;
+  for (int i = 0; i < 5; i = i + 1) {
+    if ((x >> i) & 1) acc = acc + (i * 3 + 1);
+  }
+  if (acc > 20) return 1;
+  return 0;
+}
+|}

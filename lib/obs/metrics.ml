@@ -275,6 +275,74 @@ let get_float snap name =
   | Some (Int n) -> float_of_int n
   | _ -> 0.
 
+(* Merge snapshots taken in different processes (distributed workers).
+   The rule comes from the metric's kind in the local registry: counters,
+   Sum gauges, fcounters and histograms add; Max gauges take the max.
+   Names absent from the local registry fall back to summation. *)
+let merge_snapshots ?(reg = default) snaps =
+  let kind_of name =
+    Mutex.lock reg.mutex;
+    let e = List.find_opt (fun e -> e.e_name = name) reg.entries in
+    Mutex.unlock reg.mutex;
+    Option.map (fun e -> e.e_kind) e
+  in
+  let names =
+    List.fold_left
+      (fun acc snap ->
+        List.fold_left
+          (fun acc (name, _) ->
+            if List.mem name acc then acc else name :: acc)
+          acc snap)
+      [] snaps
+    |> List.rev
+  in
+  List.map
+    (fun name ->
+      let vs = List.filter_map (fun snap -> List.assoc_opt name snap) snaps in
+      let v =
+        match kind_of name, vs with
+        | _, [] -> Int 0
+        | Some (K_gauge Max), _ ->
+            Int
+              (List.fold_left
+                 (fun acc v -> match v with Int n -> max acc n | _ -> acc)
+                 0 vs)
+        | _, Hist h0 :: _ ->
+            (* Element-wise bucket sums; snapshots from the same binary
+               always agree on bounds, others are skipped. *)
+            let counts = Array.make (Array.length h0.counts) 0 in
+            let sum = ref 0. in
+            List.iter
+              (function
+                | Hist h when h.bounds = h0.bounds ->
+                    Array.iteri
+                      (fun i c ->
+                        if i < Array.length counts then
+                          counts.(i) <- counts.(i) + c)
+                      h.counts;
+                    sum := !sum +. h.sum
+                | _ -> ())
+              vs;
+            Hist { bounds = h0.bounds; counts; sum = !sum }
+        | _, _ ->
+            if List.for_all (function Int _ -> true | _ -> false) vs then
+              Int
+                (List.fold_left
+                   (fun acc v -> match v with Int n -> acc + n | _ -> acc)
+                   0 vs)
+            else
+              Float
+                (List.fold_left
+                   (fun acc v ->
+                     match v with
+                     | Int n -> acc +. float_of_int n
+                     | Float f -> acc +. f
+                     | Hist _ -> acc)
+                   0. vs)
+      in
+      (name, v))
+    names
+
 let reset ?(reg = default) () =
   Mutex.lock reg.mutex;
   List.iter

@@ -71,6 +71,13 @@ val get_int : snapshot -> string -> int
 val get_float : snapshot -> string -> float
 (** The metric's numeric value as a float, or 0. when absent. *)
 
+val merge_snapshots : ?reg:t -> snapshot list -> snapshot
+(** Combine snapshots taken in {e different processes} (distributed
+    workers) into one, consulting [reg] for each metric's kind: counters,
+    [Sum] gauges, float accumulators and histograms add element-wise;
+    [Max] gauges take the max.  Names not registered locally fall back to
+    numeric summation.  Name order follows first appearance. *)
+
 val reset : ?reg:t -> unit -> unit
 (** Zero every cell of every shard.  Callers must ensure no writer domain
     is concurrently active (typically: between runs). *)

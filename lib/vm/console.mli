@@ -1,6 +1,7 @@
 (** Console device: one output port; reads return a ready status. *)
 
-type t
+(* Exposed so the distribution codec can snapshot/restore device state. *)
+type t = { mutable out : string }
 
 val create : unit -> t
 val clone : t -> t

@@ -2,7 +2,13 @@
     enabled.  One tick is one executed guest instruction; the engine slows
     this virtual clock while running symbolically (paper section 5). *)
 
-type t
+(* Exposed so the distribution codec can snapshot/restore device state. *)
+type t = {
+  mutable enabled : bool;
+  mutable interval : int;
+  mutable countdown : int;
+  mutable fired : int;
+}
 
 val create : unit -> t
 val clone : t -> t

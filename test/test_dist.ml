@@ -1,0 +1,265 @@
+(* lib/dist tests: snapshot codec roundtrips, strict decoding, and
+   differential + fault-injection tests for the fork-server coordinator.
+
+   This suite must run before any suite that spawns OCaml domains: the
+   coordinator's Fork spawn mode uses Unix.fork, which is only safe
+   while the process is still single-domain. *)
+
+open S2e_cc
+open S2e_core
+open S2e_expr
+module Codec = S2e_dist.Codec
+module Proto = S2e_dist.Proto
+module Coordinator = S2e_dist.Coordinator
+module Solver = S2e_solver.Solver
+
+let runtime =
+  {|
+__start:
+  li sp, 0xFFFF0
+  jal main
+  li r1, 0x900
+  sw r0, 0(r1)
+  halt
+|}
+
+(* 2^5 = 32 paths; every path fixes all five tested bits, so test cases
+   are distinct and the drained path set is deterministic. *)
+let workload_32 =
+  {|
+int main() {
+  int x = __s2e_sym_int(1);
+  int acc = 0;
+  for (int i = 0; i < 5; i = i + 1) {
+    if ((x >> i) & 1) acc = acc + (i * 3 + 1);
+  }
+  if (acc > 20) return 1;
+  return 0;
+} |}
+
+(* 2^6 = 64 paths: enough runway that a worker killed mid-run is still
+   holding unexplored states. *)
+let workload_64 =
+  {|
+int main() {
+  int x = __s2e_sym_int(1);
+  int acc = 0;
+  for (int i = 0; i < 6; i = i + 1) {
+    if ((x >> i) & 1) acc = acc + (i * 3 + 1);
+  }
+  if (acc > 30) return 1;
+  return 0;
+} |}
+
+let make_engine_for workload () =
+  let linked = Cc.link ~runtime_asm:runtime [ ("prog", workload) ] in
+  let engine = Executor.create () in
+  Executor.load engine
+    {
+      Executor.l_origin = linked.image.origin;
+      l_code = linked.image.code;
+      l_modules =
+        List.map
+          (fun (m : Cc.module_range) ->
+            (m.m_name, m.m_start, m.m_code_end, m.m_end))
+          linked.modules;
+    };
+  Executor.set_unit engine [ "prog" ];
+  engine
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_expr_roundtrip () =
+  let v = Expr.Var { id = 7; name = "sym1_0"; width = 8 } in
+  let exprs =
+    [
+      Expr.Const { value = 0x1234L; width = 16 };
+      v;
+      Expr.Unop { op = Expr.Bnot; arg = v; width = 8 };
+      Expr.Binop { op = Expr.Add; lhs = v; rhs = v; width = 8 };
+      Expr.Cmp { op = Expr.Slt; lhs = v; rhs = Expr.Const { value = 3L; width = 8 } };
+      Expr.Ite
+        {
+          cond = Expr.Cmp { op = Expr.Eq; lhs = v; rhs = v };
+          then_ = v;
+          else_ = v;
+          width = 8;
+        };
+      Expr.Extract { hi = 6; lo = 2; arg = v };
+      Expr.Concat { high = v; low = v; width = 16 };
+      Expr.Zext { arg = v; width = 32 };
+      Expr.Sext { arg = v; width = 64 };
+    ]
+  in
+  List.iter
+    (fun e ->
+      let e' = Codec.decode_expr (Codec.encode_expr e) in
+      Alcotest.(check bool) "expr roundtrips structurally" true (e = e'))
+    exprs
+
+(* Explore a few paths, then snapshot a mid-run frontier state: it has a
+   symbolic memory overlay, non-trivial path constraints and live device
+   state. *)
+let frontier_state () =
+  let eng = make_engine_for workload_32 () in
+  let s0 = Executor.boot eng ~entry:0x1000 () in
+  ignore
+    (Executor.run
+       ~limits:
+         {
+           Executor.max_instructions = None;
+           max_seconds = None;
+           max_completed = Some 4;
+         }
+       eng s0);
+  match eng.Executor.live with
+  | [] -> Alcotest.fail "expected a live frontier state"
+  | s :: _ -> (eng, s)
+
+let test_state_roundtrip () =
+  let eng, s = frontier_state () in
+  Alcotest.(check bool) "state has constraints" true (s.State.constraints <> []);
+  let blob = Codec.encode_state s in
+  let s' = Codec.decode_state ~base:eng.Executor.base_mem blob in
+  Alcotest.(check int) "id" s.State.id s'.State.id;
+  Alcotest.(check int) "parent" s.State.parent s'.State.parent;
+  Alcotest.(check int) "pc" s.State.pc s'.State.pc;
+  Alcotest.(check int) "depth" s.State.depth s'.State.depth;
+  Alcotest.(check int) "instret" s.State.instret s'.State.instret;
+  Alcotest.(check int) "sym_instret" s.State.sym_instret s'.State.sym_instret;
+  Alcotest.(check string) "status" (State.status_string s.State.status)
+    (State.status_string s'.State.status);
+  Alcotest.(check bool) "regs equal" true (s.State.regs = s'.State.regs);
+  Alcotest.(check bool) "constraints equal (exact order, no resimplify)" true
+    (s.State.constraints = s'.State.constraints);
+  let overlay st =
+    Symmem.fold_overlay (fun a e acc -> (a, e) :: acc) st.State.mem []
+  in
+  Alcotest.(check bool) "overlay non-empty" true (overlay s <> []);
+  Alcotest.(check bool) "overlay equal" true (overlay s = overlay s');
+  Alcotest.(check bool) "same base image" true
+    (Symmem.base s'.State.mem == eng.Executor.base_mem);
+  Alcotest.(check string) "console" s.State.devices.S2e_vm.Devices.console.out
+    s'.State.devices.S2e_vm.Devices.console.out;
+  (* The decoded state must solve to the same canonical test case. *)
+  Alcotest.(check string) "same test case"
+    (Parallel.test_case_to_string (Parallel.test_case s))
+    (Parallel.test_case_to_string (Parallel.test_case s'))
+
+let test_strict_decode_errors () =
+  let eng, s = frontier_state () in
+  let base = eng.Executor.base_mem in
+  let blob = Codec.encode_state s in
+  let raises what f =
+    match f () with
+    | (_ : State.t) -> Alcotest.failf "%s: expected Codec.Error" what
+    | exception Codec.Error _ -> ()
+  in
+  raises "truncated" (fun () ->
+      Codec.decode_state ~base (String.sub blob 0 (String.length blob / 2)));
+  raises "empty" (fun () -> Codec.decode_state ~base "");
+  (* Flip one payload byte: the trailing checksum must catch it. *)
+  let corrupt = Bytes.of_string blob in
+  let mid = Bytes.length corrupt / 2 in
+  Bytes.set corrupt mid (Char.chr (Char.code (Bytes.get corrupt mid) lxor 0x40));
+  raises "corrupted byte" (fun () ->
+      Codec.decode_state ~base (Bytes.to_string corrupt));
+  (* Wrong magic. *)
+  let wrong_magic = Bytes.of_string blob in
+  Bytes.set wrong_magic 0 'X';
+  raises "wrong magic" (fun () ->
+      Codec.decode_state ~base (Bytes.to_string wrong_magic));
+  (* Trailing garbage after a well-formed payload. *)
+  raises "trailing bytes" (fun () -> Codec.decode_state ~base (blob ^ "\000"));
+  (* A different base image must be rejected by the fingerprint. *)
+  let other = Bytes.copy base in
+  Bytes.set other 0 (Char.chr (Char.code (Bytes.get other 0) lxor 1));
+  raises "base image mismatch" (fun () -> Codec.decode_state ~base:other blob)
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let serial_case_set workload =
+  let r = Parallel.explore ~jobs:1 ~make_engine:(make_engine_for workload)
+      ~boot:(fun eng -> Executor.boot eng ~entry:0x1000 ()) ()
+  in
+  ( List.map
+      (fun (s : State.t) ->
+        Parallel.test_case_to_string (Parallel.test_case s))
+      r.Parallel.completed
+    |> List.sort compare,
+    r )
+
+let dist_case_set (r : Coordinator.result) =
+  List.map
+    (fun (p : Proto.path) -> Parallel.test_case_to_string p.Proto.p_case)
+    r.Coordinator.paths
+  |> List.sort compare
+
+let test_procs2_matches_serial () =
+  let make_engine = make_engine_for workload_32 in
+  let serial_cases, serial = serial_case_set workload_32 in
+  let r =
+    Coordinator.explore ~procs:2 ~cases:true
+      ~spawn:(Coordinator.Fork { jobs = 1; slice = 0.01; make_engine })
+      ~make_engine
+      ~boot:(fun eng -> Executor.boot eng ~entry:0x1000 ())
+      ()
+  in
+  Alcotest.(check int) "procs recorded" 2 r.Coordinator.procs;
+  Alcotest.(check int) "nothing left unexplored" 0 r.Coordinator.unexplored;
+  Alcotest.(check int) "no requeues" 0 r.Coordinator.requeues;
+  Alcotest.(check (list string))
+    "identical test-case sets" serial_cases (dist_case_set r);
+  Alcotest.(check int) "same completion count"
+    serial.Parallel.stats.Executor.states_completed
+    r.Coordinator.stats.Executor.states_completed;
+  Alcotest.(check int) "same fork count" serial.Parallel.stats.Executor.forks
+    r.Coordinator.stats.Executor.forks;
+  Alcotest.(check int) "same creation count"
+    serial.Parallel.stats.Executor.states_created
+    r.Coordinator.stats.Executor.states_created;
+  Alcotest.(check bool) "worker solver contexts did the solving" true
+    (r.Coordinator.solver_stats.Solver.queries > 0)
+
+let test_kill_worker_mid_run () =
+  let make_engine = make_engine_for workload_64 in
+  let serial_cases, _ = serial_case_set workload_64 in
+  (* SIGKILL the first worker the moment it is handed the root item: its
+     in-flight item must be requeued and redone by a surviving/respawned
+     worker, with no path lost or duplicated. *)
+  let killed = ref false in
+  let on_event = function
+    | Coordinator.Dispatched { pid; _ } when not !killed ->
+        killed := true;
+        Unix.kill pid Sys.sigkill
+    | _ -> ()
+  in
+  let r =
+    Coordinator.explore ~procs:2 ~cases:true ~on_event
+      ~spawn:(Coordinator.Fork { jobs = 1; slice = 0.01; make_engine })
+      ~make_engine
+      ~boot:(fun eng -> Executor.boot eng ~entry:0x1000 ())
+      ()
+  in
+  Alcotest.(check bool) "a worker was killed" true !killed;
+  Alcotest.(check bool) "in-flight item was requeued" true
+    (r.Coordinator.requeues >= 1);
+  Alcotest.(check bool) "worker was respawned" true (r.Coordinator.restarts >= 1);
+  Alcotest.(check int) "nothing left unexplored" 0 r.Coordinator.unexplored;
+  Alcotest.(check (list string))
+    "path set unchanged by the crash" serial_cases (dist_case_set r)
+
+let tests =
+  [
+    Alcotest.test_case "expression codec roundtrip" `Quick test_expr_roundtrip;
+    Alcotest.test_case "state snapshot roundtrip" `Quick test_state_roundtrip;
+    Alcotest.test_case "strict decode errors" `Quick test_strict_decode_errors;
+    Alcotest.test_case "procs=2 drains same path set as serial" `Quick
+      test_procs2_matches_serial;
+    Alcotest.test_case "killed worker's states are requeued" `Quick
+      test_kill_worker_mid_run;
+  ]

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "s2e"
     [
+      ("dist", Test_dist.tests);
       ("expr", Test_expr.tests);
       ("prop_expr", Test_prop_expr.tests);
       ("solver", Test_solver.tests);
