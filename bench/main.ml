@@ -908,9 +908,142 @@ let dist () =
      throughput stays ~1x (this machine reports %d core(s)).\n"
     (Domain.recommended_domain_count ())
 
+(* ---------------------------------------------------------------- *)
+(* Chaos: resilience under an armed fault plan                        *)
+(* ---------------------------------------------------------------- *)
+
+(* The dist workload re-run with the fault injector armed at every
+   boundary (guest hardware, solver, transport): what the chaos costs in
+   drained-path throughput, and how fast the coordinator turns a crashed
+   worker back into a working one.  Fork-mode like `dist`, so it is
+   listed right after it, before any experiment spins up domains. *)
+let chaos () =
+  section "Chaos: distributed exploration under an armed fault plan";
+  let module Coordinator = S2e_dist.Coordinator in
+  let module Fault = S2e_fault.Fault in
+  let module Obs = S2e_obs in
+  let img =
+    Guest.build
+      ~driver:("nulldrv", S2e_guest.Drivers_src.nulldrv)
+      ~workload:("pbench", parallel_workload)
+      ()
+  in
+  let make_engine () =
+    let config = Executor.default_config () in
+    config.consistency <- Consistency.LC;
+    let engine = Executor.create ~config () in
+    Guest.load_into_engine engine img;
+    Executor.set_unit engine [ "pbench" ];
+    engine
+  in
+  let seconds = Float.min 2.0 (budget /. 5.) in
+  let run ?plan () =
+    (match plan with
+    | None -> Fault.disarm ()
+    | Some p -> (
+        match Fault.parse_plan p with
+        | Ok pl -> Fault.install ~seed:7 pl
+        | Error msg -> failwith msg));
+    (* Crashed -> Respawned latency: the coordinator's recovery time for
+       a dead worker (backoff included). *)
+    let crashed = ref [] in
+    let recoveries = ref [] in
+    let on_event = function
+      | Coordinator.Crashed _ -> crashed := Unix.gettimeofday () :: !crashed
+      | Coordinator.Respawned _ -> (
+          match !crashed with
+          | t :: rest ->
+              crashed := rest;
+              recoveries := (Unix.gettimeofday () -. t) :: !recoveries
+          | [] -> ())
+      | _ -> ()
+    in
+    let r =
+      Coordinator.explore ~procs:2 ~heartbeat_timeout:1.0 ~on_event
+        ~limits:
+          {
+            Executor.max_instructions = None;
+            max_seconds = Some seconds;
+            max_completed = None;
+          }
+        ~spawn:(Coordinator.Fork { jobs = 1; slice = 0.02; make_engine })
+        ~make_engine
+        ~boot:(fun eng -> Executor.boot eng ~entry:img.entry ())
+        ()
+    in
+    Fault.disarm ();
+    (r, !recoveries)
+  in
+  let rate (r : Coordinator.result) =
+    if r.wall_seconds > 0. then
+      float_of_int r.stats.Executor.states_completed /. r.wall_seconds
+    else 0.
+  in
+  let plan =
+    (* The pbench run exchanges only a handful of frames (workers finish
+       their item internally and report one Result), so the corruption
+       probability is high to guarantee the NAK/retransmit path is
+       actually exercised. *)
+    "dev.read=err:0.02,dma=drop:0.01,irq=spurious:0.01,solver=unknown:0.02,\
+     solver=latency:0.05,proto=corrupt:0.6,proto=delay:0.3"
+  in
+  Printf.printf "per-run budget: %.1f s, plan: %s\n" seconds plan;
+  let base, _ = run () in
+  let faulted, recoveries = run ~plan () in
+  let injected =
+    List.fold_left
+      (fun acc (name, v) ->
+        match v with
+        | Obs.Metrics.Int n
+          when String.length name > 6 && String.sub name 0 6 = "fault." ->
+            acc + n
+        | _ -> acc)
+      0 faulted.Coordinator.obs
+  in
+  let mean_recovery_ms =
+    match recoveries with
+    | [] -> 0.
+    | l -> 1000. *. List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  in
+  Printf.printf "%-10s %10s %10s %9s %9s %9s\n" "run" "paths/s" "paths"
+    "requeues" "restarts" "injected";
+  Printf.printf "%-10s %10.1f %10d %9d %9d %9d\n" "baseline" (rate base)
+    base.stats.Executor.states_completed base.Coordinator.requeues
+    base.Coordinator.restarts 0;
+  Printf.printf "%-10s %10.1f %10d %9d %9d %9d\n%!" "faulted" (rate faulted)
+    faulted.stats.Executor.states_completed faulted.Coordinator.requeues
+    faulted.Coordinator.restarts injected;
+  Printf.printf
+    "transport: %d naks, %d retransmits; degradations: %d; abandoned: %d\n"
+    faulted.Coordinator.naks faulted.Coordinator.retransmits
+    faulted.stats.Executor.degradations
+    (List.length faulted.Coordinator.abandoned);
+  if recoveries <> [] then
+    Printf.printf "crash recovery: %d respawns, mean %.0f ms\n"
+      (List.length recoveries) mean_recovery_ms;
+  Printf.printf
+    "BENCH {\"name\":\"chaos\",\"base_paths_per_s\":%.3f,\"paths_per_s\":%.3f,\
+     \"throughput_frac\":%.3f,\"injected\":%d,\"naks\":%d,\"retransmits\":%d,\
+     \"degradations\":%d,\"requeues\":%d,\"restarts\":%d,\"abandoned\":%d,\
+     \"mean_recovery_ms\":%.1f}\n"
+    (rate base) (rate faulted)
+    (if rate base > 0. then rate faulted /. rate base else 0.)
+    injected faulted.Coordinator.naks faulted.Coordinator.retransmits
+    faulted.stats.Executor.degradations faulted.Coordinator.requeues
+    faulted.Coordinator.restarts
+    (List.length faulted.Coordinator.abandoned)
+    mean_recovery_ms;
+  Printf.printf
+    "\nThe faulted run trades throughput for the recovery machinery\n\
+     visibly doing its job: NAK/retransmit on corrupt frames,\n\
+     requeue/respawn on silent workers, degradation instead of hangs on\n\
+     solver faults -- with no silently lost work (abandoned items, if\n\
+     any, are reported above).\n"
+
 let experiments =
   [
     ("dist", dist);
+    ("chaos", chaos);
     ("table4", table4);
     ("table5", table5);
     ("fig6", fig6);

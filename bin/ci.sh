@@ -48,6 +48,38 @@ diff "$serial_out.cases" "$dist_out.cases" > /dev/null \
 rm -f "$serial_out.cases" "$dist_out.cases"
 echo "CI: dist smoke test passed ($dist_cases cases, procs=2 == jobs=1)"
 
+# Chaos smoke test: exploration with an armed fault plan and solver
+# watchdog must complete cleanly in both execution modes (recovery, not
+# crashes) and report a nonzero injected-fault count.
+chaos_out=$(mktemp /tmp/s2e-chaos-XXXXXX.txt)
+trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$chaos_out"' EXIT
+dune exec bin/s2e_cli.exe -- explore --driver nulldrv --workload urlparse \
+  --jobs 2 --seconds 5 --solver-timeout-ms 10000 \
+  --fault-plan 'dev.read=err:0.05,irq=spurious:0.02,solver=latency:0.05' \
+  > "$chaos_out" \
+  || { echo "CI: jobs-mode chaos run failed" >&2; exit 1; }
+injected=$(sed -n 's/^resilience: .* \([0-9][0-9]*\) injected faults$/\1/p' "$chaos_out")
+[ -n "$injected" ] && [ "$injected" -gt 0 ] \
+  || { echo "CI: jobs-mode chaos run injected no faults" >&2; exit 1; }
+echo "CI: jobs-mode chaos smoke test passed ($injected faults injected)"
+
+# Transport-only plan at procs=2: corrupted frames must be recovered by
+# NAK/retransmit with zero lost work -- the case set must still equal
+# the clean serial run's.
+dune exec bin/s2e_cli.exe -- explore --driver nulldrv --workload symloop \
+  --procs 2 --seconds 30 --fault-plan 'proto=corrupt:0.3' --cases \
+  > "$chaos_out" \
+  || { echo "CI: procs-mode chaos run failed" >&2; exit 1; }
+injected=$(sed -n 's/^resilience: .* \([0-9][0-9]*\) injected faults$/\1/p' "$chaos_out")
+[ -n "$injected" ] && [ "$injected" -gt 0 ] \
+  || { echo "CI: procs-mode chaos run injected no faults" >&2; exit 1; }
+grep '|' "$serial_out" > "$serial_out.cases"
+grep '|' "$chaos_out" > "$chaos_out.cases"
+diff "$serial_out.cases" "$chaos_out.cases" > /dev/null \
+  || { echo "CI: chaos dist test cases differ from clean serial" >&2; exit 1; }
+rm -f "$serial_out.cases" "$chaos_out.cases"
+echo "CI: procs-mode chaos smoke test passed ($injected faults injected, cases == serial)"
+
 # Distributed bench must emit its BENCH JSON lines within a small budget.
 S2E_BENCH_SECONDS=5 timeout 60 dune exec bench/main.exe dist \
   | grep -q '^BENCH {"name":"dist_explore"' \

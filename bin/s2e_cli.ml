@@ -8,6 +8,7 @@ open Cmdliner
 open S2e_tools
 module Guest = S2e_guest.Guest
 module Obs = S2e_obs
+module Fault = S2e_fault.Fault
 
 let driver_arg =
   let names = List.map fst Guest.drivers in
@@ -273,6 +274,63 @@ let write_merged_stats path snap ~elapsed =
   output_char oc '\n';
   close_out oc
 
+(* Resilience knobs, shared by `explore` and the internal `worker` entry
+   point (the coordinator forwards them verbatim so every process in a
+   distributed run injects from the same declarative plan). *)
+
+let fault_plan_arg =
+  let doc =
+    "Deterministic fault-injection plan: comma-separated \
+     $(i,site)=$(i,kind):$(i,prob)[#$(i,cap)] rules, e.g. \
+     'dev.read=err:0.05,dma=drop:0.01,solver=unknown:0.02,\\
+     proto=corrupt:0.03'.  Sites: dev.read, dma, irq, solver (kinds \
+     unknown/latency), proto (kinds corrupt/delay).  Empty disables \
+     injection."
+  in
+  Arg.(value & opt string "" & info [ "fault-plan" ] ~docv:"PLAN" ~doc)
+
+let fault_seed_arg =
+  let doc =
+    "Seed for the fault plan's per-site deterministic streams: the same \
+     plan + seed fires the same faults at the same injection-site draws."
+  in
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N" ~doc)
+
+let solver_timeout_arg =
+  let doc =
+    "Wall-clock watchdog per SAT-core call, in milliseconds; a query \
+     past it returns Unknown and the engine degrades the fork \
+     (follow-the-concrete, path marked incomplete).  0 disables the \
+     watchdog."
+  in
+  Arg.(value & opt float 0. & info [ "solver-timeout-ms" ] ~docv:"MS" ~doc)
+
+(* Validate and arm the resilience knobs; exits 2 on a malformed plan. *)
+let setup_resilience ~cmd ~fault_plan ~fault_seed ~solver_timeout_ms =
+  if solver_timeout_ms < 0. then begin
+    Fmt.epr "s2e %s: --solver-timeout-ms must be >= 0 (got %g)@." cmd
+      solver_timeout_ms;
+    exit 2
+  end;
+  if solver_timeout_ms > 0. then
+    S2e_solver.Solver.set_default_timeout_ms (Some solver_timeout_ms);
+  if fault_plan <> "" then
+    match Fault.parse_plan fault_plan with
+    | Ok plan -> Fault.install ~seed:fault_seed plan
+    | Error msg ->
+        Fmt.epr "s2e %s: bad --fault-plan: %s@." cmd msg;
+        exit 2
+
+(* One human-readable resilience line, printed only when something
+   actually happened (timeouts, degradations, injected faults), so
+   fault-free runs keep their exact historical output. *)
+let print_resilience ~degradations ~incomplete ~unknowns ~timeouts ~injected =
+  if degradations + incomplete + unknowns + timeouts + injected > 0 then
+    Fmt.pr
+      "resilience: %d degradations, %d incomplete paths, %d solver \
+       unknowns (%d timeouts), %d injected faults@."
+      degradations incomplete unknowns timeouts injected
+
 let jobs_arg =
   let doc =
     "Parallel exploration workers (OCaml domains) per process.  Each worker \
@@ -327,9 +385,10 @@ let explore_cmd =
     Arg.(value & opt float 0.5 & info [ "stats-interval" ] ~docv:"SEC" ~doc)
   in
   let run driver workload model jobs procs seconds searcher cases stats_out
-      stats_interval =
+      stats_interval fault_plan fault_seed solver_timeout_ms =
     validate_explore_args ~cmd:"explore" ~driver ~workload ~model ~searcher
       ~jobs ~procs ~seconds ~stats_interval;
+    setup_resilience ~cmd:"explore" ~fault_plan ~fault_seed ~solver_timeout_ms;
     let img, make_engine = engine_factory ~driver ~workload ~model ~searcher in
     let limits =
       {
@@ -369,15 +428,25 @@ let explore_cmd =
       Fmt.pr "instructions: %d (%d symbolic)@." r.stats.concrete_instret
         r.stats.sym_instret;
       Fmt.pr "steals: %d@." r.steals;
-      Fmt.pr "solver: %d queries, %d to SAT core, %d cache hits, %.2fs@."
+      Fmt.pr
+        "solver: %d queries, %d to SAT core, %d cache hits, %d unknowns, \
+         %.2fs@."
         r.solver_stats.S2e_solver.Solver.queries r.solver_stats.sat_queries
-        r.solver_stats.cache_hits r.solver_stats.total_time;
+        r.solver_stats.cache_hits r.solver_stats.unknowns
+        r.solver_stats.total_time;
+      print_resilience ~degradations:r.stats.degradations
+        ~incomplete:
+          (List.length
+             (List.filter (fun (s : State.t) -> s.State.incomplete) r.completed))
+        ~unknowns:r.solver_stats.unknowns
+        ~timeouts:
+          (Obs.Metrics.get_int (Obs.Metrics.snapshot ()) "solver.timeouts")
+        ~injected:(Fault.total ());
       if cases then
         print_cases
           (List.map
              (fun (s : State.t) ->
-               Printf.sprintf "%s | %s"
-                 (State.status_string s.State.status)
+               Printf.sprintf "%s | %s" (State.report_string s)
                  (Parallel.test_case_to_string (Parallel.test_case s)))
              r.completed)
     end
@@ -398,6 +467,14 @@ let explore_cmd =
           searcher;
           "--jobs";
           string_of_int jobs;
+          (* Exec'd workers don't inherit memory: forward the resilience
+             knobs so every process injects from the same plan. *)
+          "--fault-plan";
+          fault_plan;
+          "--fault-seed";
+          string_of_int fault_seed;
+          "--solver-timeout-ms";
+          string_of_float solver_timeout_ms;
         |]
       in
       Obs.Metrics.reset ();
@@ -422,17 +499,46 @@ let explore_cmd =
         r.stats.sym_instret;
       Fmt.pr "steals: %d, requeues: %d, restarts: %d@." r.steals r.requeues
         r.restarts;
+      if r.naks + r.retransmits > 0 then
+        Fmt.pr "transport: %d naks, %d retransmits@." r.naks r.retransmits;
       if r.unexplored > 0 then Fmt.pr "unexplored states: %d@." r.unexplored;
-      Fmt.pr "solver: %d queries, %d to SAT core, %d cache hits, %.2fs@."
+      List.iter
+        (fun (id, attempts) ->
+          Fmt.pr "abandoned item %d after %d attempts@." id attempts)
+        r.abandoned;
+      Fmt.pr
+        "solver: %d queries, %d to SAT core, %d cache hits, %d unknowns, \
+         %.2fs@."
         r.solver_stats.S2e_solver.Solver.queries r.solver_stats.sat_queries
-        r.solver_stats.cache_hits r.solver_stats.total_time;
+        r.solver_stats.cache_hits r.solver_stats.unknowns
+        r.solver_stats.total_time;
+      (* Every injected fault across all processes: per-site fault.*
+         counters travel in the workers' Bye snapshots. *)
+      let injected =
+        List.fold_left
+          (fun acc (name, v) ->
+            match v with
+            | Obs.Metrics.Int n
+              when String.length name > 6 && String.sub name 0 6 = "fault." ->
+                acc + n
+            | _ -> acc)
+          0 r.obs
+      in
+      print_resilience ~degradations:r.stats.degradations
+        ~incomplete:(Obs.Metrics.get_int r.obs "engine.incomplete_paths")
+        ~unknowns:r.solver_stats.unknowns
+        ~timeouts:(Obs.Metrics.get_int r.obs "solver.timeouts")
+        ~injected;
       if cases then
         print_cases
           (List.map
              (fun (p : S2e_dist.Proto.path) ->
                Printf.sprintf "%s | %s" p.p_status
                  (Parallel.test_case_to_string p.p_case))
-             r.paths)
+             r.paths);
+      (* Completed-with-abandoned-work is distinguishable from a clean
+         run: lost coverage must not look like exhaustive exploration. *)
+      if r.abandoned <> [] then exit 3
     end
   in
   Cmd.v
@@ -443,7 +549,8 @@ let explore_cmd =
     Term.(
       const run $ driver_arg $ explore_workload_arg $ model_arg $ jobs_arg
       $ procs_arg $ seconds_arg $ searcher_arg $ cases_arg $ stats_out_arg
-      $ stats_interval_arg)
+      $ stats_interval_arg $ fault_plan_arg $ fault_seed_arg
+      $ solver_timeout_arg)
 
 (* --- worker: internal fork-server entry point for `explore --procs` --- *)
 
@@ -452,9 +559,11 @@ let worker_cmd =
     let doc = "Wall-clock seconds per exploration slice between control polls." in
     Arg.(value & opt float 0.05 & info [ "slice" ] ~docv:"SEC" ~doc)
   in
-  let run driver workload model jobs searcher slice =
+  let run driver workload model jobs searcher slice fault_plan fault_seed
+      solver_timeout_ms =
     validate_explore_args ~cmd:"worker" ~driver ~workload ~model ~searcher
       ~jobs ~procs:1 ~seconds:1. ~stats_interval:1.;
+    setup_resilience ~cmd:"worker" ~fault_plan ~fault_seed ~solver_timeout_ms;
     if slice <= 0. then begin
       Fmt.epr "s2e worker: --slice must be > 0 (got %g)@." slice;
       exit 2
@@ -484,7 +593,8 @@ let worker_cmd =
          "Internal: exploration worker process (spawned by explore --procs)")
     Term.(
       const run $ driver_arg $ explore_workload_arg $ model_arg $ jobs_arg
-      $ searcher_arg $ slice_arg)
+      $ searcher_arg $ slice_arg $ fault_plan_arg $ fault_seed_arg
+      $ solver_timeout_arg)
 
 (* --- stats: render a run-stats JSONL file --- *)
 
@@ -565,9 +675,32 @@ let stats_cmd =
       (if elapsed > 0. then instr /. elapsed else 0.);
     let queries = m "solver.queries" in
     Fmt.pr
-      "solver: %d queries (%d reached SAT core), %.1f%% query-cache hits@."
+      "solver: %d queries (%d reached SAT core), %.1f%% query-cache hits, \
+       %d unknowns (%d timeouts)@."
       (mi "solver.queries") (mi "solver.sat_queries")
-      (pct (m "solver.cache_hits") queries);
+      (pct (m "solver.cache_hits") queries)
+      (mi "solver.unknowns") (mi "solver.timeouts");
+    (* Resilience: degraded forks, incomplete paths and injected faults
+       (per-site fault.* counters), shown only when something fired. *)
+    let injected =
+      List.fold_left
+        (fun acc (name, v) ->
+          match Obs.Jsonl.to_num v with
+          | Some n when String.length name > 6 && String.sub name 0 6 = "fault."
+            ->
+              acc + int_of_float n
+          | _ -> acc)
+        0
+        (Option.value ~default:[] (Obs.Jsonl.to_obj metrics))
+    in
+    if mi "engine.degradations" + mi "engine.incomplete_paths" + injected > 0
+    then
+      Fmt.pr
+        "resilience: %d degraded forks, %d incomplete paths, %d injected \
+         faults (naks %d, retransmits %d)@."
+        (mi "engine.degradations")
+        (mi "engine.incomplete_paths")
+        injected (mi "dist.naks") (mi "dist.retransmits");
     let tb_hits = m "dbt.tb_hits" and tb_misses = m "dbt.tb_misses" in
     Fmt.pr "tb cache: %.1f%% hits (%d hits, %d misses), %d invalidations@."
       (pct tb_hits (tb_hits +. tb_misses))

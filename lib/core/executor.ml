@@ -30,6 +30,8 @@ let m_states_created = Obs.Metrics.counter "engine.states_created"
 let m_states_completed = Obs.Metrics.counter "engine.states_completed"
 let m_concretizations = Obs.Metrics.counter "engine.concretizations"
 let m_aborts = Obs.Metrics.counter "engine.aborts"
+let m_degradations = Obs.Metrics.counter "engine.degradations"
+let m_incomplete = Obs.Metrics.counter "engine.incomplete_paths"
 let m_live = Obs.Metrics.gauge ~merge:Obs.Metrics.Sum "engine.live_states"
 let m_max_live = Obs.Metrics.gauge ~merge:Obs.Metrics.Max "engine.max_live_states"
 
@@ -73,6 +75,7 @@ type stats = {
   mutable footprint_watermark : int; (* sum of live state footprints, max *)
   mutable concretizations : int;
   mutable aborts : int;
+  mutable degradations : int; (* forks degraded to one path on solver Unknown *)
 }
 
 let new_stats () =
@@ -86,6 +89,7 @@ let new_stats () =
     footprint_watermark = 0;
     concretizations = 0;
     aborts = 0;
+    degradations = 0;
   }
 
 (** Fold [src] into [into]: counters add, high watermarks take the max.
@@ -99,6 +103,7 @@ let merge_stats ~(into : stats) (src : stats) =
   into.sym_instret <- into.sym_instret + src.sym_instret;
   into.concretizations <- into.concretizations + src.concretizations;
   into.aborts <- into.aborts + src.aborts;
+  into.degradations <- into.degradations + src.degradations;
   if src.max_live_states > into.max_live_states then
     into.max_live_states <- src.max_live_states;
   if src.footprint_watermark > into.footprint_watermark then
@@ -203,6 +208,7 @@ let end_state t (s : State.t) status =
   s.status <- status;
   t.stats.states_completed <- t.stats.states_completed + 1;
   Obs.Metrics.incr m_states_completed;
+  if s.incomplete then Obs.Metrics.incr m_incomplete;
   (match status with
   | State.Aborted _ ->
       t.stats.aborts <- t.stats.aborts + 1;
@@ -351,6 +357,32 @@ let do_fork t (s : State.t) cond ~taken_pc ~fall_pc =
       t.searcher.add child;
       child)
 
+(* Graceful degradation on solver Unknown at a fork (watchdog timeout,
+   conflict-budget exhaustion or an injected solver fault): instead of
+   forking both ways blind — which explodes paths exactly when queries
+   get hard — commit to one side, mark the path incomplete, and account
+   for the degradation.  [add]/[pc] are the chosen side's constraint and
+   target. *)
+let degrade_to t (s : State.t) ~add ~pc =
+  t.stats.degradations <- t.stats.degradations + 1;
+  Obs.Metrics.incr m_degradations;
+  s.incomplete <- true;
+  State.add_constraint s add;
+  s.pc <- pc
+
+(* Neither side is known infeasible but at least one is Unknown: follow
+   the branch the way the last cached model would take it concretely
+   (follow-the-concrete, in the spirit of the paper's consistency-model
+   concretizations).  With an empty cache the all-zeros model decides. *)
+let degrade_concrete t (s : State.t) cond ~taken_pc ~fall_pc =
+  let m =
+    match !(t.solver.Solver.model_cache) with
+    | m :: _ -> m
+    | [] -> Expr.Int_map.empty
+  in
+  if Expr.eval m cond = 1L then degrade_to t s ~add:cond ~pc:taken_pc
+  else degrade_to t s ~add:(Expr.log_not cond) ~pc:fall_pc
+
 (* Decide a branch with a symbolic condition. *)
 let symbolic_branch t (s : State.t) cond ~taken_pc ~fall_pc =
   let model = t.config.consistency in
@@ -381,15 +413,23 @@ let symbolic_branch t (s : State.t) cond ~taken_pc ~fall_pc =
         Solver.check_with ~ctx:t.solver ~constraints:s.constraints (Expr.log_not cond)
       in
       match feas_true, feas_false with
-      | (Solver.Sat _ | Solver.Unknown), Solver.Unsat ->
+      | Solver.Sat _, Solver.Unsat ->
           State.add_constraint s cond;
           s.pc <- taken_pc
-      | Solver.Unsat, (Solver.Sat _ | Solver.Unknown) ->
+      | Solver.Unsat, Solver.Sat _ ->
           State.add_constraint s (Expr.log_not cond);
           s.pc <- fall_pc
       | Solver.Unsat, Solver.Unsat ->
           end_state t s (State.Aborted "infeasible path")
-      | (Solver.Sat _ | Solver.Unknown), (Solver.Sat _ | Solver.Unknown) ->
+      | Solver.Unknown, Solver.Unsat ->
+          (* Only one side can possibly be feasible; follow it, but its
+             feasibility was never proven. *)
+          degrade_to t s ~add:cond ~pc:taken_pc
+      | Solver.Unsat, Solver.Unknown ->
+          degrade_to t s ~add:(Expr.log_not cond) ~pc:fall_pc
+      | (Solver.Unknown, _ | _, Solver.Unknown) ->
+          degrade_concrete t s cond ~taken_pc ~fall_pc
+      | Solver.Sat _, Solver.Sat _ ->
           if s.depth < t.config.max_fork_depth
              && List.length t.live < t.config.max_states
           then ignore (do_fork t s cond ~taken_pc ~fall_pc)
@@ -409,13 +449,19 @@ let symbolic_branch t (s : State.t) cond ~taken_pc ~fall_pc =
           Solver.check_with ~ctx:t.solver ~constraints:s.constraints (Expr.log_not cond)
         in
         (match feas_true, feas_false with
-        | (Solver.Sat _ | Solver.Unknown), Solver.Unsat ->
+        | Solver.Sat _, Solver.Unsat ->
             State.add_constraint s cond;
             s.pc <- taken_pc
+        | Solver.Unknown, Solver.Unsat ->
+            degrade_to t s ~add:cond ~pc:taken_pc
+        | Solver.Unsat, Solver.Unknown ->
+            degrade_to t s ~add:(Expr.log_not cond) ~pc:fall_pc
         | Solver.Unsat, _ ->
             State.add_constraint s (Expr.log_not cond);
             s.pc <- fall_pc
-        | _, _ ->
+        | (Solver.Unknown, _ | _, Solver.Unknown) ->
+            degrade_concrete t s cond ~taken_pc ~fall_pc
+        | Solver.Sat _, Solver.Sat _ ->
             if s.depth < t.config.max_fork_depth
                && List.length t.live < t.config.max_states
             then ignore (do_fork t s cond ~taken_pc ~fall_pc)

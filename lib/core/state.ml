@@ -41,6 +41,9 @@ type t = {
   mutable irqs_suppressed : bool; (* s2e opcode: disable interrupts for path *)
   mutable status : status;
   mutable multipath : bool; (* toggled by S2ENA / S2DIS opcodes *)
+  mutable incomplete : bool;
+      (* a solver Unknown degraded a fork on this path: the path itself is
+         valid, but sibling paths may have been silently dropped *)
   mutable instret : int;
   mutable sym_instret : int;   (* instructions that touched symbolic data *)
   mutable depth : int;         (* fork depth *)
@@ -81,6 +84,7 @@ let create ~mem ~devices ~pc =
     irqs_suppressed = false;
     status = Active;
     multipath = true;
+    incomplete = false;
     instret = 0;
     sym_instret = 0;
     depth = 0;
@@ -124,3 +128,8 @@ let status_string = function
   | Killed r -> "killed: " ^ r
   | Faulted r -> "faulted: " ^ r
   | Aborted r -> "aborted: " ^ r
+
+(** Reporting form of a path's outcome: the status, plus an
+    [incomplete] marker when a degraded fork may have dropped siblings. *)
+let report_string t =
+  status_string t.status ^ if t.incomplete then " [incomplete]" else ""

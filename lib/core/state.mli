@@ -42,6 +42,9 @@ type t = {
   mutable irqs_suppressed : bool;
   mutable status : status;
   mutable multipath : bool;
+  mutable incomplete : bool;
+      (** a solver [Unknown] degraded a fork on this path: the path is
+          valid, but sibling paths may have been dropped *)
   mutable instret : int;
   mutable sym_instret : int;
   mutable depth : int;
@@ -74,3 +77,7 @@ val footprint : t -> int
 
 val is_active : t -> bool
 val status_string : status -> string
+
+val report_string : t -> string
+(** {!status_string} plus an [" [incomplete]"] suffix when a degraded
+    fork may have dropped sibling paths. *)

@@ -31,7 +31,7 @@ exception Error of string
 
 let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
 
-let version = 1
+let version = 2
 let magic = "S2EC"
 
 (* ------------------------------------------------------------------ *)
@@ -409,6 +409,7 @@ let encode_state (s : State.t) =
   u32 b s.depth;
   encode_status b s.status;
   bool b s.multipath;
+  bool b s.incomplete;
   bool b s.irq_enabled;
   bool b s.in_irq;
   bool b s.irqs_suppressed;
@@ -470,6 +471,7 @@ let decode_state ~base buf =
   let depth = ru32 r in
   let status = decode_status r in
   let multipath = rbool r in
+  let incomplete = rbool r in
   let irq_enabled = rbool r in
   let in_irq = rbool r in
   let irqs_suppressed = rbool r in
@@ -528,6 +530,7 @@ let decode_state ~base buf =
     irqs_suppressed;
     status;
     multipath;
+    incomplete;
     instret;
     sym_instret;
     depth;

@@ -55,6 +55,11 @@ type result = {
   steals : int;  (** checkpoints triggered by steal requests *)
   requeues : int;  (** in-flight items recovered from dead workers *)
   restarts : int;  (** worker processes respawned *)
+  abandoned : (int * int) list;
+      (** items given up after [max_item_attempts]: (item id, attempts) *)
+  naks : int;  (** damaged/out-of-order frames NAKed, both directions *)
+  retransmits : int;  (** frames re-sent on NAK, both directions *)
+  injected : int;  (** transport corruptions injected by the fault plan *)
   unexplored : int;  (** frontier states left when the run stopped *)
   wall_seconds : float;
 }
@@ -65,7 +70,7 @@ type wstatus = Starting | Idle | Busy of item
 type wrk = {
   w_slot : int;
   mutable w_pid : int;
-  mutable w_fd : Unix.file_descr;
+  mutable w_conn : Proto.conn;
   mutable w_status : wstatus;
   mutable w_alive : bool;
   mutable w_shutdown : bool;  (* Shutdown already sent *)
@@ -144,7 +149,7 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
   let steals = ref 0 in
   let requeues = ref 0 in
   let restarts = ref 0 in
-  let dropped = ref 0 in
+  let abandoned = ref [] in
   let draining = ref false in
   let interrupted = ref false in
   let old_sigint =
@@ -159,7 +164,7 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
         {
           w_slot = slot;
           w_pid = 0;
-          w_fd = Unix.stdin;
+          w_conn = Proto.connect Unix.stdin;  (* placeholder until spawn *)
           w_status = Starting;
           w_alive = false;
           w_shutdown = false;
@@ -171,14 +176,14 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
   in
   let live_fds () =
     Array.fold_left
-      (fun acc w -> if w.w_alive then w.w_fd :: acc else acc)
+      (fun acc w -> if w.w_alive then w.w_conn.Proto.fd :: acc else acc)
       [] workers
   in
   let do_spawn slot =
     let pid, fd = spawn_process spawn ~other_fds:(live_fds ()) in
     let w = workers.(slot) in
     w.w_pid <- pid;
-    w.w_fd <- fd;
+    w.w_conn <- Proto.connect fd;
     w.w_status <- Starting;
     w.w_alive <- true;
     w.w_shutdown <- false;
@@ -189,7 +194,7 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
     on_event (Spawned { pid; slot })
   in
   let reap w =
-    (try Unix.close w.w_fd with Unix.Unix_error _ -> ());
+    (try Unix.close w.w_conn.Proto.fd with Unix.Unix_error _ -> ());
     try ignore (Unix.waitpid [] w.w_pid) with Unix.Unix_error _ -> ()
   in
   (* A worker died (EOF, torn frame, heartbeat timeout): recover its
@@ -205,7 +210,9 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
             w.w_status <- Idle;
             it.it_attempts <- it.it_attempts + 1;
             if it.it_attempts > max_item_attempts then begin
-              incr dropped;
+              (* Give up on an item that keeps killing workers — but say
+                 so: it surfaces in the final report, not a silent drop. *)
+              abandoned := (it.it_id, it.it_attempts) :: !abandoned;
               false
             end
             else begin
@@ -261,7 +268,8 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
         obs_snaps := obs :: !obs_snaps;
         w.w_alive <- false;
         reap w
-    | Proto.Work _ | Proto.Steal | Proto.Ping | Proto.Shutdown ->
+    | Proto.Work _ | Proto.Steal | Proto.Ping | Proto.Shutdown
+    | Proto.Resend _ (* consumed inside recv; never delivered *) ->
         () (* coordinator-only messages; ignore *)
   in
   Array.iteri (fun slot _ -> do_spawn slot) workers;
@@ -292,7 +300,7 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
         (fun w ->
           if w.w_alive && not w.w_shutdown then begin
             (try
-               Proto.send w.w_fd Proto.Shutdown;
+               Proto.send w.w_conn Proto.Shutdown;
                w.w_shutdown <- true
              with Proto.Closed | Codec.Error _ -> crash w)
           end)
@@ -317,7 +325,7 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
                 else deadline -. Unix.gettimeofday ()
               in
               match
-                Proto.send w.w_fd
+                Proto.send w.w_conn
                   (Proto.Work
                      { item = it.it_id; budget; cases; blob = it.it_blob })
               with
@@ -349,7 +357,7 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
           match !victim with
           | Some w -> (
               try
-                Proto.send w.w_fd Proto.Steal;
+                Proto.send w.w_conn Proto.Steal;
                 w.w_steal <- now
               with Proto.Closed | Codec.Error _ -> crash w)
           | None -> ()
@@ -373,12 +381,17 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
       List.iter
         (fun fd ->
           match
-            Array.find_opt (fun w -> w.w_alive && w.w_fd == fd) workers
+            Array.find_opt
+              (fun w -> w.w_alive && w.w_conn.Proto.fd == fd)
+              workers
           with
           | None -> ()
           | Some w -> (
-              match Proto.recv fd with
-              | m -> handle_msg w m
+              (* [None] means the readable frame was transport-recovery
+                 traffic (NAKed, duplicate, or a Resend we served). *)
+              match Proto.recv_opt w.w_conn ~timeout:0. with
+              | Some m -> handle_msg w m
+              | None -> ()
               | exception (Proto.Closed | Codec.Error _) -> crash w))
         readable;
       loop ()
@@ -392,7 +405,7 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
       if w.w_alive then begin
         if not w.w_shutdown then begin
           (try
-             Proto.send w.w_fd Proto.Shutdown;
+             Proto.send w.w_conn Proto.Shutdown;
              w.w_shutdown <- true
            with Proto.Closed | Codec.Error _ ->
              w.w_alive <- false;
@@ -400,7 +413,7 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
         end;
         let give_up = Unix.gettimeofday () +. 5. in
         while w.w_alive && Unix.gettimeofday () < give_up do
-          match Proto.recv_opt w.w_fd ~timeout:0.2 with
+          match Proto.recv_opt w.w_conn ~timeout:0.2 with
           | Some m -> handle_msg w m
           | None -> ()
           | exception (Proto.Closed | Codec.Error _) ->
@@ -430,6 +443,12 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
     steals = !steals;
     requeues = !requeues;
     restarts = !restarts;
-    unexplored = Queue.length queue + !dropped;
+    abandoned = List.rev !abandoned;
+    (* Both directions: the coordinator's own counters are in its local
+       snapshot; each worker's arrived with its [Bye] snapshot. *)
+    naks = Obs.Metrics.get_int obs "dist.naks";
+    retransmits = Obs.Metrics.get_int obs "dist.retransmits";
+    injected = Obs.Metrics.get_int obs "fault.proto.corrupt";
+    unexplored = Queue.length queue + List.length !abandoned;
     wall_seconds = Unix.gettimeofday () -. t0;
   }

@@ -36,7 +36,20 @@ type result = {
   steals : int;  (** checkpoints triggered by steal requests *)
   requeues : int;  (** in-flight items recovered from dead workers *)
   restarts : int;  (** worker processes respawned *)
-  unexplored : int;  (** frontier states left when the run stopped *)
+  abandoned : (int * int) list;
+      (** items given up after [max_item_attempts] worker deaths each:
+          (item id, attempts).  Non-empty means exploration lost work —
+          callers should report it and exit distinctly. *)
+  naks : int;
+      (** damaged/out-of-order frames NAKed (both directions, merged
+          from the telemetry snapshots) *)
+  retransmits : int;  (** frames re-sent on NAK, both directions *)
+  injected : int;
+      (** transport corruptions injected by the [proto.corrupt] fault
+          plan, both directions *)
+  unexplored : int;
+      (** frontier states left when the run stopped, including one per
+          abandoned item *)
   wall_seconds : float;
 }
 

@@ -18,13 +18,14 @@
 module Solver = S2e_solver.Solver
 module Obs = S2e_obs
 module Executor = S2e_core.Executor
+module Fault = S2e_fault.Fault
 open Codec.Wire
 
 exception Closed
 (** Peer hung up (EOF/EPIPE/reset) — on a worker fd this means the
     process died or exited. *)
 
-let version = 1
+let version = 2
 
 (** A terminated path, reduced to what the coordinator reports: the
     status string and the canonical test case. *)
@@ -66,6 +67,10 @@ type msg =
           whole remaining frontier *)
   | Bye of { obs : Obs.Metrics.snapshot }
       (** worker → coordinator: final telemetry, sent just before exit *)
+  | Resend of { from : int }
+      (** either direction: frames from sequence number [from] onwards
+          were damaged or lost; retransmit them.  Control traffic — never
+          delivered to the application, never fault-injected. *)
 
 (* ------------------------------------------------------------------ *)
 (* Payload encoding                                                    *)
@@ -80,7 +85,8 @@ let encode_exec_stats b (s : Executor.stats) =
   i64 b (Int64.of_int s.sym_instret);
   i64 b (Int64.of_int s.footprint_watermark);
   i64 b (Int64.of_int s.concretizations);
-  i64 b (Int64.of_int s.aborts)
+  i64 b (Int64.of_int s.aborts);
+  i64 b (Int64.of_int s.degradations)
 
 let decode_exec_stats r : Executor.stats =
   let n () = Int64.to_int (ri64 r) in
@@ -93,6 +99,7 @@ let decode_exec_stats r : Executor.stats =
   let footprint_watermark = n () in
   let concretizations = n () in
   let aborts = n () in
+  let degradations = n () in
   {
     Executor.states_created;
     states_completed;
@@ -103,12 +110,14 @@ let decode_exec_stats r : Executor.stats =
     footprint_watermark;
     concretizations;
     aborts;
+    degradations;
   }
 
 let encode_solver_stats b (s : Solver.stats) =
   i64 b (Int64.of_int s.queries);
   i64 b (Int64.of_int s.sat_queries);
   i64 b (Int64.of_int s.cache_hits);
+  i64 b (Int64.of_int s.unknowns);
   f64 b s.total_time;
   f64 b s.max_time
 
@@ -116,9 +125,10 @@ let decode_solver_stats r : Solver.stats =
   let queries = Int64.to_int (ri64 r) in
   let sat_queries = Int64.to_int (ri64 r) in
   let cache_hits = Int64.to_int (ri64 r) in
+  let unknowns = Int64.to_int (ri64 r) in
   let total_time = rf64 r in
   let max_time = rf64 r in
-  { Solver.queries; sat_queries; cache_hits; total_time; max_time }
+  { Solver.queries; sat_queries; cache_hits; unknowns; total_time; max_time }
 
 let encode_path b p =
   str b p.p_status;
@@ -223,7 +233,10 @@ let encode_msg m =
       list b (str b) states
   | Bye { obs } ->
       u8 b 9;
-      encode_obs b obs);
+      encode_obs b obs
+  | Resend { from } ->
+      u8 b 10;
+      u32 b from);
   contents b
 
 let decode_msg payload =
@@ -263,6 +276,7 @@ let decode_msg payload =
         let states = rlist r rstr in
         Checkpoint { item; paths; stats; solver; states }
     | 9 -> Bye { obs = decode_obs r }
+    | 10 -> Resend { from = ru32 r }
     | t -> raise (Codec.Error (Printf.sprintf "unknown message tag %d" t))
   in
   if pos r <> String.length payload then
@@ -270,10 +284,54 @@ let decode_msg payload =
   m
 
 (* ------------------------------------------------------------------ *)
-(* Framing                                                             *)
+(* Framing and retransmission                                          *)
 (* ------------------------------------------------------------------ *)
 
 let max_frame = 256 * 1024 * 1024
+
+(* Retransmit window: recent frames kept for Resend service.  A peer
+   that falls further behind than this has desynchronized for real and
+   is handled by the crash/requeue path. *)
+let window_frames = 32
+
+(* Consecutive damaged/out-of-order frames tolerated before the
+   connection is declared unrecoverable. *)
+let max_bad_streak = 64
+
+(* Process-wide transport-recovery telemetry: counted on both ends, so
+   the coordinator's merged snapshot accounts for worker-side recoveries
+   too (they arrive with the worker's [Bye] snapshot). *)
+let m_naks = Obs.Metrics.counter "dist.naks"
+let m_retransmits = Obs.Metrics.counter "dist.retransmits"
+
+(** One end of a coordinator↔worker socket.  Frames carry sequence
+    numbers ([u32 len | u32 seq | payload | u32 checksum]); the receiver
+    delivers strictly in order, answering a damaged or out-of-order
+    frame with [Resend] and dropping duplicates, so a frame corrupted in
+    flight (or by the [proto.corrupt] fault plan) is recovered without
+    losing or double-delivering a message. *)
+type conn = {
+  fd : Unix.file_descr;
+  mutable tx_seq : int;  (* last sequence number sent *)
+  mutable rx_seq : int;  (* last sequence number accepted in order *)
+  window : (int * string) Queue.t;  (* clean recent frames, oldest first *)
+  mutable naks : int;  (* Resend requests we sent *)
+  mutable retransmits : int;  (* frames we re-sent on peer request *)
+  mutable injected : int;  (* corruptions injected by the fault plan *)
+  mutable streak : int;  (* consecutive bad frames seen *)
+}
+
+let connect fd =
+  {
+    fd;
+    tx_seq = 0;
+    rx_seq = 0;
+    window = Queue.create ();
+    naks = 0;
+    retransmits = 0;
+    injected = 0;
+    streak = 0;
+  }
 
 let rec write_all fd buf ofs len =
   if len > 0 then begin
@@ -297,38 +355,129 @@ let rec read_exact fd buf ofs len =
     else read_exact fd buf (ofs + n) (len - n)
   end
 
-let send fd m =
-  let payload = encode_msg m in
-  let plen = String.length payload in
-  if plen > max_frame then raise (Codec.Error "frame too large");
+let frame_of ~seq payload =
   let b = create () in
-  u32 b plen;
+  u32 b (String.length payload);
+  u32 b seq;
   raw b payload;
-  u32 b (Codec.fnv32 payload);
-  let frame = contents b in
-  write_all fd (Bytes.unsafe_of_string frame) 0 (String.length frame)
+  u32 b (Codec.fnv32 payload lxor seq);
+  contents b
 
-let recv fd =
-  let hdr = Bytes.create 4 in
-  read_exact fd hdr 0 4;
+let write_frame c frame =
+  write_all c.fd (Bytes.unsafe_of_string frame) 0 (String.length frame)
+
+(* Flip one payload byte of a copy of the frame.  The length/seq header
+   stays intact so the receiver still reads whole frames off the stream;
+   the checksum catches the damage and triggers retransmission.  (Truly
+   torn frames — partial writes from a dying peer — desynchronize the
+   stream and are exercised by the worker-kill path instead.) *)
+let corrupted frame =
+  let b = Bytes.of_string frame in
+  let off = 8 + ((Bytes.length b - 12) / 2) in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x40));
+  Bytes.to_string b
+
+let send c m =
+  let payload = encode_msg m in
+  if String.length payload > max_frame then
+    raise (Codec.Error "frame too large");
+  c.tx_seq <- c.tx_seq + 1;
+  let seq = c.tx_seq in
+  let frame = frame_of ~seq payload in
+  Queue.push (seq, frame) c.window;
+  if Queue.length c.window > window_frames then ignore (Queue.pop c.window);
+  let wire =
+    (* Resend frames are exempt from injection, and retransmissions are
+       served verbatim from the window: recovery itself always makes
+       progress, even at corruption probability 1. *)
+    match m with
+    | Resend _ -> frame
+    | _ ->
+        if Fault.(fire Proto_corrupt) then begin
+          c.injected <- c.injected + 1;
+          corrupted frame
+        end
+        else frame
+  in
+  write_frame c wire
+
+(* The peer reported a gap starting at [from]: re-send every windowed
+   frame from there on, verbatim (original seq, no fault injection).
+   The receiver's in-order discipline drops whatever it already had. *)
+let serve_resend c ~from =
+  if from <= c.tx_seq then begin
+    (match Queue.peek_opt c.window with
+    | Some (first, _) when from < first ->
+        raise (Codec.Error "resend request beyond retransmit window")
+    | _ -> ());
+    Queue.iter
+      (fun (seq, frame) ->
+        if seq >= from then begin
+          c.retransmits <- c.retransmits + 1;
+          Obs.Metrics.incr m_retransmits;
+          write_frame c frame
+        end)
+      c.window
+  end
+
+let request_resend c =
+  c.streak <- c.streak + 1;
+  if c.streak > max_bad_streak then
+    raise (Codec.Error "unrecoverable frame corruption");
+  c.naks <- c.naks + 1;
+  Obs.Metrics.incr m_naks;
+  send c (Resend { from = c.rx_seq + 1 })
+
+(* One frame off the wire; [Error] on a checksum mismatch. *)
+let read_frame c =
+  let hdr = Bytes.create 8 in
+  read_exact c.fd hdr 0 8;
   let r = reader (Bytes.to_string hdr) in
   let plen = ru32 r in
   if plen > max_frame then raise (Codec.Error "frame length out of range");
+  let seq = ru32 r in
   let body = Bytes.create (plen + 4) in
-  read_exact fd body 0 (plen + 4);
+  read_exact c.fd body 0 (plen + 4);
   let body = Bytes.to_string body in
   let payload = String.sub body 0 plen in
   let expect = ru32 (reader ~pos:plen body) in
-  if expect <> Codec.fnv32 payload then
-    raise (Codec.Error "frame checksum mismatch");
-  decode_msg payload
+  if expect = Codec.fnv32 payload lxor seq then Ok (seq, payload)
+  else Error ()
 
-(** Wait up to [timeout] seconds for a frame; [None] on timeout.
-    [timeout = 0.] polls. *)
-let recv_opt fd ~timeout =
-  match Unix.select [ fd ] [] [] timeout with
+(* Process one incoming frame.  [Some m] delivers a message; [None]
+   means the frame was control traffic, a duplicate, or damaged (the
+   latter answered with a Resend request). *)
+let process c =
+  match read_frame c with
+  | Error () ->
+      request_resend c;
+      None
+  | Ok (seq, payload) ->
+      if seq <= c.rx_seq then None (* duplicate of an accepted frame *)
+      else if seq > c.rx_seq + 1 then begin
+        (* gap: an earlier frame never checked out *)
+        request_resend c;
+        None
+      end
+      else begin
+        c.rx_seq <- seq;
+        c.streak <- 0;
+        match decode_msg payload with
+        | Resend { from } ->
+            serve_resend c ~from;
+            None
+        | m -> Some m
+      end
+
+let rec recv c = match process c with Some m -> m | None -> recv c
+
+(** Wait up to [timeout] seconds for a frame; [None] on timeout or when
+    the frame was consumed as control/recovery traffic.  [timeout = 0.]
+    polls. *)
+let recv_opt c ~timeout =
+  match Unix.select [ c.fd ] [] [] timeout with
   | [], _, _ -> None
-  | _ -> Some (recv fd)
+  | _ -> process c
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
 
 (* Unix.file_descr is an int on Unix systems; distribution passes the

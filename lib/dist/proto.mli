@@ -1,9 +1,16 @@
-(** Length-prefixed, checksummed socket message protocol between the
-    coordinator and its worker processes.
+(** Length-prefixed, checksummed, sequence-numbered socket message
+    protocol between the coordinator and its worker processes.
 
-    Frame layout: [u32 payload-length | payload | u32 FNV-1a checksum].
-    A torn or corrupted frame raises {!Closed} or {!Codec.Error} — never
-    a half-read message.
+    Frame layout: [u32 payload-length | u32 seq | payload | u32
+    (FNV-1a(payload) lxor seq)].  Each direction numbers its frames
+    1, 2, 3, …; the receiver delivers strictly in order.  A damaged
+    frame (checksum mismatch) or a sequence gap is answered with a
+    [Resend] request and the sender retransmits the missing frames
+    verbatim from a small window — so a corrupted frame (in flight, or
+    injected by the [proto.corrupt] fault plan) is recovered without
+    losing or double-delivering a message.  Only an unrecoverable
+    stream (a resend reaching beyond the window, or a long streak of
+    bad frames) raises {!Codec.Error}; a dead peer raises {!Closed}.
 
     The work-accounting state machine is crash-consistent: a worker
     holds at most one in-flight item, retires it with exactly one
@@ -24,7 +31,9 @@ val version : int
 
 (** A terminated path as the coordinator reports it. *)
 type path = {
-  p_status : string;  (** {!S2e_core.State.status_string} of the end state *)
+  p_status : string;
+      (** {!S2e_core.State.report_string} of the end state (includes the
+          [incomplete] marker for degraded paths) *)
   p_case : (string * int64) list;
       (** canonical test case ({!S2e_core.Parallel.test_case}); [[]]
           when the run did not request test cases *)
@@ -52,6 +61,11 @@ type msg =
       states : string list;
     }
   | Bye of { obs : Obs.Metrics.snapshot }
+  | Resend of { from : int }
+      (** transport-recovery control traffic: "retransmit every frame
+          from sequence number [from]".  Handled inside {!recv}/
+          {!recv_opt}, never delivered to the application, and never
+          fault-injected (recovery always makes progress). *)
 
 val encode_msg : msg -> string
 (** Payload bytes (no frame header); exposed for tests. *)
@@ -60,16 +74,39 @@ val decode_msg : string -> msg
 (** Strict inverse of {!encode_msg}.  @raise Codec.Error on malformed
     payloads. *)
 
-val send : Unix.file_descr -> msg -> unit
-(** Frame and write the whole message.  @raise Closed if the peer died. *)
+type conn = {
+  fd : Unix.file_descr;
+  mutable tx_seq : int;  (** last sequence number sent *)
+  mutable rx_seq : int;  (** last sequence number accepted in order *)
+  window : (int * string) Queue.t;
+      (** clean recent frames kept for retransmission, oldest first *)
+  mutable naks : int;  (** [Resend] requests this end sent *)
+  mutable retransmits : int;  (** frames re-sent on peer request *)
+  mutable injected : int;  (** corruptions injected by the fault plan *)
+  mutable streak : int;  (** consecutive bad frames seen *)
+}
+(** One end of a coordinator↔worker socket: the fd plus the sequencing
+    and retransmission state.  Counter fields are exposed so the
+    coordinator can fold per-connection recovery telemetry into its
+    final report. *)
 
-val recv : Unix.file_descr -> msg
-(** Block for one frame.  @raise Closed on EOF, @raise Codec.Error on a
-    corrupt frame. *)
+val connect : Unix.file_descr -> conn
+(** Wrap a connected socket.  Both ends must wrap the same stream
+    exactly once; sequence numbers start at 1. *)
 
-val recv_opt : Unix.file_descr -> timeout:float -> msg option
-(** Wait up to [timeout] seconds for a frame ([0.] polls); [None] on
-    timeout. *)
+val send : conn -> msg -> unit
+(** Frame, window and write the whole message; injection point of the
+    [proto.corrupt] fault plan.  @raise Closed if the peer died. *)
+
+val recv : conn -> msg
+(** Block until one application message is delivered in order (recovery
+    traffic is serviced internally).  @raise Closed on EOF,
+    @raise Codec.Error on an unrecoverable stream. *)
+
+val recv_opt : conn -> timeout:float -> msg option
+(** Wait up to [timeout] seconds ([0.] polls); [None] on timeout or when
+    the frame read was consumed as recovery/control traffic (duplicate,
+    damaged-and-NAKed, or [Resend] service). *)
 
 val int_of_fd : Unix.file_descr -> int
 val fd_of_int : int -> Unix.file_descr

@@ -28,6 +28,7 @@ module Events = S2e_core.Events
 module State = S2e_core.State
 module Solver = S2e_solver.Solver
 module Obs = S2e_obs
+module Fault = S2e_fault.Fault
 
 (* Shutdown acknowledged: unwind out of the serve loop. *)
 exception Done
@@ -40,7 +41,7 @@ exception Done
    many terminated paths). *)
 let path_of_state ~cases (s : State.t) =
   {
-    Proto.p_status = State.status_string s.State.status;
+    Proto.p_status = State.report_string s;
     p_case = (if cases then Parallel.test_case s else []);
   }
 
@@ -69,6 +70,7 @@ let exec_delta ~prev (cur : Executor.stats) : Executor.stats =
     footprint_watermark = cur.footprint_watermark;
     concretizations = cur.concretizations - prev.concretizations;
     aborts = cur.aborts - prev.aborts;
+    degradations = cur.degradations - prev.degradations;
   }
 
 let solver_delta ~prev (cur : Solver.stats) : Solver.stats =
@@ -76,6 +78,7 @@ let solver_delta ~prev (cur : Solver.stats) : Solver.stats =
     Solver.queries = cur.Solver.queries - prev.Solver.queries;
     sat_queries = cur.sat_queries - prev.sat_queries;
     cache_hits = cur.cache_hits - prev.cache_hits;
+    unknowns = cur.unknowns - prev.unknowns;
     total_time = cur.total_time -. prev.total_time;
     max_time = cur.max_time;
   }
@@ -193,16 +196,22 @@ let serve ?(jobs = 1) ?(slice = 0.05) ?(heartbeat = 0.25) ~fd
     if jobs = 1 then serial_slicer ~slice ~make_engine ()
     else parallel_slicer ~jobs ~slice ~make_engine ()
   in
+  let c = Proto.connect fd in
   let pid = Unix.getpid () in
   let last_hb = ref (Unix.gettimeofday ()) in
   let hb frontier =
-    Proto.send fd (Proto.Heartbeat { pid; frontier });
+    Proto.send c (Proto.Heartbeat { pid; frontier });
     last_hb := Unix.gettimeofday ()
   in
   let maybe_hb frontier =
-    if Unix.gettimeofday () -. !last_hb >= heartbeat then hb frontier
+    if Unix.gettimeofday () -. !last_hb >= heartbeat then
+      if Fault.(fire Proto_delay) then
+        (* Fault plan: swallow this heartbeat and pretend it was sent —
+           the coordinator's liveness timeout sees a silent worker. *)
+        last_hb := Unix.gettimeofday ()
+      else hb frontier
   in
-  let bye () = Proto.send fd (Proto.Bye { obs = Obs.Metrics.snapshot () }) in
+  let bye () = Proto.send c (Proto.Bye { obs = Obs.Metrics.snapshot () }) in
   let run_item ~item ~budget ~cases blob =
     let deadline =
       if budget <= 0. then infinity else Unix.gettimeofday () +. budget
@@ -226,7 +235,7 @@ let serve ?(jobs = 1) ?(slice = 0.05) ?(heartbeat = 0.25) ~fd
     let checkpoint () =
       drain ();
       let stats, solver = sl.sl_stats () in
-      Proto.send fd
+      Proto.send c
         (Proto.Checkpoint
            {
              item;
@@ -240,13 +249,13 @@ let serve ?(jobs = 1) ?(slice = 0.05) ?(heartbeat = 0.25) ~fd
     let finished = ref false in
     while not !finished do
       (* Service control traffic between slices. *)
-      (match Proto.recv_opt fd ~timeout:0. with
+      (match Proto.recv_opt c ~timeout:0. with
       | Some Proto.Steal ->
           if List.length (sl.sl_frontier ()) >= 2 then begin
             checkpoint ();
             finished := true
           end
-          else Proto.send fd (Proto.Nak { item })
+          else Proto.send c (Proto.Nak { item })
       | Some Proto.Shutdown ->
           checkpoint ();
           bye ();
@@ -257,7 +266,7 @@ let serve ?(jobs = 1) ?(slice = 0.05) ?(heartbeat = 0.25) ~fd
         if sl.sl_frontier () = [] then begin
           drain ();
           let stats, solver = sl.sl_stats () in
-          Proto.send fd
+          Proto.send c
             (Proto.Result { item; paths = List.rev !paths; stats; solver });
           finished := true
         end
@@ -275,9 +284,9 @@ let serve ?(jobs = 1) ?(slice = 0.05) ?(heartbeat = 0.25) ~fd
     done
   in
   try
-    Proto.send fd (Proto.Hello { version = Proto.version; pid; jobs });
+    Proto.send c (Proto.Hello { version = Proto.version; pid; jobs });
     let rec idle () =
-      match Proto.recv_opt fd ~timeout:heartbeat with
+      match Proto.recv_opt c ~timeout:heartbeat with
       | None ->
           hb 0;
           idle ()

@@ -1,0 +1,223 @@
+(* Seeded, deterministic fault injection.  See fault.mli for the model. *)
+
+module Obs = S2e_obs
+
+type site =
+  | Dev_read
+  | Dma_drop
+  | Irq_spurious
+  | Solver_unknown
+  | Solver_latency
+  | Proto_corrupt
+  | Proto_delay
+
+let all_sites =
+  [
+    Dev_read;
+    Dma_drop;
+    Irq_spurious;
+    Solver_unknown;
+    Solver_latency;
+    Proto_corrupt;
+    Proto_delay;
+  ]
+
+let site_index = function
+  | Dev_read -> 0
+  | Dma_drop -> 1
+  | Irq_spurious -> 2
+  | Solver_unknown -> 3
+  | Solver_latency -> 4
+  | Proto_corrupt -> 5
+  | Proto_delay -> 6
+
+let num_sites = 7
+
+let site_name = function
+  | Dev_read -> "dev.read"
+  | Dma_drop -> "dma.drop"
+  | Irq_spurious -> "irq.spurious"
+  | Solver_unknown -> "solver.unknown"
+  | Solver_latency -> "solver.latency"
+  | Proto_corrupt -> "proto.corrupt"
+  | Proto_delay -> "proto.delay"
+
+(* Registered at load time in every process linking this library, so
+   cross-process snapshot merging always knows the counter kind even in
+   processes that never fired a fault. *)
+let m_fired =
+  let a = Array.make num_sites (Obs.Metrics.counter "fault.dev.read") in
+  List.iter
+    (fun s ->
+      a.(site_index s) <- Obs.Metrics.counter ("fault." ^ site_name s))
+    all_sites;
+  a
+
+type rule = { r_site : site; r_prob : float; r_cap : int option }
+type plan = rule list
+
+(* ------------------------------------------------------------------ *)
+(* Plan grammar: site=kind:prob[#cap], comma-separated                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The CLI grammar names sites as key=kind pairs; the pair maps onto one
+   internal site. *)
+let grammar =
+  [
+    (("dev.read", "err"), Dev_read);
+    (("dma", "drop"), Dma_drop);
+    (("irq", "spurious"), Irq_spurious);
+    (("solver", "unknown"), Solver_unknown);
+    (("solver", "latency"), Solver_latency);
+    (("proto", "corrupt"), Proto_corrupt);
+    (("proto", "delay"), Proto_delay);
+  ]
+
+let grammar_pair site = fst (List.find (fun (_, s) -> s = site) grammar)
+
+let rule_to_string r =
+  let key, kind = grammar_pair r.r_site in
+  Printf.sprintf "%s=%s:%g%s" key kind r.r_prob
+    (match r.r_cap with None -> "" | Some c -> Printf.sprintf "#%d" c)
+
+let plan_to_string plan = String.concat "," (List.map rule_to_string plan)
+
+let parse_rule entry =
+  let ( let* ) = Result.bind in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let* key, rest =
+    match String.index_opt entry '=' with
+    | Some i ->
+        Ok
+          ( String.sub entry 0 i,
+            String.sub entry (i + 1) (String.length entry - i - 1) )
+    | None -> fail "rule %S: expected site=kind:prob" entry
+  in
+  let* kind, rest =
+    match String.index_opt rest ':' with
+    | Some i ->
+        Ok
+          ( String.sub rest 0 i,
+            String.sub rest (i + 1) (String.length rest - i - 1) )
+    | None -> fail "rule %S: expected a ':probability'" entry
+  in
+  let* r_site =
+    match List.assoc_opt (key, kind) grammar with
+    | Some s -> Ok s
+    | None ->
+        fail "rule %S: unknown site %s=%s (have: %s)" entry key kind
+          (String.concat ", "
+             (List.map (fun ((k, v), _) -> k ^ "=" ^ v) grammar))
+  in
+  let* prob_str, r_cap =
+    match String.index_opt rest '#' with
+    | None -> Ok (rest, None)
+    | Some i -> (
+        let c = String.sub rest (i + 1) (String.length rest - i - 1) in
+        match int_of_string_opt c with
+        | Some n when n >= 1 -> Ok (String.sub rest 0 i, Some n)
+        | _ -> fail "rule %S: cap %S is not a positive integer" entry c)
+  in
+  let* r_prob =
+    match float_of_string_opt prob_str with
+    | Some p when p >= 0. && p <= 1. -> Ok p
+    | Some _ -> fail "rule %S: probability must be in [0, 1]" entry
+    | None -> fail "rule %S: probability %S is not a number" entry prob_str
+  in
+  Ok { r_site; r_prob; r_cap }
+
+let parse_plan s =
+  let entries =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun e -> e <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest -> (
+        match parse_rule e with
+        | Ok r -> go (r :: acc) rest
+        | Error _ as err -> err)
+  in
+  go [] entries
+
+(* ------------------------------------------------------------------ *)
+(* Armed state                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type slot = {
+  s_prob : float;
+  s_cap : int;  (* max_int when uncapped *)
+  s_seq : int Atomic.t;  (* next draw index in this site's stream *)
+  s_fired : int Atomic.t;
+  s_stream : int64;  (* seed ^ site mix constant *)
+}
+
+(* [None] per site = no rule (never fires). *)
+let slots : slot option array ref = ref (Array.make num_sites None)
+let is_armed = ref false
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+(* splitmix64 output for draw [n] of the site stream: uniform in [0,1). *)
+let draw stream n =
+  let golden = 0x9e3779b97f4a7c15L in
+  let z = mix64 (Int64.add stream (Int64.mul (Int64.of_int (n + 1)) golden)) in
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.
+
+let install ?(seed = 1) plan =
+  let arr = Array.make num_sites None in
+  List.iter
+    (fun r ->
+      arr.(site_index r.r_site) <-
+        Some
+          {
+            s_prob = r.r_prob;
+            s_cap = (match r.r_cap with None -> max_int | Some c -> c);
+            s_seq = Atomic.make 0;
+            s_fired = Atomic.make 0;
+            s_stream =
+              mix64
+                (Int64.logxor (Int64.of_int seed)
+                   (Int64.of_int ((site_index r.r_site + 1) * 0x1000193)));
+          })
+    plan;
+  slots := arr;
+  is_armed := plan <> []
+
+let disarm () =
+  slots := Array.make num_sites None;
+  is_armed := false
+
+let armed () = !is_armed
+
+let fire site =
+  if not !is_armed then false
+  else
+    match !slots.(site_index site) with
+    | None -> false
+    | Some sl ->
+        sl.s_prob > 0.
+        && draw sl.s_stream (Atomic.fetch_and_add sl.s_seq 1) < sl.s_prob
+        && Atomic.fetch_and_add sl.s_fired 1 < sl.s_cap
+        &&
+        (Obs.Metrics.incr m_fired.(site_index site);
+         true)
+
+let count site =
+  match !slots.(site_index site) with
+  | None -> 0
+  | Some sl -> min (Atomic.get sl.s_fired) sl.s_cap
+
+let counts () =
+  List.filter_map
+    (fun s ->
+      let c = count s in
+      if c > 0 then Some (site_name s, c) else None)
+    all_sites
+
+let total () = List.fold_left (fun acc (_, c) -> acc + c) 0 (counts ())

@@ -299,15 +299,28 @@ let pick_branch s =
 type result = Sat | Unsat | Unknown
 
 (** Solve the current clause set.  On [Sat] the model can be read with
-    {!model_value}.  [max_conflicts] bounds the search ([None] = no bound). *)
-let solve ?max_conflicts s =
+    {!model_value}.  [max_conflicts] bounds the search ([None] = no bound);
+    [deadline] is an absolute [Unix.gettimeofday] cutoff past which the
+    search gives up with [Unknown] (checked on entry and every few dozen
+    loop iterations, so even a tiny budget fires promptly). *)
+let solve ?max_conflicts ?deadline s =
   if s.unsat then Unsat
+  else if
+    match deadline with Some d -> Unix.gettimeofday () >= d | None -> false
+  then Unknown
   else begin
     backtrack s 0;
     let result = ref None in
     let restart_limit = ref 100 in
     let conflicts_here = ref 0 in
+    let iters = ref 0 in
     while !result = None do
+      (match deadline with
+      | Some d ->
+          incr iters;
+          if !iters land 63 = 0 && Unix.gettimeofday () >= d then
+            result := Some Unknown
+      | None -> ());
       let conflict = propagate s in
       if conflict >= 0 then begin
         s.conflicts <- s.conflicts + 1;

@@ -29,9 +29,10 @@ val add_clause : t -> lit list -> unit
 
 type result = Sat | Unsat | Unknown
 
-val solve : ?max_conflicts:int -> t -> result
+val solve : ?max_conflicts:int -> ?deadline:float -> t -> result
 (** Solve the current clause set.  [Unknown] is returned when the conflict
-    budget is exhausted. *)
+    budget is exhausted or the wall-clock [deadline] (an absolute
+    [Unix.gettimeofday] value) passes — the solver watchdog. *)
 
 val model_value : t -> int -> bool
 (** Value of a variable in the model found by the last successful

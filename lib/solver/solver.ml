@@ -27,6 +27,8 @@ type result = Sat of Expr.model | Unsat | Unknown
 let m_queries = Obs.Metrics.counter "solver.queries"
 let m_sat_queries = Obs.Metrics.counter "solver.sat_queries"
 let m_cache_hits = Obs.Metrics.counter "solver.cache_hits"
+let m_unknowns = Obs.Metrics.counter "solver.unknowns"
+let m_timeouts = Obs.Metrics.counter "solver.timeouts"
 
 let m_query_hist =
   Obs.Metrics.histogram
@@ -39,6 +41,7 @@ type stats = {
   mutable queries : int;
   mutable sat_queries : int; (* queries that reached the SAT core *)
   mutable cache_hits : int;
+  mutable unknowns : int; (* queries answered Unknown (budget/deadline/fault) *)
   mutable total_time : float;
   mutable max_time : float;
 }
@@ -56,17 +59,33 @@ type ctx = {
      by a structural hash, verified by structural equality. *)
   unsat_cache : (int, Expr.t list list) Hashtbl.t;
   max_conflicts : int ref;
+  timeout_ms : float option ref; (* wall-clock watchdog per SAT-core call *)
 }
 
 let new_stats () =
-  { queries = 0; sat_queries = 0; cache_hits = 0; total_time = 0.; max_time = 0. }
+  {
+    queries = 0;
+    sat_queries = 0;
+    cache_hits = 0;
+    unknowns = 0;
+    total_time = 0.;
+    max_time = 0.;
+  }
 
-let create_ctx ?(max_conflicts = 200_000) () =
+(* Watchdog inherited by contexts created after it is set: parallel and
+   distributed workers call [create_ctx ()] internally, so a CLI-level
+   [--solver-timeout-ms] must flow to them without threading a parameter
+   through every scheduler. *)
+let default_timeout_ms : float option ref = ref None
+
+let create_ctx ?(max_conflicts = 200_000) ?timeout_ms () =
   {
     ctx_stats = new_stats ();
     model_cache = ref [];
     unsat_cache = Hashtbl.create 256;
     max_conflicts = ref max_conflicts;
+    timeout_ms =
+      ref (match timeout_ms with Some _ as t -> t | None -> !default_timeout_ms);
   }
 
 let default_ctx = create_ctx ()
@@ -76,11 +95,18 @@ let stats = default_ctx.ctx_stats
 let model_cache = default_ctx.model_cache
 let max_conflicts = default_ctx.max_conflicts
 
+(* [default_ctx] predates any CLI flag parsing, so changing the default
+   watchdog must also retrofit it. *)
+let set_default_timeout_ms t =
+  default_timeout_ms := t;
+  default_ctx.timeout_ms := t
+
 let reset_stats ?(ctx = default_ctx) () =
   let st = ctx.ctx_stats in
   st.queries <- 0;
   st.sat_queries <- 0;
   st.cache_hits <- 0;
+  st.unknowns <- 0;
   st.total_time <- 0.;
   st.max_time <- 0.
 
@@ -92,6 +118,7 @@ let merge_stats ~into src =
   into.queries <- into.queries + src.queries;
   into.sat_queries <- into.sat_queries + src.sat_queries;
   into.cache_hits <- into.cache_hits + src.cache_hits;
+  into.unknowns <- into.unknowns + src.unknowns;
   into.total_time <- into.total_time +. src.total_time;
   if src.max_time > into.max_time then into.max_time <- src.max_time
 
@@ -158,16 +185,31 @@ let slice ~seed_vars constraints =
 let run_sat ctx constraints =
   ctx.ctx_stats.sat_queries <- ctx.ctx_stats.sat_queries + 1;
   Obs.Metrics.incr m_sat_queries;
-  let sat = Sat.create () in
-  let bctx = Bitblast.create sat in
-  List.iter (Bitblast.assert_true bctx) constraints;
-  match Sat.solve ~max_conflicts:!(ctx.max_conflicts) sat with
-  | Sat.Sat ->
-      let m = Bitblast.model bctx in
-      remember_model ctx m;
-      Sat m
-  | Sat.Unsat -> Unsat
-  | Sat.Unknown -> Unknown
+  if S2e_fault.Fault.(fire Solver_latency) then Unix.sleepf 0.005;
+  if S2e_fault.Fault.(fire Solver_unknown) then Unknown
+  else begin
+    (* Watchdog budget starts before bitblasting so a pathological
+       encoding cannot starve the deadline check. *)
+    let deadline =
+      Option.map
+        (fun ms -> Unix.gettimeofday () +. (ms /. 1000.))
+        !(ctx.timeout_ms)
+    in
+    let sat = Sat.create () in
+    let bctx = Bitblast.create sat in
+    List.iter (Bitblast.assert_true bctx) constraints;
+    match Sat.solve ~max_conflicts:!(ctx.max_conflicts) ?deadline sat with
+    | Sat.Sat ->
+        let m = Bitblast.model bctx in
+        remember_model ctx m;
+        Sat m
+    | Sat.Unsat -> Unsat
+    | Sat.Unknown ->
+        (match deadline with
+        | Some d when Unix.gettimeofday () >= d -> Obs.Metrics.incr m_timeouts
+        | _ -> ());
+        Unknown
+  end
 
 (* Each query runs inside a "solver" phase span: the span feeds the
    registry's exclusive-time breakdown, and its single pair of clock
@@ -217,7 +259,15 @@ let check_ctx ~use_model_cache ctx constraints =
               end
               else begin
                 let r = run_sat ctx constraints in
-                (match r with Unsat -> remember_unsat ctx constraints | _ -> ());
+                (match r with
+                | Unsat -> remember_unsat ctx constraints
+                | Unknown ->
+                    (* Never silently fold Unknown into Unsat: the
+                       value-picking callers below still return [None],
+                       but the miss is now visible in run stats. *)
+                    ctx.ctx_stats.unknowns <- ctx.ctx_stats.unknowns + 1;
+                    Obs.Metrics.incr m_unknowns
+                | Sat _ -> ());
                 r
               end)
 

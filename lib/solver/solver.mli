@@ -19,6 +19,11 @@ type stats = {
   mutable queries : int;
   mutable sat_queries : int; (** queries that reached the SAT core *)
   mutable cache_hits : int;
+  mutable unknowns : int;
+      (** queries answered [Unknown] — conflict budget or wall-clock
+          watchdog exhausted, or an injected solver fault.  Counted
+          separately so value-picking callers returning [None] on
+          [Unknown] never silently masquerade as unsatisfiable. *)
   mutable total_time : float;
   mutable max_time : float;
 }
@@ -32,12 +37,24 @@ type ctx = {
   max_conflicts : int ref;
       (** SAT-core conflict budget per query; exceeding it yields
           [Unknown]. *)
+  timeout_ms : float option ref;
+      (** Wall-clock watchdog per SAT-core call ([--solver-timeout-ms]);
+          exceeding it yields [Unknown]. *)
 }
-(** One solver context: caches + statistics + conflict budget.  A context
-    is single-threaded; concurrent domains must each own one. *)
+(** One solver context: caches + statistics + budgets.  A context is
+    single-threaded; concurrent domains must each own one. *)
 
-val create_ctx : ?max_conflicts:int -> unit -> ctx
-(** A fresh context with empty caches and zeroed statistics. *)
+val create_ctx : ?max_conflicts:int -> ?timeout_ms:float -> unit -> ctx
+(** A fresh context with empty caches and zeroed statistics.
+    [timeout_ms] defaults to {!default_timeout_ms}'s current value. *)
+
+val default_timeout_ms : float option ref
+(** Watchdog inherited by every context {!create_ctx} makes afterwards
+    (parallel/distributed workers create contexts internally).  Set it
+    through {!set_default_timeout_ms}. *)
+
+val set_default_timeout_ms : float option -> unit
+(** Set {!default_timeout_ms} and retrofit {!default_ctx}. *)
 
 val default_ctx : ctx
 (** The context used when [?ctx] is omitted — the process-wide solver

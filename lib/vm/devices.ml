@@ -1,5 +1,18 @@
 (** The machine's device complement, dispatched by port number.  This record
-    is part of every execution state and must be cloned on fork. *)
+    is part of every execution state and must be cloned on fork.
+
+    The fault plan's guest-hardware boundary lives here: an armed
+    [dev.read] rule makes a port read return a device error code, a
+    [dma] rule drops DMA completion writes, and an [irq.spurious] rule
+    raises a timer interrupt the timer never requested — the misbehaving
+    hardware the paper's in-vivo driver testing is about. *)
+
+module Fault = S2e_fault.Fault
+
+(* What a guest driver reads from a device register when the hardware
+   errors out: an all-ones-ish poison value, distinguishable from any
+   status the devices legitimately produce. *)
+let read_error_code = 0xEE
 
 type t = { console : Console.t; timer : Timer.t; netdev : Netdev.t }
 
@@ -15,15 +28,31 @@ let clone t =
 
 (* Decompose an absolute port number into (device, offset). *)
 let read_port t port =
-  if port >= Layout.port_netdev then Netdev.read_port t.netdev (port - Layout.port_netdev)
+  if Fault.(fire Dev_read) then read_error_code
+  else if port >= Layout.port_netdev then Netdev.read_port t.netdev (port - Layout.port_netdev)
   else if port >= Layout.port_timer then Timer.read_port t.timer (port - Layout.port_timer)
   else Console.read_port t.console (port - Layout.port_console)
 
 let write_port t port v : Device.action list =
-  if port >= Layout.port_netdev then Netdev.write_port t.netdev (port - Layout.port_netdev) v
-  else if port >= Layout.port_timer then Timer.write_port t.timer (port - Layout.port_timer) v
-  else Console.write_port t.console (port - Layout.port_console) v
+  let actions =
+    if port >= Layout.port_netdev then Netdev.write_port t.netdev (port - Layout.port_netdev) v
+    else if port >= Layout.port_timer then Timer.write_port t.timer (port - Layout.port_timer) v
+    else Console.write_port t.console (port - Layout.port_console) v
+  in
+  (* Drop DMA completions, not writes in general: the command register
+     write succeeds, the promised memory transfer silently never lands.
+     Probe the fault stream only when there is a completion to lose, so
+     an unrelated plan leaves per-site draw sequences untouched. *)
+  if List.exists (function Device.Dma_write _ -> true | _ -> false) actions
+     && Fault.(fire Dma_drop)
+  then List.filter (function Device.Dma_write _ -> false | _ -> true) actions
+  else actions
 
 (** Advance device time by [n] instruction ticks; returns pending IRQ
     numbers. *)
-let tick t n = if Timer.tick t.timer n then [ Layout.irq_timer ] else []
+let tick t n =
+  let irqs = if Timer.tick t.timer n then [ Layout.irq_timer ] else [] in
+  (* A spurious interrupt: the line the guest is wired to asserts with
+     no device state behind it.  Robust guests re-check device status
+     and dismiss it; fragile ones act on stale assumptions. *)
+  if Fault.(fire Irq_spurious) then Layout.irq_timer :: irqs else irqs

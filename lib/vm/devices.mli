@@ -4,6 +4,10 @@
 
 type t = { console : Console.t; timer : Timer.t; netdev : Netdev.t }
 
+val read_error_code : int
+(** The poison value a port read returns when the fault plan's
+    [dev.read] rule fires (misbehaving hardware, paper section 6.1). *)
+
 val create : ?card_id:int -> unit -> t
 val clone : t -> t
 

@@ -253,6 +253,126 @@ let test_kill_worker_mid_run () =
   Alcotest.(check (list string))
     "path set unchanged by the crash" serial_cases (dist_case_set r)
 
+(* ------------------------------------------------------------------ *)
+(* Chaos: transport fault injection                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Fault = S2e_fault.Fault
+
+let with_plan ?seed spec f =
+  (match Fault.parse_plan spec with
+  | Ok plan -> Fault.install ?seed plan
+  | Error msg -> Alcotest.failf "bad plan %S: %s" spec msg);
+  Fun.protect ~finally:Fault.disarm f
+
+(* Drive both ends of an in-process connection pair until a message (or
+   control traffic) moves; bounded so a protocol bug fails instead of
+   hanging. *)
+let pump_until ~a ~b ~limit pred =
+  let steps = ref 0 in
+  let delivered = ref [] in
+  while not (pred (List.rev !delivered)) && !steps < limit do
+    incr steps;
+    (match Proto.recv_opt b ~timeout:0.05 with
+    | Some m -> delivered := m :: !delivered
+    | None -> ());
+    match Proto.recv_opt a ~timeout:0. with Some _ | None -> ()
+  done;
+  List.rev !delivered
+
+let test_corrupt_frame_nak_retransmit () =
+  let fd_a, fd_b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close fd_a;
+      Unix.close fd_b)
+    (fun () ->
+      let a = Proto.connect fd_a and b = Proto.connect fd_b in
+      let sent =
+        [ Proto.Ping; Proto.Heartbeat { pid = 7; frontier = 3 }; Proto.Steal ]
+      in
+      (* Every application frame is corrupted on the wire; the receiver
+         must NAK each one and end up with the exact sequence anyway. *)
+      with_plan "proto=corrupt:1.0" (fun () ->
+          List.iter (Proto.send a) sent;
+          let got =
+            pump_until ~a ~b ~limit:200 (fun ms -> List.length ms >= 3)
+          in
+          Alcotest.(check bool) "all messages delivered in order" true
+            (got = sent));
+      Alcotest.(check bool) "receiver NAKed" true (b.Proto.naks >= 1);
+      Alcotest.(check bool) "sender retransmitted" true
+        (a.Proto.retransmits >= 3);
+      Alcotest.(check int) "every frame was injected" 3 a.Proto.injected;
+      (* The stream stays usable after recovery (recv_opt first drains
+         any leftover duplicate retransmissions as [None]s). *)
+      Proto.send a Proto.Shutdown;
+      let rec drain n =
+        if n = 0 then Alcotest.fail "clean frame after recovery not delivered"
+        else
+          match Proto.recv_opt b ~timeout:0.1 with
+          | Some Proto.Shutdown -> ()
+          | Some _ | None -> drain (n - 1)
+      in
+      drain 50)
+
+let test_corrupt_transport_full_run () =
+  let make_engine = make_engine_for workload_32 in
+  let serial_cases, _ = serial_case_set workload_32 in
+  let r =
+    with_plan "proto=corrupt:0.3" (fun () ->
+        Coordinator.explore ~procs:2 ~cases:true
+          ~limits:
+            {
+              Executor.max_instructions = None;
+              max_seconds = Some 60.;
+              max_completed = None;
+            }
+          ~spawn:(Coordinator.Fork { jobs = 1; slice = 0.01; make_engine })
+          ~make_engine
+          ~boot:(fun eng -> Executor.boot eng ~entry:0x1000 ())
+          ())
+  in
+  (* Transport-only chaos: work accounting must be untouched... *)
+  Alcotest.(check int) "zero lost work items" 0 r.Coordinator.unexplored;
+  Alcotest.(check bool) "no abandoned items" true (r.Coordinator.abandoned = []);
+  Alcotest.(check int) "no requeues" 0 r.Coordinator.requeues;
+  Alcotest.(check int) "no restarts" 0 r.Coordinator.restarts;
+  Alcotest.(check (list string))
+    "path set identical to serial" serial_cases (dist_case_set r);
+  (* ...while the chaos demonstrably happened and was accounted for. *)
+  Alcotest.(check bool) "faults were injected" true (r.Coordinator.injected > 0);
+  Alcotest.(check bool) "NAKs recovered them" true (r.Coordinator.naks > 0);
+  Alcotest.(check bool) "retransmissions served" true
+    (r.Coordinator.retransmits > 0);
+  Alcotest.(check int) "merged telemetry reports every injected fault"
+    r.Coordinator.injected
+    (S2e_obs.Metrics.get_int r.Coordinator.obs "fault.proto.corrupt")
+
+let test_heartbeat_delay_abandonment () =
+  let make_engine = make_engine_for workload_64 in
+  (* Every heartbeat suppressed + every solver call slowed: the lone
+     worker always goes silent past the timeout mid-item.  The
+     coordinator must requeue once, then abandon the item visibly
+     rather than dropping it on the floor. *)
+  let r =
+    with_plan "proto=delay:1.0,solver=latency:1.0" (fun () ->
+        Coordinator.explore ~procs:1 ~max_item_attempts:1 ~max_restarts:8
+          ~heartbeat_timeout:0.3
+          ~spawn:(Coordinator.Fork { jobs = 1; slice = 0.01; make_engine })
+          ~make_engine
+          ~boot:(fun eng -> Executor.boot eng ~entry:0x1000 ())
+          ())
+  in
+  Alcotest.(check bool) "silent worker's item was requeued" true
+    (r.Coordinator.requeues >= 1);
+  Alcotest.(check bool) "worker was respawned" true (r.Coordinator.restarts >= 1);
+  Alcotest.(check (list (pair int int)))
+    "root item abandoned with its attempt count" [ (0, 2) ]
+    r.Coordinator.abandoned;
+  Alcotest.(check bool) "abandoned work counts as unexplored" true
+    (r.Coordinator.unexplored >= 1)
+
 let tests =
   [
     Alcotest.test_case "expression codec roundtrip" `Quick test_expr_roundtrip;
@@ -262,4 +382,10 @@ let tests =
       test_procs2_matches_serial;
     Alcotest.test_case "killed worker's states are requeued" `Quick
       test_kill_worker_mid_run;
+    Alcotest.test_case "corrupted frame is NAKed and retransmitted" `Quick
+      test_corrupt_frame_nak_retransmit;
+    Alcotest.test_case "corrupt transport: zero lost work, same paths" `Quick
+      test_corrupt_transport_full_run;
+    Alcotest.test_case "heartbeat delay: requeue then visible abandonment"
+      `Quick test_heartbeat_delay_abandonment;
   ]

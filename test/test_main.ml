@@ -2,6 +2,7 @@ let () =
   Alcotest.run "s2e"
     [
       ("dist", Test_dist.tests);
+      ("fault", Test_fault.tests);
       ("expr", Test_expr.tests);
       ("prop_expr", Test_prop_expr.tests);
       ("solver", Test_solver.tests);
