@@ -85,3 +85,18 @@ S2E_BENCH_SECONDS=5 timeout 60 dune exec bench/main.exe dist \
   | grep -q '^BENCH {"name":"dist_explore"' \
   || { echo "CI: bench dist emitted no BENCH line" >&2; exit 1; }
 echo "CI: bench dist smoke test passed"
+
+# Expression-interning bench: the microbenchmark must emit its BENCH line
+# and every speedup column must clear the 2x acceptance floor.
+expr_bench=$(S2E_BENCH_SECONDS=5 timeout 120 dune exec bench/main.exe expr \
+  | grep '^BENCH {"name":"expr_intern"') \
+  || { echo "CI: bench expr emitted no BENCH line" >&2; exit 1; }
+for field in equal_speedup hash_speedup slice_speedup; do
+  v=$(printf '%s\n' "$expr_bench" \
+    | sed -n "s/.*\"$field\":\([0-9.]*\).*/\1/p")
+  [ -n "$v" ] || { echo "CI: bench expr missing $field" >&2; exit 1; }
+  ok=$(awk -v v="$v" 'BEGIN { print (v >= 2.0) ? 1 : 0 }')
+  [ "$ok" = 1 ] \
+    || { echo "CI: bench expr $field=$v below 2x floor" >&2; exit 1; }
+done
+echo "CI: bench expr smoke test passed"

@@ -376,9 +376,9 @@ let degrade_to t (s : State.t) ~add ~pc =
    concretizations).  With an empty cache the all-zeros model decides. *)
 let degrade_concrete t (s : State.t) cond ~taken_pc ~fall_pc =
   let m =
-    match !(t.solver.Solver.model_cache) with
-    | m :: _ -> m
-    | [] -> Expr.Int_map.empty
+    match Solver.latest_model t.solver with
+    | Some m -> m
+    | None -> Expr.Int_map.empty
   in
   if Expr.eval m cond = 1L then degrade_to t s ~add:cond ~pc:taken_pc
   else degrade_to t s ~add:(Expr.log_not cond) ~pc:fall_pc

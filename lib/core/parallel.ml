@@ -202,6 +202,10 @@ let worker_loop shared (limits : Executor.run_limits) ~started w =
       | None -> (
           match steal shared with
           | Some s ->
+              (* The stolen state's expressions were interned by the
+                 victim's domain; fold them into this domain's table so
+                 the physical-equality fast paths apply here too. *)
+              State.reintern s;
               Executor.adopt eng s;
               loop ()
           | None -> ())
@@ -325,7 +329,12 @@ let test_case (s : State.t) =
   | Solver.Sat m ->
       vars
       |> List.map (fun (id, (name, width)) ->
-             (name, Expr.eval m (Expr.Var { id; name; width })))
+             let v =
+               match Expr.Int_map.find_opt id m with
+               | Some v -> Expr.norm v width
+               | None -> 0L
+             in
+             (name, v))
       |> List.sort compare
   | Solver.Unsat | Solver.Unknown -> []
 

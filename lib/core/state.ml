@@ -112,6 +112,19 @@ let set_reg t r v = if r <> S2e_isa.Insn.reg_zero then t.regs.(r) <- v
 let add_constraint t c =
   if not (Expr.equal c Expr.bool_t) then t.constraints <- c :: t.constraints
 
+(** Re-intern every expression the state holds (registers, constraints,
+    memory overlay) into the current domain's hash-cons table.  Called
+    when a worker adopts a state built by another domain: afterwards the
+    state's expressions are physically canonical locally, so equality
+    checks, cache keys and memo hits are O(1) again.  One shared interner
+    preserves sharing across the three stores; all rewrites are
+    structure-preserving, so solver-visible behaviour is unchanged. *)
+let reintern t =
+  let intern = Expr.interner () in
+  t.regs <- Array.map intern t.regs;
+  t.constraints <- List.map intern t.constraints;
+  t.mem <- Symmem.map_overlay intern t.mem
+
 (** Estimated state footprint in "words" (registers + private memory
     overlay + constraints): the quantity the Fig. 8 memory benchmark
     reports a high-watermark of. *)

@@ -71,6 +71,11 @@ val set_reg : t -> int -> Expr.t -> unit
 
 val add_constraint : t -> Expr.t -> unit
 
+val reintern : t -> unit
+(** Re-intern the state's registers, constraints and memory overlay into
+    the current domain's hash-cons table (structure-preserving, sharing
+    kept).  Call after adopting a state produced by another domain. *)
+
 val footprint : t -> int
 (** Estimated state size in words (registers + private memory overlay +
     constraints): the Fig. 8 memory metric. *)

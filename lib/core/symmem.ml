@@ -39,6 +39,10 @@ let base t = t.base
 (** Fold over overlay entries in increasing address order (serialization). *)
 let fold_overlay f t acc = Int_map.fold f t.overlay acc
 
+(** Rewrite every overlay expression (e.g. re-interning a state adopted
+    from another domain).  The base image is untouched. *)
+let map_overlay f t = { t with overlay = Int_map.map f t.overlay }
+
 (** Rebuild a memory from a base image and a decoded overlay list. *)
 let of_overlay ~base entries =
   {

@@ -24,6 +24,10 @@ val fold_overlay : (int -> Expr.t -> 'a -> 'a) -> t -> 'a -> 'a
 (** Fold over overlay entries in increasing address order; used by the
     distribution codec to serialize the copy-on-write layer. *)
 
+val map_overlay : (Expr.t -> Expr.t) -> t -> t
+(** Rewrite every overlay expression in place (structurally persistent);
+    used to re-intern a state adopted from another domain. *)
+
 val of_overlay : base:Bytes.t -> (int * Expr.t) list -> t
 (** Rebuild a memory from a base image plus decoded overlay entries. *)
 

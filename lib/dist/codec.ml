@@ -190,11 +190,11 @@ let cmp_of : int -> Expr.cmpop = function
 
 let rec encode_expr_into b (e : Expr.t) =
   match e with
-  | Const { value; width } ->
+  | Const { value; width; _ } ->
       u8 b 0;
       u8 b width;
       i64 b value
-  | Var { id; name; width } ->
+  | Var { id; name; width; _ } ->
       u8 b 1;
       u32 b id;
       u8 b width;
@@ -208,7 +208,7 @@ let rec encode_expr_into b (e : Expr.t) =
       u8 b (binop_tag op);
       encode_expr_into b lhs;
       encode_expr_into b rhs
-  | Cmp { op; lhs; rhs } ->
+  | Cmp { op; lhs; rhs; _ } ->
       u8 b 4;
       u8 b (cmp_tag op);
       encode_expr_into b lhs;
@@ -218,7 +218,7 @@ let rec encode_expr_into b (e : Expr.t) =
       encode_expr_into b cond;
       encode_expr_into b then_;
       encode_expr_into b else_
-  | Extract { hi; lo; arg } ->
+  | Extract { hi; lo; arg; _ } ->
       u8 b 6;
       u8 b hi;
       u8 b lo;
@@ -227,19 +227,24 @@ let rec encode_expr_into b (e : Expr.t) =
       u8 b 7;
       encode_expr_into b high;
       encode_expr_into b low
-  | Zext { arg; width } ->
+  | Zext { arg; width; _ } ->
       u8 b 8;
       u8 b width;
       encode_expr_into b arg
-  | Sext { arg; width } ->
+  | Sext { arg; width; _ } ->
       u8 b 9;
       u8 b width;
       encode_expr_into b arg
 
-(* Rebuilds raw constructors (no re-simplification); widths not stored on
-   the wire are derived from subexpressions, and structural invariants
-   (operand width agreement, extract ranges, extension monotonicity) are
-   checked strictly.  [max_var] accumulates the largest variable id. *)
+(* Rebuilds via [Expr.Raw] — structure-preserving (no re-simplification,
+   so a decoded state carries exactly the constraint structure the fork
+   point had) but interning, so decoded expressions join the receiving
+   domain's hash-cons table and get the physical-equality fast path.
+   Widths not stored on the wire are derived from subexpressions, and
+   structural invariants (operand width agreement, extract ranges,
+   extension monotonicity) are checked strictly before the constructors'
+   own assertions can trip.  [max_var] accumulates the largest variable
+   id. *)
 let rec decode_expr_from r max_var : Expr.t =
   let rwidth () =
     let w = ru8 r in
@@ -250,57 +255,58 @@ let rec decode_expr_from r max_var : Expr.t =
   | 0 ->
       let width = rwidth () in
       let value = ri64 r in
-      Const { value; width }
+      Expr.Raw.const ~width value
   | 1 ->
       let id = ru32 r in
       let width = rwidth () in
       let name = rstr r in
       if id > !max_var then max_var := id;
-      Var { id; name; width }
+      Expr.Raw.var ~id ~name ~width
   | 2 ->
       let op = unop_of (ru8 r) in
       let arg = decode_expr_from r max_var in
-      Unop { op; arg; width = Expr.width arg }
+      Expr.Raw.unop op arg
   | 3 ->
       let op = binop_of (ru8 r) in
       let lhs = decode_expr_from r max_var in
       let rhs = decode_expr_from r max_var in
       if Expr.width lhs <> Expr.width rhs then error "binop width mismatch";
-      Binop { op; lhs; rhs; width = Expr.width lhs }
+      Expr.Raw.binop op lhs rhs
   | 4 ->
       let op = cmp_of (ru8 r) in
       let lhs = decode_expr_from r max_var in
       let rhs = decode_expr_from r max_var in
       if Expr.width lhs <> Expr.width rhs then error "cmp width mismatch";
-      Cmp { op; lhs; rhs }
+      Expr.Raw.cmp op lhs rhs
   | 5 ->
       let cond = decode_expr_from r max_var in
       let then_ = decode_expr_from r max_var in
       let else_ = decode_expr_from r max_var in
       if Expr.width cond <> 1 then error "ite condition width %d" (Expr.width cond);
       if Expr.width then_ <> Expr.width else_ then error "ite arm width mismatch";
-      Ite { cond; then_; else_; width = Expr.width then_ }
+      Expr.Raw.ite cond then_ else_
   | 6 ->
       let hi = ru8 r in
       let lo = ru8 r in
       let arg = decode_expr_from r max_var in
       if hi < lo || hi >= Expr.width arg then
         error "bad extract [%d:%d] of width %d" hi lo (Expr.width arg);
-      Extract { hi; lo; arg }
+      Expr.Raw.extract ~hi ~lo arg
   | 7 ->
       let high = decode_expr_from r max_var in
       let low = decode_expr_from r max_var in
-      Concat { high; low; width = Expr.width high + Expr.width low }
+      if Expr.width high + Expr.width low > 64 then error "concat too wide";
+      Expr.Raw.concat ~high ~low
   | 8 ->
       let width = rwidth () in
       let arg = decode_expr_from r max_var in
       if width < Expr.width arg then error "zext narrows";
-      Zext { arg; width }
+      Expr.Raw.zext ~width arg
   | 9 ->
       let width = rwidth () in
       let arg = decode_expr_from r max_var in
       if width < Expr.width arg then error "sext narrows";
-      Sext { arg; width }
+      Expr.Raw.sext ~width arg
   | t -> error "unknown expression tag %d" t
 
 let encode_expr e =

@@ -1,4 +1,4 @@
-(** Bitvector expressions for the symbolic execution engine.
+(** Hash-consed bitvector expressions for the symbolic execution engine.
 
     Expressions model guest machine words of widths 1, 8, 16 and 32 bits.
     Construction goes through smart constructors which perform constant
@@ -6,9 +6,20 @@
     computation never builds deep trees; the deeper bitfield-theory
     simplifier lives in {!Simplifier}.
 
-    The representation is exposed (plugins and tools pattern-match on
-    [Var] to identify symbolic inputs), but values must only be built with
-    the smart constructors below so the folding invariants hold. *)
+    Every node is interned in a domain-local weak table at construction:
+    within one domain, structurally equal expressions are physically
+    equal, and each node carries precomputed metadata — a strong mixing
+    hash, tree node count and free-variable id set — so {!equal} is
+    (almost always) a pointer comparison and {!hash}, {!size} and {!vars}
+    are O(1).  Expressions received from another domain or process must
+    be re-interned ({!interner}, {!Raw}) before the physical-equality
+    shortcut applies; {!equal} remains correct either way via a
+    hash-guarded structural fallback.
+
+    The representation is exposed for pattern matching (plugins and tools
+    match on [Var] to identify symbolic inputs) but is [private]:
+    building values outside the constructors below is a compile error,
+    which is what keeps the interning and folding invariants sound. *)
 
 type unop =
   | Neg  (** two's-complement negation *)
@@ -29,17 +40,24 @@ type binop =
 
 type cmpop = Eq | Ult | Ule | Slt | Sle
 
-type t =
-  | Const of { value : int64; width : int }
-  | Var of { id : int; name : string; width : int }
-  | Unop of { op : unop; arg : t; width : int }
-  | Binop of { op : binop; lhs : t; rhs : t; width : int }
-  | Cmp of { op : cmpop; lhs : t; rhs : t }
-  | Ite of { cond : t; then_ : t; else_ : t; width : int }
-  | Extract of { hi : int; lo : int; arg : t }
-  | Concat of { high : t; low : t; width : int }
-  | Zext of { arg : t; width : int }
-  | Sext of { arg : t; width : int }
+module Int_map : Map.S with type key = int
+module Int_set : Set.S with type elt = int
+
+type meta
+(** Per-node interned metadata (unique id, hash, size, variable set).
+    Opaque; read it through {!node_id}, {!hash}, {!size} and {!vars}. *)
+
+type t = private
+  | Const of { value : int64; width : int; meta : meta }
+  | Var of { id : int; name : string; width : int; meta : meta }
+  | Unop of { op : unop; arg : t; width : int; meta : meta }
+  | Binop of { op : binop; lhs : t; rhs : t; width : int; meta : meta }
+  | Cmp of { op : cmpop; lhs : t; rhs : t; meta : meta }
+  | Ite of { cond : t; then_ : t; else_ : t; width : int; meta : meta }
+  | Extract of { hi : int; lo : int; arg : t; meta : meta }
+  | Concat of { high : t; low : t; width : int; meta : meta }
+  | Zext of { arg : t; width : int; meta : meta }
+  | Sext of { arg : t; width : int; meta : meta }
 
 val width : t -> int
 
@@ -51,6 +69,24 @@ val sext64 : int64 -> int -> int64
 
 val norm : int64 -> int -> int64
 (** Truncate to a width. *)
+
+(** {1 Interned metadata} *)
+
+val node_id : t -> int
+(** Process-unique node id, assigned at interning and never reused.
+    Structurally equal nodes interned in the same domain share one id;
+    suitable as a memo-table key. *)
+
+val hash : t -> int
+(** Strong structural mixing hash, computed once at construction.  Equal
+    expressions have equal hashes regardless of which domain built
+    them. *)
+
+val size : t -> int
+(** Tree node count (shared subtrees counted per occurrence), O(1). *)
+
+val vars : t -> Int_set.t
+(** Free-variable id set, O(1) — cached at construction. *)
 
 (** {1 Construction} *)
 
@@ -71,7 +107,12 @@ val bump_var_counter : int -> unit
 
 val is_const : t -> bool
 val to_const : t -> int64 option
+
 val equal : t -> t -> bool
+(** Structural equality.  O(1) for expressions interned in the same
+    domain (pointer comparison both ways); cross-domain comparisons are
+    rejected in O(1) by hash mismatch or confirmed by a structural
+    walk. *)
 
 (** {1 Smart constructors} *)
 
@@ -112,13 +153,41 @@ val concat : high:t -> low:t -> t
 val zext : width:int -> t -> t
 val sext : width:int -> t -> t
 
+(** {1 Raw construction and re-interning} *)
+
+(** Structure-preserving constructors: intern but never fold or
+    simplify.  For deserializers that must reproduce a wire structure
+    exactly (the dist codec's determinism contract) and for tests that
+    need a specific shape.  Width invariants are still asserted. *)
+module Raw : sig
+  val const : width:int -> int64 -> t
+  val var : id:int -> name:string -> width:int -> t
+  val unop : unop -> t -> t
+  val binop : binop -> t -> t -> t
+  val cmp : cmpop -> t -> t -> t
+  val ite : t -> t -> t -> t
+  val extract : hi:int -> lo:int -> t -> t
+  val concat : high:t -> low:t -> t
+  val zext : width:int -> t -> t
+  val sext : width:int -> t -> t
+end
+
+val intern_expr : t -> t
+(** Re-intern an expression (built by another domain) into the current
+    domain's table, structure-preserving.  Returns the canonical local
+    node; afterwards the physical-equality fast path applies against
+    locally built expressions. *)
+
+val interner : unit -> t -> t
+(** Like {!intern_expr} with a memo shared across calls, so a batch of
+    expressions (a whole execution state) re-interns each shared subtree
+    once and keeps its internal sharing. *)
+
 (** {1 Evaluation} *)
 
 val eval_unop : unop -> int64 -> int -> int64
 val eval_binop : binop -> int64 -> int64 -> int -> int64
 val eval_cmp : cmpop -> int64 -> int64 -> int -> bool
-
-module Int_map : Map.S with type key = int
 
 type model = int64 Int_map.t
 (** Variable id → concrete value.  Unbound variables read as 0. *)
@@ -127,13 +196,8 @@ val eval : model -> t -> int64
 
 (** {1 Inspection} *)
 
-module Int_set : Set.S with type elt = int
-
 val fold_vars : ('a -> int -> string -> int -> 'a) -> 'a -> t -> 'a
 (** Fold over (id, name, width) of every variable occurrence. *)
-
-val vars : t -> Int_set.t
-val size : t -> int
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -70,8 +70,53 @@ let known_lshr w a s =
     kval = Int64.shift_right_logical a.kval s;
   }
 
-(* Bottom-up known-bits computation. *)
+(* Memo tables, keyed by interned node id.  Node ids are process-unique
+   and never reused, and both analyses are pure per-node functions, so a
+   hit can never be stale.  Tables are domain-local (parallel workers
+   never contend) and bounded: past [memo_cap] live entries they are
+   reset — cheap amnesia beats an unbounded table on long runs. *)
+let memo_cap = 1 lsl 17
+
+let kb_memo : (int, bits) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
+
+let simplify_memo : (int, Expr.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
+
+(* Toggled off by [simplify_uncached] so differential tests exercise a
+   genuinely memo-free path. *)
+let memo_enabled = Domain.DLS.new_key (fun () -> true)
+
+let memo_store tbl key v =
+  if Hashtbl.length tbl >= memo_cap then Hashtbl.reset tbl;
+  Hashtbl.replace tbl key v
+
+(* Memoizing a node smaller than this costs more in table traffic than
+   the recomputation it saves; the cached [Expr.size] makes the gate
+   O(1).  Translated guest code produces both shapes: tiny flag tests
+   (skip the memo) and deep address-arithmetic chains (where the memo
+   kills [replace_known]'s quadratic behaviour). *)
+let memo_min_size = 16
+
+(* Bottom-up known-bits computation.  [replace_known] queries it at every
+   level of its descent, so without the memo the overall pass is
+   quadratic in expression depth. *)
 let rec known_bits e : bits =
+  match e with
+  | Const _ | Var _ | Cmp _ -> known_bits_raw e
+  | _ ->
+      if size e >= memo_min_size && Domain.DLS.get memo_enabled then begin
+        let tbl = Domain.DLS.get kb_memo in
+        match Hashtbl.find_opt tbl (node_id e) with
+        | Some b -> b
+        | None ->
+            let b = known_bits_raw e in
+            memo_store tbl (node_id e) b;
+            b
+      end
+      else known_bits_raw e
+
+and known_bits_raw e : bits =
   let w = width e in
   match e with
   | Const { value; _ } -> all_known w value
@@ -101,7 +146,7 @@ let rec known_bits e : bits =
           (Int64.lognot (Int64.logxor a.kval b.kval))
       in
       { kmask; kval = Int64.logand a.kval kmask }
-  | Extract { hi = _; lo; arg } ->
+  | Extract { hi = _; lo; arg; _ } ->
       let a = known_bits arg in
       {
         kmask = norm (Int64.shift_right_logical a.kmask lo) w;
@@ -193,14 +238,14 @@ let rec demand e demanded =
     | Binop _ -> e
     | Ite { cond; then_; else_; _ } ->
         ite cond (demand then_ demanded) (demand else_ demanded)
-    | Extract { hi; lo; arg } ->
+    | Extract { hi; lo; arg; _ } ->
         extract ~hi ~lo (demand arg (norm (Int64.shift_left demanded lo) (width arg)))
     | Concat { high; low; _ } ->
         let lw = width low in
         concat
           ~high:(demand high (Int64.shift_right_logical demanded lw))
           ~low:(demand low (Int64.logand demanded (mask lw)))
-    | Zext { arg; width = w' } ->
+    | Zext { arg; width = w'; _ } ->
         zext ~width:w' (demand arg demanded)
     | Sext _ -> e
 
@@ -216,7 +261,7 @@ let rec replace_known e =
     | Unop { op; arg; _ } -> unop op (replace_known arg)
     | Binop { op; lhs; rhs; _ } ->
         binop op (replace_known lhs) (replace_known rhs)
-    | Cmp { op; lhs; rhs } ->
+    | Cmp { op; lhs; rhs; _ } ->
         let lhs = replace_known lhs and rhs = replace_known rhs in
         (* Use known bits to decide comparisons without a solver. *)
         let ka = known_bits lhs and kb' = known_bits rhs in
@@ -233,12 +278,35 @@ let rec replace_known e =
         (match decided with Some b -> of_bool b | None -> cmp op lhs rhs)
     | Ite { cond; then_; else_; _ } ->
         ite (replace_known cond) (replace_known then_) (replace_known else_)
-    | Extract { hi; lo; arg } -> extract ~hi ~lo (replace_known arg)
+    | Extract { hi; lo; arg; _ } -> extract ~hi ~lo (replace_known arg)
     | Concat { high; low; _ } ->
         concat ~high:(replace_known high) ~low:(replace_known low)
-    | Zext { arg; width = w' } -> zext ~width:w' (replace_known arg)
-    | Sext { arg; width = w' } -> sext ~width:w' (replace_known arg)
+    | Zext { arg; width = w'; _ } -> zext ~width:w' (replace_known arg)
+    | Sext { arg; width = w'; _ } -> sext ~width:w' (replace_known arg)
 
-let simplify e =
+let simplify_raw e =
   let e = demand e (mask (width e)) in
   replace_known e
+
+(* Memoized by node id: re-simplifying a query's shared constraint prefix
+   (the common case — the solver simplifies the full constraint list per
+   query) becomes a table hit per constraint.  Tiny constraints skip the
+   table: re-simplifying them outright is cheaper than the traffic. *)
+let simplify e =
+  match e with
+  | Const _ | Var _ -> e
+  | _ when size e < memo_min_size -> simplify_raw e
+  | _ -> (
+      let tbl = Domain.DLS.get simplify_memo in
+      match Hashtbl.find_opt tbl (node_id e) with
+      | Some e' -> e'
+      | None ->
+          let e' = simplify_raw e in
+          memo_store tbl (node_id e) e';
+          e')
+
+let simplify_uncached e =
+  Domain.DLS.set memo_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set memo_enabled true)
+    (fun () -> simplify_raw e)

@@ -24,5 +24,15 @@ val demand : Expr.t -> int64 -> Expr.t
 
 (** Full simplification: demanded-bits rewriting followed by
     known-bits constant replacement.  Preserves evaluation: for every
-    model [m], [eval m (simplify e) = eval m e]. *)
+    model [m], [eval m (simplify e) = eval m e].
+
+    Memoized per domain, keyed by the interned node id (as is the inner
+    known-bits analysis, which the constant-replacement pass would
+    otherwise recompute at every level of its descent).  Ids are never
+    reused and both functions are pure, so hits cannot be stale; tables
+    are bounded and reset past a cap. *)
 val simplify : Expr.t -> Expr.t
+
+val simplify_uncached : Expr.t -> Expr.t
+(** Same rewrite with every memo table bypassed — the reference
+    implementation for differential tests. *)

@@ -7,6 +7,21 @@
 
 open S2e_expr
 
+(* The per-query memo keeps structural semantics (so a query mixing
+   same-shape expressions of different provenance — a stolen state's
+   constraints next to locally built ones — still blasts each shape
+   once, which keeps the CNF and hence the found model a pure function
+   of the constraint structure), but both hashing and equality are O(1)
+   in the interned common case: the cached node hash replaces the
+   tree-walking polymorphic [Hashtbl.hash], and [Expr.equal] starts
+   with a pointer comparison. *)
+module Expr_tbl = Hashtbl.Make (struct
+  type t = Expr.t
+
+  let hash e = Expr.hash e land max_int
+  let equal = Expr.equal
+end)
+
 type ctx = {
   sat : Sat.t;
   true_lit : Sat.lit;
@@ -14,7 +29,7 @@ type ctx = {
   (* Expression variable id -> per-bit SAT literals. *)
   var_bits : (int, Sat.lit array) Hashtbl.t;
   (* Memoization of already-blasted sub-expressions (structural). *)
-  cache : (Expr.t, Sat.lit array) Hashtbl.t;
+  cache : Sat.lit array Expr_tbl.t;
   (* Remember variable widths so models can be extracted. *)
   var_width : (int, int) Hashtbl.t;
 }
@@ -27,7 +42,7 @@ let create sat =
     true_lit = Sat.pos t;
     false_lit = Sat.neg t;
     var_bits = Hashtbl.create 64;
-    cache = Hashtbl.create 256;
+    cache = Expr_tbl.create 256;
     var_width = Hashtbl.create 64;
   }
 
@@ -186,11 +201,11 @@ let slt_bits ctx a b =
 (* --- expression lowering --------------------------------------------- *)
 
 let rec blast ctx (e : Expr.t) : Sat.lit array =
-  match Hashtbl.find_opt ctx.cache e with
+  match Expr_tbl.find_opt ctx.cache e with
   | Some bits -> bits
   | None ->
       let bits = blast_uncached ctx e in
-      Hashtbl.replace ctx.cache e bits;
+      Expr_tbl.replace ctx.cache e bits;
       bits
 
 and blast_uncached ctx e =
@@ -224,7 +239,7 @@ and blast_uncached ctx e =
       | Shl -> barrel_shift ctx `Left a b
       | Lshr -> barrel_shift ctx `Lshr a b
       | Ashr -> barrel_shift ctx `Ashr a b)
-  | Cmp { op; lhs; rhs } -> (
+  | Cmp { op; lhs; rhs; _ } -> (
       let a = blast ctx lhs and b = blast ctx rhs in
       match op with
       | Eq -> [| eq_bits ctx a b |]
@@ -235,7 +250,7 @@ and blast_uncached ctx e =
   | Ite { cond; then_; else_; _ } ->
       let c = (blast ctx cond).(0) in
       mux_vec ctx c (blast ctx then_) (blast ctx else_)
-  | Extract { hi = _; lo; arg } ->
+  | Extract { hi = _; lo; arg; _ } ->
       let a = blast ctx arg in
       Array.sub a lo w
   | Concat { high; low; _ } -> Array.append (blast ctx low) (blast ctx high)

@@ -48,15 +48,55 @@ type stats = {
 
 (** One solver context: caches + statistics + budget.  Contexts are not
     thread-safe; each domain must use its own. *)
+(* Recent models in a fixed-capacity ring, most recent first.  Evaluating
+   a candidate model against the constraints is far cheaper than a SAT
+   call and hits often because consecutive queries along a path share
+   most constraints.  A ring keeps push O(1) with zero allocation, where
+   the previous list rebuild copied all [model_cache_limit] cells per
+   remembered model. *)
+let model_cache_limit = 24
+
+type model_ring = {
+  slots : Expr.model array;
+  mutable len : int;
+  mutable head : int; (* index of the most recent entry; -1 when empty *)
+}
+
+let new_ring () =
+  { slots = Array.make model_cache_limit Expr.Int_map.empty; len = 0; head = -1 }
+
+let ring_push r m =
+  r.head <- (r.head + 1) mod model_cache_limit;
+  r.slots.(r.head) <- m;
+  if r.len < model_cache_limit then r.len <- r.len + 1
+
+let ring_clear r =
+  Array.fill r.slots 0 model_cache_limit Expr.Int_map.empty;
+  r.len <- 0;
+  r.head <- -1
+
+(* Most-recent-first scan, mirroring the old list's lookup order. *)
+let ring_find r p =
+  let cap = model_cache_limit in
+  let rec go i =
+    if i >= r.len then None
+    else
+      let m = r.slots.((r.head - i + cap) mod cap) in
+      if p m then Some m else go (i + 1)
+  in
+  go 0
+
+let ring_to_list r =
+  let cap = model_cache_limit in
+  List.init r.len (fun i -> r.slots.((r.head - i + cap) mod cap))
+
 type ctx = {
   ctx_stats : stats;
-  (* Recent models, most recent first.  Evaluating a candidate model
-     against the constraints is far cheaper than a SAT call and hits often
-     because consecutive queries along a path share most constraints. *)
-  model_cache : Expr.model list ref;
+  model_cache : model_ring;
   (* Unsatisfiable-set cache: loops whose infeasible side is re-queried
      every iteration would otherwise pay a full SAT call each time.  Keyed
-     by a structural hash, verified by structural equality. *)
+     by the interned expressions' cached hashes, verified by structural
+     equality (physical in the common case). *)
   unsat_cache : (int, Expr.t list list) Hashtbl.t;
   max_conflicts : int ref;
   timeout_ms : float option ref; (* wall-clock watchdog per SAT-core call *)
@@ -81,7 +121,7 @@ let default_timeout_ms : float option ref = ref None
 let create_ctx ?(max_conflicts = 200_000) ?timeout_ms () =
   {
     ctx_stats = new_stats ();
-    model_cache = ref [];
+    model_cache = new_ring ();
     unsat_cache = Hashtbl.create 256;
     max_conflicts = ref max_conflicts;
     timeout_ms =
@@ -92,8 +132,10 @@ let default_ctx = create_ctx ()
 
 (* Legacy module-level views over the default context. *)
 let stats = default_ctx.ctx_stats
-let model_cache = default_ctx.model_cache
 let max_conflicts = default_ctx.max_conflicts
+
+let models ctx = ring_to_list ctx.model_cache
+let latest_model ctx = ring_find ctx.model_cache (fun _ -> true)
 
 (* [default_ctx] predates any CLI flag parsing, so changing the default
    watchdog must also retrofit it. *)
@@ -111,7 +153,7 @@ let reset_stats ?(ctx = default_ctx) () =
   st.max_time <- 0.
 
 let clear_caches ctx =
-  ctx.model_cache := [];
+  ring_clear ctx.model_cache;
   Hashtbl.reset ctx.unsat_cache
 
 let merge_stats ~into src =
@@ -122,17 +164,21 @@ let merge_stats ~into src =
   into.total_time <- into.total_time +. src.total_time;
   if src.max_time > into.max_time then into.max_time <- src.max_time
 
-let model_cache_limit = 24
-
-let remember_model ctx m =
-  ctx.model_cache :=
-    m :: List.filteri (fun i _ -> i < model_cache_limit - 1) !(ctx.model_cache)
+let remember_model ctx m = ring_push ctx.model_cache m
 
 let satisfies m constraints =
   List.for_all (fun c -> Expr.eval m c = 1L) constraints
 
+(* Order-dependent mix of the interned per-node hashes: O(1) per
+   constraint where the old [Hashtbl.hash] walked (a depth-limited slice
+   of) each tree, and collision-resistant where depth limiting made deep
+   distinct trees collide systematically. *)
+let mix h k =
+  let h = (h lxor k) * 0x27d4eb2f165667c5 in
+  h lxor (h lsr 29)
+
 let constraints_key constraints =
-  List.fold_left (fun acc c -> acc lxor Hashtbl.hash c) 0 constraints
+  List.fold_left (fun acc c -> mix acc (Expr.hash c)) 17 constraints
 
 let unsat_cached ctx constraints =
   let key = constraints_key constraints in
@@ -141,8 +187,18 @@ let unsat_cached ctx constraints =
   | Some entries ->
       List.exists (fun cs -> List.equal Expr.equal cs constraints) entries
 
+(* The per-key entry list is capped, and so is the key population: past
+   [unsat_cache_keys] distinct keys the table is reset outright.  Long
+   runs previously grew it without bound; brief amnesia is cheaper than
+   an eviction policy for what is purely an optimization. *)
+let unsat_cache_keys = 1024
+
 let remember_unsat ctx constraints =
   let key = constraints_key constraints in
+  if
+    Hashtbl.length ctx.unsat_cache >= unsat_cache_keys
+    && not (Hashtbl.mem ctx.unsat_cache key)
+  then Hashtbl.reset ctx.unsat_cache;
   let entries = Option.value ~default:[] (Hashtbl.find_opt ctx.unsat_cache key) in
   if List.length entries < 8 then
     Hashtbl.replace ctx.unsat_cache key (constraints :: entries)
@@ -153,7 +209,9 @@ let remember_unsat ctx constraints =
 
 (* Keep only constraints transitively sharing variables with [seed_vars].
    Constraints mentioning no seed variable cannot affect satisfiability of
-   the query (they are satisfiable on their own by path construction). *)
+   the query (they are satisfiable on their own by path construction).
+   [Expr.vars] reads the variable set cached in each interned node, so a
+   slice costs set operations only — no tree walks. *)
 let slice ~seed_vars constraints =
   let remaining = ref (List.map (fun c -> (c, Expr.vars c)) constraints) in
   let relevant = ref [] in
@@ -243,7 +301,7 @@ let check_ctx ~use_model_cache ctx constraints =
         else
           let cached_model =
             if use_model_cache then
-              List.find_opt (fun m -> satisfies m constraints) !(ctx.model_cache)
+              ring_find ctx.model_cache (fun m -> satisfies m constraints)
             else None
           in
           match cached_model with
@@ -311,10 +369,13 @@ let get_unique_value ?(ctx = default_ctx) ~constraints e =
 (** Up to [limit] distinct concrete values for [e] under [constraints].
     Deterministic: enumeration bypasses the model cache. *)
 let get_values ?(ctx = default_ctx) ~constraints ~limit e =
+  (* The slice depends only on [e]'s variables and the constraint set,
+     both loop-invariant: blocking constraints added during enumeration
+     mention only variables of [e], which are in the seed already. *)
+  let sliced = slice ~seed_vars:(Expr.vars e) constraints in
   let rec go acc extra n =
     if n = 0 then List.rev acc
     else
-      let sliced = slice ~seed_vars:(Expr.vars e) constraints in
       match check_ctx ~use_model_cache:false ctx (extra @ sliced) with
       | Sat m ->
           let v = Expr.eval m e in

@@ -28,12 +28,16 @@ type stats = {
   mutable max_time : float;
 }
 
+type model_ring
+(** Bounded ring of recently found models, most recent first.  Inspect
+    through {!models} / {!latest_model}; drop through {!clear_caches}. *)
+
 type ctx = {
   ctx_stats : stats;
-  model_cache : Expr.model list ref;
-      (** Recent models, most recent first.  Exposed for the cache
-          ablation. *)
+  model_cache : model_ring;
   unsat_cache : (int, Expr.t list list) Hashtbl.t;
+      (** Keyed by a mix of the constraints' interned hashes; both the
+          per-key entry list and the key population are bounded. *)
   max_conflicts : int ref;
       (** SAT-core conflict budget per query; exceeding it yields
           [Unknown]. *)
@@ -75,8 +79,13 @@ val merge_stats : into:stats -> stats -> unit
 val stats : stats
 (** = [default_ctx.ctx_stats]. *)
 
-val model_cache : Expr.model list ref
-(** = [default_ctx.model_cache]. *)
+val models : ctx -> Expr.model list
+(** The context's cached models, most recent first.  Used by the cache
+    ablation and tests. *)
+
+val latest_model : ctx -> Expr.model option
+(** The most recently found model, if any — what graceful degradation
+    concretizes with when a fork-point query times out. *)
 
 val max_conflicts : int ref
 (** = [default_ctx.max_conflicts]. *)

@@ -72,31 +72,30 @@ let make_engine_for workload () =
 (* ------------------------------------------------------------------ *)
 
 let test_expr_roundtrip () =
-  let v = Expr.Var { id = 7; name = "sym1_0"; width = 8 } in
+  (* Expr.Raw builds these shapes verbatim (no smart-constructor folding),
+     which is exactly what the codec promises to reproduce. *)
+  let v = Expr.Raw.var ~id:7 ~name:"sym1_0" ~width:8 in
   let exprs =
     [
-      Expr.Const { value = 0x1234L; width = 16 };
+      Expr.Raw.const ~width:16 0x1234L;
       v;
-      Expr.Unop { op = Expr.Bnot; arg = v; width = 8 };
-      Expr.Binop { op = Expr.Add; lhs = v; rhs = v; width = 8 };
-      Expr.Cmp { op = Expr.Slt; lhs = v; rhs = Expr.Const { value = 3L; width = 8 } };
-      Expr.Ite
-        {
-          cond = Expr.Cmp { op = Expr.Eq; lhs = v; rhs = v };
-          then_ = v;
-          else_ = v;
-          width = 8;
-        };
-      Expr.Extract { hi = 6; lo = 2; arg = v };
-      Expr.Concat { high = v; low = v; width = 16 };
-      Expr.Zext { arg = v; width = 32 };
-      Expr.Sext { arg = v; width = 64 };
+      Expr.Raw.unop Expr.Bnot v;
+      Expr.Raw.binop Expr.Add v v;
+      Expr.Raw.cmp Expr.Slt v (Expr.Raw.const ~width:8 3L);
+      Expr.Raw.ite (Expr.Raw.cmp Expr.Eq v v) v v;
+      Expr.Raw.extract ~hi:6 ~lo:2 v;
+      Expr.Raw.concat ~high:v ~low:v;
+      Expr.Raw.zext ~width:32 v;
+      Expr.Raw.sext ~width:64 v;
     ]
   in
   List.iter
     (fun e ->
       let e' = Codec.decode_expr (Codec.encode_expr e) in
-      Alcotest.(check bool) "expr roundtrips structurally" true (e = e'))
+      Alcotest.(check bool) "expr roundtrips structurally" true (Expr.equal e e');
+      (* Decode interns into this domain's table, so the roundtrip result
+         must be the canonical node itself. *)
+      Alcotest.(check bool) "expr roundtrips physically" true (e == e'))
     exprs
 
 (* Explore a few paths, then snapshot a mid-run frontier state: it has a

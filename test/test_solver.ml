@@ -231,12 +231,12 @@ let test_ctx_isolation () =
   Alcotest.(check int) "ctx a counted its query" 1 a.Solver.ctx_stats.Solver.queries;
   Alcotest.(check int) "ctx b untouched" 0 b.Solver.ctx_stats.Solver.queries;
   Alcotest.(check int) "default ctx untouched" default_before Solver.stats.Solver.queries;
-  Alcotest.(check bool) "ctx a cached a model" true (!(a.Solver.model_cache) <> []);
-  Alcotest.(check bool) "ctx b cache empty" true (!(b.Solver.model_cache) = []);
+  Alcotest.(check bool) "ctx a cached a model" true (Solver.models a <> []);
+  Alcotest.(check bool) "ctx b cache empty" true (Solver.models b = []);
   Solver.reset_stats ~ctx:a ();
   Alcotest.(check int) "reset zeroes only ctx a" 0 a.Solver.ctx_stats.Solver.queries;
   Solver.clear_caches a;
-  Alcotest.(check bool) "clear_caches empties model cache" true (!(a.Solver.model_cache) = []);
+  Alcotest.(check bool) "clear_caches empties model cache" true (Solver.models a = []);
   Alcotest.(check int) "clear_caches keeps unsat cache empty too" 0
     (Hashtbl.length a.Solver.unsat_cache)
 
