@@ -4,7 +4,7 @@
    Usage:  dune exec bench/main.exe [-- experiment ...]
    Experiments: table4 table5 table6 fig6 fig7 fig8 fig9 ddt profs-url
    profs-ping overhead pagesize ablate parallel breakdown dist chaos expr
-   all (default: all).  The per-run budget can be scaled with
+   oracle all (default: all).  The per-run budget can be scaled with
    S2E_BENCH_SECONDS (default 12). *)
 
 open S2e_core
@@ -1235,9 +1235,68 @@ let expr_intern () =
      depth; the reference columns walk the structure the way the\n\
      pre-interning representation had to on every query.\n"
 
+(* ---------------------------------------------------------------- *)
+(* Executable ISA oracle: differential-testing throughput            *)
+(* ---------------------------------------------------------------- *)
+
+let oracle () =
+  section "ORACLE: reference interpreter vs DBT differential throughput";
+  let module O = S2e_oracle.Oracle in
+  let module I = S2e_oracle.Interp in
+  let module G = S2e_oracle.Gen in
+  let module D = S2e_oracle.Dbt_exec in
+  let n = int_of_float (2000. *. max 1. (budget /. 12.)) in
+  (* Component throughputs over one shared generated case set. *)
+  let g = G.create ~seed:1 in
+  let cases = List.init n (fun _ -> G.next g) in
+  let it = I.create () in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (c : G.case) -> ignore (I.run it c.G.c_pre)) cases;
+  let t_interp = Unix.gettimeofday () -. t0 in
+  let dx = D.create () in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (c : G.case) ->
+      D.flush dx;
+      ignore (D.run dx c.G.c_pre))
+    cases;
+  let t_dbt = Unix.gettimeofday () -. t0 in
+  (* End-to-end differential run, corpus replay included when the seed
+     manifest is checked out. *)
+  let corpus =
+    if Sys.file_exists "examples/oracle/urlparse.corpus" then
+      snd (S2e_oracle.Corpus.load "examples/oracle/urlparse.corpus")
+    else []
+  in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    O.run ~seed:2 ~count:n ~corpus
+      ~repro_dir:(Filename.get_temp_dir_name ())
+      ()
+  in
+  let t_diff = Unix.gettimeofday () -. t0 in
+  let per t = float_of_int n /. t in
+  let diff_rate = float_of_int r.O.r_blocks /. t_diff in
+  Printf.printf "cases: %d generated, %d corpus block(s) replayed\n" n
+    (List.length corpus);
+  Printf.printf "reference interpreter: %8.0f blocks/s\n" (per t_interp);
+  Printf.printf "dbt fast path (cold):  %8.0f blocks/s\n" (per t_dbt);
+  Printf.printf
+    "differential harness:  %8.0f blocks/s (ref + cold dbt + hot dbt per \
+     case)\n"
+    diff_rate;
+  Printf.printf "divergences: %d\n" (List.length r.O.r_divergences);
+  Printf.printf
+    "BENCH {\"name\":\"oracle\",\"blocks\":%d,\"corpus_blocks\":%d,\
+     \"interp_blocks_per_s\":%.0f,\"dbt_blocks_per_s\":%.0f,\
+     \"diff_blocks_per_s\":%.0f,\"divergences\":%d}\n"
+    r.O.r_blocks (List.length corpus) (per t_interp) (per t_dbt) diff_rate
+    (List.length r.O.r_divergences)
+
 let experiments =
   [
     ("expr", expr_intern);
+    ("oracle", oracle);
     ("dist", dist);
     ("chaos", chaos);
     ("table4", table4);

@@ -100,3 +100,26 @@ for field in equal_speedup hash_speedup slice_speedup; do
     || { echo "CI: bench expr $field=$v below 2x floor" >&2; exit 1; }
 done
 echo "CI: bench expr smoke test passed"
+
+# ISA-oracle smoke test: 500 generated blocks plus the checked-in
+# urlparse corpus must replay with zero divergences (the oracle exits 1
+# and dumps a repro on any divergence), and a fresh capture of the
+# urlparse workload must also replay cleanly end to end.
+oracle_dir=$(mktemp -d /tmp/s2e-oracle-XXXXXX)
+trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$chaos_out"; rm -rf "$oracle_dir"' EXIT
+dune exec bin/s2e_cli.exe -- oracle --count 500 --seed 1 \
+  --corpus examples/oracle/urlparse.corpus --repro-dir "$oracle_dir" \
+  > "$oracle_dir/out.txt" \
+  || { echo "CI: oracle run diverged or failed" >&2; cat "$oracle_dir/out.txt" >&2; exit 1; }
+grep -q '^divergences: none$' "$oracle_dir/out.txt" \
+  || { echo "CI: oracle run reported divergences" >&2; exit 1; }
+dune exec bin/s2e_cli.exe -- oracle --count 0 --seed 1 \
+  --capture urlparse --driver nulldrv --seconds 5 --repro-dir "$oracle_dir" \
+  > "$oracle_dir/cap.txt" \
+  || { echo "CI: oracle capture/replay diverged or failed" >&2; cat "$oracle_dir/cap.txt" >&2; exit 1; }
+grep -q '^divergences: none$' "$oracle_dir/cap.txt" \
+  || { echo "CI: oracle capture/replay reported divergences" >&2; exit 1; }
+captured=$(sed -n 's/^captured \([0-9][0-9]*\) block(s).*/\1/p' "$oracle_dir/cap.txt")
+[ -n "$captured" ] && [ "$captured" -gt 0 ] \
+  || { echo "CI: oracle captured no blocks" >&2; exit 1; }
+echo "CI: oracle smoke test passed (500 generated + corpus + $captured captured blocks)"

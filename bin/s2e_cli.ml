@@ -834,6 +834,119 @@ let models_cmd =
        ~doc:"Compare execution consistency models (paper section 6.3)")
     Term.(const run $ target_arg $ seconds_arg)
 
+(* --- oracle: differential ISA testing of the DBT against a reference
+   interpreter --- *)
+
+let oracle_cmd =
+  let module Oracle = S2e_oracle.Oracle in
+  let seed_arg =
+    let doc = "Deterministic seed: same seed, byte-identical run." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let count_arg =
+    let doc = "Number of generated blocks to run differentially." in
+    Arg.(value & opt int 10_000 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let corpus_arg =
+    let doc = "Corpus manifest to replay (written by --corpus-out)." in
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"FILE" ~doc)
+  in
+  let capture_arg =
+    let doc =
+      Printf.sprintf
+        "Capture a fresh corpus by exploring this workload (one of %s) \
+         before replaying it."
+        (String.concat ", " workload_names)
+    in
+    Arg.(value & opt (some string) None & info [ "capture" ] ~docv:"W" ~doc)
+  in
+  let corpus_out_arg =
+    let doc = "Write the captured corpus manifest here." in
+    Arg.(value & opt (some string) None & info [ "corpus-out" ] ~docv:"FILE" ~doc)
+  in
+  let repro_dir_arg =
+    let doc = "Directory for divergence repro dumps." in
+    Arg.(value & opt string "." & info [ "repro-dir" ] ~docv:"DIR" ~doc)
+  in
+  let run seed count corpus capture driver seconds corpus_out repro_dir =
+    let captured =
+      match capture with
+      | None -> None
+      | Some w ->
+          if workload_src w = None then begin
+            Fmt.epr "s2e oracle: unknown workload %S (have: %s)@." w
+              (String.concat ", " workload_names);
+            exit 2
+          end;
+          if driver <> "nulldrv" then check_driver driver;
+          Fmt.pr "capturing corpus: workload %s, driver %s, %.0fs budget...@."
+            w driver seconds;
+          let cap = S2e_oracle.Corpus.capture ~driver ~seconds ~workload:w () in
+          Fmt.pr "captured %d block(s), %d symbolic state(s)@."
+            (List.length cap.cap_entries)
+            (List.length cap.cap_sym);
+          (match corpus_out with
+          | Some path ->
+              S2e_oracle.Corpus.save path ~workload:w cap.cap_entries;
+              Fmt.pr "corpus manifest -> %s@." path
+          | None -> ());
+          Some cap
+    in
+    let loaded =
+      match corpus with
+      | None -> []
+      | Some path ->
+          let wl, entries = S2e_oracle.Corpus.load path in
+          Fmt.pr "corpus %s: %d block(s) from workload %s@." path
+            (List.length entries) wl;
+          entries
+    in
+    let entries =
+      loaded
+      @ match captured with Some c -> c.cap_entries | None -> []
+    in
+    let sym = match captured with Some c -> c.cap_sym | None -> [] in
+    let r =
+      Oracle.run ~seed ~count ~corpus:entries ~sym ~repro_dir
+        ~log:(fun m -> Fmt.epr "%s@." m)
+        ()
+    in
+    Fmt.pr
+      "oracle: %d differential block run(s) (%d generated, %d corpus, %d \
+       sym), seed %d@."
+      r.Oracle.r_blocks r.r_generated r.r_corpus r.r_sym seed;
+    Fmt.pr "digest: %016Lx@." r.r_digest;
+    if r.r_generated > 0 then begin
+      let covered = List.filter (fun (_, n) -> n > 0) r.r_coverage in
+      Fmt.pr "coverage: %d/%d constructors in generated corpus%s@."
+        (List.length covered)
+        (List.length r.r_coverage)
+        (if r.r_missing = [] then ""
+         else " (missing: " ^ String.concat ", " r.r_missing ^ ")")
+    end;
+    if r.r_divergences = [] then Fmt.pr "divergences: none@."
+    else begin
+      Fmt.pr "divergences: %d@." (List.length r.r_divergences);
+      List.iter
+        (fun (d : Oracle.divergence) ->
+          Fmt.pr "  [%s/%s] %s%s@."
+            (Oracle.source_name d.d_source)
+            d.d_phase
+            (String.concat "; " d.d_diff)
+            (match d.d_file with Some f -> " -> " ^ f | None -> ""))
+        r.r_divergences;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "oracle"
+       ~doc:
+         "Differentially test the DBT fast path against a naive reference \
+          interpreter")
+    Term.(
+      const run $ seed_arg $ count_arg $ corpus_arg $ capture_arg $ driver_arg
+      $ seconds_arg $ corpus_out_arg $ repro_dir_arg)
+
 let () =
   let doc = "in-vivo multi-path analysis platform (S2E reproduction)" in
   exit
@@ -841,5 +954,5 @@ let () =
        (Cmd.group (Cmd.info "s2e" ~doc)
           [
             run_cmd; ddt_cmd; rev_cmd; profs_cmd; models_cmd; explore_cmd;
-            worker_cmd; stats_cmd;
+            worker_cmd; stats_cmd; oracle_cmd;
           ]))

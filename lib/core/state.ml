@@ -133,6 +133,26 @@ let footprint t =
   + Symmem.overlay_size t.mem
   + List.fold_left (fun acc c -> acc + Expr.size c) 0 t.constraints
 
+(* Concrete snapshot helpers for the differential oracle: evaluate the
+   state's registers / a memory window under a solver model, yielding the
+   concrete machine the symbolic engine claims this path can reach.
+   Variables absent from the model read as 0, matching [Expr.eval]. *)
+
+let eval_regs model t =
+  Array.init (Array.length t.regs) (fun r ->
+      if r = S2e_isa.Insn.reg_zero then 0
+      else Int64.to_int (Expr.eval model t.regs.(r)) land 0xFFFFFFFF)
+
+let eval_window model t ~addr ~len =
+  let size = Bytes.length (Symmem.base t.mem) in
+  if addr < 0 || len <= 0 || addr + len > size then None
+  else
+    Some
+      (String.init len (fun i ->
+           Char.chr
+             (Int64.to_int (Expr.eval model (Symmem.read_byte t.mem (addr + i)))
+             land 0xff)))
+
 let is_active t = t.status = Active
 
 let status_string = function

@@ -80,6 +80,16 @@ val footprint : t -> int
 (** Estimated state size in words (registers + private memory overlay +
     constraints): the Fig. 8 memory metric. *)
 
+val eval_regs : Expr.model -> t -> int array
+(** The register file evaluated concretely under a solver model (the zero
+    register reads 0; variables absent from the model read 0): the
+    concrete machine the engine claims this path can reach.  Used by the
+    differential oracle's symbolic-concretized driver. *)
+
+val eval_window : Expr.model -> t -> addr:int -> len:int -> string option
+(** A memory window evaluated concretely under a solver model, or [None]
+    when the window leaves RAM. *)
+
 val is_active : t -> bool
 val status_string : status -> string
 

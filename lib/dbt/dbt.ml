@@ -98,4 +98,12 @@ let invalidate t addr =
         t.translated_ranges
   end
 
+(** Drop every cached block.  The cumulative translation count is kept
+    (it is monotone by contract); only the cache and its range index are
+    cleared.  Used by the differential oracle, which reuses one
+    translator across runs that place different code at the same pc. *)
+let flush t =
+  Hashtbl.reset t.cache;
+  t.translated_ranges <- []
+
 let stats t = (t.translations, Hashtbl.length t.cache)

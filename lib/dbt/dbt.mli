@@ -29,5 +29,9 @@ val translate :
 val invalidate : t -> int -> unit
 (** A guest write hit this address: drop any block covering it. *)
 
+val flush : t -> unit
+(** Drop every cached block.  The cumulative translation count is
+    preserved; [stats] stays monotone across a flush. *)
+
 val stats : t -> int * int
 (** (total translations, blocks currently cached). *)

@@ -183,11 +183,18 @@ let decode_with ~(get : int -> int) off =
       (Int32.of_int (get (off + 4) lor (get (off + 5) lsl 8) lor (get (off + 6) lsl 16)))
       (Int32.shift_left (Int32.of_int (get (off + 7))) 24)
   in
+  (* Invalid subcodes (ALU op, branch condition, S2E op) are decoding
+     errors of the same class as an unknown opcode: raise the typed
+     exception, never [Invalid_argument], so decoding arbitrary bytes
+     has exactly one failure mode. *)
+  let alu_op c = if c < 0 || c > 13 then raise (Invalid_instruction opc) else alu_of_code c in
+  let br_cond c = if c > 5 then raise (Invalid_instruction opc) else branch_of_code c in
+  let s2e_op c = if c > 9 then raise (Invalid_instruction opc) else s2e_of_code c in
   match opc with
   | o when o = op_alu ->
-      Alu { op = alu_of_code (b1 lsr 4); rd = b1 land 0xf; rs1; rs2 }
+      Alu { op = alu_op (b1 lsr 4); rd = b1 land 0xf; rs1; rs2 }
   | o when o = op_alui ->
-      Alui { op = alu_of_code (b1 lsr 4); rd = b1 land 0xf; rs1; imm }
+      Alui { op = alu_op (b1 lsr 4); rd = b1 land 0xf; rs1; imm }
   | o when o = op_li -> Li { rd = b1 land 0xf; imm }
   | o when o = op_mov -> Mov { rd = b1 land 0xf; rs1 }
   | o when o = op_lw -> Lw { rd = b1 land 0xf; base = rs1; off = imm }
@@ -199,7 +206,7 @@ let decode_with ~(get : int -> int) off =
   | o when o = op_jal -> Jal { target = imm }
   | o when o = op_jalr -> Jalr { rs1 }
   | o when o = op_branch ->
-      Branch { cond = branch_of_code (b1 land 0xf); rs1; rs2; target = imm }
+      Branch { cond = br_cond (b1 land 0xf); rs1; rs2; target = imm }
   | o when o = op_in -> In { rd = b1 land 0xf; port = rs1; port_off = imm }
   | o when o = op_out -> Out { src = rs2; port = rs1; port_off = imm }
   | o when o = op_syscall -> Syscall
@@ -209,7 +216,7 @@ let decode_with ~(get : int -> int) off =
   | o when o = op_cli -> Cli
   | o when o = op_sti -> Sti
   | o when o = op_nop -> Nop
-  | o when o = op_s2e -> S2e { op = s2e_of_code (b1 land 0xf); rs1; rs2; imm }
+  | o when o = op_s2e -> S2e { op = s2e_op (b1 land 0xf); rs1; rs2; imm }
   | o -> raise (Invalid_instruction o)
 
 let decode (buf : Bytes.t) off =

@@ -101,7 +101,9 @@ val encode : t -> Bytes.t -> int -> unit
 
 val decode_with : get:(int -> int) -> int -> t
 (** Decode from an abstract byte source (shared by the VM and the
-    engine).  @raise Invalid_instruction on unknown opcodes. *)
+    engine).  @raise Invalid_instruction on unknown opcodes and on known
+    opcodes carrying an invalid subcode (ALU op, branch condition, S2E
+    op) — the only exception decoding arbitrary bytes can raise. *)
 
 val decode : Bytes.t -> int -> t
 

@@ -1,0 +1,253 @@
+(** Block corpus: capture, persist and reload the translation blocks a
+    real guest workload produces.
+
+    Capture hooks {!S2e_core.Events.reg_instr_translate} — the per-insn
+    stream {!S2e_dbt.Dbt.translate} emits — and reassembles it into
+    blocks (contiguous pcs, cut at terminators and at the 32-insn block
+    cap), deduplicated by [(pc, bytes)] so retranslation after cache
+    invalidation does not inflate the corpus.  The same engine run also
+    samples symbolic states: whenever the path has constraints and the
+    solver holds a model, the state is concretized through that model
+    into a standalone {!Interp.pre} — driver (3) of the oracle.
+
+    Replayed corpus entries get a synthesized pre-state (block bytes as
+    the only code segment, seeded random registers): the differential
+    property under test is "DBT ≡ reference interpreter on this exact
+    pre-state", not "replay ≡ original run", so fresh registers and
+    devices are sound — and better, since they exercise each block under
+    inputs the workload never produced.
+
+    Manifest format (one block per line, stable across runs):
+    {v
+    # s2e-oracle corpus v1 <workload> <count>
+    <pc-hex>:<bytes-hex>
+    v} *)
+
+open S2e_isa
+open S2e_core
+module Vm = S2e_vm
+module Guest = S2e_guest.Guest
+module Solver = S2e_solver.Solver
+
+type entry = { e_pc : int; e_bytes : string }
+
+let insns_of_entry e =
+  let get i =
+    if i < String.length e.e_bytes then Char.code e.e_bytes.[i] else 0
+  in
+  let n = String.length e.e_bytes / Insn.insn_size in
+  match List.init n (fun i -> Insn.decode_with ~get (i * Insn.insn_size)) with
+  | insns -> Some insns
+  | exception Insn.Invalid_instruction _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Collector                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Attach a block collector to [engine]'s translate stream.  Returns a
+    finalizer that flushes the in-flight block and yields all captured
+    entries in first-seen order. *)
+let collector (engine : Executor.t) =
+  let seen = Hashtbl.create 256 in
+  let entries = ref [] in
+  let cur = ref [] (* reversed *) in
+  let cur_start = ref 0 in
+  let cur_next = ref (-1) in
+  let flush () =
+    match List.rev !cur with
+    | [] -> ()
+    | insns ->
+        let buf = Bytes.create (List.length insns * Insn.insn_size) in
+        List.iteri (fun i insn -> Insn.encode insn buf (i * Insn.insn_size)) insns;
+        let e = { e_pc = !cur_start; e_bytes = Bytes.to_string buf } in
+        if not (Hashtbl.mem seen (e.e_pc, e.e_bytes)) then begin
+          Hashtbl.add seen (e.e_pc, e.e_bytes) ();
+          entries := e :: !entries
+        end;
+        cur := [];
+        cur_next := -1
+  in
+  Events.reg_instr_translate engine.Executor.events (fun pc insn ->
+      if pc <> !cur_next then begin
+        flush ();
+        cur_start := pc
+      end;
+      cur := insn :: !cur;
+      cur_next := pc + Insn.insn_size;
+      if Insn.is_block_terminator insn || List.length !cur >= 32 then flush ());
+  fun () ->
+    flush ();
+    List.rev !entries
+
+(* ------------------------------------------------------------------ *)
+(* Manifest                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let hex_of_string s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let string_of_hex h =
+  if String.length h mod 2 <> 0 then failwith "odd-length hex"
+  else
+    String.init (String.length h / 2) (fun i ->
+        Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2)))
+
+let save path ~workload entries =
+  let oc = open_out path in
+  Printf.fprintf oc "# s2e-oracle corpus v1 %s %d\n" workload
+    (List.length entries);
+  List.iter
+    (fun e -> Printf.fprintf oc "%x:%s\n" e.e_pc (hex_of_string e.e_bytes))
+    entries;
+  close_out oc
+
+(** [load path] returns [(workload, entries)].  Raises [Failure] on a
+    malformed manifest. *)
+let load path =
+  let ic = open_in path in
+  let workload = ref "?" in
+  let entries = ref [] in
+  (try
+     let header = input_line ic in
+     (match String.split_on_char ' ' header with
+     | "#" :: "s2e-oracle" :: "corpus" :: "v1" :: wl :: _ -> workload := wl
+     | _ -> failwith (path ^ ": not an s2e-oracle corpus manifest"));
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then
+         match String.index_opt line ':' with
+         | Some i ->
+             let pc = int_of_string ("0x" ^ String.sub line 0 i) in
+             let bytes =
+               string_of_hex
+                 (String.sub line (i + 1) (String.length line - i - 1))
+             in
+             entries := { e_pc = pc; e_bytes = bytes } :: !entries
+         | None -> failwith (path ^ ": malformed corpus line: " ^ line)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  (!workload, List.rev !entries)
+
+(* ------------------------------------------------------------------ *)
+(* Capture                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let workload_src = function
+  | "exerciser" -> Some ("exerciser", S2e_guest.Workloads_src.exerciser)
+  | "urlparse" -> Some ("urlparse", S2e_guest.Workloads_src.urlparse)
+  | "ping" -> Some ("ping", S2e_guest.Workloads_src.ping ~buggy:false)
+  | "ping-buggy" -> Some ("ping", S2e_guest.Workloads_src.ping ~buggy:true)
+  | "mua" -> Some ("mua", S2e_guest.Workloads_src.mua)
+  | "symloop" -> Some ("symloop", S2e_guest.Workloads_src.symloop)
+  | _ -> None
+
+type capture_result = {
+  cap_workload : string;
+  cap_entries : entry list;
+  cap_sym : Interp.pre list;  (** model-concretized symbolic states *)
+}
+
+(* Concretize a symbolic state through [model] into a standalone
+   pre-state: registers, the interrupt vectors, a code window at pc and
+   a 64-byte data window around each register value that points into
+   RAM.  Anything not captured reads as zero on both sides of the
+   differential run, which keeps the comparison sound. *)
+let sym_pre_of_state model (s : State.t) =
+  let ram = Vm.Layout.ram_size in
+  if s.pc < 0 || s.pc >= ram then None
+  else
+    let regs = State.eval_regs model s in
+    let window addr len =
+      if addr < 0 || addr >= ram then None
+      else
+        let len = min len (ram - addr) in
+        match State.eval_window model s ~addr ~len with
+        | Some bytes -> Some (addr, bytes)
+        | None -> None
+    in
+    let code = window s.pc (32 * Insn.insn_size) in
+    let vecs = window 0 16 in
+    let reg_windows =
+      Array.to_list regs
+      |> List.sort_uniq compare
+      |> List.filter_map (fun v -> window (v land lnot 3) 64)
+    in
+    match code with
+    | None -> None
+    | Some _ ->
+        let segments =
+          List.filter_map Fun.id [ vecs ] @ reg_windows
+          @ List.filter_map Fun.id [ code ]
+        in
+        Some
+          {
+            Interp.pre_pc = s.pc;
+            pre_regs = regs;
+            pre_segments = segments;
+            pre_frame = None;
+            pre_card_id = 1;
+            pre_label = Printf.sprintf "sym@0x%x" s.pc;
+          }
+
+(** Run [workload] under the LC engine (same configuration as
+    [s2e_cli explore]) for [seconds], capturing every translated block
+    and up to [max_sym] concretized symbolic states. *)
+let capture ?(driver = "nulldrv") ?(seconds = 5.0) ?(max_sym = 64) ~workload ()
+    =
+  let wl =
+    match workload_src workload with
+    | Some wl -> wl
+    | None -> invalid_arg ("unknown workload " ^ workload)
+  in
+  let driver_src =
+    if driver = "nulldrv" then S2e_guest.Drivers_src.nulldrv
+    else List.assoc driver Guest.drivers
+  in
+  let img = Guest.build ~driver:(driver, driver_src) ~workload:wl () in
+  let config = Executor.default_config () in
+  config.consistency <- Consistency.LC;
+  config.symbolic_hardware_ports <-
+    [ (Vm.Layout.port_netdev, Vm.Layout.port_netdev + 16) ];
+  let engine = Executor.create ~config () in
+  Guest.load_into_engine engine img;
+  Executor.set_unit engine [ driver; fst wl ];
+  let finalize = collector engine in
+  let sym = ref [] in
+  let sym_seen = Hashtbl.create 64 in
+  let n_sym = ref 0 in
+  let probe = ref 0 in
+  Events.reg_before_instr engine.Executor.events (fun s pc _insn ->
+      (* Sampling every before-instr would dominate the run; probe a
+         sparse, deterministic subsequence instead. *)
+      incr probe;
+      if !n_sym < max_sym && !probe mod 251 = 0 && s.State.constraints <> []
+      then
+        match Solver.latest_model engine.Executor.solver with
+        | None -> ()
+        | Some model -> (
+            let key = (pc, Hashtbl.hash (State.eval_regs model s)) in
+            if not (Hashtbl.mem sym_seen key) then
+              match sym_pre_of_state model s with
+              | Some pre ->
+                  Hashtbl.add sym_seen key ();
+                  incr n_sym;
+                  sym := pre :: !sym
+              | None -> ()));
+  let s0 = Executor.boot engine ~entry:img.Guest.entry () in
+  ignore
+    (Executor.run
+       ~limits:
+         {
+           Executor.max_instructions = None;
+           max_seconds = Some seconds;
+           max_completed = None;
+         }
+       engine s0);
+  {
+    cap_workload = workload;
+    cap_entries = finalize ();
+    cap_sym = List.rev !sym;
+  }

@@ -1,0 +1,112 @@
+(** The DBT fast path of the differential harness: the production
+    {!S2e_core.Executor} run fully concretely.
+
+    The engine is configured with SC-CE consistency, under which
+    [s2e.symreg] / [s2e.symmem] are inert, so a run never creates a
+    symbolic value and never queries the solver: every expression folds
+    to a constant through the smart constructors, and execution flows
+    through exactly the translator, expression folder and copy-on-write
+    memory the symbolic engine uses — the code under test.
+
+    One engine (and thus one translation cache) is reused across runs;
+    callers that place different code at the same pc must {!flush}
+    between runs.  Each run gets a fresh state, fresh devices and a fresh
+    copy-on-write memory over a shared all-zero base, mirroring
+    {!Interp.pre} exactly. *)
+
+open S2e_expr
+open S2e_core
+module Vm = S2e_vm
+module Dbt = S2e_dbt.Dbt
+
+type t = { engine : Executor.t; zero_base : Bytes.t }
+
+let create () =
+  let config = Executor.default_config () in
+  config.consistency <- Consistency.SC_CE;
+  let engine = Executor.create ~config () in
+  { engine; zero_base = Bytes.make Vm.Layout.ram_size '\000' }
+
+let flush t = Dbt.flush t.engine.Executor.dbt
+let dbt t = t.engine.Executor.dbt
+
+let state_of_pre t (pre : Interp.pre) =
+  let mem =
+    List.fold_left
+      (fun m (addr, s) ->
+        Symmem.blit_concrete m addr
+          (Array.init (String.length s) (fun i -> Char.code s.[i])))
+      (Symmem.create ~base:t.zero_base)
+      pre.Interp.pre_segments
+  in
+  let devices = Vm.Devices.create ~card_id:pre.pre_card_id () in
+  (match pre.pre_frame with
+  | Some f -> ignore (Vm.Netdev.inject_frame devices.netdev f)
+  | None -> ());
+  let s = State.create ~mem ~devices ~pc:pre.pre_pc in
+  Array.iteri
+    (fun r v -> State.set_reg s r (Expr.const (Int64.of_int v)))
+    pre.pre_regs;
+  s
+
+(* -1 is unrepresentable on the reference side, so any symbolic residue
+   (impossible under SC-CE, and exactly what the oracle must catch if it
+   ever happens) surfaces as a register/memory divergence. *)
+let concrete_or_sentinel e =
+  match Expr.to_const e with
+  | Some v -> Int64.to_int v land 0xFFFFFFFF
+  | None -> -1
+
+let post_of_state (s : State.t) : Interp.post =
+  let kind, detail =
+    match s.status with
+    | State.Active -> (Interp.Exited, "")
+    | State.Halted -> (Interp.Halted, "halt")
+    | State.Killed d -> (Interp.Killed, d)
+    | State.Faulted d -> (Interp.Faulted, d)
+    | State.Aborted d -> (Interp.Faulted, "aborted: " ^ d)
+  in
+  let regs =
+    Array.init S2e_isa.Insn.num_regs (fun r ->
+        concrete_or_sentinel (State.get_reg s r))
+  in
+  let p_mem =
+    Symmem.fold_overlay
+      (fun addr e acc ->
+        let v =
+          match Expr.to_const e with
+          | Some v -> Int64.to_int v land 0xff
+          | None -> -1
+        in
+        (addr, v) :: acc)
+      s.mem []
+    |> List.rev
+  in
+  {
+    Interp.p_kind = kind;
+    p_detail = detail;
+    p_pc = s.pc;
+    p_regs = regs;
+    p_instret = s.instret;
+    p_mem;
+    p_irq_enabled = s.irq_enabled;
+    p_in_irq = s.in_irq;
+    p_iepc = s.iepc;
+    p_sepc = s.sepc;
+    p_last_irq = s.last_irq;
+    p_pending_irqs = s.pending_irqs;
+    p_irqs_suppressed = s.irqs_suppressed;
+  }
+
+(** Execute exactly one translation block of [pre] through the engine and
+    return the comparable post-state.  Exceptions escaping the engine
+    (memory fault inside a device DMA, invalid instruction at translation
+    time) are part of the fault contract and map to [Faulted]. *)
+let run t (pre : Interp.pre) : Interp.post =
+  let s = state_of_pre t pre in
+  (try Executor.exec_block t.engine s
+   with
+  | Symmem.Fault m -> s.status <- State.Faulted m
+  | S2e_isa.Insn.Invalid_instruction op ->
+      s.status <- State.Faulted (Printf.sprintf "invalid opcode 0x%x" op));
+  post_of_state s

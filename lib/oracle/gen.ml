@@ -1,0 +1,324 @@
+(** Coverage-guided generator of random-but-valid instruction blocks.
+
+    Every instruction class (each ALU op, each branch condition, each S2E
+    sub-op, and every other constructor) and every operand value class
+    has a counter in a {e private} {!S2e_obs.Metrics} registry; classes
+    are picked with weight [1 / (1 + count)], so rare encodings get hit
+    quickly and corpus feedback (via {!note_insn}) steers generation away
+    from what workload capture already covered.  A private registry
+    rather than the process-wide one keeps the guidance — and therefore
+    the whole run — a pure function of the seed.
+
+    Programs are rendered to assembler text and assembled through
+    {!S2e_isa.Asm}, so the generator also exercises the assembler/
+    disassembler path the roundtrip property test checks. *)
+
+open S2e_isa
+module Obs = S2e_obs
+
+let code_base = 0x2000
+let window_base = 0x10000
+let window_size = 0x1000
+
+type case = { c_pre : Interp.pre; c_insns : Insn.t list }
+
+let alu_ops =
+  Insn.[ Add; Sub; Mul; Divu; Remu; And; Or; Xor; Shl; Shr; Sar; Slt; Sltu; Seq ]
+
+let branch_conds = Insn.[ Beq; Bne; Blt; Bge; Bltu; Bgeu ]
+
+let s2e_ops =
+  Insn.[ Sym_reg; Sym_mem; Enable_mp; Disable_mp; Print; Kill_path;
+         Assert_op; Concretize; Disable_irq; Enable_irq ]
+
+(* Straight-line (body) classes and block-terminator classes.  Class
+   names match {!class_of} below so corpus feedback lands on the same
+   counters generation draws from. *)
+let body_classes =
+  List.map (fun op -> "alu." ^ Insn.alu_name op) alu_ops
+  @ List.map (fun op -> "alui." ^ Insn.alu_name op) alu_ops
+  @ [ "li"; "mov"; "lw"; "lb"; "sw"; "sb"; "in"; "out"; "cli"; "sti"; "nop" ]
+  @ List.map Insn.s2e_name s2e_ops
+
+let term_classes =
+  [ "jmp"; "jr"; "jal"; "jalr" ]
+  @ List.map Insn.branch_name branch_conds
+  @ [ "syscall"; "sysret"; "iret"; "halt" ]
+
+let class_of (i : Insn.t) =
+  match i with
+  | Alu { op; _ } -> "alu." ^ Insn.alu_name op
+  | Alui { op; _ } -> "alui." ^ Insn.alu_name op
+  | Li _ -> "li"
+  | Mov _ -> "mov"
+  | Lw _ -> "lw"
+  | Lb _ -> "lb"
+  | Sw _ -> "sw"
+  | Sb _ -> "sb"
+  | Jmp _ -> "jmp"
+  | Jr _ -> "jr"
+  | Jal _ -> "jal"
+  | Jalr _ -> "jalr"
+  | Branch { cond; _ } -> Insn.branch_name cond
+  | In _ -> "in"
+  | Out _ -> "out"
+  | Syscall -> "syscall"
+  | Sysret -> "sysret"
+  | Iret -> "iret"
+  | Halt -> "halt"
+  | Cli -> "cli"
+  | Sti -> "sti"
+  | Nop -> "nop"
+  | S2e { op; _ } -> Insn.s2e_name op
+
+let constructor_of (i : Insn.t) =
+  match i with
+  | Alu _ -> "Alu" | Alui _ -> "Alui" | Li _ -> "Li" | Mov _ -> "Mov"
+  | Lw _ -> "Lw" | Lb _ -> "Lb" | Sw _ -> "Sw" | Sb _ -> "Sb"
+  | Jmp _ -> "Jmp" | Jr _ -> "Jr" | Jal _ -> "Jal" | Jalr _ -> "Jalr"
+  | Branch _ -> "Branch" | In _ -> "In" | Out _ -> "Out"
+  | Syscall -> "Syscall" | Sysret -> "Sysret" | Iret -> "Iret"
+  | Halt -> "Halt" | Cli -> "Cli" | Sti -> "Sti" | Nop -> "Nop"
+  | S2e _ -> "S2e"
+
+let all_constructors =
+  [ "Alu"; "Alui"; "Li"; "Mov"; "Lw"; "Lb"; "Sw"; "Sb"; "Jmp"; "Jr"; "Jal";
+    "Jalr"; "Branch"; "In"; "Out"; "Syscall"; "Sysret"; "Iret"; "Halt";
+    "Cli"; "Sti"; "Nop"; "S2e" ]
+
+(* Operand value classes (immediates and initial register values). *)
+let opnd_classes =
+  [ "zero"; "one"; "minus1"; "small"; "boundary"; "window"; "rand" ]
+
+type t = {
+  rng : Sm64.t;
+  reg : Obs.Metrics.t;
+  insn_counters : (string * Obs.Metrics.counter) list;
+  opnd_counters : (string * Obs.Metrics.counter) list;
+  (* Refreshed once per generated program (in {!next}), not per pick:
+     snapshotting the registry is the expensive step, and weights a few
+     increments stale guide just as well. *)
+  mutable snap : Obs.Metrics.snapshot;
+  mutable card : int;
+}
+
+let create ~seed =
+  let reg = Obs.Metrics.create () in
+  let mk prefix names =
+    List.map (fun n -> (n, Obs.Metrics.counter ~reg (prefix ^ n))) names
+  in
+  {
+    rng = Sm64.create seed;
+    reg;
+    insn_counters = mk "oracle.gen.insn." (body_classes @ term_classes);
+    opnd_counters = mk "oracle.gen.opnd." opnd_classes;
+    snap = Obs.Metrics.snapshot ~reg ();
+    card = 1;
+  }
+
+let bump counters name =
+  match List.assoc_opt name counters with
+  | Some c -> Obs.Metrics.incr c
+  | None -> ()
+
+(** Corpus feedback: account a captured instruction so generation biases
+    toward classes rare across {e both} sources. *)
+let note_insn t insn = bump t.insn_counters (class_of insn)
+
+(* Pick among [names] with weight 1/(1+count): unhit classes dominate. *)
+let pick_guided t counters names =
+  let snap = t.snap in
+  let prefix =
+    if counters == t.insn_counters then "oracle.gen.insn." else "oracle.gen.opnd."
+  in
+  let weights =
+    List.map
+      (fun n -> 1.0 /. float_of_int (1 + Obs.Metrics.get_int snap (prefix ^ n)))
+      names
+  in
+  let total = List.fold_left ( +. ) 0.0 weights in
+  let u = Sm64.float t.rng *. total in
+  let rec scan names weights acc =
+    match (names, weights) with
+    | [ n ], _ -> n
+    | n :: ns, w :: ws -> if u < acc +. w then n else scan ns ws (acc +. w)
+    | _ -> assert false
+  in
+  let chosen = scan names weights 0.0 in
+  bump counters chosen;
+  chosen
+
+let reg_any t = Sm64.int t.rng Insn.num_regs
+
+(* An operand value by guided class.  [window] biases toward in-RAM data
+   addresses so loads and stores mostly land; [boundary] includes
+   near-end-of-RAM values so the fault path is exercised too. *)
+let opnd_value t =
+  match pick_guided t t.opnd_counters opnd_classes with
+  | "zero" -> 0
+  | "one" -> 1
+  | "minus1" -> 0xFFFFFFFF
+  | "small" -> Sm64.int t.rng 128
+  | "boundary" ->
+      let b =
+        [| 0x7FFFFFFF; 0x80000000; 0xFFFFFFFE; S2e_vm.Layout.ram_size - 2;
+           S2e_vm.Layout.ram_size; S2e_vm.Layout.ram_size - 8 |]
+      in
+      b.(Sm64.int t.rng (Array.length b))
+  | "window" -> window_base + Sm64.int t.rng window_size
+  | _ -> Int64.to_int (Int64.logand (Sm64.next t.rng) 0xFFFFFFFFL)
+
+let imm32 t = Int32.of_int (opnd_value t)
+
+let mem_off t =
+  (* Mostly small offsets so window-based addressing stays in RAM. *)
+  if Sm64.int t.rng 4 < 3 then Int32.of_int (Sm64.int t.rng 64) else imm32 t
+
+let port_off t =
+  let open S2e_vm.Layout in
+  let choices =
+    [| port_console; port_console + 1; 0x0f; port_timer; port_timer + 1;
+       port_netdev; port_netdev + 1; port_netdev + 2; port_netdev + 3;
+       port_netdev + 5; port_netdev + 6; port_netdev + 7; port_netdev + 8 |]
+  in
+  if Sm64.int t.rng 8 < 7 then
+    Int32.of_int choices.(Sm64.int t.rng (Array.length choices))
+  else Int32.of_int (Sm64.int t.rng 0x100)
+
+let jump_target t =
+  match Sm64.int t.rng 4 with
+  | 0 -> Int32.of_int (code_base + (Insn.insn_size * Sm64.int t.rng 40))
+  | 1 -> Int32.of_int (window_base + (4 * Sm64.int t.rng 64))
+  | 2 -> Int32.of_int (Sm64.int t.rng S2e_vm.Layout.ram_size)
+  | _ -> imm32 t
+
+let body_insn t cls : Insn.t =
+  let r () = reg_any t in
+  match String.split_on_char '.' cls with
+  | [ "alu"; name ] ->
+      let op = List.assoc name (List.map (fun o -> (Insn.alu_name o, o)) alu_ops) in
+      Alu { op; rd = r (); rs1 = r (); rs2 = r () }
+  | [ "alui"; name ] ->
+      let op = List.assoc name (List.map (fun o -> (Insn.alu_name o, o)) alu_ops) in
+      Alui { op; rd = r (); rs1 = r (); imm = imm32 t }
+  | [ "s2e"; name ] ->
+      let op =
+        List.assoc ("s2e." ^ name)
+          (List.map (fun o -> (Insn.s2e_name o, o)) s2e_ops)
+      in
+      S2e { op; rs1 = r (); rs2 = r (); imm = Int32.of_int (Sm64.int t.rng 256) }
+  | _ -> (
+      match cls with
+      | "li" -> Li { rd = r (); imm = imm32 t }
+      | "mov" -> Mov { rd = r (); rs1 = r () }
+      | "lw" -> Lw { rd = r (); base = r (); off = mem_off t }
+      | "lb" -> Lb { rd = r (); base = r (); off = mem_off t }
+      | "sw" -> Sw { src = r (); base = r (); off = mem_off t }
+      | "sb" -> Sb { src = r (); base = r (); off = mem_off t }
+      | "in" ->
+          let port = if Sm64.int t.rng 4 = 0 then r () else Insn.reg_zero in
+          In { rd = r (); port; port_off = port_off t }
+      | "out" ->
+          let port = if Sm64.int t.rng 4 = 0 then r () else Insn.reg_zero in
+          Out { src = r (); port; port_off = port_off t }
+      | "cli" -> Cli
+      | "sti" -> Sti
+      | _ -> Nop)
+
+let term_insn t cls : Insn.t =
+  let r () = reg_any t in
+  match cls with
+  | "jmp" -> Jmp { target = jump_target t }
+  | "jr" -> Jr { rs1 = r () }
+  | "jal" -> Jal { target = jump_target t }
+  | "jalr" -> Jalr { rs1 = r () }
+  | "syscall" -> Syscall
+  | "sysret" -> Sysret
+  | "iret" -> Iret
+  | "halt" -> Halt
+  | cls ->
+      let cond =
+        List.assoc cls (List.map (fun c -> (Insn.branch_name c, c)) branch_conds)
+      in
+      Branch { cond; rs1 = r (); rs2 = r (); target = jump_target t }
+
+(* A canned netdev DMA dance: program the DMA address and length, then
+   fire the DMA-rx command.  This is the only realistic way random
+   programs reach the device-DMA path (and its memory-fault contract). *)
+let dma_dance t : Insn.t list =
+  let open S2e_vm.Layout in
+  let ra = Sm64.int t.rng 12 in
+  let addr =
+    if Sm64.int t.rng 4 = 0 then ram_size - 4 else window_base + Sm64.int t.rng 256
+  in
+  let reg_port off = Int32.of_int (port_netdev + off) in
+  [ Li { rd = ra; imm = Int32.of_int addr };
+    Out { src = ra; port = Insn.reg_zero; port_off = reg_port 6 };
+    Li { rd = ra; imm = Int32.of_int (Sm64.int t.rng 64) };
+    Out { src = ra; port = Insn.reg_zero; port_off = reg_port 7 };
+    Li { rd = ra; imm = 5l };
+    Out { src = ra; port = Insn.reg_zero; port_off = reg_port 1 } ]
+
+(** Initial register file: r0–r14 biased toward window addresses and
+    boundary values, r15 pinned to zero. *)
+let init_regs t =
+  Array.init Insn.num_regs (fun r ->
+      if r = Insn.reg_zero then 0
+      else if Sm64.int t.rng 2 = 0 then window_base + Sm64.int t.rng window_size
+      else opnd_value t)
+
+let frame t =
+  if Sm64.int t.rng 3 = 0 then
+    Some (Array.init (Sm64.int t.rng 64) (fun _ -> Sm64.int t.rng 256))
+  else None
+
+let card_id t =
+  t.card <- 1 + Sm64.int t.rng 2;
+  t.card
+
+(** Generate one program: instruction list, assembled into the code
+    segment at {!code_base}, plus a full pre-state. *)
+let next t : case =
+  t.snap <- Obs.Metrics.snapshot ~reg:t.reg ();
+  let shape = Sm64.float t.rng in
+  let insns =
+    if shape < 0.08 then
+      (* Terminator-free over-length body: exercises max_block truncation. *)
+      List.init 36 (fun _ ->
+          body_insn t (pick_guided t t.insn_counters body_classes))
+    else if shape < 0.14 then
+      (* Short terminator-free body: the block runs into the zero bytes
+         after the code and must fault at translation time, executing
+         nothing on either side. *)
+      List.init (1 + Sm64.int t.rng 4) (fun _ ->
+          body_insn t (pick_guided t t.insn_counters body_classes))
+    else begin
+      let n_body = Sm64.int t.rng 20 in
+      let body =
+        List.init n_body (fun _ ->
+            body_insn t (pick_guided t t.insn_counters body_classes))
+      in
+      let body =
+        if Sm64.int t.rng 7 = 0 then begin
+          let dance = dma_dance t in
+          List.iter (note_insn t) dance;
+          dance @ body
+        end
+        else body
+      in
+      body @ [ term_insn t (pick_guided t t.insn_counters term_classes) ]
+    end
+  in
+  let text = String.concat "\n" (List.map Insn.to_string insns) in
+  let img = Asm.assemble ~origin:code_base text in
+  let pre =
+    {
+      Interp.pre_pc = code_base;
+      pre_regs = init_regs t;
+      pre_segments = [ (code_base, Bytes.to_string img.Asm.code) ];
+      pre_frame = frame t;
+      pre_card_id = card_id t;
+      pre_label = "generated";
+    }
+  in
+  { c_pre = pre; c_insns = insns }

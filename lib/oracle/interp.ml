@@ -1,0 +1,439 @@
+(** Deliberately naive reference interpreter for the guest ISA: the
+    oracle half of the differential harness.
+
+    Straight structural recursion over {!S2e_isa.Insn.t} with mutable
+    byte-array memory — no translation, no caching, no expression layer.
+    It implements the {e engine's} block-execution contract (not the
+    step-at-a-time {!S2e_vm.Machine} contract), so its post-state is
+    directly comparable with the DBT fast path run under SC-CE:
+
+    - {b Block formation is part of the contract.}  The DBT decodes a
+      whole block at translation time (up to [max_block] instructions,
+      stopping at the first terminator) before executing any of it.  The
+      interpreter does the same: an invalid instruction anywhere in the
+      block faults the run {e before} the first instruction executes, and
+      stores into the current block's own bytes do not affect the
+      already-decoded instructions.
+    - Path-ending instructions ([halt], [s2e.kill], a failed assertion, a
+      memory fault) leave [pc] at the instruction itself, like the
+      engine's [end_state].
+    - Device time advances once per block, by the block's full decoded
+      length, and only when the block completed normally and interrupts
+      are not suppressed — exactly the engine's tick placement.
+    - S2E opcodes behave as under SC-CE: [symreg]/[symmem] are inert, the
+      sample input stays concrete.
+
+    The shared specification between the two sides is {!Insn.decode} and
+    the device complement; everything else (ALU, memory, control flow,
+    interrupt plumbing) is implemented independently, which is what makes
+    the differential comparison meaningful for the translator, the
+    expression folder and the copy-on-write memory. *)
+
+open S2e_isa
+module Vm = S2e_vm
+
+(* Test-only hook: perturb each decoded instruction before the reference
+   executes it.  Lets the test suite prove the harness actually catches a
+   wrong interpreter (and exercise the divergence minimizer) without
+   shipping a broken semantics. *)
+let test_perturbation : (Insn.t -> Insn.t) option ref = ref None
+
+type end_kind = Exited | Halted | Killed | Faulted
+
+let kind_name = function
+  | Exited -> "exited"
+  | Halted -> "halted"
+  | Killed -> "killed"
+  | Faulted -> "faulted"
+
+(** Pre-state of one differential run.  Both sides start from all-zero
+    RAM with [pre_segments] blitted over it in order, a fresh device
+    complement, interrupts disabled, and empty pending-IRQ queue — the
+    reset state of {!S2e_core.State.create}. *)
+type pre = {
+  pre_pc : int;
+  pre_regs : int array;               (* 16 values in [0, 2^32) *)
+  pre_segments : (int * string) list; (* applied over zeroed RAM, in order *)
+  pre_frame : int array option;       (* frame queued in the NIC before the run *)
+  pre_card_id : int;
+  pre_label : string;                 (* provenance, for repro dumps *)
+}
+
+(** Complete comparable post-state of one block execution.  [p_mem] lists
+    every byte that may differ from the all-zero background (the side's
+    write-set plus the pre-state segments), ascending; comparison takes
+    the union of both sides' lists with default 0.  [p_detail] is
+    informational only. *)
+type post = {
+  p_kind : end_kind;
+  p_detail : string;
+  p_pc : int;
+  p_regs : int array;
+  p_instret : int;
+  p_mem : (int * int) list;
+  p_irq_enabled : bool;
+  p_in_irq : bool;
+  p_iepc : int;
+  p_sepc : int;
+  p_last_irq : int;
+  p_pending_irqs : int list;
+  p_irqs_suppressed : bool;
+}
+
+exception Guest_fault of string
+exception Path_done of end_kind * string
+
+type t = { ram : Bytes.t }
+(* Reusable scratch RAM: zeroed outside the run's write-set, restored
+   after every run (segments and dirty bytes re-zeroed). *)
+
+let create () = { ram = Bytes.make Vm.Layout.ram_size '\000' }
+
+let mask32 v = v land 0xFFFFFFFF
+let to_signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let alu_eval op a b =
+  match op with
+  | Insn.Add -> a + b
+  | Insn.Sub -> a - b
+  | Insn.Mul -> a * b
+  | Insn.Divu -> if b = 0 then 0xFFFFFFFF else a / b
+  | Insn.Remu -> if b = 0 then a else a mod b
+  | Insn.And -> a land b
+  | Insn.Or -> a lor b
+  | Insn.Xor -> a lxor b
+  | Insn.Shl -> a lsl (b land 31)
+  | Insn.Shr -> a lsr (b land 31)
+  | Insn.Sar -> to_signed a asr (b land 31)
+  | Insn.Slt -> if to_signed a < to_signed b then 1 else 0
+  | Insn.Sltu -> if a < b then 1 else 0
+  | Insn.Seq -> if a = b then 1 else 0
+
+let branch_taken cond a b =
+  match cond with
+  | Insn.Beq -> a = b
+  | Insn.Bne -> a <> b
+  | Insn.Blt -> to_signed a < to_signed b
+  | Insn.Bge -> to_signed a >= to_signed b
+  | Insn.Bltu -> a < b
+  | Insn.Bgeu -> a >= b
+
+(* Special machine port handled outside the device complement (the IRQ
+   cause register), mirrored from Machine/Executor. *)
+let port_irq_cause = 0x0f
+
+(** Run the block at [pre.pre_pc] to completion and return the
+    post-state.  [max_block] must equal the DBT's block cap. *)
+let run t ?(max_block = 32) (pre : pre) : post =
+  let ram = t.ram in
+  let size = Bytes.length ram in
+  List.iter
+    (fun (addr, s) ->
+      assert (addr >= 0 && addr + String.length s <= size);
+      Bytes.blit_string s 0 ram addr (String.length s))
+    pre.pre_segments;
+  let dirty = ref [] in
+  let regs = Array.copy pre.pre_regs in
+  regs.(Insn.reg_zero) <- 0;
+  let devices = Vm.Devices.create ~card_id:pre.pre_card_id () in
+  (match pre.pre_frame with
+  | Some f -> ignore (Vm.Netdev.inject_frame devices.netdev f)
+  | None -> ());
+  let pc = ref pre.pre_pc in
+  let irq_enabled = ref false and in_irq = ref false in
+  let iepc = ref 0 and sepc = ref 0 and last_irq = ref 0 in
+  let pending = ref [] and suppressed = ref false in
+  let instret = ref 0 in
+
+  let check addr len =
+    if addr < 0 || addr + len > size then
+      raise (Guest_fault (Printf.sprintf "memory access out of range: 0x%x" addr))
+  in
+  let read8 addr =
+    check addr 1;
+    Char.code (Bytes.get ram addr)
+  in
+  let write8 addr v =
+    check addr 1;
+    Bytes.set ram addr (Char.chr (v land 0xff));
+    dirty := addr :: !dirty
+  in
+  let read32 addr =
+    check addr 4;
+    Int32.to_int (Bytes.get_int32_le ram addr) land 0xFFFFFFFF
+  in
+  let write32 addr v =
+    (* All-or-nothing like Symmem.write_word: bounds-check the whole word
+       before any byte lands. *)
+    check addr 4;
+    Bytes.set_int32_le ram addr (Int32.of_int (mask32 v));
+    dirty := addr :: (addr + 1) :: (addr + 2) :: (addr + 3) :: !dirty
+  in
+  let get_reg r = if r = Insn.reg_zero then 0 else regs.(r) in
+  let set_reg r v = if r <> Insn.reg_zero then regs.(r) <- mask32 v in
+  let apply_actions actions =
+    List.iter
+      (fun action ->
+        match action with
+        | Vm.Device.Dma_write { addr; data } ->
+            Array.iteri (fun i b -> write8 (addr + i) b) data
+        | Vm.Device.Raise_irq irq -> pending := !pending @ [ irq ])
+      actions
+  in
+
+  (* Interrupt delivery happens between blocks (engine contract), before
+     the block is even formed. *)
+  (match !pending with
+  | irq :: rest when !irq_enabled && (not !in_irq) && not !suppressed ->
+      pending := rest;
+      last_irq := irq;
+      iepc := !pc;
+      in_irq := true;
+      irq_enabled := false;
+      pc := read32 Vm.Layout.vec_irq
+  | _ -> ());
+
+  let perturb = match !test_perturbation with Some f -> f | None -> Fun.id in
+
+  (* Translation-time decode of the whole block: an undecodable or
+     unfetchable instruction faults before anything executes. *)
+  let decode_block pc0 =
+    let get a =
+      if a < 0 || a >= size then
+        raise (Guest_fault (Printf.sprintf "memory access out of range: 0x%x" a))
+      else Char.code (Bytes.get ram a)
+    in
+    let rec go addr acc n =
+      let insn =
+        try Insn.decode_with ~get addr
+        with Insn.Invalid_instruction op ->
+          raise (Guest_fault (Printf.sprintf "invalid opcode 0x%x at 0x%x" op addr))
+      in
+      let acc = (addr, perturb insn) :: acc in
+      if Insn.is_block_terminator insn || n + 1 >= max_block then List.rev acc
+      else go (addr + Insn.insn_size) acc (n + 1)
+    in
+    go pc0 [] 0
+  in
+
+  let exec_insn addr insn =
+    let next = addr + Insn.insn_size in
+    instret := !instret + 1;
+    match insn with
+    | Insn.Alu { op; rd; rs1; rs2 } ->
+        set_reg rd (alu_eval op (get_reg rs1) (get_reg rs2));
+        pc := next
+    | Insn.Alui { op; rd; rs1; imm } ->
+        set_reg rd (alu_eval op (get_reg rs1) (mask32 (Int32.to_int imm)));
+        pc := next
+    | Insn.Li { rd; imm } ->
+        set_reg rd (mask32 (Int32.to_int imm));
+        pc := next
+    | Insn.Mov { rd; rs1 } ->
+        set_reg rd (get_reg rs1);
+        pc := next
+    | Insn.Lw { rd; base; off } ->
+        set_reg rd (read32 (mask32 (get_reg base + Int32.to_int off)));
+        pc := next
+    | Insn.Lb { rd; base; off } ->
+        set_reg rd (read8 (mask32 (get_reg base + Int32.to_int off)));
+        pc := next
+    | Insn.Sw { src; base; off } ->
+        write32 (mask32 (get_reg base + Int32.to_int off)) (get_reg src);
+        pc := next
+    | Insn.Sb { src; base; off } ->
+        write8 (mask32 (get_reg base + Int32.to_int off)) (get_reg src);
+        pc := next
+    | Insn.Jmp { target } -> pc := Int32.to_int target land 0xFFFFFFFF
+    | Insn.Jr { rs1 } -> pc := get_reg rs1
+    | Insn.Jal { target } ->
+        set_reg Insn.reg_lr next;
+        pc := Int32.to_int target land 0xFFFFFFFF
+    | Insn.Jalr { rs1 } ->
+        (* Read before writing lr, so `jalr lr` targets the old value. *)
+        let target = get_reg rs1 in
+        set_reg Insn.reg_lr next;
+        pc := target
+    | Insn.Branch { cond; rs1; rs2; target } ->
+        if branch_taken cond (get_reg rs1) (get_reg rs2) then
+          pc := Int32.to_int target land 0xFFFFFFFF
+        else pc := next
+    | Insn.In { rd; port; port_off } ->
+        let p = mask32 (get_reg port + Int32.to_int port_off) in
+        let v =
+          if p = port_irq_cause then !last_irq else Vm.Devices.read_port devices p
+        in
+        set_reg rd v;
+        pc := next
+    | Insn.Out { src; port; port_off } ->
+        let p = mask32 (get_reg port + Int32.to_int port_off) in
+        apply_actions (Vm.Devices.write_port devices p (get_reg src));
+        pc := next
+    | Insn.Syscall ->
+        sepc := next;
+        pc := read32 Vm.Layout.vec_syscall
+    | Insn.Sysret -> pc := !sepc
+    | Insn.Iret ->
+        pc := !iepc;
+        in_irq := false;
+        irq_enabled := true
+    | Insn.Halt -> raise (Path_done (Halted, "halt"))
+    | Insn.Cli ->
+        irq_enabled := false;
+        pc := next
+    | Insn.Sti ->
+        irq_enabled := true;
+        pc := next
+    | Insn.Nop -> pc := next
+    | Insn.S2e { op; rs1; imm; _ } ->
+        (match op with
+        | Insn.Kill_path ->
+            raise (Path_done (Killed, Printf.sprintf "guest kill (%ld)" imm))
+        | Insn.Assert_op when get_reg rs1 = 0 ->
+            raise (Path_done (Faulted, "assertion failed"))
+        | Insn.Disable_irq -> suppressed := true
+        | Insn.Enable_irq -> suppressed := false
+        (* Sym_reg / Sym_mem are inert under SC-CE; Enable_mp /
+           Disable_mp / Print / Concretize have no concrete effect. *)
+        | _ -> ());
+        pc := next
+  in
+
+  let kind = ref Exited and detail = ref "" in
+  let block_len = ref 0 in
+  (try
+     let insns = Array.of_list (decode_block !pc) in
+     let n = Array.length insns in
+     block_len := n;
+     let i = ref 0 in
+     while !i < n do
+       let addr, insn = insns.(!i) in
+       if !pc <> addr then i := n (* control left the block *)
+       else begin
+         exec_insn addr insn;
+         incr i
+       end
+     done
+   with
+  | Path_done (k, d) ->
+      kind := k;
+      detail := d
+  | Guest_fault m ->
+      kind := Faulted;
+      detail := m);
+
+  (* Block-granularity device tick, like the engine: the full decoded
+     block length, only on normal completion, skipped while suppressed.
+     The symbolic-mode timer divisor never applies on the oracle side
+     (the run is fully concrete). *)
+  if !kind = Exited && not !suppressed then begin
+    let irqs = Vm.Devices.tick devices !block_len in
+    List.iter (fun irq -> pending := !pending @ [ irq ]) irqs
+  end;
+
+  (* Post-state: every byte that may differ from the zero background is a
+     segment byte or a dirty byte. *)
+  let module IS = Set.Make (Int) in
+  let addrs =
+    List.fold_left
+      (fun acc (a, s) ->
+        let acc = ref acc in
+        for i = a to a + String.length s - 1 do
+          acc := IS.add i !acc
+        done;
+        !acc)
+      (IS.of_list !dirty) pre.pre_segments
+  in
+  let p_mem =
+    IS.fold (fun a acc -> (a, Char.code (Bytes.get ram a)) :: acc) addrs []
+    |> List.rev
+  in
+  let post =
+    {
+      p_kind = !kind;
+      p_detail = !detail;
+      p_pc = !pc;
+      p_regs = Array.copy regs;
+      p_instret = !instret;
+      p_mem;
+      p_irq_enabled = !irq_enabled;
+      p_in_irq = !in_irq;
+      p_iepc = !iepc;
+      p_sepc = !sepc;
+      p_last_irq = !last_irq;
+      p_pending_irqs = !pending;
+      p_irqs_suppressed = !suppressed;
+    }
+  in
+  (* Restore the scratch RAM to all-zero for the next run. *)
+  IS.iter (fun a -> Bytes.set ram a '\000') addrs;
+  post
+
+(** Differences between a reference post-state and a DBT post-state, as
+    human-readable one-liners; empty means the sides agree.  When both
+    sides faulted, memory is not compared: the engine's persistent memory
+    drops a partially applied DMA wholesale while the mutable reference
+    keeps the prefix — both are correct post-fault states, and the fault
+    kind, pc, registers and counters are still compared exactly. *)
+let diff (a : post) (b : post) : string list =
+  let d = ref [] in
+  let add fmt = Fmt.kstr (fun s -> d := s :: !d) fmt in
+  if a.p_kind <> b.p_kind then
+    add "status: ref %s (%s) vs dbt %s (%s)" (kind_name a.p_kind) a.p_detail
+      (kind_name b.p_kind) b.p_detail;
+  if a.p_pc <> b.p_pc then add "pc: ref 0x%x vs dbt 0x%x" a.p_pc b.p_pc;
+  if a.p_instret <> b.p_instret then
+    add "instret: ref %d vs dbt %d" a.p_instret b.p_instret;
+  Array.iteri
+    (fun r va ->
+      let vb = b.p_regs.(r) in
+      if va <> vb then
+        add "reg %s: ref 0x%x vs dbt 0x%x" (Insn.reg_name r) va vb)
+    a.p_regs;
+  if not (a.p_kind = Faulted && b.p_kind = Faulted) then begin
+    let module IM = Map.Make (Int) in
+    let to_map l = IM.of_seq (List.to_seq l) in
+    let ma = to_map a.p_mem and mb = to_map b.p_mem in
+    let get m k = match IM.find_opt k m with Some v -> v | None -> 0 in
+    IM.iter
+      (fun k va -> if va <> get mb k then
+          add "mem[0x%x]: ref 0x%02x vs dbt 0x%02x" k va (get mb k))
+      ma;
+    IM.iter
+      (fun k vb -> if not (IM.mem k ma) && vb <> 0 then
+          add "mem[0x%x]: ref 0x00 vs dbt 0x%02x" k vb)
+      mb
+  end;
+  if a.p_irq_enabled <> b.p_irq_enabled then
+    add "irq_enabled: ref %b vs dbt %b" a.p_irq_enabled b.p_irq_enabled;
+  if a.p_in_irq <> b.p_in_irq then add "in_irq: ref %b vs dbt %b" a.p_in_irq b.p_in_irq;
+  if a.p_iepc <> b.p_iepc then add "iepc: ref 0x%x vs dbt 0x%x" a.p_iepc b.p_iepc;
+  if a.p_sepc <> b.p_sepc then add "sepc: ref 0x%x vs dbt 0x%x" a.p_sepc b.p_sepc;
+  if a.p_last_irq <> b.p_last_irq then
+    add "last_irq: ref %d vs dbt %d" a.p_last_irq b.p_last_irq;
+  if a.p_pending_irqs <> b.p_pending_irqs then
+    add "pending_irqs: ref [%s] vs dbt [%s]"
+      (String.concat ";" (List.map string_of_int a.p_pending_irqs))
+      (String.concat ";" (List.map string_of_int b.p_pending_irqs));
+  if a.p_irqs_suppressed <> b.p_irqs_suppressed then
+    add "irqs_suppressed: ref %b vs dbt %b" a.p_irqs_suppressed b.p_irqs_suppressed;
+  List.rev !d
+
+(** Fold a post-state into a run digest (order-sensitive, deterministic). *)
+let fold_post acc (p : post) =
+  let acc = Sm64.fold_int acc (match p.p_kind with
+    | Exited -> 0 | Halted -> 1 | Killed -> 2 | Faulted -> 3)
+  in
+  let acc = Sm64.fold_int acc p.p_pc in
+  let acc = Sm64.fold_int acc p.p_instret in
+  let acc = Array.fold_left Sm64.fold_int acc p.p_regs in
+  let acc =
+    List.fold_left (fun a (k, v) -> Sm64.fold_int (Sm64.fold_int a k) v) acc p.p_mem
+  in
+  let acc = Sm64.fold_int acc (if p.p_irq_enabled then 1 else 0) in
+  let acc = Sm64.fold_int acc (if p.p_in_irq then 1 else 0) in
+  let acc = Sm64.fold_int acc p.p_iepc in
+  let acc = Sm64.fold_int acc p.p_sepc in
+  let acc = Sm64.fold_int acc p.p_last_irq in
+  let acc = List.fold_left Sm64.fold_int acc p.p_pending_irqs in
+  Sm64.fold_int acc (if p.p_irqs_suppressed then 1 else 0)

@@ -1,0 +1,337 @@
+(** The differential harness: run pre-states through both the DBT fast
+    path ({!Dbt_exec}) and the reference interpreter ({!Interp}),
+    compare complete post-states, and on divergence dump a minimized
+    repro.
+
+    Three case sources, in order: captured workload blocks
+    ({!Corpus.entry}, replayed under synthesized pre-states), symbolic
+    states concretized through solver models, and coverage-guided
+    generated programs ({!Gen}).  Corpus instructions are fed back into
+    the generator's histograms first, so generation spends its budget on
+    encodings the workloads did not already cover.
+
+    Every case is executed through the engine twice — once cold (cache
+    flushed, exercises the translator) and once hot (exercises cache
+    lookup and block reuse) — and both posts must match the reference.
+
+    The whole run is a pure function of [seed] (plus the corpus/sym
+    inputs): a splitmix64 digest over every pre and post is exposed in
+    the report and asserted byte-identical across same-seed runs. *)
+
+open S2e_isa
+
+type source = Generated | From_corpus | Sym_state
+
+let source_name = function
+  | Generated -> "generated"
+  | From_corpus -> "corpus"
+  | Sym_state -> "sym"
+
+type divergence = {
+  d_source : source;
+  d_label : string;
+  d_pre : Interp.pre;     (* minimized *)
+  d_diff : string list;   (* diff of the minimized pre *)
+  d_phase : string;       (* "cold", "hot" or "cold+hot" *)
+  d_file : string option; (* repro path, if written *)
+}
+
+type report = {
+  r_blocks : int;  (** differential runs executed (all sources) *)
+  r_generated : int;
+  r_corpus : int;
+  r_sym : int;
+  r_divergences : divergence list;
+  r_digest : int64;
+  r_coverage : (string * int) list;
+      (** [Insn.t] constructor -> occurrences in generated programs *)
+  r_missing : string list;  (** constructors never generated *)
+}
+
+let bytes_of_insns insns =
+  let buf = Bytes.create (List.length insns * Insn.insn_size) in
+  List.iteri (fun i insn -> Insn.encode insn buf (i * Insn.insn_size)) insns;
+  Bytes.to_string buf
+
+let decode_segment bytes =
+  let get i = if i < String.length bytes then Char.code bytes.[i] else 0 in
+  let n = String.length bytes / Insn.insn_size in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match Insn.decode_with ~get (i * Insn.insn_size) with
+      | insn -> go (i + 1) (insn :: acc)
+      | exception Insn.Invalid_instruction _ -> List.rev acc
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Minimization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Greedy shrink under a re-run budget: drop instructions one at a time
+   (cases that carry their program, where the code segment is exactly
+   the re-encoded instruction list), then zero registers, drop the
+   injected frame, and drop non-code segments (symbolic cases).  Each
+   mutation is kept only if the case still diverges. *)
+let minimize ~diverges ?insns (pre : Interp.pre) =
+  let budget = ref 128 in
+  let try_case p =
+    !budget > 0
+    && begin
+         decr budget;
+         diverges p
+       end
+  in
+  let pre = ref pre in
+  let rebuild p program =
+    let bytes = bytes_of_insns program in
+    {
+      p with
+      Interp.pre_segments =
+        List.map
+          (fun (a, b) -> if a = p.Interp.pre_pc then (a, bytes) else (a, b))
+          p.Interp.pre_segments;
+    }
+  in
+  (match insns with
+  | Some program
+    when List.exists (fun (a, _) -> a = !pre.Interp.pre_pc) !pre.pre_segments
+    ->
+      (* Truncation first: [first i insns; halt] keeps the block well
+         terminated, which plain dropping cannot do for terminator-free
+         programs (below 32 insns they run into the zero bytes after the
+         code and the whole block decode-faults, hiding the divergence). *)
+      let truncate_pass prog =
+        let n = List.length prog in
+        let rec go i =
+          if i >= n then prog
+          else
+            let cand =
+              List.filteri (fun j _ -> j < i) prog @ [ Insn.Halt ]
+            in
+            if try_case (rebuild !pre cand) then cand else go (i + 1)
+        in
+        go 1
+      in
+      let rec drop_pass prog i =
+        if !budget <= 0 || i >= List.length prog then prog
+        else
+          let cand = List.filteri (fun j _ -> j <> i) prog in
+          if cand <> [] && try_case (rebuild !pre cand) then drop_pass cand i
+          else drop_pass prog (i + 1)
+      in
+      pre := rebuild !pre (drop_pass (truncate_pass program) 0)
+  | _ -> ());
+  Array.iteri
+    (fun r v ->
+      if r <> Insn.reg_zero && v <> 0 && !budget > 0 then begin
+        let regs = Array.copy !pre.Interp.pre_regs in
+        regs.(r) <- 0;
+        let cand = { !pre with Interp.pre_regs = regs } in
+        if try_case cand then pre := cand
+      end)
+    !pre.Interp.pre_regs;
+  (match !pre.Interp.pre_frame with
+  | Some _ when !budget > 0 ->
+      let cand = { !pre with Interp.pre_frame = None } in
+      if try_case cand then pre := cand
+  | _ -> ());
+  List.iter
+    (fun (a, _) ->
+      if a <> !pre.Interp.pre_pc && !budget > 0 then begin
+        let cand =
+          {
+            !pre with
+            Interp.pre_segments =
+              List.filter (fun (a', _) -> a' <> a) !pre.Interp.pre_segments;
+          }
+        in
+        if try_case cand then pre := cand
+      end)
+    !pre.Interp.pre_segments;
+  !pre
+
+(* ------------------------------------------------------------------ *)
+
+let pp_pre ppf (pre : Interp.pre) =
+  Format.fprintf ppf "label: %s@.pc: 0x%x@.card: %d@." pre.pre_label
+    pre.pre_pc pre.pre_card_id;
+  Format.fprintf ppf "regs:";
+  Array.iteri
+    (fun r v -> Format.fprintf ppf " %s=0x%x" (Insn.reg_name r) v)
+    pre.pre_regs;
+  Format.fprintf ppf "@.";
+  (match pre.pre_frame with
+  | None -> Format.fprintf ppf "frame: -@."
+  | Some f ->
+      Format.fprintf ppf "frame:";
+      Array.iter (fun b -> Format.fprintf ppf " %02x" b) f;
+      Format.fprintf ppf "@.");
+  List.iter
+    (fun (addr, bytes) ->
+      Format.fprintf ppf "segment 0x%x " addr;
+      String.iter (fun c -> Format.fprintf ppf "%02x" (Char.code c)) bytes;
+      Format.fprintf ppf "@.";
+      if addr = pre.pre_pc then
+        List.iteri
+          (fun i insn ->
+            Format.fprintf ppf "  ; 0x%x  %s@."
+              (addr + (i * Insn.insn_size))
+              (Insn.to_string insn))
+          (decode_segment bytes))
+    pre.pre_segments
+
+let write_repro ~dir ~index ~phase (pre : Interp.pre) diff =
+  let path = Filename.concat dir (Printf.sprintf "oracle_divergence_%d.txt" index) in
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  Format.fprintf ppf "# s2e-oracle divergence repro (phase: %s)@.%a" phase
+    pp_pre pre;
+  Format.fprintf ppf "diff:@.";
+  List.iter (fun d -> Format.fprintf ppf "  %s@." d) diff;
+  Format.pp_print_flush ppf ();
+  close_out oc;
+  path
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(seed = 1) ?(count = 1000) ?(corpus = []) ?(sym = [])
+    ?(repro_dir = ".") ?(max_repros = 8) ?(log = ignore) () =
+  if S2e_fault.Fault.armed () then
+    failwith
+      "oracle: deterministic fault injection is armed; the injected faults \
+       would desynchronize the two sides";
+  let g = Gen.create ~seed in
+  List.iter
+    (fun (e : Corpus.entry) ->
+      match Corpus.insns_of_entry e with
+      | Some insns -> List.iter (Gen.note_insn g) insns
+      | None -> ())
+    corpus;
+  let it = Interp.create () in
+  let dx = Dbt_exec.create () in
+  let digest = ref (Sm64.mix64 (Int64.of_int seed)) in
+  let divergences = ref [] in
+  let blocks = ref 0 in
+  let n_gen = ref 0 and n_corpus = ref 0 and n_sym = ref 0 in
+  let cov = Hashtbl.create 32 in
+  let fold_pre (pre : Interp.pre) =
+    digest := Sm64.fold_string !digest pre.pre_label;
+    digest := Sm64.fold_int !digest pre.pre_pc;
+    Array.iter (fun v -> digest := Sm64.fold_int !digest v) pre.pre_regs
+  in
+  let both pre =
+    let r = Interp.run it pre in
+    Dbt_exec.flush dx;
+    let cold = Dbt_exec.run dx pre in
+    let hot = Dbt_exec.run dx pre in
+    (r, cold, hot)
+  in
+  let diverges pre =
+    let r, cold, hot = both pre in
+    Interp.diff r cold <> [] || Interp.diff r hot <> []
+  in
+  let check ~source ?insns pre =
+    incr blocks;
+    fold_pre pre;
+    let r, cold, hot = both pre in
+    digest := Interp.fold_post !digest r;
+    digest := Interp.fold_post !digest cold;
+    digest := Interp.fold_post !digest hot;
+    let dc = Interp.diff r cold and dh = Interp.diff r hot in
+    if dc <> [] || dh <> [] then begin
+      let phase =
+        match (dc, dh) with
+        | _ :: _, [] -> "cold"
+        | [], _ :: _ -> "hot"
+        | _ -> "cold+hot"
+      in
+      let min_pre = minimize ~diverges ?insns pre in
+      let r', cold', hot' = both min_pre in
+      let diff =
+        match Interp.diff r' cold' with [] -> Interp.diff r' hot' | d -> d
+      in
+      (* Fall back to the unminimized diff if shrinking somehow lost the
+         divergence (budget exhausted mid-step). *)
+      let min_pre, diff =
+        if diff = [] then (pre, if dc <> [] then dc else dh)
+        else (min_pre, diff)
+      in
+      let index = List.length !divergences in
+      let file =
+        if index < max_repros then
+          Some (write_repro ~dir:repro_dir ~index ~phase min_pre diff)
+        else None
+      in
+      log
+        (Printf.sprintf "DIVERGENCE [%s/%s] %s%s" (source_name source)
+           phase
+           (String.concat "; " diff)
+           (match file with Some f -> " -> " ^ f | None -> ""));
+      divergences :=
+        {
+          d_source = source;
+          d_label = pre.pre_label;
+          d_pre = min_pre;
+          d_diff = diff;
+          d_phase = phase;
+          d_file = file;
+        }
+        :: !divergences
+    end
+  in
+  (* 1. captured workload blocks *)
+  List.iter
+    (fun (e : Corpus.entry) ->
+      if e.Corpus.e_pc >= 0 && e.e_pc + String.length e.e_bytes <= S2e_vm.Layout.ram_size
+      then begin
+        incr n_corpus;
+        let pre =
+          {
+            Interp.pre_pc = e.e_pc;
+            pre_regs = Gen.init_regs g;
+            pre_segments = [ (e.e_pc, e.e_bytes) ];
+            pre_frame = Gen.frame g;
+            pre_card_id = Gen.card_id g;
+            pre_label = Printf.sprintf "corpus@0x%x" e.e_pc;
+          }
+        in
+        check ~source:From_corpus ?insns:(Corpus.insns_of_entry e) pre
+      end)
+    corpus;
+  (* 2. solver-model concretized symbolic states *)
+  List.iter
+    (fun pre ->
+      incr n_sym;
+      check ~source:Sym_state pre)
+    sym;
+  (* 3. coverage-guided generated programs *)
+  for _ = 1 to count do
+    incr n_gen;
+    let case = Gen.next g in
+    List.iter
+      (fun insn ->
+        let c = Gen.constructor_of insn in
+        Hashtbl.replace cov c (1 + Option.value ~default:0 (Hashtbl.find_opt cov c)))
+      case.Gen.c_insns;
+    check ~source:Generated ~insns:case.c_insns case.c_pre
+  done;
+  let coverage =
+    List.map
+      (fun c -> (c, Option.value ~default:0 (Hashtbl.find_opt cov c)))
+      Gen.all_constructors
+  in
+  let missing =
+    List.filter_map (fun (c, n) -> if n = 0 then Some c else None) coverage
+  in
+  {
+    r_blocks = !blocks;
+    r_generated = !n_gen;
+    r_corpus = !n_corpus;
+    r_sym = !n_sym;
+    r_divergences = List.rev !divergences;
+    r_digest = !digest;
+    r_coverage = coverage;
+    r_missing = missing;
+  }

@@ -1,0 +1,39 @@
+(** Seeded splitmix64 stream: the oracle's only randomness source (same
+    mixing discipline as {!S2e_fault.Fault}'s per-site streams), so
+    [s2e_cli oracle --seed N] reproduces byte-identical runs. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9e3779b97f4a7c15L
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix64 t.state
+
+(** Uniform int in [0, n). *)
+let int t n =
+  if n <= 0 then invalid_arg "Sm64.int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+(** Uniform float in [0, 1). *)
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next t) 11) /. 9007199254740992.
+
+(** Order-sensitive digest step: fold [x] into accumulator [acc].  Used
+    for the run journal digest the determinism test compares. *)
+let fold_digest acc x = mix64 (Int64.add (Int64.mul acc 0x100000001b3L) x)
+
+let fold_int acc x = fold_digest acc (Int64.of_int x)
+
+let fold_string acc s =
+  String.fold_left (fun a c -> fold_int a (Char.code c)) (fold_int acc (String.length s)) s

@@ -17,4 +17,5 @@ let () =
       ("plugins", Test_plugins.tests);
       ("extensions", Test_extensions.tests);
       ("tools", Test_tools.tests);
+      ("oracle", Test_oracle.tests);
     ]
