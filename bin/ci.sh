@@ -48,11 +48,45 @@ diff "$serial_out.cases" "$dist_out.cases" > /dev/null \
 rm -f "$serial_out.cases" "$dist_out.cases"
 echo "CI: dist smoke test passed ($dist_cases cases, procs=2 == jobs=1)"
 
+# Trace smoke test: a traced run must produce valid trace_event JSON
+# (the trace renderer parses it with the same codec), render the prefix
+# attribution report, and emit exactly the untraced serial run's test
+# cases (tracing must not perturb exploration).
+trace_json=$(mktemp /tmp/s2e-trace-XXXXXX.json)
+traced_out=$(mktemp /tmp/s2e-traced-XXXXXX.txt)
+trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$trace_json" "$traced_out"' EXIT
+dune exec bin/s2e_cli.exe -- explore --driver nulldrv --workload symloop \
+  --jobs 1 --seconds 30 --cases --trace-out "$trace_json" > "$traced_out"
+test -s "$trace_json" || { echo "CI: trace file empty" >&2; exit 1; }
+grep -q '"traceEvents"' "$trace_json" \
+  || { echo "CI: trace file has no traceEvents key" >&2; exit 1; }
+grep '|' "$serial_out" > "$serial_out.cases"
+grep '|' "$traced_out" > "$traced_out.cases"
+diff "$serial_out.cases" "$traced_out.cases" > /dev/null \
+  || { echo "CI: traced test cases differ from untraced serial" >&2; exit 1; }
+rm -f "$serial_out.cases" "$traced_out.cases"
+trace_report=$(dune exec bin/s2e_cli.exe -- trace "$trace_json") \
+  || { echo "CI: trace renderer rejected the JSON" >&2; exit 1; }
+printf '%s\n' "$trace_report" | grep -q 'constraint prefixes:' \
+  || { echo "CI: trace report missing prefix attribution" >&2; exit 1; }
+printf '%s\n' "$trace_report" | grep -q 'fork tree' \
+  || { echo "CI: trace report missing fork tree" >&2; exit 1; }
+# A --procs 2 trace must merge both workers' timelines into one file
+# (distinct pid lanes) and still parse with the repo's codec.
+dune exec bin/s2e_cli.exe -- explore --driver nulldrv --workload symloop \
+  --procs 2 --seconds 30 --trace-out "$trace_json" > /dev/null
+pids=$(grep -o '"pid":[0-9]*' "$trace_json" | sort -u | wc -l)
+[ "$pids" -ge 2 ] \
+  || { echo "CI: procs=2 trace has $pids pid lane(s), expected >=2" >&2; exit 1; }
+dune exec bin/s2e_cli.exe -- trace "$trace_json" > /dev/null \
+  || { echo "CI: trace renderer rejected the merged JSON" >&2; exit 1; }
+echo "CI: trace smoke test passed (cases == untraced serial, $pids merged pid lanes)"
+
 # Chaos smoke test: exploration with an armed fault plan and solver
 # watchdog must complete cleanly in both execution modes (recovery, not
 # crashes) and report a nonzero injected-fault count.
 chaos_out=$(mktemp /tmp/s2e-chaos-XXXXXX.txt)
-trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$chaos_out"' EXIT
+trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$trace_json" "$traced_out" "$chaos_out"' EXIT
 dune exec bin/s2e_cli.exe -- explore --driver nulldrv --workload urlparse \
   --jobs 2 --seconds 5 --solver-timeout-ms 10000 \
   --fault-plan 'dev.read=err:0.05,irq=spurious:0.02,solver=latency:0.05' \
@@ -106,7 +140,7 @@ echo "CI: bench expr smoke test passed"
 # and dumps a repro on any divergence), and a fresh capture of the
 # urlparse workload must also replay cleanly end to end.
 oracle_dir=$(mktemp -d /tmp/s2e-oracle-XXXXXX)
-trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$chaos_out"; rm -rf "$oracle_dir"' EXIT
+trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$trace_json" "$traced_out" "$chaos_out"; rm -rf "$oracle_dir"' EXIT
 dune exec bin/s2e_cli.exe -- oracle --count 500 --seed 1 \
   --corpus examples/oracle/urlparse.corpus --repro-dir "$oracle_dir" \
   > "$oracle_dir/out.txt" \

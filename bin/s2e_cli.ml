@@ -384,11 +384,35 @@ let explore_cmd =
     let doc = "Seconds between periodic snapshots (with $(b,--stats-out))." in
     Arg.(value & opt float 0.5 & info [ "stats-interval" ] ~docv:"SEC" ~doc)
   in
+  let trace_out_arg =
+    let doc =
+      "Record a low-overhead event trace (path lifecycle, solver queries \
+       with constraint-prefix attribution, phases, faults, transport \
+       frames) to $(docv) as Chrome trace_event JSON — load it in \
+       Perfetto/chrome://tracing, or render it with the $(b,trace) \
+       subcommand.  With --procs > 1, worker timelines are shipped over \
+       heartbeats and merged onto the coordinator's clock.  The ring \
+       buffer is bounded: oldest events are dropped first (the file \
+       records how many)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
   let run driver workload model jobs procs seconds searcher cases stats_out
-      stats_interval fault_plan fault_seed solver_timeout_ms =
+      stats_interval trace_out fault_plan fault_seed solver_timeout_ms =
     validate_explore_args ~cmd:"explore" ~driver ~workload ~model ~searcher
       ~jobs ~procs ~seconds ~stats_interval;
     setup_resilience ~cmd:"explore" ~fault_plan ~fault_seed ~solver_timeout_ms;
+    if trace_out <> None then begin
+      Obs.Trace.set_enabled true;
+      Obs.Trace.reset ()
+    end;
+    let write_trace path events ~dropped =
+      let oc = open_out path in
+      Obs.Trace.write_json oc ~dropped events;
+      close_out oc;
+      Fmt.pr "trace: %d events -> %s%s@." (List.length events) path
+        (if dropped > 0 then Printf.sprintf " (%d dropped)" dropped else "")
+    in
     let img, make_engine = engine_factory ~driver ~workload ~model ~searcher in
     let limits =
       {
@@ -402,23 +426,28 @@ let explore_cmd =
       lines |> List.sort compare |> List.iter (Fmt.pr "%s@.")
     in
     if procs = 1 then begin
-      let reporter =
+      let run_explore () = Parallel.explore ~jobs ~limits ~make_engine ~boot () in
+      let r =
         match stats_out with
-        | None -> None
+        | None -> run_explore ()
         | Some path ->
             (* Zero the registry so the final snapshot's totals are exactly
-               this run's totals (the registry is process-wide). *)
+               this run's totals (the registry is process-wide).  The
+               reporter is stopped through [with_reporter] so the exact
+               "final" line is flushed even when exploration raises. *)
             Obs.Metrics.reset ();
             let oc = open_out path in
-            Some (oc, Obs.Reporter.start ~interval:stats_interval oc)
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                Obs.Reporter.with_reporter ~interval:stats_interval oc
+                  run_explore)
       in
-      let r = Parallel.explore ~jobs ~limits ~make_engine ~boot () in
-      (match reporter with
+      (match trace_out with
       | None -> ()
-      | Some (oc, rep) ->
-          (* Workers are joined by [explore], so the final line is exact. *)
-          Obs.Reporter.stop rep;
-          close_out oc);
+      | Some path ->
+          let events, dropped = Obs.Trace.drain () in
+          write_trace path events ~dropped);
       Fmt.pr "procs: 1@.";
       Fmt.pr "jobs: %d@." r.Parallel.jobs;
       Fmt.pr "wall seconds: %.2f@." r.wall_seconds;
@@ -454,28 +483,30 @@ let explore_cmd =
       (* Distributed: fork-server coordinator + `s2e_cli worker` children
          (each re-building the same engine spec from these arguments). *)
       let argv =
-        [|
-          Sys.executable_name;
-          "worker";
-          "--driver";
-          driver;
-          "--workload";
-          workload;
-          "--model";
-          model;
-          "--searcher";
-          searcher;
-          "--jobs";
-          string_of_int jobs;
-          (* Exec'd workers don't inherit memory: forward the resilience
-             knobs so every process injects from the same plan. *)
-          "--fault-plan";
-          fault_plan;
-          "--fault-seed";
-          string_of_int fault_seed;
-          "--solver-timeout-ms";
-          string_of_float solver_timeout_ms;
-        |]
+        Array.of_list
+          ([
+             Sys.executable_name;
+             "worker";
+             "--driver";
+             driver;
+             "--workload";
+             workload;
+             "--model";
+             model;
+             "--searcher";
+             searcher;
+             "--jobs";
+             string_of_int jobs;
+             (* Exec'd workers don't inherit memory: forward the resilience
+                knobs so every process injects from the same plan. *)
+             "--fault-plan";
+             fault_plan;
+             "--fault-seed";
+             string_of_int fault_seed;
+             "--solver-timeout-ms";
+             string_of_float solver_timeout_ms;
+           ]
+          @ if trace_out <> None then [ "--trace" ] else [])
       in
       Obs.Metrics.reset ();
       let r =
@@ -489,6 +520,11 @@ let explore_cmd =
       | Some path ->
           write_merged_stats path r.S2e_dist.Coordinator.obs
             ~elapsed:r.wall_seconds);
+      (match trace_out with
+      | None -> ()
+      | Some path ->
+          write_trace path r.S2e_dist.Coordinator.trace
+            ~dropped:r.trace_dropped);
       Fmt.pr "procs: %d@." r.S2e_dist.Coordinator.procs;
       Fmt.pr "jobs: %d@." jobs;
       Fmt.pr "wall seconds: %.2f@." r.wall_seconds;
@@ -549,7 +585,7 @@ let explore_cmd =
     Term.(
       const run $ driver_arg $ explore_workload_arg $ model_arg $ jobs_arg
       $ procs_arg $ seconds_arg $ searcher_arg $ cases_arg $ stats_out_arg
-      $ stats_interval_arg $ fault_plan_arg $ fault_seed_arg
+      $ stats_interval_arg $ trace_out_arg $ fault_plan_arg $ fault_seed_arg
       $ solver_timeout_arg)
 
 (* --- worker: internal fork-server entry point for `explore --procs` --- *)
@@ -559,11 +595,19 @@ let worker_cmd =
     let doc = "Wall-clock seconds per exploration slice between control polls." in
     Arg.(value & opt float 0.05 & info [ "slice" ] ~docv:"SEC" ~doc)
   in
-  let run driver workload model jobs searcher slice fault_plan fault_seed
+  let trace_flag_arg =
+    let doc =
+      "Record trace events and ship drained chunks to the coordinator over \
+       heartbeats (set by explore --trace-out)."
+    in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  let run driver workload model jobs searcher slice trace fault_plan fault_seed
       solver_timeout_ms =
     validate_explore_args ~cmd:"worker" ~driver ~workload ~model ~searcher
       ~jobs ~procs:1 ~seconds:1. ~stats_interval:1.;
     setup_resilience ~cmd:"worker" ~fault_plan ~fault_seed ~solver_timeout_ms;
+    if trace then Obs.Trace.set_enabled true;
     if slice <= 0. then begin
       Fmt.epr "s2e worker: --slice must be > 0 (got %g)@." slice;
       exit 2
@@ -593,8 +637,8 @@ let worker_cmd =
          "Internal: exploration worker process (spawned by explore --procs)")
     Term.(
       const run $ driver_arg $ explore_workload_arg $ model_arg $ jobs_arg
-      $ searcher_arg $ slice_arg $ fault_plan_arg $ fault_seed_arg
-      $ solver_timeout_arg)
+      $ searcher_arg $ slice_arg $ trace_flag_arg $ fault_plan_arg
+      $ fault_seed_arg $ solver_timeout_arg)
 
 (* --- stats: render a run-stats JSONL file --- *)
 
@@ -804,6 +848,210 @@ let stats_cmd =
           --stats-out)")
     Term.(const run $ file_arg)
 
+(* --- trace: render a trace_event JSON file --- *)
+
+let trace_cmd =
+  let file_arg =
+    let doc = "Trace JSON file written by $(b,explore --trace-out)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let top_arg =
+    let doc = "Hottest constraint-prefix groups to list." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let depth_arg =
+    let doc = "Fork-tree levels to print (deeper subtrees are summarized)." in
+    Arg.(value & opt int 4 & info [ "depth" ] ~docv:"N" ~doc)
+  in
+  let run file top depth =
+    let contents =
+      match In_channel.with_open_bin file In_channel.input_all with
+      | s -> s
+      | exception Sys_error msg ->
+          Fmt.epr "%s@." msg;
+          exit 2
+    in
+    let root =
+      match Obs.Jsonl.parse (String.trim contents) with
+      | Ok j -> j
+      | Error msg ->
+          Fmt.epr "%s: unparsable: %s@." file msg;
+          exit 2
+    in
+    let events =
+      match
+        Option.bind (Obs.Jsonl.member "traceEvents" root) Obs.Jsonl.to_arr
+      with
+      | Some evs -> evs
+      | None ->
+          Fmt.epr "%s: no traceEvents array (not an explore --trace-out file)@."
+            file;
+          exit 2
+    in
+    let num ?(default = 0.) name j =
+      Option.value ~default (Obs.Jsonl.num_member name j)
+    in
+    let dropped =
+      match Obs.Jsonl.member "s2e" root with
+      | Some meta -> int_of_float (num "dropped" meta)
+      | None -> 0
+    in
+    (* One pass over the events: prefix groups for the solver-attribution
+       report, start/end/own-cost tables for the fork tree. *)
+    let starts = Hashtbl.create 256 in (* (pid, path) -> parent path *)
+    let ends = Hashtbl.create 256 in (* (pid, path) -> (status, incomplete) *)
+    let own = Hashtbl.create 256 in (* (pid, path) -> (queries, seconds) *)
+    let groups = Hashtbl.create 256 in (* prefix -> (count, seconds, hits) *)
+    let total_q = ref 0 and total_qs = ref 0. in
+    List.iter
+      (fun ev ->
+        let name = Option.value ~default:"" (Obs.Jsonl.str_member "name" ev) in
+        let pid = int_of_float (num "pid" ev) in
+        let args =
+          Option.value ~default:(Obs.Jsonl.Obj []) (Obs.Jsonl.member "args" ev)
+        in
+        let path = int_of_float (num ~default:(-1.) "path" args) in
+        match name with
+        | "path_start" ->
+            Hashtbl.replace starts (pid, path)
+              (int_of_float (num ~default:(-1.) "parent" args))
+        | "path_end" ->
+            Hashtbl.replace ends (pid, path)
+              (int_of_float (num "status" args), num "incomplete" args <> 0.)
+        | "solver_query" ->
+            let dur = num "dur" ev /. 1e6 in
+            let prefix =
+              Option.value ~default:"0x0" (Obs.Jsonl.str_member "prefix" args)
+            in
+            let cached = Obs.Jsonl.str_member "cache" args <> Some "miss" in
+            incr total_q;
+            total_qs := !total_qs +. dur;
+            let c, s, h =
+              Option.value ~default:(0, 0., 0) (Hashtbl.find_opt groups prefix)
+            in
+            Hashtbl.replace groups prefix
+              (c + 1, s +. dur, h + if cached then 1 else 0);
+            let qc, qs =
+              Option.value ~default:(0, 0.) (Hashtbl.find_opt own (pid, path))
+            in
+            Hashtbl.replace own (pid, path) (qc + 1, qs +. dur)
+        | _ -> ())
+      events;
+    Fmt.pr "trace: %d events, %d solver queries, %.3f s solver time%s@."
+      (List.length events) !total_q !total_qs
+      (if dropped > 0 then Printf.sprintf ", %d dropped" dropped else "");
+    (* (a) hottest queries grouped by constraint-prefix hash. *)
+    let glist =
+      Hashtbl.fold (fun p (c, s, h) acc -> (p, c, s, h) :: acc) groups []
+    in
+    let reused_time =
+      List.fold_left
+        (fun acc (_, c, s, _) -> if c > 1 then acc +. s else acc)
+        0. glist
+    in
+    Fmt.pr
+      "constraint prefixes: %d distinct; %.1f%% of solver time in reused \
+       prefixes@."
+      (List.length glist)
+      (if !total_qs > 0. then 100. *. reused_time /. !total_qs else 0.);
+    if glist <> [] then begin
+      Fmt.pr "hottest prefixes (top %d by solver time):@." top;
+      Fmt.pr "  %-20s %8s %8s %8s %12s@." "prefix" "queries" "reused" "cached"
+        "seconds";
+      List.iteri
+        (fun i (p, c, s, h) ->
+          if i < top then
+            Fmt.pr "  %-20s %8d %8d %8d %12.4f@." p c (c - 1) h s)
+        (List.sort
+           (fun (_, _, a, _) (_, _, b, _) -> compare (b : float) a)
+           glist)
+    end;
+    (* (b) the fork tree, each node annotated with its subtree's solver
+       cost; children sorted hottest-subtree first. *)
+    let children = Hashtbl.create 256 in
+    let roots = ref [] in
+    Hashtbl.iter
+      (fun (pid, path) parent ->
+        if parent >= 0 && Hashtbl.mem starts (pid, parent) then
+          Hashtbl.replace children (pid, parent)
+            ((pid, path)
+            :: Option.value ~default:[]
+                 (Hashtbl.find_opt children (pid, parent)))
+        else roots := (pid, path) :: !roots)
+      starts;
+    let rec subtree key =
+      let qc, qs = Option.value ~default:(0, 0.) (Hashtbl.find_opt own key) in
+      List.fold_left
+        (fun (c, s, n) k ->
+          let c', s', n' = subtree k in
+          (c + c', s +. s', n + n'))
+        (qc, qs, 1)
+        (Option.value ~default:[] (Hashtbl.find_opt children key))
+    in
+    let status_name key =
+      match Hashtbl.find_opt ends key with
+      | Some (st, inc) ->
+          (match st with
+          | 0 -> "active"
+          | 1 -> "halted"
+          | 2 -> "killed"
+          | 3 -> "faulted"
+          | 4 -> "aborted"
+          | _ -> "?")
+          ^ if inc then " incomplete" else ""
+      | None -> "live"
+    in
+    let multi_pid =
+      List.length
+        (List.sort_uniq compare
+           (Hashtbl.fold (fun (pid, _) _ acc -> pid :: acc) starts []))
+      > 1
+    in
+    if Hashtbl.length starts > 0 then begin
+      Fmt.pr "fork tree (per-subtree solver cost):@.";
+      let rec print_node indent d key =
+        let qc, qs, paths = subtree key in
+        let oqc, oqs =
+          Option.value ~default:(0, 0.) (Hashtbl.find_opt own key)
+        in
+        let pid, path = key in
+        let kids =
+          List.sort
+            (fun a b ->
+              let _, sa, _ = subtree a and _, sb, _ = subtree b in
+              compare sb sa)
+            (Option.value ~default:[] (Hashtbl.find_opt children key))
+        in
+        Fmt.pr "%spath %d%s [%s]  subtree %.4f s / %d queries%s@." indent path
+          (if multi_pid then Printf.sprintf "@p%d" pid else "")
+          (status_name key) qs qc
+          (if oqc > 0 && kids <> [] then
+             Printf.sprintf "  (own %.4f s / %d)" oqs oqc
+           else "");
+        if d + 1 >= depth && kids <> [] then
+          Fmt.pr "%s  ... %d more path(s) below@." indent (paths - 1)
+        else List.iter (print_node (indent ^ "  ") (d + 1)) kids
+      in
+      List.iter (print_node "  " 0) (List.sort compare !roots)
+    end;
+    let un_c, un_s =
+      Hashtbl.fold
+        (fun (_, p) (c, s) (ac, asum) ->
+          if p < 0 then (ac + c, asum +. s) else (ac, asum))
+        own (0, 0.)
+    in
+    if un_c > 0 then
+      Fmt.pr "unattributed: %d queries, %.4f s (emitted outside any path)@."
+        un_c un_s
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Render a trace file (explore --trace-out): hottest solver queries \
+          by constraint prefix, and the fork tree with per-subtree solver \
+          cost")
+    Term.(const run $ file_arg $ top_arg $ depth_arg)
+
 (* --- models --- *)
 
 let models_cmd =
@@ -954,5 +1202,5 @@ let () =
        (Cmd.group (Cmd.info "s2e" ~doc)
           [
             run_cmd; ddt_cmd; rev_cmd; profs_cmd; models_cmd; explore_cmd;
-            worker_cmd; stats_cmd; oracle_cmd;
+            worker_cmd; stats_cmd; trace_cmd; oracle_cmd;
           ]))

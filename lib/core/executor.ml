@@ -187,6 +187,7 @@ let boot t ?card_id ~entry () =
   let s = State.create ~mem ~devices ~pc:entry in
   t.stats.states_created <- t.stats.states_created + 1;
   Obs.Metrics.incr m_states_created;
+  if Obs.Trace.enabled () then Obs.Trace.path_start ~path:s.id ~parent:(-1) ();
   s
 
 (* ------------------------------------------------------------------ *)
@@ -204,8 +205,22 @@ let fresh_sym t name width =
   | _ -> ());
   v
 
+(* Numeric status code for the trace stream (see {!Obs.Trace.path_end}). *)
+let trace_status = function
+  | State.Active -> 0
+  | State.Halted -> 1
+  | State.Killed _ -> 2
+  | State.Faulted _ -> 3
+  | State.Aborted _ -> 4
+
+let trace_path_end (s : State.t) =
+  if Obs.Trace.enabled () then
+    Obs.Trace.path_end ~path:s.id ~status:(trace_status s.status)
+      ~incomplete:s.incomplete ()
+
 let end_state t (s : State.t) status =
   s.status <- status;
+  trace_path_end s;
   t.stats.states_completed <- t.stats.states_completed + 1;
   Obs.Metrics.incr m_states_completed;
   if s.incomplete then Obs.Metrics.incr m_incomplete;
@@ -353,6 +368,8 @@ let do_fork t (s : State.t) cond ~taken_pc ~fall_pc =
         t.stats.max_live_states <- live_count;
       Obs.Metrics.set m_live live_count;
       Obs.Metrics.set m_max_live live_count;
+      if Obs.Trace.enabled () then
+        Obs.Trace.path_start ~path:child.id ~parent:s.id ();
       Events.fork t.events s child cond;
       t.searcher.add child;
       child)
@@ -402,6 +419,8 @@ let symbolic_branch t (s : State.t) cond ~taken_pc ~fall_pc =
         child.pc <- fall_pc;
         t.live <- child :: t.live;
         Obs.Metrics.set m_live (List.length t.live);
+        if Obs.Trace.enabled () then
+          Obs.Trace.path_start ~path:child.id ~parent:s.id ();
         Events.fork t.events s child cond;
         t.searcher.add child
       end
@@ -792,6 +811,7 @@ let fetch_byte t (s : State.t) addr =
    under it subtract themselves, so the span records pure guest-execution
    self time. *)
 let exec_tb_body t (s : State.t) =
+  Obs.Trace.set_current_path s.id;
   check_env_return t s;
   (* Interrupt delivery between blocks. *)
   (match s.pending_irqs with
@@ -937,6 +957,8 @@ let plugin_fork t (s : State.t) =
   if live_count > t.stats.max_live_states then t.stats.max_live_states <- live_count;
   Obs.Metrics.set m_live live_count;
   Obs.Metrics.set m_max_live live_count;
+  if Obs.Trace.enabled () then
+    Obs.Trace.path_start ~path:child.id ~parent:s.id ();
   Events.fork t.events s child Expr.bool_t;
   t.searcher.add child;
   child
@@ -947,6 +969,7 @@ let kill_others t keep reason =
     (fun (s : State.t) ->
       if s.id <> keep.State.id && State.is_active s then begin
         s.status <- State.Killed reason;
+        trace_path_end s;
         t.stats.states_completed <- t.stats.states_completed + 1;
         Obs.Metrics.incr m_states_completed;
         Events.state_end t.events s;
@@ -959,6 +982,7 @@ let kill_others t keep reason =
 let kill_state t (s : State.t) reason =
   if State.is_active s then begin
     s.status <- State.Killed reason;
+    trace_path_end s;
     t.stats.states_completed <- t.stats.states_completed + 1;
     Obs.Metrics.incr m_states_completed;
     Events.state_end t.events s;

@@ -316,6 +316,7 @@ let explore_frontier ?(jobs = 1) ?(limits = Executor.no_limits)
     sorted test-case lists compare equal between serial and parallel
     runs. *)
 let test_case (s : State.t) =
+  Obs.Trace.set_current_path s.State.id;
   let vars =
     List.fold_left
       (fun acc c ->

@@ -18,6 +18,7 @@ let m_tb_hits = Obs.Metrics.counter "dbt.tb_hits"
 let m_tb_misses = Obs.Metrics.counter "dbt.tb_misses"
 let m_tb_invalidations = Obs.Metrics.counter "dbt.tb_invalidations"
 let translate_phase = Obs.Span.phase "translate"
+let t_invalidate = Obs.Trace.intern "tb.invalidate"
 
 type tb = {
   tb_start : int;
@@ -91,6 +92,8 @@ let invalidate t addr =
         t.cache []
     in
     Obs.Metrics.add m_tb_invalidations (List.length victims);
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~a:addr ~b:(List.length victims) t_invalidate;
     List.iter (Hashtbl.remove t.cache) victims;
     t.translated_ranges <-
       List.filter

@@ -62,6 +62,12 @@ type result = {
   injected : int;  (** transport corruptions injected by the fault plan *)
   unexplored : int;  (** frontier states left when the run stopped *)
   wall_seconds : float;
+  trace : Obs.Trace.event list;
+      (** merged timeline (empty unless {!Obs.Trace} was enabled):
+          worker chunks shipped over heartbeats/Bye, clock-offset
+          normalized and pid-stamped, interleaved with the coordinator's
+          own events, sorted by timestamp *)
+  trace_dropped : int;  (** ring overwrites across all processes *)
 }
 
 type item = { it_id : int; it_blob : string; mutable it_attempts : int }
@@ -139,6 +145,25 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
   let solver_stats = Solver.new_stats () in
   let paths = ref [] in
   let obs_snaps = ref [] in
+  let trace_events = ref [] in
+  let trace_dropped = ref 0 in
+  (* A worker's chunk carries its own clock readings; the offset between
+     the coordinator's receive time and the worker's send time ([now_w])
+     normalizes them onto the coordinator's timeline.  Same machine, so
+     the offset is dominated by transit/queueing delay — small and
+     per-chunk, which keeps long-lived clock drift out too. *)
+  let collect_trace w ~now_w chunk =
+    if chunk <> "" then
+      match
+        Obs.Trace.decode_chunk ~pid:w.w_pid
+          ~offset:(Unix.gettimeofday () -. now_w)
+          chunk
+      with
+      | evs, dropped ->
+          trace_events := List.rev_append evs !trace_events;
+          trace_dropped := !trace_dropped + dropped
+      | exception Failure _ -> () (* damaged chunk: telemetry, not work *)
+  in
   let queue : item Queue.t = Queue.create () in
   let next_item = ref 0 in
   let enqueue_blob blob =
@@ -239,7 +264,9 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
         if version <> Proto.version then
           failwith "dist: worker protocol version mismatch";
         if w.w_status = Starting then w.w_status <- Idle
-    | Proto.Heartbeat { frontier; _ } -> w.w_frontier <- frontier
+    | Proto.Heartbeat { frontier; now; trace; _ } ->
+        w.w_frontier <- frontier;
+        collect_trace w ~now_w:now trace
     | Proto.Nak _ ->
         w.w_steal <- 0.;
         w.w_nak <- Unix.gettimeofday ()
@@ -264,8 +291,9 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
         if was_steal then incr steals;
         on_event
           (Checkpointed { pid = w.w_pid; item; states = List.length states })
-    | Proto.Bye { obs } ->
+    | Proto.Bye { obs; now; trace } ->
         obs_snaps := obs :: !obs_snaps;
+        collect_trace w ~now_w:now trace;
         w.w_alive <- false;
         reap w
     | Proto.Work _ | Proto.Steal | Proto.Ping | Proto.Shutdown
@@ -434,6 +462,14 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
   let obs =
     Obs.Metrics.merge_snapshots (Obs.Metrics.snapshot () :: !obs_snaps)
   in
+  (* The coordinator's own events (boot, transport frames) join the
+     worker chunks on the merged timeline. *)
+  let local_events, local_dropped = Obs.Trace.drain () in
+  let trace =
+    List.sort
+      (fun (a : Obs.Trace.event) b -> compare a.ev_ts b.ev_ts)
+      (List.rev_append !trace_events local_events)
+  in
   {
     procs;
     paths = List.rev !paths;
@@ -451,4 +487,6 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
     injected = Obs.Metrics.get_int obs "fault.proto.corrupt";
     unexplored = Queue.length queue + List.length !abandoned;
     wall_seconds = Unix.gettimeofday () -. t0;
+    trace;
+    trace_dropped = !trace_dropped + local_dropped;
   }

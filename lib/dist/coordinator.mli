@@ -51,6 +51,13 @@ type result = {
       (** frontier states left when the run stopped, including one per
           abandoned item *)
   wall_seconds : float;
+  trace : Obs.Trace.event list;
+      (** merged event timeline (empty unless {!Obs.Trace} was enabled):
+          worker trace chunks shipped over heartbeats and [Bye] frames,
+          clock-offset normalized onto the coordinator's timeline and
+          stamped with the worker's pid, interleaved with the
+          coordinator's own events, sorted by timestamp *)
+  trace_dropped : int;  (** trace-ring overwrites across all processes *)
 }
 
 val explore :

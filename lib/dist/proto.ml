@@ -25,7 +25,7 @@ exception Closed
 (** Peer hung up (EOF/EPIPE/reset) — on a worker fd this means the
     process died or exited. *)
 
-let version = 2
+let version = 3
 
 (** A terminated path, reduced to what the coordinator reports: the
     status string and the canonical test case. *)
@@ -45,8 +45,11 @@ type msg =
   | Steal  (** coordinator → worker: give back your surplus frontier *)
   | Ping  (** coordinator → worker: liveness probe *)
   | Shutdown  (** coordinator → worker: checkpoint, report and exit *)
-  | Heartbeat of { pid : int; frontier : int }
-      (** worker → coordinator: alive, with current frontier size *)
+  | Heartbeat of { pid : int; frontier : int; now : float; trace : string }
+      (** worker → coordinator: alive, with current frontier size.  [now]
+          is the worker's wall clock at send time (the coordinator derives
+          a per-worker clock offset from it) and [trace] a drained
+          {!Obs.Trace} chunk — [""] when tracing is off. *)
   | Nak of { item : int }
       (** worker → coordinator: steal declined (frontier too small) *)
   | Result of {
@@ -65,8 +68,9 @@ type msg =
       (** worker → coordinator: item retired early (steal, shutdown or
           budget); paths/stats cover work done so far, [states] is the
           whole remaining frontier *)
-  | Bye of { obs : Obs.Metrics.snapshot }
-      (** worker → coordinator: final telemetry, sent just before exit *)
+  | Bye of { obs : Obs.Metrics.snapshot; now : float; trace : string }
+      (** worker → coordinator: final telemetry plus the last trace
+          chunk, sent just before exit *)
   | Resend of { from : int }
       (** either direction: frames from sequence number [from] onwards
           were damaged or lost; retransmit them.  Control traffic — never
@@ -119,7 +123,9 @@ let encode_solver_stats b (s : Solver.stats) =
   i64 b (Int64.of_int s.cache_hits);
   i64 b (Int64.of_int s.unknowns);
   f64 b s.total_time;
-  f64 b s.max_time
+  f64 b s.max_time;
+  i64 b (Int64.of_int s.prefix_reused);
+  f64 b s.prefix_reused_time
 
 let decode_solver_stats r : Solver.stats =
   let queries = Int64.to_int (ri64 r) in
@@ -128,7 +134,10 @@ let decode_solver_stats r : Solver.stats =
   let unknowns = Int64.to_int (ri64 r) in
   let total_time = rf64 r in
   let max_time = rf64 r in
-  { Solver.queries; sat_queries; cache_hits; unknowns; total_time; max_time }
+  let prefix_reused = Int64.to_int (ri64 r) in
+  let prefix_reused_time = rf64 r in
+  { Solver.queries; sat_queries; cache_hits; unknowns; total_time; max_time;
+    prefix_reused; prefix_reused_time }
 
 let encode_path b p =
   str b p.p_status;
@@ -211,10 +220,12 @@ let encode_msg m =
   | Steal -> u8 b 2
   | Ping -> u8 b 3
   | Shutdown -> u8 b 4
-  | Heartbeat { pid; frontier } ->
+  | Heartbeat { pid; frontier; now; trace } ->
       u8 b 5;
       u32 b pid;
-      u32 b frontier
+      u32 b frontier;
+      f64 b now;
+      str b trace
   | Nak { item } ->
       u8 b 6;
       u32 b item
@@ -231,9 +242,11 @@ let encode_msg m =
       encode_exec_stats b stats;
       encode_solver_stats b solver;
       list b (str b) states
-  | Bye { obs } ->
+  | Bye { obs; now; trace } ->
       u8 b 9;
-      encode_obs b obs
+      encode_obs b obs;
+      f64 b now;
+      str b trace
   | Resend { from } ->
       u8 b 10;
       u32 b from);
@@ -260,7 +273,9 @@ let decode_msg payload =
     | 5 ->
         let pid = ru32 r in
         let frontier = ru32 r in
-        Heartbeat { pid; frontier }
+        let now = rf64 r in
+        let trace = rstr r in
+        Heartbeat { pid; frontier; now; trace }
     | 6 -> Nak { item = ru32 r }
     | 7 ->
         let item = ru32 r in
@@ -275,7 +290,11 @@ let decode_msg payload =
         let solver = decode_solver_stats r in
         let states = rlist r rstr in
         Checkpoint { item; paths; stats; solver; states }
-    | 9 -> Bye { obs = decode_obs r }
+    | 9 ->
+        let obs = decode_obs r in
+        let now = rf64 r in
+        let trace = rstr r in
+        Bye { obs; now; trace }
     | 10 -> Resend { from = ru32 r }
     | t -> raise (Codec.Error (Printf.sprintf "unknown message tag %d" t))
   in
@@ -303,6 +322,13 @@ let max_bad_streak = 64
    too (they arrive with the worker's [Bye] snapshot). *)
 let m_naks = Obs.Metrics.counter "dist.naks"
 let m_retransmits = Obs.Metrics.counter "dist.retransmits"
+
+(* Transport-frame trace events: tag byte + payload length per frame, and
+   instants for the recovery traffic. *)
+let t_frame_send = Obs.Trace.intern "frame.send"
+let t_frame_recv = Obs.Trace.intern "frame.recv"
+let t_frame_nak = Obs.Trace.intern "frame.nak"
+let t_frame_retransmit = Obs.Trace.intern "frame.retransmit"
 
 (** One end of a coordinator↔worker socket.  Frames carry sequence
     numbers ([u32 len | u32 seq | payload | u32 checksum]); the receiver
@@ -381,6 +407,9 @@ let send c m =
   let payload = encode_msg m in
   if String.length payload > max_frame then
     raise (Codec.Error "frame too large");
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant ~a:(Char.code payload.[0]) ~b:(String.length payload)
+      t_frame_send;
   c.tx_seq <- c.tx_seq + 1;
   let seq = c.tx_seq in
   let frame = frame_of ~seq payload in
@@ -415,6 +444,7 @@ let serve_resend c ~from =
         if seq >= from then begin
           c.retransmits <- c.retransmits + 1;
           Obs.Metrics.incr m_retransmits;
+          Obs.Trace.instant ~a:seq t_frame_retransmit;
           write_frame c frame
         end)
       c.window
@@ -426,6 +456,7 @@ let request_resend c =
     raise (Codec.Error "unrecoverable frame corruption");
   c.naks <- c.naks + 1;
   Obs.Metrics.incr m_naks;
+  Obs.Trace.instant ~a:(c.rx_seq + 1) t_frame_nak;
   send c (Resend { from = c.rx_seq + 1 })
 
 (* One frame off the wire; [Error] on a checksum mismatch. *)
@@ -462,6 +493,9 @@ let process c =
       else begin
         c.rx_seq <- seq;
         c.streak <- 0;
+        if Obs.Trace.enabled () && String.length payload > 0 then
+          Obs.Trace.instant ~a:(Char.code payload.[0])
+            ~b:(String.length payload) t_frame_recv;
         match decode_msg payload with
         | Resend { from } ->
             serve_resend c ~from;

@@ -45,7 +45,10 @@ type msg =
   | Steal
   | Ping
   | Shutdown
-  | Heartbeat of { pid : int; frontier : int }
+  | Heartbeat of { pid : int; frontier : int; now : float; trace : string }
+      (** [now] is the worker's wall clock at send time (for per-worker
+          clock-offset normalization) and [trace] a drained
+          {!Obs.Trace} chunk — [""] when tracing is off *)
   | Nak of { item : int }
   | Result of {
       item : int;
@@ -60,7 +63,7 @@ type msg =
       solver : Solver.stats;
       states : string list;
     }
-  | Bye of { obs : Obs.Metrics.snapshot }
+  | Bye of { obs : Obs.Metrics.snapshot; now : float; trace : string }
   | Resend of { from : int }
       (** transport-recovery control traffic: "retransmit every frame
           from sequence number [from]".  Handled inside {!recv}/

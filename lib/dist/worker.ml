@@ -81,6 +81,8 @@ let solver_delta ~prev (cur : Solver.stats) : Solver.stats =
     unknowns = cur.unknowns - prev.unknowns;
     total_time = cur.total_time -. prev.total_time;
     max_time = cur.max_time;
+    prefix_reused = cur.prefix_reused - prev.prefix_reused;
+    prefix_reused_time = cur.prefix_reused_time -. prev.prefix_reused_time;
   }
 
 (* One item's exploration, sliced.  The control loop below is written
@@ -189,9 +191,10 @@ let serve ?(jobs = 1) ?(slice = 0.05) ?(heartbeat = 0.25) ~fd
   (* A terminal Ctrl-C hits the whole process group; workers must stay
      alive to checkpoint their frontier when the coordinator drains. *)
   Sys.set_signal Sys.sigint Sys.Signal_ignore;
-  (* A fork-spawned worker inherits the parent's metric shards; its
-     report must cover only its own work. *)
+  (* A fork-spawned worker inherits the parent's metric shards and trace
+     rings; its report must cover only its own work. *)
   Obs.Metrics.reset ();
+  Obs.Trace.reset ();
   let sl =
     if jobs = 1 then serial_slicer ~slice ~make_engine ()
     else parallel_slicer ~jobs ~slice ~make_engine ()
@@ -199,8 +202,22 @@ let serve ?(jobs = 1) ?(slice = 0.05) ?(heartbeat = 0.25) ~fd
   let c = Proto.connect fd in
   let pid = Unix.getpid () in
   let last_hb = ref (Unix.gettimeofday ()) in
+  (* Trace chunks piggyback on the liveness traffic: each heartbeat (and
+     the final Bye) carries whatever the rings buffered since the last
+     send, so the coordinator can merge a live timeline.  With tracing
+     off the chunk is the empty string — zero marginal bytes. *)
+  let trace_chunk () =
+    if Obs.Trace.enabled () then begin
+      let events, dropped = Obs.Trace.drain () in
+      if events = [] && dropped = 0 then ""
+      else Obs.Trace.encode_chunk events ~dropped
+    end
+    else ""
+  in
   let hb frontier =
-    Proto.send c (Proto.Heartbeat { pid; frontier });
+    Proto.send c
+      (Proto.Heartbeat
+         { pid; frontier; now = Unix.gettimeofday (); trace = trace_chunk () });
     last_hb := Unix.gettimeofday ()
   in
   let maybe_hb frontier =
@@ -211,7 +228,12 @@ let serve ?(jobs = 1) ?(slice = 0.05) ?(heartbeat = 0.25) ~fd
         last_hb := Unix.gettimeofday ()
       else hb frontier
   in
-  let bye () = Proto.send c (Proto.Bye { obs = Obs.Metrics.snapshot () }) in
+  let bye () =
+    Proto.send c
+      (Proto.Bye
+         { obs = Obs.Metrics.snapshot (); now = Unix.gettimeofday ();
+           trace = trace_chunk () })
+  in
   let run_item ~item ~budget ~cases blob =
     let deadline =
       if budget <= 0. then infinity else Unix.gettimeofday () +. budget

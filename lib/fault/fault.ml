@@ -53,6 +53,14 @@ let m_fired =
     all_sites;
   a
 
+(* Interned trace names, same layout as [m_fired]. *)
+let t_fired =
+  let a = Array.make num_sites (Obs.Trace.intern "fault.dev.read") in
+  List.iter
+    (fun s -> a.(site_index s) <- Obs.Trace.intern ("fault." ^ site_name s))
+    all_sites;
+  a
+
 type rule = { r_site : site; r_prob : float; r_cap : int option }
 type plan = rule list
 
@@ -206,6 +214,8 @@ let fire site =
         && Atomic.fetch_and_add sl.s_fired 1 < sl.s_cap
         &&
         (Obs.Metrics.incr m_fired.(site_index site);
+         if Obs.Trace.enabled () then
+           Obs.Trace.instant t_fired.(site_index site);
          true)
 
 let count site =

@@ -99,7 +99,9 @@ let loop t =
   let rec go deadline =
     sleep_until deadline;
     if not (Atomic.get t.stop_flag) then begin
-      emit t ~kind:"periodic";
+      (* A transient write failure must not kill the domain: [stop] still
+         has to join it and emit the final line. *)
+      (try emit t ~kind:"periodic" with Sys_error _ | Unix.Unix_error _ -> ());
       go (deadline +. t.interval)
     end
   in
@@ -125,7 +127,12 @@ let stop t =
   Atomic.set t.stop_flag true;
   (match t.dom with
   | Some d ->
-      Domain.join d;
+      (* Even if the reporter domain died, the final snapshot must go out. *)
+      (try Domain.join d with _ -> ());
       t.dom <- None
   | None -> ());
   emit t ~kind:"final"
+
+let with_reporter ?reg ~interval out f =
+  let t = start ?reg ~interval out in
+  Fun.protect ~finally:(fun () -> try stop t with Sys_error _ -> ()) f

@@ -16,3 +16,9 @@ val stop : t -> unit
 val emit : t -> kind:string -> unit
 (** Write one snapshot line immediately (used for the final line; exposed
     for tests). *)
+
+val with_reporter :
+  ?reg:Metrics.t -> interval:float -> out_channel -> (unit -> 'a) -> 'a
+(** [with_reporter ~interval out f] runs [f] with a reporter attached and
+    guarantees the final ["kind":"final"] line is flushed whether [f]
+    returns or raises. *)

@@ -16,12 +16,14 @@
 type phase = {
   p_self : Metrics.fcounter; (* exclusive seconds: "phase.<name>_s" *)
   p_count : Metrics.counter; (* span closures: "phase.<name>_count" *)
+  p_trace : int; (* interned name for {!Trace.span} events *)
 }
 
 let phase ?reg name =
   {
     p_self = Metrics.fcounter ?reg (Printf.sprintf "phase.%s_s" name);
     p_count = Metrics.counter ?reg (Printf.sprintf "phase.%s_count" name);
+    p_trace = Trace.intern name;
   }
 
 (* Per-domain clock clamp and span stack. *)
@@ -48,6 +50,7 @@ let timed ?on_elapsed ph f =
     | [] -> () (* unbalanced close: only possible through effects misuse *));
     Metrics.fadd ph.p_self (Float.max 0. (dt -. fr.child));
     Metrics.incr ph.p_count;
+    if Trace.enabled () then Trace.span ~name:ph.p_trace ~ts:t0 ~dur:dt;
     (match d.stack with
     | parent :: _ -> parent.child <- parent.child +. dt
     | [] -> ());

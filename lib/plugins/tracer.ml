@@ -1,10 +1,24 @@
 (** ExecutionTracer: selectively records the instructions executed along
     each path, with memory accesses, register values and hardware I/O
     (paper section 4.1).  REV+ feeds these traces to its offline CFG
-    recovery. *)
+    recovery.
+
+    Every recorded event is also forwarded to {!S2e_obs.Trace} (as
+    path-tagged instants, when tracing is enabled) so plugin activity
+    lands on the same merged timeline as the engine's own events; the
+    per-path event lists below remain only for the offline consumers
+    ([finished_traces], [touched_addrs]). *)
 
 open S2e_core
 module Expr = S2e_expr.Expr
+module Obs = S2e_obs
+
+let t_insn = Obs.Trace.intern "tracer.insn"
+let t_mem_r = Obs.Trace.intern "tracer.mem.read"
+let t_mem_w = Obs.Trace.intern "tracer.mem.write"
+let t_io_r = Obs.Trace.intern "tracer.io.read"
+let t_io_w = Obs.Trace.intern "tracer.io.write"
+let t_irq = Obs.Trace.intern "tracer.irq"
 
 type event =
   | T_insn of { addr : int; insn : S2e_isa.Insn.t }
@@ -37,7 +51,21 @@ let get_trace t id =
       Hashtbl.replace t.traces id tr;
       tr
 
+(* The Obs.Trace ring bounds itself, so forwarding ignores [max_events]
+   (which only caps the in-memory per-path history). *)
+let forward id ev =
+  if Obs.Trace.enabled () then
+    match ev with
+    | T_insn { addr; _ } -> Obs.Trace.instant ~path:id ~a:addr t_insn
+    | T_mem { addr; is_write; size; _ } ->
+        Obs.Trace.instant ~path:id ~a:addr ~b:size
+          (if is_write then t_mem_w else t_mem_r)
+    | T_io { port; is_write; _ } ->
+        Obs.Trace.instant ~path:id ~a:port (if is_write then t_io_w else t_io_r)
+    | T_irq irq -> Obs.Trace.instant ~path:id ~a:irq t_irq
+
 let record t id ev =
+  forward id ev;
   let tr = get_trace t id in
   if tr.count < t.max_events then begin
     tr.events <- ev :: tr.events;

@@ -44,6 +44,10 @@ type stats = {
   mutable unknowns : int; (* queries answered Unknown (budget/deadline/fault) *)
   mutable total_time : float;
   mutable max_time : float;
+  mutable prefix_reused : int;
+      (* queries whose constraint prefix (assumption stack below the query
+         condition) this context had already seen *)
+  mutable prefix_reused_time : float;
 }
 
 (** One solver context: caches + statistics + budget.  Contexts are not
@@ -98,6 +102,10 @@ type ctx = {
      by the interned expressions' cached hashes, verified by structural
      equality (physical in the common case). *)
   unsat_cache : (int, Expr.t list list) Hashtbl.t;
+  (* Constraint-prefix hashes already queried at least once in this
+     context: the measurement base for the prefix-reuse share an
+     assumption-stack (incremental) solver could exploit. *)
+  seen_prefixes : (int, unit) Hashtbl.t;
   max_conflicts : int ref;
   timeout_ms : float option ref; (* wall-clock watchdog per SAT-core call *)
 }
@@ -110,6 +118,8 @@ let new_stats () =
     unknowns = 0;
     total_time = 0.;
     max_time = 0.;
+    prefix_reused = 0;
+    prefix_reused_time = 0.;
   }
 
 (* Watchdog inherited by contexts created after it is set: parallel and
@@ -123,6 +133,7 @@ let create_ctx ?(max_conflicts = 200_000) ?timeout_ms () =
     ctx_stats = new_stats ();
     model_cache = new_ring ();
     unsat_cache = Hashtbl.create 256;
+    seen_prefixes = Hashtbl.create 256;
     max_conflicts = ref max_conflicts;
     timeout_ms =
       ref (match timeout_ms with Some _ as t -> t | None -> !default_timeout_ms);
@@ -150,11 +161,14 @@ let reset_stats ?(ctx = default_ctx) () =
   st.cache_hits <- 0;
   st.unknowns <- 0;
   st.total_time <- 0.;
-  st.max_time <- 0.
+  st.max_time <- 0.;
+  st.prefix_reused <- 0;
+  st.prefix_reused_time <- 0.
 
 let clear_caches ctx =
   ring_clear ctx.model_cache;
-  Hashtbl.reset ctx.unsat_cache
+  Hashtbl.reset ctx.unsat_cache;
+  Hashtbl.reset ctx.seen_prefixes
 
 let merge_stats ~into src =
   into.queries <- into.queries + src.queries;
@@ -162,7 +176,9 @@ let merge_stats ~into src =
   into.cache_hits <- into.cache_hits + src.cache_hits;
   into.unknowns <- into.unknowns + src.unknowns;
   into.total_time <- into.total_time +. src.total_time;
-  if src.max_time > into.max_time then into.max_time <- src.max_time
+  if src.max_time > into.max_time then into.max_time <- src.max_time;
+  into.prefix_reused <- into.prefix_reused + src.prefix_reused;
+  into.prefix_reused_time <- into.prefix_reused_time +. src.prefix_reused_time
 
 let remember_model ctx m = ring_push ctx.model_cache m
 
@@ -269,36 +285,75 @@ let run_sat ctx constraints =
         Unknown
   end
 
-(* Each query runs inside a "solver" phase span: the span feeds the
-   registry's exclusive-time breakdown, and its single pair of clock
-   readings also feeds the per-context totals and the latency histogram
-   through [on_elapsed]. *)
-let timed ctx f =
-  let st = ctx.ctx_stats in
-  Obs.Span.timed solver_phase
-    ~on_elapsed:(fun dt ->
-      st.total_time <- st.total_time +. dt;
-      if dt > st.max_time then st.max_time <- dt;
-      Obs.Metrics.observe m_query_hist dt)
-    f
+(* Bound on the remembered-prefix population, same amnesia policy as the
+   unsat cache: reuse attribution is a measurement, not a correctness
+   concern. *)
+let seen_prefix_keys = 8192
 
 (* [use_model_cache:false] makes the returned model a pure function of the
    constraint set (the SAT core is deterministic), independent of any
    queries the context answered before.  Value-picking paths (concretize,
    get_value) rely on this so that serial and parallel exploration pin the
-   same concrete values and hence explore the same path set. *)
+   same concrete values and hence explore the same path set.
+
+   Each query runs inside a "solver" phase span: the span feeds the
+   registry's exclusive-time breakdown, and its single pair of clock
+   readings also feeds the per-context totals, the latency histogram, the
+   prefix-reuse attribution and the per-query trace event through
+   [on_elapsed]. *)
 let check_ctx ~use_model_cache ctx constraints =
-  ctx.ctx_stats.queries <- ctx.ctx_stats.queries + 1;
+  let st = ctx.ctx_stats in
+  st.queries <- st.queries + 1;
   Obs.Metrics.incr m_queries;
-  timed ctx (fun () ->
+  (* Attribution facts for this query, filled in by the canonicalization
+     below and consumed once the span closes. *)
+  let q_prefix = ref 0 in
+  let q_nodes = ref 0 in
+  let q_cache = ref 0 (* 0 miss / 1 model hit / 2 unsat hit *) in
+  let q_reused = ref false in
+  let q_result = ref 2 (* 0 sat / 1 unsat / 2 unknown *) in
+  Obs.Span.timed solver_phase
+    ~on_elapsed:(fun dt ->
+      st.total_time <- st.total_time +. dt;
+      if dt > st.max_time then st.max_time <- dt;
+      Obs.Metrics.observe m_query_hist dt;
+      if !q_reused then begin
+        st.prefix_reused <- st.prefix_reused + 1;
+        st.prefix_reused_time <- st.prefix_reused_time +. dt
+      end;
+      if Obs.Trace.enabled () then
+        Obs.Trace.query ~dur:dt ~prefix:!q_prefix ~nodes:!q_nodes
+          ~result:!q_result ~cache:!q_cache ())
+    (fun () ->
       let constraints = List.map Simplifier.simplify constraints in
-      if List.exists (fun c -> Expr.equal c Expr.bool_f) constraints then Unsat
+      if List.exists (fun c -> Expr.equal c Expr.bool_f) constraints then begin
+        q_result := 1;
+        Unsat
+      end
       else
         let constraints =
           List.filter (fun c -> not (Expr.equal c Expr.bool_t)) constraints
         in
-        if constraints = [] then Sat Expr.Int_map.empty
-        else
+        if constraints = [] then begin
+          q_result := 0;
+          Sat Expr.Int_map.empty
+        end
+        else begin
+          (* The canonical list's head is the query-specific condition
+             ([check_with] conses it onto the slice); the tail is the
+             inherited assumption stack — the prefix an incremental solver
+             could keep pushed across sibling queries. *)
+          (match constraints with
+          | _ :: tl -> q_prefix := constraints_key tl
+          | [] -> ());
+          q_nodes :=
+            List.fold_left (fun acc c -> acc + Expr.size c) 0 constraints;
+          q_reused := Hashtbl.mem ctx.seen_prefixes !q_prefix;
+          if not !q_reused then begin
+            if Hashtbl.length ctx.seen_prefixes >= seen_prefix_keys then
+              Hashtbl.reset ctx.seen_prefixes;
+            Hashtbl.add ctx.seen_prefixes !q_prefix ()
+          end;
           let cached_model =
             if use_model_cache then
               ring_find ctx.model_cache (fun m -> satisfies m constraints)
@@ -306,28 +361,35 @@ let check_ctx ~use_model_cache ctx constraints =
           in
           match cached_model with
           | Some m ->
-              ctx.ctx_stats.cache_hits <- ctx.ctx_stats.cache_hits + 1;
+              st.cache_hits <- st.cache_hits + 1;
               Obs.Metrics.incr m_cache_hits;
+              q_cache := 1;
+              q_result := 0;
               Sat m
           | None ->
               if unsat_cached ctx constraints then begin
-                ctx.ctx_stats.cache_hits <- ctx.ctx_stats.cache_hits + 1;
+                st.cache_hits <- st.cache_hits + 1;
                 Obs.Metrics.incr m_cache_hits;
+                q_cache := 2;
+                q_result := 1;
                 Unsat
               end
               else begin
                 let r = run_sat ctx constraints in
                 (match r with
-                | Unsat -> remember_unsat ctx constraints
+                | Unsat ->
+                    q_result := 1;
+                    remember_unsat ctx constraints
                 | Unknown ->
                     (* Never silently fold Unknown into Unsat: the
                        value-picking callers below still return [None],
                        but the miss is now visible in run stats. *)
-                    ctx.ctx_stats.unknowns <- ctx.ctx_stats.unknowns + 1;
+                    st.unknowns <- st.unknowns + 1;
                     Obs.Metrics.incr m_unknowns
-                | Sat _ -> ());
+                | Sat _ -> q_result := 0);
                 r
-              end)
+              end
+        end)
 
 (** Is the conjunction of [constraints] satisfiable?  Returns a model on
     success. *)

@@ -26,6 +26,13 @@ type stats = {
           [Unknown] never silently masquerade as unsatisfiable. *)
   mutable total_time : float;
   mutable max_time : float;
+  mutable prefix_reused : int;
+      (** queries whose constraint prefix — the assumption stack below the
+          query-specific condition, hashed with the interned per-node
+          hashes — this context had already seen.  The share of
+          [total_time] spent in such queries bounds what an incremental
+          (assumption-stack) solver could save. *)
+  mutable prefix_reused_time : float;
 }
 
 type model_ring
@@ -38,6 +45,9 @@ type ctx = {
   unsat_cache : (int, Expr.t list list) Hashtbl.t;
       (** Keyed by a mix of the constraints' interned hashes; both the
           per-key entry list and the key population are bounded. *)
+  seen_prefixes : (int, unit) Hashtbl.t;
+      (** Constraint-prefix hashes this context has queried before; feeds
+          [stats.prefix_reused].  Bounded like the unsat cache. *)
   max_conflicts : int ref;
       (** SAT-core conflict budget per query; exceeding it yields
           [Unknown]. *)

@@ -288,7 +288,9 @@ let test_corrupt_frame_nak_retransmit () =
     (fun () ->
       let a = Proto.connect fd_a and b = Proto.connect fd_b in
       let sent =
-        [ Proto.Ping; Proto.Heartbeat { pid = 7; frontier = 3 }; Proto.Steal ]
+        [ Proto.Ping;
+          Proto.Heartbeat { pid = 7; frontier = 3; now = 12.5; trace = "" };
+          Proto.Steal ]
       in
       (* Every application frame is corrupted on the wire; the receiver
          must NAK each one and end up with the exact sequence anyway. *)

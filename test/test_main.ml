@@ -12,6 +12,7 @@ let () =
       ("engine", Test_engine.tests);
       ("parallel", Test_parallel.tests);
       ("obs", Test_obs.tests);
+      ("trace", Test_trace.tests);
       ("guest", Test_guest.tests);
       ("cachesim", Test_cachesim.tests);
       ("plugins", Test_plugins.tests);
