@@ -3,8 +3,8 @@
 
    Usage:  dune exec bench/main.exe [-- experiment ...]
    Experiments: table4 table5 table6 fig6 fig7 fig8 fig9 ddt profs-url
-   profs-ping overhead pagesize ablate parallel breakdown dist chaos expr
-   oracle all (default: all).  The per-run budget can be scaled with
+   profs-ping overhead pagesize ablate parallel merge breakdown dist chaos
+   expr oracle all (default: all).  The per-run budget can be scaled with
    S2E_BENCH_SECONDS (default 12). *)
 
 open S2e_core
@@ -734,13 +734,16 @@ let parallel () =
   in
   List.iter
     (fun (r : Parallel.result) ->
-      Printf.printf
-        "BENCH {\"name\":\"parallel_explore\",\"jobs\":%d,\"cores\":%d,\
-         \"serial_s\":%.3f,\"parallel_s\":%.3f,\"speedup\":%.3f,\"paths\":%d,\
-         \"steals\":%d}\n"
-        r.jobs cores serial.wall_seconds r.wall_seconds
-        (serial.wall_seconds /. r.wall_seconds)
-        r.stats.Executor.states_completed r.steals)
+      Bench_json.emit ~name:"parallel_explore"
+        [
+          ("jobs", Bench_json.Int r.jobs);
+          ("cores", Bench_json.Int cores);
+          ("serial_s", Bench_json.Float (serial.wall_seconds, 3));
+          ("parallel_s", Bench_json.Float (r.wall_seconds, 3));
+          ("speedup", Bench_json.Float (serial.wall_seconds /. r.wall_seconds, 3));
+          ("paths", Bench_json.Int r.stats.Executor.states_completed);
+          ("steals", Bench_json.Int r.steals);
+        ])
     results;
   Printf.printf
     "\nEach worker owns a private searcher + solver context; the only\n\
@@ -748,6 +751,88 @@ let parallel () =
      core count (this container reports %d); on a single core the domains\n\
      time-slice and the run degenerates to ~1x or below.\n"
     cores
+
+(* ---------------------------------------------------------------- *)
+(* State merging: path reduction at identical case discovery          *)
+(* ---------------------------------------------------------------- *)
+
+(* The stock urlparse workload makes 8 input bytes symbolic, far too
+   many for plain enumeration to drain (hundreds of thousands of paths)
+   — and without the enumerated baseline there is no case set to compare
+   the merged run against.  Narrow the symbolic window so both modes
+   drain inside the budget while exercising the same parser code the
+   merge controller collapses. *)
+let merge_narrow_urlparse bytes =
+  let src = S2e_guest.Workloads_src.urlparse in
+  let wide = "__s2e_sym_mem(url + 8, 8, 1);" in
+  let narrow = Printf.sprintf "__s2e_sym_mem(url + 8, %d, 1);" bytes in
+  let wl = String.length wide in
+  let rec find i =
+    if i + wl > String.length src then failwith "urlparse pattern not found"
+    else if String.sub src i wl = wide then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  String.sub src 0 i ^ narrow
+  ^ String.sub src (i + wl) (String.length src - i - wl)
+
+let merge () =
+  section "State merging: completed paths, merged vs enumerated";
+  let run img name mode =
+    let make_engine () =
+      let config = Executor.default_config () in
+      config.consistency <- Consistency.LC;
+      let engine = Executor.create ~config () in
+      Guest.load_into_engine engine img;
+      Executor.set_unit engine [ "nulldrv"; name ];
+      ignore (S2e_merge.Controller.install ~mode engine);
+      engine
+    in
+    Parallel.explore ~jobs:1 ~make_engine
+      ~boot:(fun eng -> Executor.boot eng ~entry:img.Guest.entry ())
+      ()
+  in
+  let case_set (r : Parallel.result) =
+    List.concat_map Parallel.test_cases r.Parallel.completed
+    |> List.map Parallel.test_case_to_string
+    |> List.sort compare
+  in
+  let fields =
+    List.concat_map
+      (fun (name, src) ->
+        let img =
+          Guest.build
+            ~driver:("nulldrv", S2e_guest.Drivers_src.nulldrv)
+            ~workload:(name, src) ()
+        in
+        let off = run img name S2e_merge.Policy.Off in
+        let auto = run img name S2e_merge.Policy.Auto in
+        let po = List.length off.Parallel.completed in
+        let pa = List.length auto.Parallel.completed in
+        let co = case_set off and ca = case_set auto in
+        let equal = co = ca in
+        let reduction = float_of_int po /. float_of_int (max 1 pa) in
+        Printf.printf
+          "%-10s off: %4d paths  auto: %3d paths  %5.1fx fewer  %4d cases %s\n"
+          name po pa reduction (List.length co)
+          (if equal then "identical" else "DIVERGED");
+        [
+          (name ^ "_paths_off", Bench_json.Int po);
+          (name ^ "_paths_auto", Bench_json.Int pa);
+          (name ^ "_reduction", Bench_json.Float (reduction, 1));
+          (name ^ "_cases", Bench_json.Int (List.length co));
+          (name ^ "_cases_equal", Bench_json.Bool equal);
+        ])
+      [
+        ("urlparse", merge_narrow_urlparse 2);
+        ("symloop", S2e_guest.Workloads_src.symloop);
+      ]
+  in
+  Printf.printf
+    "\nurlparse runs with a narrowed 2-byte symbolic window so the\n\
+     enumerated baseline drains; the merged run must reproduce its case\n\
+     set exactly while completing an order of magnitude fewer paths.\n";
+  Bench_json.emit ~name:"merge" ~artifact:"merge" fields
 
 (* ---------------------------------------------------------------- *)
 (* Telemetry breakdown: Table-5-of-DBT-papers-style time accounting   *)
@@ -827,18 +912,24 @@ let breakdown () =
       st.Solver.prefix_reused_time /. st.Solver.total_time
     else 0.
   in
-  Printf.printf
-    "BENCH {\"name\":\"breakdown\",\"paths\":%d,\"wall_s\":%.3f,\
-     \"accounted_s\":%.3f,\"solver_frac\":%.4f,\"instr_per_sec\":%.0f,\
-     \"queries\":%d,\"tb_hit_rate\":%.4f,\"prefix_reuse\":%.4f}\n"
-    r.stats.Executor.states_completed wall accounted
-    (if accounted > 0. then solver_s /. accounted else 0.)
-    (if wall > 0. then float_of_int instr /. wall else 0.)
-    (Obs.Metrics.get_int snap "solver.queries")
-    (let h = float_of_int (Obs.Metrics.get_int snap "dbt.tb_hits") in
-     let m = float_of_int (Obs.Metrics.get_int snap "dbt.tb_misses") in
-     if h +. m > 0. then h /. (h +. m) else 0.)
-    prefix_reuse;
+  Bench_json.emit ~name:"breakdown"
+    [
+      ("paths", Bench_json.Int r.stats.Executor.states_completed);
+      ("wall_s", Bench_json.Float (wall, 3));
+      ("accounted_s", Bench_json.Float (accounted, 3));
+      ( "solver_frac",
+        Bench_json.Float ((if accounted > 0. then solver_s /. accounted else 0.), 4) );
+      ( "instr_per_sec",
+        Bench_json.Float ((if wall > 0. then float_of_int instr /. wall else 0.), 0) );
+      ("queries", Bench_json.Int (Obs.Metrics.get_int snap "solver.queries"));
+      ( "tb_hit_rate",
+        Bench_json.Float
+          ( (let h = float_of_int (Obs.Metrics.get_int snap "dbt.tb_hits") in
+             let m = float_of_int (Obs.Metrics.get_int snap "dbt.tb_misses") in
+             if h +. m > 0. then h /. (h +. m) else 0.),
+            4 ) );
+      ("prefix_reuse", Bench_json.Float (prefix_reuse, 4));
+    ];
   Printf.printf
     "\nThe solver share dominating a symbolic workload (and execute\n\
      dominating a concrete one) is the paper's Fig. 9 shape; phase spans\n\
@@ -913,12 +1004,16 @@ let trace_overhead () =
     traced_paths traced_wall (List.length events) dropped;
   Printf.printf "overhead: %+.1f%%; path/case sets %s\n" (100. *. overhead)
     (if cases_equal then "identical" else "DIFFERENT (BUG)");
-  Printf.printf
-    "BENCH {\"name\":\"trace\",\"paths\":%d,\"base_wall_s\":%.3f,\
-     \"traced_wall_s\":%.3f,\"overhead_frac\":%.4f,\"events\":%d,\
-     \"dropped\":%d,\"cases_equal\":%b}\n"
-    traced_paths base_wall traced_wall overhead (List.length events) dropped
-    cases_equal;
+  Bench_json.emit ~name:"trace"
+    [
+      ("paths", Bench_json.Int traced_paths);
+      ("base_wall_s", Bench_json.Float (base_wall, 3));
+      ("traced_wall_s", Bench_json.Float (traced_wall, 3));
+      ("overhead_frac", Bench_json.Float (overhead, 4));
+      ("events", Bench_json.Int (List.length events));
+      ("dropped", Bench_json.Int dropped);
+      ("cases_equal", Bench_json.Bool cases_equal);
+    ];
   Printf.printf
     "\nThe emit path is one array store into the domain's own ring, so\n\
      tracing stays within a few percent of the untraced run while the\n\
@@ -984,14 +1079,20 @@ let dist () =
   let results = List.map (fun procs -> let r = run procs in report r; r) [ 2; 4 ] in
   List.iter
     (fun (r : Coordinator.result) ->
-      Printf.printf
-        "BENCH {\"name\":\"dist_explore\",\"procs\":%d,\"serial_paths_per_s\":\
-         %.3f,\"paths_per_s\":%.3f,\"speedup\":%.3f,\"paths\":%d,\"steals\":%d,\
-         \"requeues\":%d,\"restarts\":%d,\"unexplored\":%d}\n"
-        r.procs (rate serial) (rate r)
-        (if rate serial > 0. then rate r /. rate serial else 0.)
-        r.stats.Executor.states_completed r.steals r.requeues r.restarts
-        r.unexplored)
+      Bench_json.emit ~name:"dist_explore"
+        [
+          ("procs", Bench_json.Int r.procs);
+          ("serial_paths_per_s", Bench_json.Float (rate serial, 3));
+          ("paths_per_s", Bench_json.Float (rate r, 3));
+          ( "speedup",
+            Bench_json.Float
+              ((if rate serial > 0. then rate r /. rate serial else 0.), 3) );
+          ("paths", Bench_json.Int r.stats.Executor.states_completed);
+          ("steals", Bench_json.Int r.steals);
+          ("requeues", Bench_json.Int r.requeues);
+          ("restarts", Bench_json.Int r.restarts);
+          ("unexplored", Bench_json.Int r.unexplored);
+        ])
     results;
   Printf.printf
     "\nEach worker process rebuilds the engine stack and decodes serialized\n\
@@ -1112,18 +1213,22 @@ let chaos () =
   if recoveries <> [] then
     Printf.printf "crash recovery: %d respawns, mean %.0f ms\n"
       (List.length recoveries) mean_recovery_ms;
-  Printf.printf
-    "BENCH {\"name\":\"chaos\",\"base_paths_per_s\":%.3f,\"paths_per_s\":%.3f,\
-     \"throughput_frac\":%.3f,\"injected\":%d,\"naks\":%d,\"retransmits\":%d,\
-     \"degradations\":%d,\"requeues\":%d,\"restarts\":%d,\"abandoned\":%d,\
-     \"mean_recovery_ms\":%.1f}\n"
-    (rate base) (rate faulted)
-    (if rate base > 0. then rate faulted /. rate base else 0.)
-    injected faulted.Coordinator.naks faulted.Coordinator.retransmits
-    faulted.stats.Executor.degradations faulted.Coordinator.requeues
-    faulted.Coordinator.restarts
-    (List.length faulted.Coordinator.abandoned)
-    mean_recovery_ms;
+  Bench_json.emit ~name:"chaos"
+    [
+      ("base_paths_per_s", Bench_json.Float (rate base, 3));
+      ("paths_per_s", Bench_json.Float (rate faulted, 3));
+      ( "throughput_frac",
+        Bench_json.Float
+          ((if rate base > 0. then rate faulted /. rate base else 0.), 3) );
+      ("injected", Bench_json.Int injected);
+      ("naks", Bench_json.Int faulted.Coordinator.naks);
+      ("retransmits", Bench_json.Int faulted.Coordinator.retransmits);
+      ("degradations", Bench_json.Int faulted.stats.Executor.degradations);
+      ("requeues", Bench_json.Int faulted.Coordinator.requeues);
+      ("restarts", Bench_json.Int faulted.Coordinator.restarts);
+      ("abandoned", Bench_json.Int (List.length faulted.Coordinator.abandoned));
+      ("mean_recovery_ms", Bench_json.Float (mean_recovery_ms, 1));
+    ];
   Printf.printf
     "\nThe faulted run trades throughput for the recovery machinery\n\
      visibly doing its job: NAK/retransmit on corrupt frames,\n\
@@ -1311,14 +1416,19 @@ let expr_intern () =
     "end-to-end (serial pbench): %d paths, %.2fs wall, %.2fs solver, %d queries\n"
     r.stats.Executor.states_completed wall st.Solver.total_time
     st.Solver.queries;
-  Printf.printf
-    "BENCH {\"name\":\"expr_intern\",\"equal_speedup\":%.2f,\
-     \"hash_speedup\":%.2f,\"slice_speedup\":%.2f,\"equal_ns\":%.1f,\
-     \"hash_ns\":%.1f,\"slice_ns\":%.1f,\"e2e_paths\":%d,\"e2e_wall_s\":%.3f,\
-     \"e2e_solver_s\":%.3f,\"e2e_queries\":%d}\n"
-    s_equal s_hash s_slice (t_equal_cached *. 1e9) (t_hash_cached *. 1e9)
-    (t_slice_cached *. 1e9) r.stats.Executor.states_completed wall
-    st.Solver.total_time st.Solver.queries;
+  Bench_json.emit ~name:"expr_intern" ~artifact:"expr"
+    [
+      ("equal_speedup", Bench_json.Float (s_equal, 2));
+      ("hash_speedup", Bench_json.Float (s_hash, 2));
+      ("slice_speedup", Bench_json.Float (s_slice, 2));
+      ("equal_ns", Bench_json.Float (t_equal_cached *. 1e9, 1));
+      ("hash_ns", Bench_json.Float (t_hash_cached *. 1e9, 1));
+      ("slice_ns", Bench_json.Float (t_slice_cached *. 1e9, 1));
+      ("e2e_paths", Bench_json.Int r.stats.Executor.states_completed);
+      ("e2e_wall_s", Bench_json.Float (wall, 3));
+      ("e2e_solver_s", Bench_json.Float (st.Solver.total_time, 3));
+      ("e2e_queries", Bench_json.Int st.Solver.queries);
+    ];
   Printf.printf
     "\nInterned equality is a pointer comparison and slicing reads the\n\
      per-node cached variable sets, so both are independent of tree\n\
@@ -1376,12 +1486,15 @@ let oracle () =
      case)\n"
     diff_rate;
   Printf.printf "divergences: %d\n" (List.length r.O.r_divergences);
-  Printf.printf
-    "BENCH {\"name\":\"oracle\",\"blocks\":%d,\"corpus_blocks\":%d,\
-     \"interp_blocks_per_s\":%.0f,\"dbt_blocks_per_s\":%.0f,\
-     \"diff_blocks_per_s\":%.0f,\"divergences\":%d}\n"
-    r.O.r_blocks (List.length corpus) (per t_interp) (per t_dbt) diff_rate
-    (List.length r.O.r_divergences)
+  Bench_json.emit ~name:"oracle"
+    [
+      ("blocks", Bench_json.Int r.O.r_blocks);
+      ("corpus_blocks", Bench_json.Int (List.length corpus));
+      ("interp_blocks_per_s", Bench_json.Float (per t_interp, 0));
+      ("dbt_blocks_per_s", Bench_json.Float (per t_dbt, 0));
+      ("diff_blocks_per_s", Bench_json.Float (diff_rate, 0));
+      ("divergences", Bench_json.Int (List.length r.O.r_divergences));
+    ]
 
 let experiments =
   [
@@ -1403,6 +1516,7 @@ let experiments =
     ("pagesize", pagesize);
     ("ablate", ablate);
     ("parallel", parallel);
+    ("merge", merge);
     ("breakdown", breakdown);
     ("trace", trace_overhead);
   ]

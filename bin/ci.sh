@@ -48,13 +48,50 @@ diff "$serial_out.cases" "$dist_out.cases" > /dev/null \
 rm -f "$serial_out.cases" "$dist_out.cases"
 echo "CI: dist smoke test passed ($dist_cases cases, procs=2 == jobs=1)"
 
+# Merge smoke test: --merge=auto must emit exactly the enumerated
+# (--merge=off, the default) run's test cases after case-tree expansion,
+# while completing strictly fewer paths.
+merge_out=$(mktemp /tmp/s2e-merge-XXXXXX.txt)
+trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$merge_out"' EXIT
+dune exec bin/s2e_cli.exe -- explore --driver nulldrv --workload symloop \
+  --jobs 1 --seconds 30 --merge auto --cases > "$merge_out"
+merge_cases=$(grep -c '|' "$merge_out")
+[ "$serial_cases" = "$merge_cases" ] \
+  || { echo "CI: merge case count mismatch (off $serial_cases, auto $merge_cases)" >&2; exit 1; }
+grep '|' "$serial_out" > "$serial_out.cases"
+grep '|' "$merge_out" > "$merge_out.cases"
+diff "$serial_out.cases" "$merge_out.cases" > /dev/null \
+  || { echo "CI: merged test cases differ from enumerated" >&2; exit 1; }
+rm -f "$serial_out.cases" "$merge_out.cases"
+merged_paths=$(sed -n 's/^paths completed: \([0-9][0-9]*\)$/\1/p' "$merge_out")
+enum_paths=$(sed -n 's/^paths completed: \([0-9][0-9]*\)$/\1/p' "$serial_out")
+[ "$merged_paths" -lt "$enum_paths" ] \
+  || { echo "CI: merge did not reduce completed paths ($merged_paths vs $enum_paths)" >&2; exit 1; }
+echo "CI: merge smoke test passed ($merge_cases cases, $merged_paths merged vs $enum_paths enumerated paths)"
+
+# On driver-ful LC workloads the kernel can branch on merged hardware
+# data; such carriers abort conservatively and the loss must be visible
+# in the stats, never silent (DESIGN.md §10).  The c111 exerciser is the
+# regression workload: merging still engages (merges > 0) and the
+# carrier-abort count is surfaced by the renderer.
+merge_stats=$(mktemp /tmp/s2e-merge-stats-XXXXXX.jsonl)
+trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$merge_out" "$merge_stats"' EXIT
+dune exec bin/s2e_cli.exe -- explore --driver c111 --workload exerciser \
+  --jobs 1 --seconds 60 --merge auto --stats-out "$merge_stats" > /dev/null
+merge_render=$(dune exec bin/s2e_cli.exe -- stats "$merge_stats")
+printf '%s\n' "$merge_render" | grep -q '^merge: [1-9]' \
+  || { echo "CI: merging did not engage on the c111 exerciser" >&2; exit 1; }
+printf '%s\n' "$merge_render" | grep -q 'carrier aborts: ' \
+  || { echo "CI: carrier aborts not surfaced in merged exerciser stats" >&2; exit 1; }
+echo "CI: merge observability smoke test passed"
+
 # Trace smoke test: a traced run must produce valid trace_event JSON
 # (the trace renderer parses it with the same codec), render the prefix
 # attribution report, and emit exactly the untraced serial run's test
 # cases (tracing must not perturb exploration).
 trace_json=$(mktemp /tmp/s2e-trace-XXXXXX.json)
 traced_out=$(mktemp /tmp/s2e-traced-XXXXXX.txt)
-trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$trace_json" "$traced_out"' EXIT
+trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$merge_out" "$merge_stats" "$trace_json" "$traced_out"' EXIT
 dune exec bin/s2e_cli.exe -- explore --driver nulldrv --workload symloop \
   --jobs 1 --seconds 30 --cases --trace-out "$trace_json" > "$traced_out"
 test -s "$trace_json" || { echo "CI: trace file empty" >&2; exit 1; }
@@ -86,7 +123,7 @@ echo "CI: trace smoke test passed (cases == untraced serial, $pids merged pid la
 # watchdog must complete cleanly in both execution modes (recovery, not
 # crashes) and report a nonzero injected-fault count.
 chaos_out=$(mktemp /tmp/s2e-chaos-XXXXXX.txt)
-trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$trace_json" "$traced_out" "$chaos_out"' EXIT
+trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$merge_out" "$merge_stats" "$trace_json" "$traced_out" "$chaos_out"' EXIT
 dune exec bin/s2e_cli.exe -- explore --driver nulldrv --workload urlparse \
   --jobs 2 --seconds 5 --solver-timeout-ms 10000 \
   --fault-plan 'dev.read=err:0.05,irq=spurious:0.02,solver=latency:0.05' \
@@ -135,12 +172,31 @@ for field in equal_speedup hash_speedup slice_speedup; do
 done
 echo "CI: bench expr smoke test passed"
 
+# Merge bench: both workloads must clear the 5x path-reduction floor at
+# identical case discovery (the headline number is ~15x; 5x catches a
+# regressed policy without flaking on scheduler noise).
+merge_bench=$(timeout 120 dune exec bench/main.exe merge \
+  | grep '^BENCH {"name":"merge"') \
+  || { echo "CI: bench merge emitted no BENCH line" >&2; exit 1; }
+for field in urlparse_reduction symloop_reduction; do
+  v=$(printf '%s\n' "$merge_bench" \
+    | sed -n "s/.*\"$field\":\([0-9.]*\).*/\1/p")
+  [ -n "$v" ] || { echo "CI: bench merge missing $field" >&2; exit 1; }
+  ok=$(awk -v v="$v" 'BEGIN { print (v >= 5.0) ? 1 : 0 }')
+  [ "$ok" = 1 ] \
+    || { echo "CI: bench merge $field=$v below 5x floor" >&2; exit 1; }
+done
+printf '%s\n' "$merge_bench" | grep -q '"urlparse_cases_equal":true' \
+  && printf '%s\n' "$merge_bench" | grep -q '"symloop_cases_equal":true' \
+  || { echo "CI: bench merge case sets diverged" >&2; exit 1; }
+echo "CI: bench merge smoke test passed"
+
 # ISA-oracle smoke test: 500 generated blocks plus the checked-in
 # urlparse corpus must replay with zero divergences (the oracle exits 1
 # and dumps a repro on any divergence), and a fresh capture of the
 # urlparse workload must also replay cleanly end to end.
 oracle_dir=$(mktemp -d /tmp/s2e-oracle-XXXXXX)
-trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$trace_json" "$traced_out" "$chaos_out"; rm -rf "$oracle_dir"' EXIT
+trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$merge_out" "$merge_stats" "$trace_json" "$traced_out" "$chaos_out"; rm -rf "$oracle_dir"' EXIT
 dune exec bin/s2e_cli.exe -- oracle --count 500 --seed 1 \
   --corpus examples/oracle/urlparse.corpus --repro-dir "$oracle_dir" \
   > "$oracle_dir/out.txt" \

@@ -181,8 +181,8 @@ let workload_src = function
 (* Validate every exploration argument before any engine setup starts,
    with one consistent error shape: `s2e <cmd>: <problem>` to stderr,
    exit code 2. *)
-let validate_explore_args ~cmd ~driver ~workload ~model ~searcher ~jobs ~procs
-    ~seconds ~stats_interval =
+let validate_explore_args ~cmd ~driver ~workload ~model ~searcher ~merge ~jobs
+    ~procs ~seconds ~stats_interval =
   let fail msg =
     Fmt.epr "s2e %s: %s@." cmd msg;
     exit 2
@@ -201,6 +201,9 @@ let validate_explore_args ~cmd ~driver ~workload ~model ~searcher ~jobs ~procs
   (match S2e_core.Searcher.of_name searcher with
   | _ -> ()
   | exception Invalid_argument msg -> fail msg);
+  (match S2e_merge.Policy.mode_of_string merge with
+  | Ok _ -> ()
+  | Error msg -> fail msg);
   if jobs < 1 then fail (Printf.sprintf "--jobs must be >= 1 (got %d)" jobs);
   if procs < 1 then fail (Printf.sprintf "--procs must be >= 1 (got %d)" procs);
   if seconds <= 0. then
@@ -211,7 +214,7 @@ let validate_explore_args ~cmd ~driver ~workload ~model ~searcher ~jobs ~procs
 
 (* Image + engine factory for a validated (driver, workload, model,
    searcher) spec.  The image is built once, outside the closure. *)
-let engine_factory ~driver ~workload ~model ~searcher =
+let engine_factory ~driver ~workload ~model ~searcher ~merge =
   let open S2e_core in
   let driver_src =
     if driver = "nulldrv" then S2e_guest.Drivers_src.nulldrv
@@ -223,6 +226,11 @@ let engine_factory ~driver ~workload ~model ~searcher =
   let netdev_ports =
     (S2e_vm.Layout.port_netdev, S2e_vm.Layout.port_netdev + 16)
   in
+  let merge_mode =
+    match S2e_merge.Policy.mode_of_string merge with
+    | Ok m -> m
+    | Error msg -> invalid_arg msg
+  in
   let make_engine () =
     let config = Executor.default_config () in
     config.consistency <- consistency;
@@ -231,6 +239,8 @@ let engine_factory ~driver ~workload ~model ~searcher =
     engine.Executor.searcher <- Searcher.of_name searcher;
     Guest.load_into_engine engine img;
     Executor.set_unit engine [ driver; fst wl ];
+    (* After the searcher: the controller wraps whatever is installed. *)
+    ignore (S2e_merge.Controller.install ~mode:merge_mode engine);
     engine
   in
   (img, make_engine)
@@ -345,6 +355,19 @@ let explore_workload_arg =
   in
   Arg.(value & opt string "exerciser" & info [ "workload" ] ~docv:"W" ~doc)
 
+let merge_arg =
+  let doc =
+    "State merging at post-dominator merge points: $(b,off) (plain \
+     enumeration, the default), $(b,auto) (ite-join sibling states when \
+     the predicted expression blow-up fits the node budget), or \
+     $(b,always) (join unconditionally).  Merging trades path count for \
+     expression size; unmergeable pairs (pending DMA, differing device or \
+     interrupt state) always fall back to enumeration.  Note that merging \
+     rendezvouses sibling states on their home worker, so it serializes \
+     some of the parallelism --jobs buys."
+  in
+  Arg.(value & opt string "off" & info [ "merge" ] ~docv:"MODE" ~doc)
+
 let searcher_arg =
   let doc =
     Printf.sprintf "Path selector per worker: one of %s."
@@ -397,10 +420,11 @@ let explore_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
   in
-  let run driver workload model jobs procs seconds searcher cases stats_out
-      stats_interval trace_out fault_plan fault_seed solver_timeout_ms =
+  let run driver workload model jobs procs seconds searcher merge cases
+      stats_out stats_interval trace_out fault_plan fault_seed
+      solver_timeout_ms =
     validate_explore_args ~cmd:"explore" ~driver ~workload ~model ~searcher
-      ~jobs ~procs ~seconds ~stats_interval;
+      ~merge ~jobs ~procs ~seconds ~stats_interval;
     setup_resilience ~cmd:"explore" ~fault_plan ~fault_seed ~solver_timeout_ms;
     if trace_out <> None then begin
       Obs.Trace.set_enabled true;
@@ -413,7 +437,9 @@ let explore_cmd =
       Fmt.pr "trace: %d events -> %s%s@." (List.length events) path
         (if dropped > 0 then Printf.sprintf " (%d dropped)" dropped else "")
     in
-    let img, make_engine = engine_factory ~driver ~workload ~model ~searcher in
+    let img, make_engine =
+      engine_factory ~driver ~workload ~model ~searcher ~merge
+    in
     let limits =
       {
         Executor.max_instructions = None;
@@ -472,11 +498,18 @@ let explore_cmd =
           (Obs.Metrics.get_int (Obs.Metrics.snapshot ()) "solver.timeouts")
         ~injected:(Fault.total ());
       if cases then
+        (* One line per test case: a state merged from N enumerated paths
+           expands to N lines, so merged and enumerated case sets diff
+           clean. *)
         print_cases
-          (List.map
+          (List.concat_map
              (fun (s : State.t) ->
-               Printf.sprintf "%s | %s" (State.report_string s)
-                 (Parallel.test_case_to_string (Parallel.test_case s)))
+               let status = State.report_string s in
+               List.map
+                 (fun tc ->
+                   Printf.sprintf "%s | %s" status
+                     (Parallel.test_case_to_string tc))
+                 (Parallel.test_cases s))
              r.completed)
     end
     else begin
@@ -495,6 +528,8 @@ let explore_cmd =
              model;
              "--searcher";
              searcher;
+             "--merge";
+             merge;
              "--jobs";
              string_of_int jobs;
              (* Exec'd workers don't inherit memory: forward the resilience
@@ -584,9 +619,9 @@ let explore_cmd =
           workers (--jobs) and worker processes (--procs)")
     Term.(
       const run $ driver_arg $ explore_workload_arg $ model_arg $ jobs_arg
-      $ procs_arg $ seconds_arg $ searcher_arg $ cases_arg $ stats_out_arg
-      $ stats_interval_arg $ trace_out_arg $ fault_plan_arg $ fault_seed_arg
-      $ solver_timeout_arg)
+      $ procs_arg $ seconds_arg $ searcher_arg $ merge_arg $ cases_arg
+      $ stats_out_arg $ stats_interval_arg $ trace_out_arg $ fault_plan_arg
+      $ fault_seed_arg $ solver_timeout_arg)
 
 (* --- worker: internal fork-server entry point for `explore --procs` --- *)
 
@@ -602,10 +637,10 @@ let worker_cmd =
     in
     Arg.(value & flag & info [ "trace" ] ~doc)
   in
-  let run driver workload model jobs searcher slice trace fault_plan fault_seed
-      solver_timeout_ms =
+  let run driver workload model jobs searcher merge slice trace fault_plan
+      fault_seed solver_timeout_ms =
     validate_explore_args ~cmd:"worker" ~driver ~workload ~model ~searcher
-      ~jobs ~procs:1 ~seconds:1. ~stats_interval:1.;
+      ~merge ~jobs ~procs:1 ~seconds:1. ~stats_interval:1.;
     setup_resilience ~cmd:"worker" ~fault_plan ~fault_seed ~solver_timeout_ms;
     if trace then Obs.Trace.set_enabled true;
     if slice <= 0. then begin
@@ -627,7 +662,7 @@ let worker_cmd =
           exit 2
     in
     let _img, make_engine =
-      engine_factory ~driver ~workload ~model ~searcher
+      engine_factory ~driver ~workload ~model ~searcher ~merge
     in
     S2e_dist.Worker.serve ~jobs ~slice ~fd ~make_engine ()
   in
@@ -637,7 +672,7 @@ let worker_cmd =
          "Internal: exploration worker process (spawned by explore --procs)")
     Term.(
       const run $ driver_arg $ explore_workload_arg $ model_arg $ jobs_arg
-      $ searcher_arg $ slice_arg $ trace_flag_arg $ fault_plan_arg
+      $ searcher_arg $ merge_arg $ slice_arg $ trace_flag_arg $ fault_plan_arg
       $ fault_seed_arg $ solver_timeout_arg)
 
 (* --- stats: render a run-stats JSONL file --- *)
@@ -756,6 +791,44 @@ let stats_cmd =
       (mi "engine.concretizations")
       (mi "engine.max_constraint_set")
       (mi "parallel.steals") (mi "parallel.donations");
+    (* State merging (--merge): join/reject totals plus the unmergeable
+       taxonomy, whose counters are registered dynamically per reason. *)
+    if mi "merge.merges" + mi "merge.rejected_cost" + mi "merge.parked" > 0
+    then begin
+      Fmt.pr
+        "merge: %d merges, %d cost-rejected, %d parked, %d released (%d \
+         forced), %d without merge point@."
+        (mi "merge.merges")
+        (mi "merge.rejected_cost")
+        (mi "merge.parked") (mi "merge.released")
+        (mi "merge.released_forced")
+        (mi "merge.no_point");
+      let pre = "merge.unmergeable." in
+      let plen = String.length pre in
+      let unmergeable =
+        List.filter_map
+          (fun (name, v) ->
+            match Obs.Jsonl.to_num v with
+            | Some n
+              when String.length name > plen && String.sub name 0 plen = pre
+                   && n > 0. ->
+                Some (String.sub name plen (String.length name - plen), n)
+            | _ -> None)
+          (Option.value ~default:[] (Obs.Jsonl.to_obj metrics))
+      in
+      if unmergeable <> [] then
+        Fmt.pr "  unmergeable: %s@."
+          (String.concat ", "
+             (List.map
+                (fun (reason, n) -> Printf.sprintf "%s %d" reason
+                    (int_of_float n))
+                (List.sort (fun (_, a) (_, b) -> compare b a) unmergeable)));
+      if mi "merge.carrier_aborts" > 0 then
+        Fmt.pr
+          "  carrier aborts: %d (each drops its carried paths' cases; see \
+           DESIGN.md on LC environment hazards)@."
+          (mi "merge.carrier_aborts")
+    end;
     (* Phase breakdown: every "phase.<name>_s" fcounter holds that phase's
        exclusive (self) time, so fractions of their sum add up to ~100%. *)
     let phases =

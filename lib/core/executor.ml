@@ -126,6 +126,11 @@ type t = {
   (* LC interface annotations, keyed by environment function address. *)
   annotations : (int, t -> State.t -> unit) Hashtbl.t;
   mutable var_tags : (int * string) list; (* symbolic variable provenance *)
+  mutable quiesce : unit -> unit;
+      (* Release any deferred scheduling state (e.g. states parked at
+         merge points) back into the searcher so [live] is
+         self-describing.  Installed by the merge controller; called
+         before snapshotting the frontier for another process. *)
 }
 
 let create ?(config = default_config ()) ?(solver = Solver.default_ctx) () =
@@ -142,6 +147,7 @@ let create ?(config = default_config ()) ?(solver = Solver.default_ctx) () =
     base_mem = Bytes.create 0;
     annotations = Hashtbl.create 16;
     var_tags = [];
+    quiesce = (fun () -> ());
   }
 
 (** A view of a linked guest image: origin, raw code bytes, and module
@@ -685,15 +691,23 @@ let exec_insn t (s : State.t) addr insn =
   | Insn.Jr { rs1 } ->
       let target = reg rs1 in
       mark_sym (is_symbolic target);
-      s.pc <- concrete_addr t s target
+      let dst = concrete_addr t s target in
+      (* shadow call stack: a jump back to the innermost pending return
+         address is a return *)
+      (match s.ret_stack with
+      | r :: rest when r = dst -> s.ret_stack <- rest
+      | _ -> ());
+      s.pc <- dst
   | Insn.Jal { target } ->
       let target = Int32.to_int target land 0xFFFFFFFF in
       setr Insn.reg_lr (Expr.const (Int64.of_int next));
+      s.ret_stack <- next :: s.ret_stack;
       on_call t s ~target ~return_addr:next ~via_syscall:false;
       s.pc <- target
   | Insn.Jalr { rs1 } ->
       let target = concrete_addr t s (reg rs1) in
       setr Insn.reg_lr (Expr.const (Int64.of_int next));
+      s.ret_stack <- next :: s.ret_stack;
       on_call t s ~target ~return_addr:next ~via_syscall:false;
       s.pc <- target
   | Insn.Branch { cond; rs1; rs2; target } ->

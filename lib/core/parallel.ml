@@ -106,14 +106,19 @@ type worker = {
   eng : Executor.t;
   mutable forked : State.t list;       (* children born this block *)
   mutable ended : State.t list;        (* states terminated this block *)
+  mutable merges : int;                (* states absorbed by an ite-join *)
   mutable terminated : State.t list;   (* all terminations, for the result *)
 }
 
 let make_worker eng =
-  let w = { eng; forked = []; ended = []; terminated = [] } in
+  let w = { eng; forked = []; ended = []; merges = 0; terminated = [] } in
   Events.reg_fork eng.Executor.events (fun _parent child _cond ->
       w.forked <- child :: w.forked);
   Events.reg_state_end eng.Executor.events (fun s -> w.ended <- s :: w.ended);
+  (* A merged-away state leaves the system without terminating: it is no
+     longer outstanding, but it is not a completed path either. *)
+  Events.reg_state_merge eng.Executor.events (fun _absorbed _survivor ->
+      w.merges <- w.merges + 1);
   w
 
 (* Fold the block's fork/termination deltas into the scheduler and donate
@@ -122,12 +127,14 @@ let make_worker eng =
 let sync_after_block shared w =
   let forks = List.length w.forked in
   let ends = List.length w.ended in
+  let merges = w.merges in
   w.forked <- [];
   w.terminated <- List.rev_append w.ended w.terminated;
   w.ended <- [];
+  w.merges <- 0;
   if ends > 0 then ignore (Atomic.fetch_and_add shared.completed ends);
   Mutex.lock shared.m;
-  shared.outstanding <- shared.outstanding + forks - ends;
+  shared.outstanding <- shared.outstanding + forks - ends - merges;
   if shared.outstanding > shared.max_live then
     shared.max_live <- shared.outstanding;
   if shared.outstanding = 0 then Condition.broadcast shared.cv
@@ -139,9 +146,17 @@ let sync_after_block shared w =
         shared.idle > Queue.length shared.pool
         && List.length w.eng.Executor.live > 1
       then begin
-        match List.rev w.eng.Executor.live with
-        | [] -> ()
-        | victim :: _ ->
+        (* States holding a rendezvous are steal-exempt: their merge ids
+           are engine-local, and keeping carriers home keeps merging
+           per-worker-local (a sibling pair split across workers would
+           never meet). *)
+        match
+          List.find_opt
+            (fun (s : State.t) -> s.State.rendezvous = [])
+            (List.rev w.eng.Executor.live)
+        with
+        | None -> ()
+        | Some victim ->
             Executor.disown w.eng victim;
             Queue.push victim shared.pool;
             Obs.Metrics.incr m_donations;
@@ -315,8 +330,8 @@ let explore_frontier ?(jobs = 1) ?(limits = Executor.no_limits)
     Independent of worker count, scheduling and solver-cache history, so
     sorted test-case lists compare equal between serial and parallel
     runs. *)
-let test_case (s : State.t) =
-  Obs.Trace.set_current_path s.State.id;
+let model_of ?ctx constraints =
+  let ctx = match ctx with Some c -> c | None -> Solver.create_ctx () in
   let vars =
     List.fold_left
       (fun acc c ->
@@ -324,20 +339,84 @@ let test_case (s : State.t) =
           (fun acc id name width ->
             if List.mem_assoc id acc then acc else (id, (name, width)) :: acc)
           acc c)
-      [] s.State.constraints
+      [] constraints
   in
-  match Solver.check ~ctx:(Solver.create_ctx ()) s.State.constraints with
+  match Solver.check ~ctx constraints with
   | Solver.Sat m ->
-      vars
-      |> List.map (fun (id, (name, width)) ->
-             let v =
-               match Expr.Int_map.find_opt id m with
-               | Some v -> Expr.norm v width
-               | None -> 0L
-             in
-             (name, v))
-      |> List.sort compare
-  | Solver.Unsat | Solver.Unknown -> []
+      Some
+        (vars
+        |> List.map (fun (id, (name, width)) ->
+               let v =
+                 match Expr.Int_map.find_opt id m with
+                 | Some v -> Expr.norm v width
+                 | None -> 0L
+               in
+               (name, v))
+        |> List.sort compare)
+  | Solver.Unsat | Solver.Unknown -> None
+
+let test_case (s : State.t) =
+  Obs.Trace.set_current_path s.State.id;
+  match model_of s.State.constraints with Some tc -> tc | None -> []
+
+(* Expand a merged state's case tree back into the constraint lists of
+   the enumerated paths it subsumes.  Each [Case_split] recorded the
+   exact list slot its disjunction occupies — [base_len] constraints from
+   the bottom — so substitution is positional: replace the disjunction
+   with either side's original suffix and recurse into that side's
+   subtree.  The invariant survives nesting because a side's inner splits
+   sit inside the suffix being substituted, at the same distance from the
+   shared bottom.
+
+   Pruning is load-bearing, not an optimisation: when a merged state
+   forks and the copies later re-merge, both sides of the new split carry
+   the inherited splits, so the raw tree is a cross-product of suffix
+   choices — exponentially more combinations than enumerated paths, and
+   almost all of them unsat.  Substituting one side keeps every deeper
+   disjunction in place, and a disjunction is weaker than either of its
+   refinements, so an Unsat partial assignment soundly kills the whole
+   subtree.  The walk then visits O(real paths x tree depth) nodes
+   instead of the full product. *)
+let rec expand_cases ~ctx constraints (tree : State.case_tree) =
+  match tree with
+  | State.Case_leaf -> [ constraints ]
+  | State.Case_split { disj; base_len; a_suffix; b_suffix; a_tree; b_tree } ->
+      let len = List.length constraints in
+      let split_at = len - 1 - base_len in
+      let rec cut i above = function
+        | d :: below when i = 0 ->
+            if not (Expr.equal d disj) then
+              invalid_arg "Parallel.test_cases: case tree out of sync";
+            (List.rev above, below)
+        | c :: rest -> cut (i - 1) (c :: above) rest
+        | [] -> invalid_arg "Parallel.test_cases: case tree out of sync"
+      in
+      let above, below = cut split_at [] constraints in
+      let side suffix subtree =
+        let c = above @ suffix @ below in
+        match Solver.check ~ctx c with
+        | Solver.Unsat -> []
+        | Solver.Sat _ | Solver.Unknown -> expand_cases ~ctx c subtree
+      in
+      side a_suffix a_tree @ side b_suffix b_tree
+
+(** All test cases a terminated state stands for.  A state that was never
+    merged yields exactly [[test_case s]]; a merged state expands its
+    case tree into the enumerated paths' constraint lists and solves each
+    one, dropping unsatisfiable combinations (suffix pairs that never
+    coexisted on a real path).  Sorted case lists therefore compare equal
+    between [--merge] and plain enumeration. *)
+let test_cases (s : State.t) =
+  match s.State.cases with
+  | State.Case_leaf -> [ test_case s ]
+  | tree ->
+      Obs.Trace.set_current_path s.State.id;
+      (* One shared context across the expansion: sibling leaves differ
+         only in the substituted suffixes, so the assumption-prefix cache
+         carries most of each query. *)
+      let ctx = Solver.create_ctx () in
+      expand_cases ~ctx s.State.constraints tree
+      |> List.filter_map (model_of ~ctx)
 
 let test_case_to_string tc =
   String.concat ","

@@ -22,6 +22,25 @@ type env_frame = {
   via_syscall : bool;
 }
 
+(* How a merged state's single path condition re-expands into the set of
+   enumerated paths it stands for.  A [Case_split] remembers the disjunction
+   a join added to the constraint list plus the two original constraint
+   suffixes it replaced; substituting a suffix back for the disjunction
+   reconstructs the exact constraint list the corresponding enumerated path
+   would have carried, so test-case extraction is byte-identical. *)
+type case_tree =
+  | Case_leaf
+  | Case_split of {
+      disj : Expr.t;            (* or-of-guards constraint the join added *)
+      base_len : int;           (* constraints below the disjunction, i.e.
+                                   the disjunction's position from the
+                                   bottom of the (oldest-last) list *)
+      a_suffix : Expr.t list;   (* newest-first constraints of side A *)
+      b_suffix : Expr.t list;   (* newest-first constraints of side B *)
+      a_tree : case_tree;
+      b_tree : case_tree;
+    }
+
 type t = {
   id : int;
   mutable parent : int;
@@ -52,6 +71,15 @@ type t = {
   (* Symbolic data the unit wrote into environment-visible places (LC
      propagation tracking) is approximated by noting that any symbolic
      branch in the environment aborts; no extra state needed. *)
+  mutable ret_stack : int list;
+      (* shadow call stack of unit return addresses (pushed on JAL/JALR,
+         popped when JR lr targets the top); merge points that post-dominate
+         a whole function rendezvous at the caller's return site, and the
+         stack depth disambiguates recursive invocations *)
+  mutable rendezvous : (int * int * int) list;
+      (* pending merge rendezvous as (merge_id, pc, ret-stack depth),
+         innermost first; empty unless a merge controller is installed *)
+  mutable cases : case_tree;
 }
 
 (* Atomic so states can be forked concurrently by parallel exploration
@@ -90,6 +118,9 @@ let create ~mem ~devices ~pc =
     depth = 0;
     virtual_time = 0L;
     env_frames = [];
+    ret_stack = [];
+    rendezvous = [];
+    cases = Case_leaf;
   }
 
 (** Fork a copy for the other side of a branch. *)
@@ -119,11 +150,25 @@ let add_constraint t c =
     checks, cache keys and memo hits are O(1) again.  One shared interner
     preserves sharing across the three stores; all rewrites are
     structure-preserving, so solver-visible behaviour is unchanged. *)
+let rec map_case_tree f = function
+  | Case_leaf -> Case_leaf
+  | Case_split { disj; base_len; a_suffix; b_suffix; a_tree; b_tree } ->
+      Case_split
+        {
+          disj = f disj;
+          base_len;
+          a_suffix = List.map f a_suffix;
+          b_suffix = List.map f b_suffix;
+          a_tree = map_case_tree f a_tree;
+          b_tree = map_case_tree f b_tree;
+        }
+
 let reintern t =
   let intern = Expr.interner () in
   t.regs <- Array.map intern t.regs;
   t.constraints <- List.map intern t.constraints;
-  t.mem <- Symmem.map_overlay intern t.mem
+  t.mem <- Symmem.map_overlay intern t.mem;
+  t.cases <- map_case_tree intern t.cases
 
 (** Estimated state footprint in "words" (registers + private memory
     overlay + constraints): the quantity the Fig. 8 memory benchmark

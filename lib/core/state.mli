@@ -24,6 +24,21 @@ type env_frame = {
   via_syscall : bool;
 }
 
+(** How a merged state's single path condition re-expands into the set of
+    enumerated paths it stands for: each [Case_split] remembers the
+    disjunction a join added plus the two constraint suffixes it replaced,
+    so test-case extraction can reconstruct the exact enumerated paths. *)
+type case_tree =
+  | Case_leaf
+  | Case_split of {
+      disj : Expr.t;
+      base_len : int;
+      a_suffix : Expr.t list;
+      b_suffix : Expr.t list;
+      a_tree : case_tree;
+      b_tree : case_tree;
+    }
+
 type t = {
   id : int;
   mutable parent : int;
@@ -50,6 +65,14 @@ type t = {
   mutable depth : int;
   mutable virtual_time : int64;
   mutable env_frames : env_frame list;
+  mutable ret_stack : int list;
+      (** shadow call stack of unit return addresses, maintained by the
+          executor on JAL/JALR/JR; lets merge points that post-dominate a
+          whole function rendezvous at the caller's return site *)
+  mutable rendezvous : (int * int * int) list;
+      (** pending merge rendezvous as [(merge_id, pc, ret-stack depth)],
+          innermost first; empty unless a merge controller is installed *)
+  mutable cases : case_tree;
 }
 
 val create : mem:Symmem.t -> devices:S2e_vm.Devices.t -> pc:int -> t
@@ -70,6 +93,8 @@ val set_reg : t -> int -> Expr.t -> unit
 (** Writes to the zero register are ignored. *)
 
 val add_constraint : t -> Expr.t -> unit
+
+val map_case_tree : (Expr.t -> Expr.t) -> case_tree -> case_tree
 
 val reintern : t -> unit
 (** Re-intern the state's registers, constraints and memory overlay into

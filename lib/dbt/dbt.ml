@@ -30,6 +30,10 @@ type t = {
   cache : (int, tb) Hashtbl.t;
   (* Set of instruction addresses plugins marked during translation. *)
   marks : (int, unit) Hashtbl.t;
+  (* Forced block boundaries: translation never extends past a cut
+     address, so a cut address always starts its own block.  Merge
+     points are cut so states stop there between blocks. *)
+  cuts : (int, unit) Hashtbl.t;
   mutable translations : int;
   mutable max_block : int;
   (* Invalidation: translated address ranges, coarse-grained. *)
@@ -40,6 +44,7 @@ let create ?(max_block = 32) () =
   {
     cache = Hashtbl.create 512;
     marks = Hashtbl.create 64;
+    cuts = Hashtbl.create 64;
     translations = 0;
     max_block;
     translated_ranges = [];
@@ -66,8 +71,11 @@ let translate t ~fetch ~on_translate pc =
             let insn = Insn.decode_with ~get:fetch addr in
             on_translate addr insn;
             let acc = (addr, insn) :: acc in
-            if Insn.is_block_terminator insn || n + 1 >= t.max_block then
-              List.rev acc
+            if
+              Insn.is_block_terminator insn
+              || n + 1 >= t.max_block
+              || Hashtbl.mem t.cuts (addr + Insn.insn_size)
+            then List.rev acc
             else go (addr + Insn.insn_size) acc (n + 1)
           in
           let insns = Array.of_list (go pc [] 0) in
@@ -108,5 +116,14 @@ let invalidate t addr =
 let flush t =
   Hashtbl.reset t.cache;
   t.translated_ranges <- []
+
+(** Force a block boundary before [addr]: no block extends past it, so
+    [addr] always starts its own block and execution pauses there between
+    blocks.  Any cached block already spanning [addr] is dropped. *)
+let cut t addr =
+  if not (Hashtbl.mem t.cuts addr) then begin
+    Hashtbl.replace t.cuts addr ();
+    invalidate t addr
+  end
 
 let stats t = (t.translations, Hashtbl.length t.cache)

@@ -29,6 +29,12 @@ val translate :
 val invalidate : t -> int -> unit
 (** A guest write hit this address: drop any block covering it. *)
 
+val cut : t -> int -> unit
+(** Force a permanent block boundary before this address: no translation
+    block extends past it, so the address always starts its own block and
+    execution pauses there between blocks.  Cached blocks already spanning
+    the address are dropped.  Used to make merge points schedulable. *)
+
 val flush : t -> unit
 (** Drop every cached block.  The cumulative translation count is
     preserved; [stats] stays monotone across a flush. *)

@@ -31,7 +31,7 @@ exception Error of string
 
 let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
 
-let version = 2
+let version = 3
 let magic = "S2EC"
 
 (* ------------------------------------------------------------------ *)
@@ -403,6 +403,35 @@ let decode_status r : State.status =
   | 4 -> Aborted (rstr r)
   | t -> error "unknown status tag %d" t
 
+(* Case trees travel with a state so a remote worker can still expand a
+   merged state's test cases into the exact enumerated set.  Rendezvous
+   records do NOT travel: their ids are engine-local (the sending engine
+   quiesces before snapshotting). *)
+let rec encode_cases b (c : State.case_tree) =
+  match c with
+  | State.Case_leaf -> u8 b 0
+  | State.Case_split { disj; base_len; a_suffix; b_suffix; a_tree; b_tree } ->
+      u8 b 1;
+      encode_expr_into b disj;
+      u32 b base_len;
+      list b (encode_expr_into b) a_suffix;
+      list b (encode_expr_into b) b_suffix;
+      encode_cases b a_tree;
+      encode_cases b b_tree
+
+let rec decode_cases r max_var : State.case_tree =
+  match ru8 r with
+  | 0 -> State.Case_leaf
+  | 1 ->
+      let disj = decode_expr_from r max_var in
+      let base_len = ru32 r in
+      let a_suffix = rlist r (fun r -> decode_expr_from r max_var) in
+      let b_suffix = rlist r (fun r -> decode_expr_from r max_var) in
+      let a_tree = decode_cases r max_var in
+      let b_tree = decode_cases r max_var in
+      State.Case_split { disj; base_len; a_suffix; b_suffix; a_tree; b_tree }
+  | t -> error "unknown case-tree tag %d" t
+
 let encode_state (s : State.t) =
   let b = create () in
   (* Base-image fingerprint: length + checksum, verified on decode. *)
@@ -442,6 +471,8 @@ let encode_state (s : State.t) =
       encode_expr_into b e)
     s.mem ();
   list b (encode_expr_into b) s.constraints;
+  list b (fun ra -> u32 b ra) s.ret_stack;
+  encode_cases b s.cases;
   encode_devices b s.devices;
   let payload = contents b in
   let out = Buffer.create (String.length payload + 16) in
@@ -512,6 +543,8 @@ let decode_state ~base buf =
         (addr, e))
   in
   let constraints = rlist r (fun r -> decode_expr_from r max_var) in
+  let ret_stack = rlist r ru32 in
+  let cases = decode_cases r max_var in
   let devices = decode_devices r in
   if pos r <> payload_end then error "trailing bytes after snapshot";
   let mem = Symmem.of_overlay ~base overlay in
@@ -542,4 +575,7 @@ let decode_state ~base buf =
     depth;
     virtual_time;
     env_frames;
+    ret_stack;
+    rendezvous = [];
+    cases;
   }

@@ -39,11 +39,17 @@ exception Done
    heartbeats interleaved, never as one silent burst at retire time
    (which would trip the coordinator's liveness timeout on items with
    many terminated paths). *)
-let path_of_state ~cases (s : State.t) =
-  {
-    Proto.p_status = State.report_string s;
-    p_case = (if cases then Parallel.test_case s else []);
-  }
+(* A merged state ([--merge]) stands for every enumerated path folded
+   into it; when the coordinator asked for cases it gets one path per
+   case-tree leaf, so merged and enumerated runs report comparable case
+   sets. *)
+let paths_of_state ~cases (s : State.t) =
+  let status = State.report_string s in
+  if not cases then [ { Proto.p_status = status; p_case = [] } ]
+  else
+    match Parallel.test_cases s with
+    | [] -> [ { Proto.p_status = status; p_case = [] } ]
+    | tcs -> List.map (fun tc -> { Proto.p_status = status; p_case = tc }) tcs
 
 let copy_exec_stats s =
   let c = Executor.new_stats () in
@@ -97,6 +103,9 @@ type slicer = {
   sl_drain : unit -> State.t list;
       (* states terminated since the last drain, oldest first *)
   sl_stats : unit -> Executor.stats * Solver.stats;  (* deltas this item *)
+  sl_quiesce : unit -> unit;
+      (* release merge-parked states and strip engine-local rendezvous
+         ids before the frontier leaves this process *)
 }
 
 (* jobs = 1: one engine for the whole worker lifetime.  Items are adopted
@@ -142,6 +151,7 @@ let serial_slicer ~slice ~make_engine () =
       (fun () ->
         ( exec_delta ~prev:!prev_e eng.Executor.stats,
           solver_delta ~prev:!prev_s eng.Executor.solver.Solver.ctx_stats ));
+    sl_quiesce = (fun () -> eng.Executor.quiesce ());
   }
 
 (* jobs > 1: each slice fans the current frontier across domains with
@@ -174,7 +184,11 @@ let parallel_slicer ~jobs ~slice ~make_engine () =
         terminated := List.rev_append r.Parallel.completed !terminated;
         Executor.merge_stats ~into:!stats r.Parallel.stats;
         Solver.merge_stats ~into:!solver r.Parallel.solver_stats;
-        frontier := r.Parallel.frontier);
+        frontier := r.Parallel.frontier;
+        (* The slice's engines die here; any rendezvous ids the frontier
+           carries are theirs and must not leak into the next slice's
+           fresh controllers, whose ids restart. *)
+        List.iter (fun (s : State.t) -> s.State.rendezvous <- []) !frontier);
     sl_frontier = (fun () -> !frontier);
     sl_drop = (fun () -> frontier := []);
     sl_drain =
@@ -183,6 +197,9 @@ let parallel_slicer ~jobs ~slice ~make_engine () =
         terminated := [];
         pending);
     sl_stats = (fun () -> (!stats, !solver));
+    sl_quiesce =
+      (fun () ->
+        List.iter (fun (s : State.t) -> s.State.rendezvous <- []) !frontier);
   }
 
 let serve ?(jobs = 1) ?(slice = 0.05) ?(heartbeat = 0.25) ~fd
@@ -250,11 +267,15 @@ let serve ?(jobs = 1) ?(slice = 0.05) ?(heartbeat = 0.25) ~fd
           let frontier = List.length (sl.sl_frontier ()) in
           List.iter
             (fun s ->
-              paths := path_of_state ~cases s :: !paths;
-              maybe_hb frontier)
+              List.iter
+                (fun p ->
+                  paths := p :: !paths;
+                  maybe_hb frontier)
+                (paths_of_state ~cases s))
             pending
     in
     let checkpoint () =
+      sl.sl_quiesce ();
       drain ();
       let stats, solver = sl.sl_stats () in
       Proto.send c

@@ -168,6 +168,28 @@ and known_bits_raw e : bits =
       let a = known_bits arg in
       { kmask = Int64.logand a.kmask (mask (width arg)); kval = a.kval }
 
+(* Ite rewriting beyond the smart constructor's constant-condition and
+   equal-arms folds.  Inside the then-arm the condition is known true and
+   inside the else-arm known false, so a nested ite on the same condition
+   (or its negation) collapses to the matching arm:
+   ite c (ite c a b) d = ite c a d, and dually on the else side.  The
+   state-merging join nests exactly this shape — each join wraps cells in
+   ite(guard, ...), and re-merging along the same guard re-wraps them —
+   so the collapse keeps merged expressions linear instead of exponential
+   in the number of joins. *)
+let rec ite_arm cond ~in_then e =
+  match e with
+  | Ite { cond = c; then_; else_; _ } when equal c cond ->
+      ite_arm cond ~in_then (if in_then then then_ else else_)
+  | Ite { cond = c; then_; else_; _ } when equal c (log_not cond) ->
+      ite_arm cond ~in_then (if in_then then else_ else then_)
+  | _ -> e
+
+let ite_s cond then_ else_ =
+  ite cond
+    (ite_arm cond ~in_then:true then_)
+    (ite_arm cond ~in_then:false else_)
+
 (* Top-down demanded-bits rewriting.  [demanded] is the set of bits of [e]
    the context observes; bits outside it may take any value. *)
 let rec demand e demanded =
@@ -237,7 +259,7 @@ let rec demand e demanded =
           | _ -> e)
     | Binop _ -> e
     | Ite { cond; then_; else_; _ } ->
-        ite cond (demand then_ demanded) (demand else_ demanded)
+        ite_s cond (demand then_ demanded) (demand else_ demanded)
     | Extract { hi; lo; arg; _ } ->
         extract ~hi ~lo (demand arg (norm (Int64.shift_left demanded lo) (width arg)))
     | Concat { high; low; _ } ->
@@ -277,7 +299,7 @@ let rec replace_known e =
         in
         (match decided with Some b -> of_bool b | None -> cmp op lhs rhs)
     | Ite { cond; then_; else_; _ } ->
-        ite (replace_known cond) (replace_known then_) (replace_known else_)
+        ite_s (replace_known cond) (replace_known then_) (replace_known else_)
     | Extract { hi; lo; arg; _ } -> extract ~hi ~lo (replace_known arg)
     | Concat { high; low; _ } ->
         concat ~high:(replace_known high) ~low:(replace_known low)

@@ -1,0 +1,26 @@
+(** Merge controller: parks sibling states at post-dominator merge
+    points and ite-joins them ({!Join}), with merge-aware scheduling
+    layered over the engine's searcher. *)
+
+type t
+
+val install :
+  ?instret_sensitive:bool ->
+  ?cost_budget:int ->
+  mode:Policy.mode ->
+  S2e_core.Executor.t ->
+  t option
+(** Install a merge controller on the engine, wrapping its current
+    searcher — call {e after} the searcher is configured.  Returns
+    [None] (and leaves the engine untouched) for [Policy.Off] and for
+    consistency models that never add path constraints (RC-CC), where
+    there is nothing to disjoin.  [instret_sensitive] marks
+    instruction-counting plugins as active, making differing [instret]
+    unmergeable. *)
+
+val flush : t -> unit
+(** Release every parked state back into the searcher and strip all
+    rendezvous records — also installed as the engine's [quiesce] hook.
+    Call before snapshotting the frontier for another process
+    (checkpointing, work donation across engines): rendezvous ids are
+    engine-local. *)

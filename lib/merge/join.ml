@@ -1,0 +1,208 @@
+(** Ite-join of two sibling states (the state-merging transform of the
+    veritesting / MergePoint line of work, applied to the paper's
+    ExecState).
+
+    Two states [a] (parked first at the rendezvous) and [b] (arriving)
+    that descend from the same fork carry constraint lists of the form
+    [suffix_a @ base] and [suffix_b @ base] with a physically shared
+    [base].  The join disjoins the path conditions — the merged list is
+    [or(guard_a, guard_b) :: base] with each guard the conjunction of
+    that side's suffix — and turns every differing register and symbolic
+    memory byte into [ite(guard_a, v_a, v_b)] built through the interning
+    smart constructors, so shared subtrees cost nothing (hash-consing)
+    and the state diff is O(differences), not O(state).
+
+    Anything the expression language cannot represent symbolically makes
+    the pair {e unmergeable} and the pair falls back to enumeration:
+    device state is concrete by construction (the VM executes it), so
+    differing device fields — and in particular an in-flight DMA or RX
+    queue — cannot become ite-expressions; differing interrupt plumbing
+    or environment frames would need symbolic control state; a
+    half-[incomplete] pair would taint the complete side's soundness
+    marker; and instret differences matter to instruction-counting
+    plugins when the caller says so. *)
+
+module Expr = S2e_expr.Expr
+module State = S2e_core.State
+module Symmem = S2e_core.Symmem
+module Vm = S2e_vm
+
+type reason =
+  | Status          (** a side already terminated *)
+  | Pc              (** rendezvous pcs differ (defensive; should not happen) *)
+  | Multipath       (** S2ENA/S2DIS multipath toggles differ *)
+  | Irq_state       (** interrupt plumbing differs (enabled/in_irq/epc/pending) *)
+  | Env_frames      (** pending environment calls differ *)
+  | Call_stack      (** shadow return stacks differ *)
+  | Incomplete      (** exactly one side carries the incomplete marker *)
+  | Instret         (** instret differs and an instret-sensitive plugin is on *)
+  | Pending_dma     (** in-flight DMA / RX queue state differs *)
+  | Device_state    (** other device-visible fields differ *)
+
+let reason_label = function
+  | Status -> "status"
+  | Pc -> "pc"
+  | Multipath -> "multipath"
+  | Irq_state -> "irq_state"
+  | Env_frames -> "env_frames"
+  | Call_stack -> "call_stack"
+  | Incomplete -> "incomplete"
+  | Instret -> "instret"
+  | Pending_dma -> "pending_dma"
+  | Device_state -> "device_state"
+
+type failure =
+  | Unmergeable of reason
+  | Rejected of int  (** predicted ite blow-up cost exceeded the budget *)
+
+(* Device state is concrete (the VM executes it), so it cannot be joined
+   symbolically: any difference is unmergeable.  DMA-ish fields get their
+   own taxonomy bucket because an in-flight transfer is the
+   paper-relevant hazard. *)
+let check_devices (da : Vm.Devices.t) (db : Vm.Devices.t) =
+  let na = da.netdev and nb = db.netdev in
+  if
+    na.Vm.Netdev.dma_addr <> nb.Vm.Netdev.dma_addr
+    || na.dma_len <> nb.dma_len
+    || na.rx_queue <> nb.rx_queue
+    || na.rx_pos <> nb.rx_pos
+  then Error (Unmergeable Pending_dma)
+  else if
+    na.card_id <> nb.card_id || na.link_up <> nb.link_up
+    || na.rx_enabled <> nb.rx_enabled
+    || na.irq_mask <> nb.irq_mask
+    || na.tx_buf <> nb.tx_buf
+    || na.tx_frames <> nb.tx_frames
+    || na.mac_pos <> nb.mac_pos
+    || na.irq_pending <> nb.irq_pending
+    || da.console.Vm.Console.out <> db.console.Vm.Console.out
+    || da.timer.Vm.Timer.enabled <> db.timer.Vm.Timer.enabled
+    || da.timer.interval <> db.timer.interval
+    || da.timer.countdown <> db.timer.countdown
+    || da.timer.fired <> db.timer.fired
+  then Error (Unmergeable Device_state)
+  else Ok ()
+
+let check_mergeable ~instret_sensitive (a : State.t) (b : State.t) =
+  if not (State.is_active a && State.is_active b) then Error (Unmergeable Status)
+  else if a.pc <> b.pc then Error (Unmergeable Pc)
+  else if a.multipath <> b.multipath then Error (Unmergeable Multipath)
+  else if
+    a.irq_enabled <> b.irq_enabled
+    || a.in_irq <> b.in_irq || a.iepc <> b.iepc || a.sepc <> b.sepc
+    || a.pending_irqs <> b.pending_irqs
+    || a.irqs_suppressed <> b.irqs_suppressed
+  then Error (Unmergeable Irq_state)
+  else if a.env_frames <> b.env_frames then Error (Unmergeable Env_frames)
+  else if a.ret_stack <> b.ret_stack then Error (Unmergeable Call_stack)
+  else if a.incomplete <> b.incomplete then Error (Unmergeable Incomplete)
+  else if instret_sensitive && a.instret <> b.instret then
+    Error (Unmergeable Instret)
+  else check_devices a.devices b.devices
+
+(* First [k] elements of a constraint list: the side's own additions
+   since the fork (newest first). *)
+let take k l =
+  let rec go k l acc =
+    if k <= 0 then List.rev acc
+    else match l with [] -> List.rev acc | x :: tl -> go (k - 1) tl (x :: acc)
+  in
+  go k l []
+
+let rec drop k l = if k <= 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl
+
+let conj = function
+  | [] -> Expr.bool_t
+  | c :: rest -> List.fold_left Expr.log_and c rest
+
+(* Symbolic-memory diff: walk both overlays (address-sorted) and emit the
+   bytes that differ, reading the other side's byte (overlay or shared
+   base) for one-sided entries. *)
+let mem_diffs (ma : Symmem.t) (mb : Symmem.t) =
+  let la = List.rev (Symmem.fold_overlay (fun addr v acc -> (addr, v) :: acc) ma []) in
+  let lb = List.rev (Symmem.fold_overlay (fun addr v acc -> (addr, v) :: acc) mb []) in
+  let rec go la lb acc =
+    match (la, lb) with
+    | [], [] -> List.rev acc
+    | (addr, va) :: ta, [] ->
+        let vb = Symmem.read_byte mb addr in
+        go ta [] (if Expr.equal va vb then acc else (addr, va, vb) :: acc)
+    | [], (addr, vb) :: tb ->
+        let va = Symmem.read_byte ma addr in
+        go [] tb (if Expr.equal va vb then acc else (addr, va, vb) :: acc)
+    | (aa, va) :: ta, (ab, vb) :: tb ->
+        if aa = ab then
+          go ta tb (if Expr.equal va vb then acc else (aa, va, vb) :: acc)
+        else if aa < ab then
+          let vb' = Symmem.read_byte mb aa in
+          go ta lb (if Expr.equal va vb' then acc else (aa, va, vb') :: acc)
+        else
+          let va' = Symmem.read_byte ma ab in
+          go la tb (if Expr.equal va' vb then acc else (ab, va', vb) :: acc)
+  in
+  go la lb []
+
+(** Attempt to fold [a] (the parked side) into [b] (the arriving side),
+    mutating [b] into the merged state.  [base_len] is the length of the
+    shared constraint tail below the fork.  [budget] is the maximum
+    predicted ite blow-up in expression nodes ([None] = merge always).
+    On success returns [Ok cost]; [a] must then be discarded by the
+    caller.  On failure neither state is modified. *)
+let attempt ~simplify ~budget ~instret_sensitive ~base_len ~(a : State.t)
+    ~(b : State.t) =
+  match check_mergeable ~instret_sensitive a b with
+  | Error _ as e -> e
+  | Ok () ->
+      let suffix_a = take (List.length a.constraints - base_len) a.constraints in
+      let suffix_b = take (List.length b.constraints - base_len) b.constraints in
+      let guard_a = conj suffix_a in
+      let guard_b = conj suffix_b in
+      let reg_diffs = ref [] in
+      Array.iteri
+        (fun i va ->
+          if not (Expr.equal va b.regs.(i)) then
+            reg_diffs := (i, va, b.regs.(i)) :: !reg_diffs)
+        a.regs;
+      let m_diffs = mem_diffs a.mem b.mem in
+      (* Predicted ite blow-up from the O(1) hash-cons node counts: each
+         differing cell gains an ite node plus (worst case, no sharing)
+         both arms; the disjoined guard is paid once. *)
+      let cost =
+        List.fold_left
+          (fun acc (_, va, vb) -> acc + 1 + Expr.size va + Expr.size vb)
+          (1 + Expr.size guard_a + Expr.size guard_b)
+          (!reg_diffs @ m_diffs)
+      in
+      (match budget with
+      | Some max_cost when cost > max_cost -> Error (Rejected cost)
+      | _ ->
+          List.iter
+            (fun (i, va, vb) -> b.regs.(i) <- simplify (Expr.ite guard_a va vb))
+            !reg_diffs;
+          List.iter
+            (fun (addr, va, vb) ->
+              b.mem <- Symmem.write_byte b.mem addr (simplify (Expr.ite guard_a va vb)))
+            m_diffs;
+          let disj = Expr.log_or guard_a guard_b in
+          (* Installed directly (not via add_constraint): the case tree
+             substitutes suffixes back by position, so the disjunction
+             must occupy a list slot even when it folds to [true]. *)
+          b.constraints <- disj :: drop (List.length b.constraints - base_len) b.constraints;
+          b.cases <-
+            State.Case_split
+              {
+                disj;
+                base_len;
+                a_suffix = suffix_a;
+                b_suffix = suffix_b;
+                a_tree = a.cases;
+                b_tree = b.cases;
+              };
+          b.soft_constraints <- max a.soft_constraints b.soft_constraints;
+          b.instret <- max a.instret b.instret;
+          b.sym_instret <- max a.sym_instret b.sym_instret;
+          b.depth <- max a.depth b.depth;
+          b.virtual_time <-
+            (if Int64.compare a.virtual_time b.virtual_time > 0 then a.virtual_time
+             else b.virtual_time);
+          Ok cost)

@@ -1,0 +1,41 @@
+(** Ite-join of two sibling states: path conditions disjoined, every
+    differing register and symbolic-memory byte rebuilt as
+    [ite(guard_a, v_a, v_b)] through the interning smart constructors. *)
+
+type reason =
+  | Status
+  | Pc
+  | Multipath
+  | Irq_state
+  | Env_frames
+  | Call_stack
+  | Incomplete
+  | Instret
+  | Pending_dma
+  | Device_state
+
+val reason_label : reason -> string
+(** Stable snake_case label, used as the [merge.unmergeable.<reason>]
+    metric suffix. *)
+
+type failure =
+  | Unmergeable of reason
+  | Rejected of int  (** predicted ite blow-up cost exceeded the budget *)
+
+val attempt :
+  simplify:(S2e_expr.Expr.t -> S2e_expr.Expr.t) ->
+  budget:int option ->
+  instret_sensitive:bool ->
+  base_len:int ->
+  a:S2e_core.State.t ->
+  b:S2e_core.State.t ->
+  (int, failure) result
+(** [attempt ~simplify ~budget ~instret_sensitive ~base_len ~a ~b] folds
+    the parked state [a] into the arriving state [b], mutating [b] into
+    the merged state and recording the join in [b]'s case tree so
+    test-case extraction reconstructs the exact enumerated paths.
+    [base_len] is the length of the constraint tail the siblings share
+    (everything below the fork).  [budget] caps the predicted ite
+    blow-up in expression nodes ([None] merges unconditionally).  On
+    [Ok cost] the caller must discard [a]; on [Error _] neither state
+    was modified. *)

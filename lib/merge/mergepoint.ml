@@ -1,0 +1,157 @@
+(** Merge-point detection: intra-module post-dominators over the guest
+    block CFG.
+
+    Two sibling states created by a fork re-converge — if they both
+    survive — at the immediate post-dominator of the forking branch,
+    which for a two-successor branch is the nearest common post-dominator
+    of its successors.  The CFG is {e call-skipping}: JAL/JALR/SYSCALL
+    edges go to the call's return site, not into the callee, so a merge
+    point never sits inside another function (calls complete or the path
+    dies; either way the rendezvous accounting in {!Controller} stays
+    exact).  JR/SYSRET/IRET/HALT leave the function or the machine and
+    edge to a virtual EXIT node; a branch whose sides only re-converge at
+    EXIT has no intra-procedural merge point and the controller falls
+    back to the caller's return site.
+
+    Post-dominance here only decides {e where merging is attempted}; it
+    is not load-bearing for soundness.  A path that never reaches the
+    chosen point terminates instead, and its death releases the waiting
+    sibling, so an imprecise CFG (computed jump targets, data in a code
+    range) degrades to plain enumeration rather than to wrong answers. *)
+
+module Insn = S2e_isa.Insn
+module Module_map = S2e_core.Module_map
+
+(* Per-module analysis: [ipdom.(slot)] is the immediate post-dominator of
+   instruction slot [slot], or [n] (the virtual EXIT node) when the slot
+   only post-dominates to function exit. *)
+type info = {
+  i_start : int; (* module code_start *)
+  i_n : int;     (* instruction slots; EXIT is node [i_n] *)
+  i_ipdom : int array;
+}
+
+type t = { cache : (string, info option) Hashtbl.t }
+
+let create () = { cache = Hashtbl.create 8 }
+
+(* Modules bigger than this are left unanalyzed (quadratic-ish set
+   data-flow); forks inside them fall back to return-site rendezvous. *)
+let max_slots = 16384
+
+module IS = Set.Make (Int)
+
+let successors ~code (m : Module_map.entry) ~n slot =
+  let addr = m.code_start + (slot * Insn.insn_size) in
+  let slot_of pc =
+    if
+      pc >= m.code_start && pc < m.code_end
+      && (pc - m.code_start) mod Insn.insn_size = 0
+    then Some ((pc - m.code_start) / Insn.insn_size)
+    else None
+  in
+  let fall = if slot + 1 < n then [ slot + 1 ] else [] in
+  match Insn.decode code addr with
+  | exception Insn.Invalid_instruction _ -> [] (* data in the code range *)
+  | Insn.Jmp { target } -> (
+      match slot_of (Int32.to_int target land 0xFFFFFFFF) with
+      | Some s -> [ s ]
+      | None -> [])
+  | Insn.Branch { target; _ } -> (
+      match slot_of (Int32.to_int target land 0xFFFFFFFF) with
+      | Some s -> s :: fall
+      | None -> fall)
+  | Insn.Jal _ | Insn.Jalr _ | Insn.Syscall ->
+      fall (* call-skipping: the callee returns to the next instruction *)
+  | Insn.Jr _ | Insn.Sysret | Insn.Iret | Insn.Halt -> []
+  | _ -> fall
+
+(* Iterative post-dominator sets: pd(i) = {i} ∪ ⋂_{s ∈ succ(i)} pd(s),
+   with pd(EXIT) = {EXIT} and an implicit EXIT edge for successor-less
+   nodes.  Module code is small (hundreds of slots) and the analysis is
+   memoized per module, so the simple fixpoint beats a clever algorithm
+   on clarity. *)
+let analyze ~code (m : Module_map.entry) =
+  let n = (m.code_end - m.code_start) / Insn.insn_size in
+  if n <= 0 || n > max_slots then None
+  else begin
+    let succ = Array.init n (successors ~code m ~n) in
+    let exit_node = n in
+    let full = IS.of_list (List.init (n + 1) Fun.id) in
+    let pd = Array.make (n + 1) full in
+    pd.(exit_node) <- IS.singleton exit_node;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for i = n - 1 downto 0 do
+        let inter =
+          match succ.(i) with
+          | [] -> pd.(exit_node)
+          | s :: rest -> List.fold_left (fun acc x -> IS.inter acc pd.(x)) pd.(s) rest
+        in
+        let nv = IS.add i inter in
+        if not (IS.equal nv pd.(i)) then begin
+          pd.(i) <- nv;
+          changed := true
+        end
+      done
+    done;
+    (* The immediate post-dominator is the closest strict one: along the
+       chain i → ipdom(i) → … → EXIT the pd sets shrink, so it is the
+       candidate with the largest pd set. *)
+    let ipdom =
+      Array.init n (fun i ->
+          let cands = IS.remove i pd.(i) in
+          IS.fold
+            (fun d best ->
+              if best = exit_node || IS.cardinal pd.(d) > IS.cardinal pd.(best)
+              then d
+              else best)
+            cands exit_node)
+    in
+    Some { i_start = m.code_start; i_n = n; i_ipdom = ipdom }
+  end
+
+let info_for t ~modules ~code pc =
+  match Module_map.find_code modules pc with
+  | None -> None
+  | Some m -> (
+      match Hashtbl.find_opt t.cache m.name with
+      | Some cached -> cached
+      | None ->
+          let a = analyze ~code m in
+          Hashtbl.replace t.cache m.name a;
+          a)
+
+(* Nearest common ancestor of two slots in the ipdom forest, nodes
+   themselves included (a successor that already is the join point is its
+   own rendezvous). *)
+let nca info a b =
+  let exit_node = info.i_n in
+  let chain slot =
+    let rec go acc s =
+      if s = exit_node || IS.mem s acc then acc
+      else go (IS.add s acc) info.i_ipdom.(s)
+    in
+    go IS.empty slot
+  in
+  let anc_a = chain a in
+  let rec walk s = if s = exit_node then None else if IS.mem s anc_a then Some s else walk info.i_ipdom.(s) in
+  walk b
+
+let join_point t ~modules ~code ~a ~b =
+  match info_for t ~modules ~code a with
+  | None -> None
+  | Some info ->
+      let slot pc =
+        let off = pc - info.i_start in
+        if off >= 0 && off < info.i_n * Insn.insn_size && off mod Insn.insn_size = 0
+        then Some (off / Insn.insn_size)
+        else None
+      in
+      (match (slot a, slot b) with
+      | Some sa, Some sb -> (
+          match nca info sa sb with
+          | Some s -> Some (info.i_start + (s * Insn.insn_size))
+          | None -> None)
+      | _ -> None)

@@ -1,0 +1,23 @@
+(** Merge-point detection: intra-module post-dominators over the
+    call-skipping block CFG.  Identifies the pc where the two sides of a
+    fork re-converge, which is where sibling states rendezvous for an
+    ite-join. *)
+
+type t
+(** Memoized per-module post-dominator tables. *)
+
+val create : unit -> t
+
+val join_point :
+  t ->
+  modules:S2e_core.Module_map.t ->
+  code:Bytes.t ->
+  a:int ->
+  b:int ->
+  int option
+(** [join_point t ~modules ~code ~a ~b] is the nearest common
+    post-dominator of the two fork successor pcs [a] and [b] within their
+    module, or [None] when the sides only re-converge at function exit
+    (the caller then falls back to the return-site rendezvous), when the
+    pcs live in different or unknown modules, or when the module is too
+    large to analyze. *)

@@ -1,0 +1,61 @@
+(** Merge policy: when is an ite-join predicted profitable?
+
+    Merging trades path count against expression size: the joined state
+    carries every differing cell as an ite whose guards ride into each
+    later solver query, while enumeration pays the solver for both
+    suffixes separately.  The [Auto] gate must also keep a determinism
+    contract — the differential suite compares jobs=1 against jobs=4
+    path sets — so the {e decision} is purely structural: predicted ite
+    blow-up (from the hash-cons O(1) node counts, computed in
+    {!Join.attempt}) against a fixed node budget.  Nothing
+    timing-dependent feeds the decision.
+
+    Solver-time attribution (the per-prefix reuse statistics) feeds only
+    the {e reported} benefit score attached to [merge] trace instants and
+    metrics, where wall-clock noise is harmless. *)
+
+type mode = Off | Auto | Always
+
+let mode_names = [ "off"; "auto"; "always" ]
+
+let mode_of_string = function
+  | "off" -> Ok Off
+  | "auto" -> Ok Auto
+  | "always" -> Ok Always
+  | s ->
+      Error
+        (Printf.sprintf "unknown merge mode %S (valid: %s)" s
+           (String.concat ", " mode_names))
+
+let mode_to_string = function Off -> "off" | Auto -> "auto" | Always -> "always"
+
+(* Default [Auto] node budget.  Generous on purpose: the point of the
+   gate is to refuse pathological joins (thousands of differing cells
+   with large arms), not to second-guess ordinary diamonds and loop
+   exits. *)
+let default_budget = 16384
+
+let budget mode ~cost_budget =
+  match mode with
+  | Off -> invalid_arg "Policy.budget: mode is off"
+  | Always -> None
+  | Auto -> Some cost_budget
+
+(** Reported benefit score (microseconds-ish, minus the structural
+    cost): the solver time the join is predicted to save, estimated as
+    the average query cost times the number of constraints the two
+    suffixes would keep re-asserting downstream, discounted by the share
+    of solver time the prefix cache already eliminates (PR 7's
+    attribution: reused-prefix queries are the cheap ones, so only the
+    fresh share is really saved). *)
+let benefit_score ~(solver : S2e_solver.Solver.stats) ~suffix_len ~cost =
+  let avg_us =
+    if solver.queries = 0 then 0.
+    else solver.total_time /. float_of_int solver.queries *. 1e6
+  in
+  let fresh_share =
+    if solver.total_time <= 0. then 1.
+    else
+      Float.max 0. (1. -. (solver.prefix_reused_time /. solver.total_time))
+  in
+  int_of_float (avg_us *. fresh_share *. float_of_int suffix_len) - cost

@@ -1,0 +1,25 @@
+(** Merge policy: benefit-gated ite-joins ([--merge=always|auto|off]).
+
+    The [Auto] decision is purely structural (predicted ite node blow-up
+    against a fixed budget) so merged exploration stays deterministic
+    across worker counts; solver-time attribution feeds only the
+    {e reported} benefit score. *)
+
+type mode = Off | Auto | Always
+
+val mode_names : string list
+val mode_of_string : string -> (mode, string) result
+val mode_to_string : mode -> string
+
+val default_budget : int
+(** Default [Auto] node budget for a single join. *)
+
+val budget : mode -> cost_budget:int -> int option
+(** The node budget {!Join.attempt} should enforce: [None] for [Always]
+    (merge unconditionally), [Some cost_budget] for [Auto].
+    @raise Invalid_argument on [Off]. *)
+
+val benefit_score :
+  solver:S2e_solver.Solver.stats -> suffix_len:int -> cost:int -> int
+(** Reported (not decision-making) benefit estimate for a completed or
+    rejected join, fed by the per-prefix solver-time attribution. *)

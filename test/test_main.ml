@@ -11,6 +11,7 @@ let () =
       ("core", Test_core_units.tests);
       ("engine", Test_engine.tests);
       ("parallel", Test_parallel.tests);
+      ("merge", Test_merge.tests);
       ("obs", Test_obs.tests);
       ("trace", Test_trace.tests);
       ("guest", Test_guest.tests);

@@ -148,6 +148,97 @@ let test_simplifier_idempotent_size () =
     widths
 
 (* ------------------------------------------------------------------ *)
+(* Merge-shaped trees                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The ite-join of sibling states rewrites every differing register or
+   memory cell to [ite (guard, vA, vB)], and repeated joins nest such
+   selectors — frequently over the {e same} small set of guards, since
+   siblings re-merging after a loop share fork conditions.  The property
+   that makes merging sound: picking a branch per the model's guard
+   valuation (the unmerged path's value) must equal evaluating the
+   simplified merged cell. *)
+let test_merged_ite_matches_unmerged () =
+  let rng = Random.State.make [| 0x3E6; 17 |] in
+  List.iter
+    (fun w ->
+      for _ = 1 to 200 do
+        (* A small guard pool so join rounds repeat conditions and the
+           same-condition collapse rules actually fire. *)
+        let guards = Array.init 2 (fun _ -> gen rng 1 2) in
+        let rounds = 1 + Random.State.int rng 4 in
+        let cells = ref [ gen rng w 2 ] in
+        let merged = ref (List.hd !cells) in
+        let picks = ref [] in
+        for _ = 1 to rounds do
+          let g = guards.(Random.State.int rng 2) in
+          let v = gen rng w 2 in
+          cells := v :: !cells;
+          picks := g :: !picks;
+          (* join round: current merged state is side A, new sibling B *)
+          merged := Expr.ite g !merged v
+        done;
+        let simplified = Simplifier.simplify !merged in
+        for _ = 1 to models_per_tree do
+          let m = random_model rng !merged in
+          (* Reference: replay the joins newest-first, selecting a side
+             per guard — this is the value the corresponding unmerged
+             path holds.  [picks] and [cells] are both newest-first;
+             guard true keeps the accumulated side, false takes the
+             sibling joined that round. *)
+          let rec replay picks cells =
+            match (picks, cells) with
+            | [], [ v0 ] -> Expr.eval m v0
+            | g :: ps, v :: cs ->
+                if Expr.eval m g <> 0L then replay ps cs else Expr.eval m v
+            | _ -> assert false
+          in
+          let unmerged = replay !picks !cells in
+          let got = Expr.eval m simplified in
+          if got <> unmerged then
+            Alcotest.failf
+              "merged-then-simplified diverged from unmerged (width %d):@.  \
+               merged: %s@.  simplified: %s@.  unmerged=%Ld got=%Ld"
+              w
+              (Expr.to_string !merged)
+              (Expr.to_string simplified)
+              unmerged got
+        done
+      done)
+    widths
+
+(* The specific rewrite rules the simplifier applies to merged cells,
+   checked structurally: equal arms and constant conditions fold away
+   (smart constructor), and a nested ite on the same condition — or its
+   negation — collapses to the reachable arm. *)
+let test_ite_collapse_rules () =
+  let rng = Random.State.make [| 0xC0117; 5 |] in
+  let t = Expr.const ~width:1 1L and f = Expr.const ~width:1 0L in
+  for _ = 1 to 200 do
+    let w = choose rng widths in
+    let g = gen rng 1 3 in
+    let a = gen rng w 3 and b = gen rng w 3 and c = gen rng w 3 in
+    (* Smart-constructor folds. *)
+    Alcotest.(check bool) "equal arms" true (Expr.ite g a a == a);
+    Alcotest.(check bool) "const true cond" true (Expr.ite t a b == a);
+    Alcotest.(check bool) "const false cond" true (Expr.ite f a b == b);
+    (* Same-condition nesting collapses to the reachable arm. *)
+    let s = Simplifier.simplify in
+    let equal_after x y =
+      if not (Expr.equal (s x) (s y)) then
+        Alcotest.failf "no collapse:@.  %s@.  vs %s@.  -> %s@.  vs %s"
+          (Expr.to_string x) (Expr.to_string y)
+          (Expr.to_string (s x))
+          (Expr.to_string (s y))
+    in
+    equal_after (Expr.ite g (Expr.ite g a b) c) (Expr.ite g a c);
+    equal_after (Expr.ite g c (Expr.ite g a b)) (Expr.ite g c b);
+    (* ... and through the condition's negation. *)
+    equal_after (Expr.ite g (Expr.ite (Expr.log_not g) a b) c) (Expr.ite g b c);
+    equal_after (Expr.ite g c (Expr.ite (Expr.log_not g) a b)) (Expr.ite g c a)
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Hash-consing invariants                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -261,6 +352,9 @@ let tests =
       `Quick test_simplifier_differential;
     Alcotest.test_case "simplifier idempotent" `Quick
       test_simplifier_idempotent_size;
+    Alcotest.test_case "merged ite cells match unmerged paths" `Quick
+      test_merged_ite_matches_unmerged;
+    Alcotest.test_case "ite collapse rules" `Quick test_ite_collapse_rules;
     Alcotest.test_case "interning: equal iff physically equal" `Quick
       test_intern_equal_iff_physical;
     Alcotest.test_case "interning: metadata matches reference walk" `Quick
