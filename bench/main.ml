@@ -1094,6 +1094,84 @@ let dist () =
           ("unexplored", Bench_json.Int r.unexplored);
         ])
     results;
+  (* Elastic TCP leg: the same workload through the cluster transport
+     (coordinator listener + 2 TCP workers), pricing the lease/rejoin
+     machinery and the delta snapshot encoding against the shared
+     baseline. *)
+  let fork_tcp_worker ~port =
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        for fd = 3 to 255 do
+          try Unix.close (S2e_dist.Proto.fd_of_int fd)
+          with Unix.Unix_error _ -> ()
+        done;
+        (try
+           S2e_dist.Worker.serve_tcp ~jobs:1 ~slice:0.02 ~heartbeat:0.05
+             ~host:"127.0.0.1" ~port ~make_engine ()
+         with _ -> ());
+        Unix._exit 0
+    | pid -> pid
+  in
+  (* The registry is process-cumulative; zero it so the TCP leg's delta
+     counters are exactly this leg's. *)
+  S2e_obs.Metrics.reset ();
+  let lfd = S2e_dist.Proto.listen ~host:"127.0.0.1" ~port:0 in
+  let port = S2e_dist.Proto.bound_port lfd in
+  let pids = [ fork_tcp_worker ~port; fork_tcp_worker ~port ] in
+  let rt =
+    Coordinator.explore ~procs:0 ~listener:lfd
+      ~limits:
+        {
+          Executor.max_instructions = None;
+          max_seconds = Some seconds;
+          max_completed = None;
+        }
+      ~spawn:(Coordinator.Fork { jobs = 1; slice = 0.02; make_engine })
+      ~make_engine
+      ~boot:(fun eng -> Executor.boot eng ~entry:img.entry ())
+      ()
+  in
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  List.iter
+    (fun pid ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    pids;
+  let delta_ratio =
+    if rt.Coordinator.delta_full_bytes > 0 then
+      float_of_int rt.Coordinator.delta_bytes
+      /. float_of_int rt.Coordinator.delta_full_bytes
+    else 1.0
+  in
+  Printf.printf
+    "tcp x2   %10.2f %8d %10.1f %8d %9d %9.2fx\n%!" rt.wall_seconds
+    rt.stats.Executor.states_completed (rate rt) rt.steals rt.requeues
+    (if rate serial > 0. then rate rt /. rate serial else 0.);
+  Printf.printf
+    "tcp leg: %d joins, %d reconnects, %d solo paths; snapshots %d B as \
+     deltas of %d B full (ratio %.2f)\n%!"
+    rt.Coordinator.joins rt.Coordinator.reconnects rt.Coordinator.solo_paths
+    rt.Coordinator.delta_bytes rt.Coordinator.delta_full_bytes delta_ratio;
+  Bench_json.emit ~name:"dist_explore"
+    [
+      ("procs", Bench_json.Int 0);
+      ("tcp_workers", Bench_json.Int 2);
+      ("serial_paths_per_s", Bench_json.Float (rate serial, 3));
+      ("paths_per_s", Bench_json.Float (rate rt, 3));
+      ( "speedup",
+        Bench_json.Float
+          ((if rate serial > 0. then rate rt /. rate serial else 0.), 3) );
+      ("paths", Bench_json.Int rt.stats.Executor.states_completed);
+      ("joins", Bench_json.Int rt.Coordinator.joins);
+      ("reconnects", Bench_json.Int rt.Coordinator.reconnects);
+      ("solo_paths", Bench_json.Int rt.Coordinator.solo_paths);
+      ("unexplored", Bench_json.Int rt.unexplored);
+      ("delta_bytes", Bench_json.Int rt.Coordinator.delta_bytes);
+      ("delta_full_bytes", Bench_json.Int rt.Coordinator.delta_full_bytes);
+      ("snapshot_delta_ratio", Bench_json.Float (delta_ratio, 4));
+    ];
   Printf.printf
     "\nEach worker process rebuilds the engine stack and decodes serialized\n\
      fork-point states; on a single core the processes time-slice and\n\

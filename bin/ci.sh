@@ -151,10 +151,60 @@ diff "$serial_out.cases" "$chaos_out.cases" > /dev/null \
 rm -f "$serial_out.cases" "$chaos_out.cases"
 echo "CI: procs-mode chaos smoke test passed ($injected faults injected, cases == serial)"
 
-# Distributed bench must emit its BENCH JSON lines within a small budget.
-S2E_BENCH_SECONDS=5 timeout 60 dune exec bench/main.exe dist \
-  | grep -q '^BENCH {"name":"dist_explore"' \
+# Elastic TCP cluster smoke: coordinator on loopback plus two TCP
+# workers; SIGKILL one mid-run and join a replacement.  The run must
+# exit 0 with zero abandoned items -- transport loss requeues work, it
+# never poisons it -- and the report must count all three joins.
+cluster_out=$(mktemp /tmp/s2e-cluster-XXXXXX.txt)
+trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$merge_out" "$merge_stats" "$trace_json" "$traced_out" "$chaos_out" "$cluster_out"' EXIT
+cli=_build/default/bin/s2e_cli.exe
+"$cli" serve --driver nulldrv --workload urlparse --seconds 12 \
+  --listen 127.0.0.1:0 --lease 2 > "$cluster_out" &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' "$cluster_out")
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+[ -n "$port" ] || { echo "CI: serve never printed its port" >&2; exit 1; }
+"$cli" worker --driver nulldrv --workload urlparse \
+  --connect 127.0.0.1:"$port" > /dev/null 2>&1 &
+w1=$!
+"$cli" worker --driver nulldrv --workload urlparse \
+  --connect 127.0.0.1:"$port" > /dev/null 2>&1 &
+w2=$!
+sleep 4
+kill -9 "$w1" 2>/dev/null || true
+"$cli" worker --driver nulldrv --workload urlparse \
+  --connect 127.0.0.1:"$port" > /dev/null 2>&1 &
+w3=$!
+serve_rc=0
+wait "$serve_pid" || serve_rc=$?
+kill "$w2" "$w3" 2>/dev/null || true
+wait "$w1" "$w2" "$w3" 2>/dev/null || true
+[ "$serve_rc" -eq 0 ] \
+  || { echo "CI: cluster serve exited $serve_rc" >&2; cat "$cluster_out" >&2; exit 1; }
+if grep -q '^abandoned item' "$cluster_out"; then
+  echo "CI: cluster run abandoned work" >&2
+  cat "$cluster_out" >&2
+  exit 1
+fi
+joins=$(sed -n 's/^cluster: \([0-9][0-9]*\) joins.*/\1/p' "$cluster_out")
+[ -n "$joins" ] && [ "$joins" -ge 3 ] \
+  || { echo "CI: expected >=3 cluster joins, got '${joins:-none}'" >&2; exit 1; }
+leaves=$(sed -n 's/^cluster: .*, \([0-9][0-9]*\) leaves.*/\1/p' "$cluster_out")
+[ -n "$leaves" ] && [ "$leaves" -ge 1 ] \
+  || { echo "CI: killed worker was not counted as a leave" >&2; exit 1; }
+echo "CI: tcp cluster smoke test passed ($joins joins, $leaves leaves)"
+
+# Distributed bench must emit its BENCH JSON line within a small budget,
+# including the TCP leg's delta-snapshot compression ratio.
+bench_dist=$(S2E_BENCH_SECONDS=5 timeout 90 dune exec bench/main.exe dist \
+  | grep '^BENCH {"name":"dist_explore"') \
   || { echo "CI: bench dist emitted no BENCH line" >&2; exit 1; }
+printf '%s\n' "$bench_dist" | grep -q '"snapshot_delta_ratio":' \
+  || { echo "CI: bench dist missing snapshot_delta_ratio" >&2; exit 1; }
 echo "CI: bench dist smoke test passed"
 
 # Expression-interning bench: the microbenchmark must emit its BENCH line

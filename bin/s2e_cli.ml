@@ -294,8 +294,8 @@ let fault_plan_arg =
      $(i,site)=$(i,kind):$(i,prob)[#$(i,cap)] rules, e.g. \
      'dev.read=err:0.05,dma=drop:0.01,solver=unknown:0.02,\\
      proto=corrupt:0.03'.  Sites: dev.read, dma, irq, solver (kinds \
-     unknown/latency), proto (kinds corrupt/delay).  Empty disables \
-     injection."
+     unknown/latency), proto (kinds corrupt/delay/disconnect/stall).  \
+     Empty disables injection."
   in
   Arg.(value & opt string "" & info [ "fault-plan" ] ~docv:"PLAN" ~doc)
 
@@ -340,6 +340,113 @@ let print_resilience ~degradations ~incomplete ~unknowns ~timeouts ~injected =
       "resilience: %d degradations, %d incomplete paths, %d solver \
        unknowns (%d timeouts), %d injected faults@."
       degradations incomplete unknowns timeouts injected
+
+(* "HOST:PORT" (split on the last ':' so a future bracketed v6 literal
+   stays parseable); exits 2 on malformed input. *)
+let parse_hostport ~cmd s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p < 65536 ->
+          ((if host = "" then "127.0.0.1" else host), p)
+      | _ ->
+          Fmt.epr "s2e %s: bad port in %S@." cmd s;
+          exit 2)
+  | None ->
+      Fmt.epr "s2e %s: expected HOST:PORT, got %S@." cmd s;
+      exit 2
+
+(* Merged report of a distributed run, shared by `explore --procs` and
+   `serve`.  Cluster and delta lines appear only when TCP workers were
+   involved, so fork-only runs keep their exact historical output. *)
+let print_dist_result ~jobs ~cases (r : S2e_dist.Coordinator.result) =
+  let open S2e_dist in
+  Fmt.pr "procs: %d@." r.Coordinator.procs;
+  Fmt.pr "jobs: %d@." jobs;
+  Fmt.pr "wall seconds: %.2f@." r.wall_seconds;
+  Fmt.pr "paths completed: %d@."
+    r.stats.S2e_core.Executor.states_completed;
+  Fmt.pr "states created: %d@." r.stats.states_created;
+  Fmt.pr "forks: %d@." r.stats.forks;
+  Fmt.pr "instructions: %d (%d symbolic)@." r.stats.concrete_instret
+    r.stats.sym_instret;
+  Fmt.pr "steals: %d, requeues: %d, restarts: %d@." r.steals r.requeues
+    r.restarts;
+  if r.joins + r.reconnects + r.leaves + r.solo_paths > 0 then
+    Fmt.pr "cluster: %d joins, %d reconnects, %d leaves, %d solo paths@."
+      r.joins r.reconnects r.leaves r.solo_paths;
+  if r.delta_full_bytes > 0 then
+    Fmt.pr "snapshots: %d delta bytes for %d full (ratio %.2f)@."
+      r.delta_bytes r.delta_full_bytes
+      (float_of_int r.delta_bytes /. float_of_int r.delta_full_bytes);
+  if r.naks + r.retransmits > 0 then
+    Fmt.pr "transport: %d naks, %d retransmits@." r.naks r.retransmits;
+  if r.unexplored > 0 then Fmt.pr "unexplored states: %d@." r.unexplored;
+  List.iter
+    (fun (id, attempts) ->
+      Fmt.pr "abandoned item %d after %d attempts@." id attempts)
+    r.abandoned;
+  Fmt.pr
+    "solver: %d queries, %d to SAT core, %d cache hits, %d unknowns, %.2fs@."
+    r.solver_stats.S2e_solver.Solver.queries r.solver_stats.sat_queries
+    r.solver_stats.cache_hits r.solver_stats.unknowns
+    r.solver_stats.total_time;
+  (* Every injected fault across all processes: per-site fault.*
+     counters travel in the workers' Bye snapshots. *)
+  let injected =
+    List.fold_left
+      (fun acc (name, v) ->
+        match v with
+        | Obs.Metrics.Int n
+          when String.length name > 6 && String.sub name 0 6 = "fault." ->
+            acc + n
+        | _ -> acc)
+      0 r.obs
+  in
+  print_resilience ~degradations:r.stats.degradations
+    ~incomplete:(Obs.Metrics.get_int r.obs "engine.incomplete_paths")
+    ~unknowns:r.solver_stats.unknowns
+    ~timeouts:(Obs.Metrics.get_int r.obs "solver.timeouts")
+    ~injected;
+  if cases then
+    r.paths
+    |> List.map (fun (p : Proto.path) ->
+           Printf.sprintf "%s | %s" p.p_status
+             (S2e_core.Parallel.test_case_to_string p.p_case))
+    |> List.sort compare
+    |> List.iter (Fmt.pr "%s@.")
+
+(* The argv an exec'd worker process is spawned with: rebuilds the same
+   engine spec and resilience plan from scratch (exec'd workers don't
+   inherit memory). *)
+let worker_argv ~driver ~workload ~model ~searcher ~merge ~jobs ~fault_plan
+    ~fault_seed ~solver_timeout_ms ~trace =
+  Array.of_list
+    ([
+       Sys.executable_name;
+       "worker";
+       "--driver";
+       driver;
+       "--workload";
+       workload;
+       "--model";
+       model;
+       "--searcher";
+       searcher;
+       "--merge";
+       merge;
+       "--jobs";
+       string_of_int jobs;
+       "--fault-plan";
+       fault_plan;
+       "--fault-seed";
+       string_of_int fault_seed;
+       "--solver-timeout-ms";
+       string_of_float solver_timeout_ms;
+     ]
+    @ if trace then [ "--trace" ] else [])
 
 let jobs_arg =
   let doc =
@@ -516,32 +623,9 @@ let explore_cmd =
       (* Distributed: fork-server coordinator + `s2e_cli worker` children
          (each re-building the same engine spec from these arguments). *)
       let argv =
-        Array.of_list
-          ([
-             Sys.executable_name;
-             "worker";
-             "--driver";
-             driver;
-             "--workload";
-             workload;
-             "--model";
-             model;
-             "--searcher";
-             searcher;
-             "--merge";
-             merge;
-             "--jobs";
-             string_of_int jobs;
-             (* Exec'd workers don't inherit memory: forward the resilience
-                knobs so every process injects from the same plan. *)
-             "--fault-plan";
-             fault_plan;
-             "--fault-seed";
-             string_of_int fault_seed;
-             "--solver-timeout-ms";
-             string_of_float solver_timeout_ms;
-           ]
-          @ if trace_out <> None then [ "--trace" ] else [])
+        worker_argv ~driver ~workload ~model ~searcher ~merge ~jobs
+          ~fault_plan ~fault_seed ~solver_timeout_ms
+          ~trace:(trace_out <> None)
       in
       Obs.Metrics.reset ();
       let r =
@@ -560,53 +644,7 @@ let explore_cmd =
       | Some path ->
           write_trace path r.S2e_dist.Coordinator.trace
             ~dropped:r.trace_dropped);
-      Fmt.pr "procs: %d@." r.S2e_dist.Coordinator.procs;
-      Fmt.pr "jobs: %d@." jobs;
-      Fmt.pr "wall seconds: %.2f@." r.wall_seconds;
-      Fmt.pr "paths completed: %d@." r.stats.Executor.states_completed;
-      Fmt.pr "states created: %d@." r.stats.states_created;
-      Fmt.pr "forks: %d@." r.stats.forks;
-      Fmt.pr "instructions: %d (%d symbolic)@." r.stats.concrete_instret
-        r.stats.sym_instret;
-      Fmt.pr "steals: %d, requeues: %d, restarts: %d@." r.steals r.requeues
-        r.restarts;
-      if r.naks + r.retransmits > 0 then
-        Fmt.pr "transport: %d naks, %d retransmits@." r.naks r.retransmits;
-      if r.unexplored > 0 then Fmt.pr "unexplored states: %d@." r.unexplored;
-      List.iter
-        (fun (id, attempts) ->
-          Fmt.pr "abandoned item %d after %d attempts@." id attempts)
-        r.abandoned;
-      Fmt.pr
-        "solver: %d queries, %d to SAT core, %d cache hits, %d unknowns, \
-         %.2fs@."
-        r.solver_stats.S2e_solver.Solver.queries r.solver_stats.sat_queries
-        r.solver_stats.cache_hits r.solver_stats.unknowns
-        r.solver_stats.total_time;
-      (* Every injected fault across all processes: per-site fault.*
-         counters travel in the workers' Bye snapshots. *)
-      let injected =
-        List.fold_left
-          (fun acc (name, v) ->
-            match v with
-            | Obs.Metrics.Int n
-              when String.length name > 6 && String.sub name 0 6 = "fault." ->
-                acc + n
-            | _ -> acc)
-          0 r.obs
-      in
-      print_resilience ~degradations:r.stats.degradations
-        ~incomplete:(Obs.Metrics.get_int r.obs "engine.incomplete_paths")
-        ~unknowns:r.solver_stats.unknowns
-        ~timeouts:(Obs.Metrics.get_int r.obs "solver.timeouts")
-        ~injected;
-      if cases then
-        print_cases
-          (List.map
-             (fun (p : S2e_dist.Proto.path) ->
-               Printf.sprintf "%s | %s" p.p_status
-                 (Parallel.test_case_to_string p.p_case))
-             r.paths);
+      print_dist_result ~jobs ~cases r;
       (* Completed-with-abandoned-work is distinguishable from a clean
          run: lost coverage must not look like exhaustive exploration. *)
       if r.abandoned <> [] then exit 3
@@ -623,7 +661,111 @@ let explore_cmd =
       $ stats_out_arg $ stats_interval_arg $ trace_out_arg $ fault_plan_arg
       $ fault_seed_arg $ solver_timeout_arg)
 
-(* --- worker: internal fork-server entry point for `explore --procs` --- *)
+(* --- serve: TCP cluster coordinator --- *)
+
+let serve_cmd =
+  let open S2e_core in
+  let listen_arg =
+    let doc =
+      "Listen address for TCP workers, HOST:PORT.  Port 0 picks an \
+       ephemeral port; the chosen one is printed as 'listening on \
+       HOST:PORT' before exploration starts."
+    in
+    Arg.(
+      value & opt string "127.0.0.1:0" & info [ "listen" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let procs_arg =
+    let doc =
+      "Also spawn $(docv) attached worker processes locally (0 relies \
+       entirely on TCP workers; until one joins, the coordinator \
+       explores solo)."
+    in
+    Arg.(value & opt int 0 & info [ "procs" ] ~docv:"N" ~doc)
+  in
+  let max_workers_arg =
+    let doc = "Admission cap: TCP workers alive at once." in
+    Arg.(value & opt int 64 & info [ "max-workers" ] ~docv:"N" ~doc)
+  in
+  let lease_arg =
+    let doc =
+      "Worker liveness lease in seconds: a worker silent past it is \
+       presumed dead, its in-flight item requeued.  Granted to TCP \
+       workers at admission (they heartbeat at a quarter of it)."
+    in
+    Arg.(value & opt float 10. & info [ "lease" ] ~docv:"SEC" ~doc)
+  in
+  let cases_arg =
+    let doc =
+      "Print one line per completed path (sorted): status plus the \
+       canonical test case; diff against a serial run to verify the \
+       cluster lost nothing."
+    in
+    Arg.(value & flag & info [ "cases" ] ~doc)
+  in
+  let run driver workload model jobs procs seconds searcher merge cases
+      listen max_workers lease fault_plan fault_seed solver_timeout_ms =
+    validate_explore_args ~cmd:"serve" ~driver ~workload ~model ~searcher
+      ~merge ~jobs ~procs:1 ~seconds ~stats_interval:1.;
+    setup_resilience ~cmd:"serve" ~fault_plan ~fault_seed ~solver_timeout_ms;
+    if procs < 0 then begin
+      Fmt.epr "s2e serve: --procs must be >= 0 (got %d)@." procs;
+      exit 2
+    end;
+    if lease <= 0. then begin
+      Fmt.epr "s2e serve: --lease must be > 0 (got %g)@." lease;
+      exit 2
+    end;
+    let host, port = parse_hostport ~cmd:"serve" listen in
+    let lfd =
+      try S2e_dist.Proto.listen ~host ~port
+      with Unix.Unix_error (e, _, _) ->
+        Fmt.epr "s2e serve: cannot listen on %s: %s@." listen
+          (Unix.error_message e);
+        exit 2
+    in
+    (* Flushed before the run so scripts can scrape the ephemeral port. *)
+    Fmt.pr "listening on %s:%d@." host (S2e_dist.Proto.bound_port lfd);
+    let img, make_engine =
+      engine_factory ~driver ~workload ~model ~searcher ~merge
+    in
+    let limits =
+      {
+        Executor.max_instructions = None;
+        max_seconds = Some seconds;
+        max_completed = None;
+      }
+    in
+    let boot eng = Executor.boot eng ~entry:img.entry () in
+    let argv =
+      worker_argv ~driver ~workload ~model ~searcher ~merge ~jobs ~fault_plan
+        ~fault_seed ~solver_timeout_ms ~trace:false
+    in
+    Obs.Metrics.reset ();
+    let r =
+      S2e_dist.Coordinator.explore ~procs ~limits ~cases ~handle_sigint:true
+        ~heartbeat_timeout:lease ~listener:lfd ~max_workers
+        ~spawn:(S2e_dist.Coordinator.Exec { argv })
+        ~make_engine ~boot ()
+    in
+    (try Unix.close lfd with Unix.Unix_error _ -> ());
+    print_dist_result ~jobs ~cases r;
+    if r.S2e_dist.Coordinator.abandoned <> [] then exit 3
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Coordinate an elastic exploration cluster over TCP: workers \
+          ($(b,s2e_cli worker --connect)) join and leave mid-run; the \
+          coordinator leases them work, recovers from their crashes, and \
+          degrades to exploring solo when none are left")
+    Term.(
+      const run $ driver_arg $ explore_workload_arg $ model_arg $ jobs_arg
+      $ procs_arg $ seconds_arg $ searcher_arg $ merge_arg $ cases_arg
+      $ listen_arg $ max_workers_arg $ lease_arg $ fault_plan_arg
+      $ fault_seed_arg $ solver_timeout_arg)
+
+(* --- worker: fork-server entry point (`explore --procs`) and TCP
+   cluster joiner (`worker --connect`) --- *)
 
 let worker_cmd =
   let slice_arg =
@@ -637,8 +779,20 @@ let worker_cmd =
     in
     Arg.(value & flag & info [ "trace" ] ~doc)
   in
-  let run driver workload model jobs searcher merge slice trace fault_plan
-      fault_seed solver_timeout_ms =
+  let connect_arg =
+    let doc =
+      "Join a TCP coordinator ($(b,s2e_cli serve)) at $(docv) instead of \
+       reading a socketpair fd from the environment.  The worker keeps \
+       reconnecting with exponential backoff and resumes its session \
+       after connection losses."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let run driver workload model jobs searcher merge slice trace connect
+      fault_plan fault_seed solver_timeout_ms =
     validate_explore_args ~cmd:"worker" ~driver ~workload ~model ~searcher
       ~merge ~jobs ~procs:1 ~seconds:1. ~stats_interval:1.;
     setup_resilience ~cmd:"worker" ~fault_plan ~fault_seed ~solver_timeout_ms;
@@ -647,33 +801,41 @@ let worker_cmd =
       Fmt.epr "s2e worker: --slice must be > 0 (got %g)@." slice;
       exit 2
     end;
-    let fd =
-      match Sys.getenv_opt "S2E_DIST_FD" with
-      | Some s -> (
-          match int_of_string_opt s with
-          | Some n when n >= 0 -> S2e_dist.Proto.fd_of_int n
-          | _ ->
-              Fmt.epr "s2e worker: malformed S2E_DIST_FD %S@." s;
-              exit 2)
-      | None ->
-          Fmt.epr
-            "s2e worker: internal command (spawned by explore --procs); \
-             S2E_DIST_FD is not set@.";
-          exit 2
-    in
     let _img, make_engine =
       engine_factory ~driver ~workload ~model ~searcher ~merge
     in
-    S2e_dist.Worker.serve ~jobs ~slice ~fd ~make_engine ()
+    match connect with
+    | Some hostport ->
+        let host, port = parse_hostport ~cmd:"worker" hostport in
+        S2e_dist.Worker.serve_tcp ~jobs ~slice ~host ~port ~make_engine ()
+    | None ->
+        let fd =
+          match Sys.getenv_opt "S2E_DIST_FD" with
+          | Some s -> (
+              match int_of_string_opt s with
+              | Some n when n >= 0 -> S2e_dist.Proto.fd_of_int n
+              | _ ->
+                  Fmt.epr "s2e worker: malformed S2E_DIST_FD %S@." s;
+                  exit 2)
+          | None ->
+              Fmt.epr
+                "s2e worker: pass --connect HOST:PORT to join a cluster \
+                 (without it this is the internal entry point spawned by \
+                 explore --procs, and S2E_DIST_FD is not set)@.";
+              exit 2
+        in
+        S2e_dist.Worker.serve ~jobs ~slice ~fd ~make_engine ()
   in
   Cmd.v
     (Cmd.info "worker"
        ~doc:
-         "Internal: exploration worker process (spawned by explore --procs)")
+         "Exploration worker process: joins a TCP cluster with \
+          $(b,--connect), or serves a spawning coordinator over an \
+          inherited socketpair (explore --procs)")
     Term.(
       const run $ driver_arg $ explore_workload_arg $ model_arg $ jobs_arg
-      $ searcher_arg $ merge_arg $ slice_arg $ trace_flag_arg $ fault_plan_arg
-      $ fault_seed_arg $ solver_timeout_arg)
+      $ searcher_arg $ merge_arg $ slice_arg $ trace_flag_arg $ connect_arg
+      $ fault_plan_arg $ fault_seed_arg $ solver_timeout_arg)
 
 (* --- stats: render a run-stats JSONL file --- *)
 
@@ -1275,5 +1437,5 @@ let () =
        (Cmd.group (Cmd.info "s2e" ~doc)
           [
             run_cmd; ddt_cmd; rev_cmd; profs_cmd; models_cmd; explore_cmd;
-            worker_cmd; stats_cmd; trace_cmd; oracle_cmd;
+            serve_cmd; worker_cmd; stats_cmd; trace_cmd; oracle_cmd;
           ]))

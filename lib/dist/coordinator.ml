@@ -1,32 +1,46 @@
-(** Fork-server coordinator: multi-process distribution of the
-    exploration frontier (the ROADMAP's scale step past OCaml-domain
+(** Elastic coordinator: multi-process and multi-host distribution of
+    the exploration frontier (the ROADMAP's scale step past OCaml-domain
     workers, in the style of Manticore's multiprocessing coordinator).
 
     The coordinator boots the root state on a local engine, serializes
-    it, and feeds a queue of {e items} (one snapshot blob each) to N
-    worker processes over socketpairs.  Load balancing is pull-based:
+    it, and feeds a queue of {e items} (one snapshot blob each) to its
+    workers.  Workers come in two kinds: {e attached} processes it
+    spawned itself over socketpairs (the [--procs N] fork-server path),
+    and {e remote} workers that dialed the TCP listener mid-run, were
+    admitted with a session token, and ship snapshots delta-encoded
+    against the run's shared baseline.  Load balancing is pull-based:
     when the queue runs dry and a worker sits idle, the busiest worker
     (by last-reported frontier size) receives a [Steal] and answers by
     checkpointing its whole remaining frontier, which re-enters the
-    queue as fresh items.
+    queue as fresh items.  In elastic (listener) mode, item budgets are
+    sized from each worker's observed paths/sec so slow workers return
+    their remainder sooner for fast ones to pick up.
 
     Crash tolerance rests on the atomic-handoff discipline of {!Proto}:
     a worker's results leave it only in the one message that retires its
-    item, so on any worker death — fd EOF, checksum-torn frame, missed
-    heartbeats — the coordinator requeues the item blob it still holds
-    and respawns the worker (bounded restarts with backoff; items that
-    repeatedly kill workers are dropped after [max_item_attempts]).
-    SIGINT (when [handle_sigint]) and wall-clock/path budgets drain
-    gracefully: busy workers checkpoint their frontiers, every worker
-    reports its telemetry snapshot in [Bye], and the merged report
-    accounts for every path explored plus every state left unexplored. *)
+    item, so on any worker death — fd EOF, checksum-torn frame, an
+    expired lease — the coordinator requeues the item blob it still
+    holds.  Attached workers are respawned (bounded restarts with
+    backoff; items that repeatedly kill workers are dropped after
+    [max_item_attempts]).  A remote worker's death is presumed to be
+    transport chaos: its item is requeued without charging an attempt,
+    its session is kept, and if it rejoins with its token it resumes
+    where the queue stands.  When every worker is gone and work remains,
+    the coordinator degrades to exploring items on its own boot engine
+    (solo mode) rather than aborting — the bottom rung of the
+    degradation ladder.  SIGINT (when [handle_sigint]) and
+    wall-clock/path budgets drain gracefully: busy workers checkpoint
+    their frontiers, every worker reports its telemetry snapshot in
+    [Bye], and the merged report accounts for every path explored plus
+    every state left unexplored. *)
 
 module Executor = S2e_core.Executor
+module Events = S2e_core.Events
 module State = S2e_core.State
 module Solver = S2e_solver.Solver
 module Obs = S2e_obs
 
-(** How to start a worker process. *)
+(** How to start an attached worker process. *)
 type spawn =
   | Fork of { jobs : int; slice : float; make_engine : unit -> Executor.t }
       (** [Unix.fork] and run {!Worker.serve} in the child.  Only safe
@@ -44,6 +58,11 @@ type event =
   | Checkpointed of { pid : int; item : int; states : int }
   | Crashed of { pid : int; requeued : bool }
   | Respawned of { pid : int; slot : int }
+  | Joined of { wid : int; addr : string }  (** TCP worker admitted *)
+  | Rejoined of { wid : int; pid : int }  (** session resumed after loss *)
+  | Left of { wid : int; requeued : bool }
+      (** TCP worker gone (EOF or lease expiry); session kept *)
+  | Solo of { item : int }  (** coordinator exploring an item itself *)
 
 type result = {
   procs : int;
@@ -54,7 +73,7 @@ type result = {
   obs : Obs.Metrics.snapshot;  (** merged worker registries + local *)
   steals : int;  (** checkpoints triggered by steal requests *)
   requeues : int;  (** in-flight items recovered from dead workers *)
-  restarts : int;  (** worker processes respawned *)
+  restarts : int;  (** attached worker processes respawned *)
   abandoned : (int * int) list;
       (** items given up after [max_item_attempts]: (item id, attempts) *)
   naks : int;  (** damaged/out-of-order frames NAKed, both directions *)
@@ -62,6 +81,13 @@ type result = {
   injected : int;  (** transport corruptions injected by the fault plan *)
   unexplored : int;  (** frontier states left when the run stopped *)
   wall_seconds : float;
+  joins : int;  (** TCP workers admitted over the run *)
+  reconnects : int;  (** sessions resumed via [Rejoin] *)
+  leaves : int;  (** TCP connection losses (EOF or expired lease) *)
+  solo_paths : int;  (** paths the coordinator explored itself *)
+  delta_bytes : int;  (** snapshot bytes actually shipped as deltas *)
+  delta_full_bytes : int;
+      (** what the same snapshots would have cost un-delta'd *)
   trace : Obs.Trace.event list;
       (** merged timeline (empty unless {!Obs.Trace} was enabled):
           worker chunks shipped over heartbeats/Bye, clock-offset
@@ -73,10 +99,15 @@ type result = {
 type item = { it_id : int; it_blob : string; mutable it_attempts : int }
 type wstatus = Starting | Idle | Busy of item
 
+type wkind =
+  | Attached of { slot : int }  (* spawned over a socketpair; respawnable *)
+  | Remote of { token : string }  (* dialed the listener; can rejoin *)
+
 type wrk = {
-  w_slot : int;
+  w_id : int;  (* slot for attached workers, wid for remote ones *)
+  w_kind : wkind;
   mutable w_pid : int;
-  mutable w_conn : Proto.conn;
+  mutable w_conn : Proto.conn option;  (* None until spawned / after loss *)
   mutable w_status : wstatus;
   mutable w_alive : bool;
   mutable w_shutdown : bool;  (* Shutdown already sent *)
@@ -84,7 +115,13 @@ type wrk = {
   mutable w_steal : float;  (* time Steal was sent; 0. = none pending *)
   mutable w_nak : float;  (* time of last steal refusal (cooldown) *)
   mutable w_frontier : int;  (* last reported frontier size *)
+  mutable w_rate : float;  (* EWA of observed paths+states per second *)
+  mutable w_dispatched : float;  (* when the current item was sent *)
 }
+
+(* A TCP connection that has not completed its Hello/Rejoin handshake
+   yet; dropped if it stays silent past its deadline. *)
+type pending = { p_conn : Proto.conn; p_addr : string; p_deadline : float }
 
 let strip_dist_fd env =
   Array.to_list env
@@ -124,11 +161,31 @@ let spawn_process spawn ~other_fds =
       Unix.close child_fd;
       (pid, parent_fd)
 
+(* Session tokens need uniqueness per coordinator, not secrecy against
+   an adversary on the socket (the transport is plaintext anyway): they
+   fence a rejoining worker from a stale or mistyped wid. *)
+let gen_token =
+  let mix64 z =
+    let open Int64 in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+    logxor z (shift_right_logical z 31)
+  in
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    let a = Int64.of_float (Unix.gettimeofday () *. 1e6) in
+    let b = Int64.of_int ((Unix.getpid () * 0x01000193) lxor !ctr) in
+    Printf.sprintf "%016Lx" (mix64 (Int64.logxor a (mix64 b)))
+
 let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
     ?(max_item_attempts = 3) ?(heartbeat_timeout = 10.) ?(cases = false)
-    ?(handle_sigint = false) ?(on_event = fun (_ : event) -> ()) ~spawn
+    ?(handle_sigint = false) ?listener ?(max_workers = 64)
+    ?(on_event = fun (_ : event) -> ()) ~spawn
     ~(make_engine : unit -> Executor.t) ~(boot : Executor.t -> State.t) () =
-  if procs < 1 then invalid_arg "Coordinator.explore: procs must be >= 1";
+  if procs < 0 then invalid_arg "Coordinator.explore: procs must be >= 0";
+  if procs = 0 && listener = None then
+    invalid_arg "Coordinator.explore: procs = 0 requires a listener";
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let t0 = Unix.gettimeofday () in
   let deadline =
@@ -149,9 +206,9 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
   let trace_dropped = ref 0 in
   (* A worker's chunk carries its own clock readings; the offset between
      the coordinator's receive time and the worker's send time ([now_w])
-     normalizes them onto the coordinator's timeline.  Same machine, so
-     the offset is dominated by transit/queueing delay — small and
-     per-chunk, which keeps long-lived clock drift out too. *)
+     normalizes them onto the coordinator's timeline.  The offset is
+     dominated by transit/queueing delay — small and per-chunk, which
+     keeps long-lived clock drift out too. *)
   let collect_trace w ~now_w chunk =
     if chunk <> "" then
       match
@@ -170,11 +227,17 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
     Queue.push { it_id = !next_item; it_blob = blob; it_attempts = 0 } queue;
     incr next_item
   in
-  enqueue_blob (Codec.encode_state s0);
+  (* The root snapshot doubles as the cluster's shared delta baseline,
+     handed to every remote worker in its [Welcome]. *)
+  let baseline = Codec.encode_state s0 in
+  enqueue_blob baseline;
   let steals = ref 0 in
   let requeues = ref 0 in
   let restarts = ref 0 in
   let abandoned = ref [] in
+  let joins = ref 0 in
+  let reconnects = ref 0 in
+  let leaves = ref 0 in
   let draining = ref false in
   let interrupted = ref false in
   let old_sigint =
@@ -184,31 +247,59 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
            (Sys.Signal_handle (fun _ -> interrupted := true)))
     else None
   in
-  let workers =
-    Array.init procs (fun slot ->
-        {
-          w_slot = slot;
-          w_pid = 0;
-          w_conn = Proto.connect Unix.stdin;  (* placeholder until spawn *)
-          w_status = Starting;
-          w_alive = false;
-          w_shutdown = false;
-          w_last = 0.;
-          w_steal = 0.;
-          w_nak = 0.;
-          w_frontier = 0;
-        })
+  let workers : wrk list ref = ref [] in
+  let pendings : pending list ref = ref [] in
+  let new_wrk ~id ~kind =
+    {
+      w_id = id;
+      w_kind = kind;
+      w_pid = 0;
+      w_conn = None;
+      w_status = Starting;
+      w_alive = false;
+      w_shutdown = false;
+      w_last = 0.;
+      w_steal = 0.;
+      w_nak = 0.;
+      w_frontier = 0;
+      w_rate = 0.;
+      w_dispatched = 0.;
+    }
   in
+  for slot = 0 to procs - 1 do
+    workers := new_wrk ~id:slot ~kind:(Attached { slot }) :: !workers
+  done;
+  workers := List.rev !workers;
+  let next_wid = ref procs in
   let live_fds () =
-    Array.fold_left
-      (fun acc w -> if w.w_alive then w.w_conn.Proto.fd :: acc else acc)
-      [] workers
+    List.fold_left
+      (fun acc w ->
+        match w.w_conn with
+        | Some c when w.w_alive -> c.Proto.fd :: acc
+        | _ -> acc)
+      [] !workers
+  in
+  (* Every fd a forked child must NOT inherit: worker sockets, the
+     listener, half-shaken handshakes.  An inherited copy would pin a
+     peer's connection open past its death and break EOF detection. *)
+  let inheritable_fds () =
+    let fds = live_fds () in
+    let fds =
+      match listener with Some lfd -> lfd :: fds | None -> fds
+    in
+    List.fold_left (fun acc p -> p.p_conn.Proto.fd :: acc) fds !pendings
+  in
+  let find_slot slot =
+    List.find
+      (fun w ->
+        match w.w_kind with Attached a -> a.slot = slot | Remote _ -> false)
+      !workers
   in
   let do_spawn slot =
-    let pid, fd = spawn_process spawn ~other_fds:(live_fds ()) in
-    let w = workers.(slot) in
+    let pid, fd = spawn_process spawn ~other_fds:(inheritable_fds ()) in
+    let w = find_slot slot in
     w.w_pid <- pid;
-    w.w_conn <- Proto.connect fd;
+    w.w_conn <- Some (Proto.connect fd);
     w.w_status <- Starting;
     w.w_alive <- true;
     w.w_shutdown <- false;
@@ -218,43 +309,90 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
     w.w_frontier <- 0;
     on_event (Spawned { pid; slot })
   in
+  let close_conn w =
+    (match w.w_conn with
+    | Some c -> ( try Unix.close c.Proto.fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    w.w_conn <- None
+  in
   let reap w =
-    (try Unix.close w.w_conn.Proto.fd with Unix.Unix_error _ -> ());
+    close_conn w;
     try ignore (Unix.waitpid [] w.w_pid) with Unix.Unix_error _ -> ()
   in
-  (* A worker died (EOF, torn frame, heartbeat timeout): recover its
-     in-flight item and respawn unless the run is draining anyway. *)
+  (* Recover the in-flight item of a failed worker.  [count_attempt]
+     distinguishes process death (evidence the item may be poison) from
+     transport loss (chaos; the item is blameless and must not creep
+     toward abandonment under disconnect storms). *)
+  let requeue_item w ~count_attempt =
+    match w.w_status with
+    | Busy it ->
+        w.w_status <- Idle;
+        if count_attempt then begin
+          it.it_attempts <- it.it_attempts + 1;
+          if it.it_attempts > max_item_attempts then begin
+            (* Give up on an item that keeps killing workers — but say
+               so: it surfaces in the final report, not a silent drop. *)
+            abandoned := (it.it_id, it.it_attempts) :: !abandoned;
+            false
+          end
+          else begin
+            Queue.push it queue;
+            incr requeues;
+            true
+          end
+        end
+        else begin
+          Queue.push it queue;
+          incr requeues;
+          true
+        end
+    | _ -> false
+  in
+  (* An attached worker died (EOF, torn frame, expired lease): recover
+     its in-flight item and respawn unless the run is draining anyway. *)
   let crash w =
     if w.w_alive then begin
       w.w_alive <- false;
       (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
       reap w;
-      let requeued =
-        match w.w_status with
-        | Busy it ->
-            w.w_status <- Idle;
-            it.it_attempts <- it.it_attempts + 1;
-            if it.it_attempts > max_item_attempts then begin
-              (* Give up on an item that keeps killing workers — but say
-                 so: it surfaces in the final report, not a silent drop. *)
-              abandoned := (it.it_id, it.it_attempts) :: !abandoned;
-              false
-            end
-            else begin
-              Queue.push it queue;
-              incr requeues;
-              true
-            end
-        | _ -> false
-      in
+      let requeued = requeue_item w ~count_attempt:true in
       on_event (Crashed { pid = w.w_pid; requeued });
-      if (not !draining) && !restarts < max_restarts then begin
-        incr restarts;
-        (* brief backoff so a crash-looping configuration cannot spin *)
-        Unix.sleepf (Float.min 0.5 (0.05 *. float_of_int !restarts));
-        do_spawn w.w_slot;
-        on_event (Respawned { pid = workers.(w.w_slot).w_pid; slot = w.w_slot })
-      end
+      match w.w_kind with
+      | Attached { slot } when (not !draining) && !restarts < max_restarts ->
+          incr restarts;
+          (* brief backoff so a crash-looping configuration cannot spin *)
+          Unix.sleepf (Float.min 0.5 (0.05 *. float_of_int !restarts));
+          do_spawn slot;
+          on_event (Respawned { pid = (find_slot slot).w_pid; slot })
+      | _ -> ()
+    end
+  in
+  (* A remote worker's connection died (EOF or expired lease): requeue
+     without charging an attempt, keep the session for a [Rejoin]. *)
+  let leave w =
+    if w.w_alive then begin
+      w.w_alive <- false;
+      close_conn w;
+      let requeued = requeue_item w ~count_attempt:false in
+      incr leaves;
+      on_event (Left { wid = w.w_id; requeued })
+    end
+  in
+  let fail w =
+    match w.w_kind with Attached _ -> crash w | Remote _ -> leave w
+  in
+  (* Expand a possibly-delta checkpoint state back to a full blob before
+     it enters the queue (the queue always holds full snapshots — any
+     worker, attached or remote, may receive them next). *)
+  let expand blob =
+    if Codec.is_delta blob then Codec.decode_delta ~baseline blob else blob
+  in
+  let update_rate w produced =
+    let dt = Unix.gettimeofday () -. w.w_dispatched in
+    if w.w_dispatched > 0. && dt > 1e-3 then begin
+      let inst = float_of_int produced /. dt in
+      w.w_rate <-
+        (if w.w_rate = 0. then inst else (0.7 *. w.w_rate) +. (0.3 *. inst))
     end
   in
   let handle_msg w (m : Proto.msg) =
@@ -274,6 +412,7 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
         w.w_steal <- 0.;
         w.w_frontier <- 0;
         w.w_status <- Idle;
+        update_rate w (List.length ps);
         paths := List.rev_append ps !paths;
         Executor.merge_stats ~into:stats st;
         Solver.merge_stats ~into:solver_stats sv;
@@ -284,10 +423,19 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
         w.w_steal <- 0.;
         w.w_frontier <- 0;
         w.w_status <- Idle;
+        update_rate w (List.length ps + List.length states);
         paths := List.rev_append ps !paths;
         Executor.merge_stats ~into:stats st;
         Solver.merge_stats ~into:solver_stats sv;
-        List.iter enqueue_blob states;
+        List.iter
+          (fun b ->
+            (* A torn delta cannot survive the frame + delta checksums;
+               treat a residual decode failure like the state having
+               died with the worker. *)
+            match expand b with
+            | b -> enqueue_blob b
+            | exception Codec.Error _ -> ())
+          states;
         if was_steal then incr steals;
         on_event
           (Checkpointed { pid = w.w_pid; item; states = List.length states })
@@ -295,12 +443,230 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
         obs_snaps := obs :: !obs_snaps;
         collect_trace w ~now_w:now trace;
         w.w_alive <- false;
-        reap w
+        (match w.w_kind with
+        | Attached _ -> reap w
+        | Remote _ -> close_conn w)
     | Proto.Work _ | Proto.Steal | Proto.Ping | Proto.Shutdown
+    | Proto.Welcome _ | Proto.Deny _
     | Proto.Resend _ (* consumed inside recv; never delivered *) ->
         () (* coordinator-only messages; ignore *)
+    | Proto.Rejoin _ ->
+        () (* handshake traffic; only meaningful on a pending conn *)
   in
-  Array.iteri (fun slot _ -> do_spawn slot) workers;
+  (* ---------------- TCP admission ---------------- *)
+  let drop_pending p =
+    pendings := List.filter (fun q -> q != p) !pendings;
+    try Unix.close p.p_conn.Proto.fd with Unix.Unix_error _ -> ()
+  in
+  let deny p reason =
+    (try Proto.send p.p_conn (Proto.Deny { reason })
+     with Proto.Closed | Codec.Error _ -> ());
+    drop_pending p
+  in
+  let live_count () =
+    List.fold_left (fun n w -> if w.w_alive then n + 1 else n) 0 !workers
+  in
+  let welcome conn ~wid ~token =
+    Proto.send conn
+      (Proto.Welcome { wid; token; lease = heartbeat_timeout; baseline })
+  in
+  let admit p (m : Proto.msg) =
+    match m with
+    | Proto.Hello { version; pid; _ } ->
+        if version <> Proto.version then deny p "protocol version mismatch"
+        else if !draining then deny p "coordinator is draining"
+        else if live_count () >= max_workers then deny p "at capacity"
+        else begin
+          let wid = !next_wid in
+          incr next_wid;
+          let token = gen_token () in
+          let w = new_wrk ~id:wid ~kind:(Remote { token }) in
+          w.w_pid <- pid;
+          w.w_conn <- Some p.p_conn;
+          w.w_status <- Idle;
+          w.w_alive <- true;
+          w.w_last <- Unix.gettimeofday ();
+          match welcome p.p_conn ~wid ~token with
+          | () ->
+              workers := !workers @ [ w ];
+              pendings := List.filter (fun q -> q != p) !pendings;
+              incr joins;
+              on_event (Joined { wid; addr = p.p_addr })
+          | exception (Proto.Closed | Codec.Error _) -> drop_pending p
+        end
+    | Proto.Rejoin { wid; token; pid; _ } -> (
+        let found =
+          List.find_opt
+            (fun w ->
+              w.w_id = wid
+              &&
+              match w.w_kind with
+              | Remote r -> String.equal r.token token
+              | Attached _ -> false)
+            !workers
+        in
+        match found with
+        | None -> deny p "unknown session"
+        | Some w ->
+            if !draining then deny p "coordinator is draining"
+            else begin
+              (* A still-live session means the old connection has not
+                 torn down yet (e.g. a stalled worker came back before
+                 its lease ran out): retire it first, requeueing
+                 whatever it held — the worker discarded its frontier. *)
+              if w.w_alive then leave w;
+              w.w_pid <- pid;
+              w.w_conn <- Some p.p_conn;
+              w.w_status <- Idle;
+              w.w_alive <- true;
+              w.w_shutdown <- false;
+              w.w_last <- Unix.gettimeofday ();
+              w.w_steal <- 0.;
+              w.w_nak <- 0.;
+              w.w_frontier <- 0;
+              match welcome p.p_conn ~wid ~token with
+              | () ->
+                  pendings := List.filter (fun q -> q != p) !pendings;
+                  incr reconnects;
+                  on_event (Rejoined { wid; pid })
+              | exception (Proto.Closed | Codec.Error _) ->
+                  w.w_alive <- false;
+                  w.w_conn <- None;
+                  drop_pending p
+            end)
+    | _ -> deny p "bad handshake"
+  in
+  let accept_pending lfd =
+    match Proto.accept lfd with
+    | fd, addr ->
+        pendings :=
+          {
+            p_conn = Proto.connect fd;
+            p_addr = addr;
+            p_deadline = Unix.gettimeofday () +. 5.;
+          }
+          :: !pendings
+    | exception Unix.Unix_error _ -> ()
+  in
+  (* ---------------- solo degradation ---------------- *)
+  (* When every worker is gone (all remote workers left, attached
+     restarts exhausted — or none were ever configured) the coordinator
+     explores items on its own boot engine rather than aborting: slower,
+     but the run completes.  Slices stay short so the listener keeps
+     being polled — a worker joining mid-solo-item takes over the queue
+     as soon as it drains. *)
+  let solo_item = ref None in
+  let solo_paths = ref 0 in
+  let solo_done = ref [] in
+  Events.reg_state_end eng.Executor.events (fun s ->
+      solo_done := s :: !solo_done);
+  let solo_mark_e = ref (Worker.copy_exec_stats eng.Executor.stats) in
+  let solo_mark_s =
+    ref (Worker.copy_solver_stats eng.Executor.solver.Solver.ctx_stats)
+  in
+  let solo_merge () =
+    let cur_e = eng.Executor.stats in
+    Executor.merge_stats ~into:stats (Worker.exec_delta ~prev:!solo_mark_e cur_e);
+    solo_mark_e := Worker.copy_exec_stats cur_e;
+    let cur_s = eng.Executor.solver.Solver.ctx_stats in
+    Solver.merge_stats ~into:solver_stats
+      (Worker.solver_delta ~prev:!solo_mark_s cur_s);
+    solo_mark_s := Worker.copy_solver_stats cur_s
+  in
+  let solo_drain () =
+    let pending = List.rev !solo_done in
+    solo_done := [];
+    List.iter
+      (fun s ->
+        List.iter
+          (fun p ->
+            paths := p :: !paths;
+            incr solo_paths)
+          (Worker.paths_of_state ~cases s))
+      pending
+  in
+  let solo_start () =
+    let it = Queue.pop queue in
+    match Codec.decode_state ~base:eng.Executor.base_mem it.it_blob with
+    | s ->
+        Executor.adopt eng s;
+        solo_item := Some it;
+        on_event (Solo { item = it.it_id })
+    | exception Codec.Error _ ->
+        (* own queue, own codec: unreachable short of memory corruption *)
+        abandoned := (it.it_id, it.it_attempts) :: !abandoned
+  in
+  let solo_step it =
+    let now = Unix.gettimeofday () in
+    let limits =
+      {
+        Executor.max_instructions = None;
+        max_seconds = Some (Float.min 0.05 (deadline -. now));
+        max_completed = None;
+      }
+    in
+    Executor.run_loop ~limits eng;
+    solo_drain ();
+    solo_merge ();
+    if eng.Executor.live = [] then begin
+      solo_item := None;
+      on_event (Completed { pid = 0; item = it.it_id; paths = 0 })
+    end
+  in
+  (* Drain or a rejoined worker: hand the solo frontier back to the
+     queue, exactly like a worker checkpoint. *)
+  let solo_checkpoint () =
+    match !solo_item with
+    | None -> ()
+    | Some _ ->
+        eng.Executor.quiesce ();
+        solo_drain ();
+        solo_merge ();
+        let frontier = eng.Executor.live in
+        List.iter (fun s -> enqueue_blob (Codec.encode_state s)) frontier;
+        List.iter (Executor.disown eng) frontier;
+        solo_item := None
+  in
+  (* ---------------- scheduling ---------------- *)
+  let elastic = listener <> None in
+  (* Solo mode waits out a short grace after worker presence is lost (or
+     at startup, before anyone has dialed in): a TCP worker needs a
+     moment to connect/reconnect, and without the grace a fast workload
+     would be fully drained solo before its workers ever join.  A
+     handshake in flight extends the wait.  Fork-only runs never had
+     this window, and keep grace 0. *)
+  let solo_grace = if elastic then 0.35 else 0. in
+  let last_presence = ref t0 in
+  (* Item budget.  The fork-server path keeps the legacy rule (run to
+     the wall-clock deadline) so [--procs N] results stay byte-identical
+     to previous releases.  Elastic mode bounds every item to a few
+     seconds, scaled by the worker's observed throughput relative to the
+     fastest peer: slow workers get shorter leases on an item, so their
+     remainder re-enters the queue while fast workers are hungry. *)
+  let budget_for w =
+    let remaining =
+      if deadline = infinity then infinity
+      else deadline -. Unix.gettimeofday ()
+    in
+    if not elastic then if deadline = infinity then 0. else remaining
+    else begin
+      let best =
+        List.fold_left
+          (fun acc v -> if v.w_alive then Float.max acc v.w_rate else acc)
+          0. !workers
+      in
+      let b =
+        if best > 0. && w.w_rate > 0. then
+          Float.max 0.5 (Float.min 4.0 (2.0 *. w.w_rate /. best))
+        else 2.0
+      in
+      if remaining = infinity then b else Float.min b remaining
+    end
+  in
+  List.iter
+    (fun w ->
+      match w.w_kind with Attached { slot } -> do_spawn slot | Remote _ -> ())
+    !workers;
   let completed_enough () =
     (match limits.Executor.max_completed with
     | Some m -> stats.Executor.states_completed >= m
@@ -311,10 +677,15 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
     | None -> false
   in
   let have_busy () =
-    Array.exists
+    List.exists
       (fun w ->
         w.w_alive && match w.w_status with Busy _ -> true | _ -> false)
-      workers
+      !workers
+  in
+  let send_to w m =
+    match w.w_conn with
+    | None -> raise Proto.Closed
+    | Some c -> Proto.send c m
   in
   let rec loop () =
     let now = Unix.gettimeofday () in
@@ -324,55 +695,73 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
       (* Budget hit or Ctrl-C: graceful drain.  Busy workers checkpoint
          their frontiers; nothing new is dispatched. *)
       draining := true;
-      Array.iter
+      solo_checkpoint ();
+      List.iter (fun p -> drop_pending p) !pendings;
+      List.iter
         (fun w ->
           if w.w_alive && not w.w_shutdown then begin
-            (try
-               Proto.send w.w_conn Proto.Shutdown;
-               w.w_shutdown <- true
-             with Proto.Closed | Codec.Error _ -> crash w)
+            try
+              send_to w Proto.Shutdown;
+              w.w_shutdown <- true
+            with Proto.Closed | Codec.Error _ -> fail w
           end)
-        workers
+        !workers
     end;
     let continue =
       if !draining then have_busy ()
       else
-        Array.exists (fun w -> w.w_alive) workers
-        && ((not (Queue.is_empty queue)) || have_busy ())
+        (not (Queue.is_empty queue)) || have_busy () || !solo_item <> None
     in
     if continue then begin
       if not !draining then begin
+        (* A worker (re)appeared while the coordinator was exploring
+           solo: hand the solo frontier back to the queue so the worker
+           takes over. *)
+        (match !solo_item with
+        | Some _
+          when List.exists
+                 (fun w -> w.w_alive && w.w_status = Idle)
+                 !workers ->
+            solo_checkpoint ()
+        | _ -> ());
         (* Dispatch queued items to idle workers. *)
-        Array.iter
+        List.iter
           (fun w ->
             if w.w_alive && w.w_status = Idle && not (Queue.is_empty queue)
             then begin
               let it = Queue.pop queue in
-              let budget =
-                if deadline = infinity then 0.
-                else deadline -. Unix.gettimeofday ()
+              (* Remote workers get the blob delta-encoded against the
+                 shared baseline; the queue itself always holds full
+                 snapshots. *)
+              let blob =
+                match w.w_kind with
+                | Attached _ -> it.it_blob
+                | Remote _ -> (
+                    try Codec.encode_delta ~baseline it.it_blob
+                    with Codec.Error _ -> it.it_blob)
               in
               match
-                Proto.send w.w_conn
+                send_to w
                   (Proto.Work
-                     { item = it.it_id; budget; cases; blob = it.it_blob })
+                     { item = it.it_id; budget = budget_for w; cases; blob })
               with
               | () ->
                   w.w_status <- Busy it;
+                  w.w_dispatched <- Unix.gettimeofday ();
                   on_event (Dispatched { pid = w.w_pid; item = it.it_id })
               | exception (Proto.Closed | Codec.Error _) ->
                   Queue.push it queue;
-                  crash w
+                  fail w
             end)
-          workers;
+          !workers;
         (* Rebalance: queue dry + idle workers → steal from the busiest
            worker (largest reported frontier) without a pending steal. *)
         if
           Queue.is_empty queue
-          && Array.exists (fun w -> w.w_alive && w.w_status = Idle) workers
+          && List.exists (fun w -> w.w_alive && w.w_status = Idle) !workers
         then begin
           let victim = ref None in
-          Array.iter
+          List.iter
             (fun w ->
               match w.w_status with
               | Busy _
@@ -381,81 +770,144 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
                   | Some v when v.w_frontier >= w.w_frontier -> ()
                   | _ -> victim := Some w)
               | _ -> ())
-            workers;
+            !workers;
           match !victim with
           | Some w -> (
               try
-                Proto.send w.w_conn Proto.Steal;
+                send_to w Proto.Steal;
                 w.w_steal <- now
-              with Proto.Closed | Codec.Error _ -> crash w)
+              with Proto.Closed | Codec.Error _ -> fail w)
           | None -> ()
-        end
+        end;
+        (* Degradation ladder, bottom rung: nobody left to delegate to,
+           so the coordinator works the queue itself. *)
+        if live_count () > 0 then last_presence := now;
+        (match !solo_item with
+        | Some it -> solo_step it
+        | None ->
+            if
+              live_count () = 0
+              && !pendings = []
+              && now -. !last_presence >= solo_grace
+              && (not (Queue.is_empty queue))
+              && now <= deadline
+            then solo_start ())
       end;
       (* Steal requests a worker never answered (long solver call) are
          retried after a grace period. *)
-      Array.iter
-        (fun w -> if w.w_steal > 0. && now -. w.w_steal > 2. then w.w_steal <- 0.)
-        workers;
-      (* Liveness: a worker silent past the timeout is declared dead. *)
-      Array.iter
+      List.iter
         (fun w ->
-          if w.w_alive && now -. w.w_last > heartbeat_timeout then crash w)
-        workers;
+          if w.w_steal > 0. && now -. w.w_steal > 2. then w.w_steal <- 0.)
+        !workers;
+      (* Liveness: a worker silent past its lease is declared dead. *)
+      List.iter
+        (fun w ->
+          if w.w_alive && now -. w.w_last > heartbeat_timeout then fail w)
+        !workers;
+      (* Handshakes that never completed time out. *)
+      List.iter
+        (fun p -> if now > p.p_deadline then drop_pending p)
+        !pendings;
+      let select_fds =
+        let fds = live_fds () in
+        let fds =
+          List.fold_left (fun acc p -> p.p_conn.Proto.fd :: acc) fds !pendings
+        in
+        match listener with
+        | Some lfd when not !draining -> lfd :: fds
+        | _ -> fds
+      in
+      let timeout = if !solo_item <> None then 0. else 0.05 in
       let readable =
-        match Unix.select (live_fds ()) [] [] 0.05 with
+        match Unix.select select_fds [] [] timeout with
         | r, _, _ -> r
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
       in
       List.iter
         (fun fd ->
-          match
-            Array.find_opt
-              (fun w -> w.w_alive && w.w_conn.Proto.fd == fd)
-              workers
-          with
-          | None -> ()
-          | Some w -> (
-              (* [None] means the readable frame was transport-recovery
-                 traffic (NAKed, duplicate, or a Resend we served). *)
-              match Proto.recv_opt w.w_conn ~timeout:0. with
-              | Some m -> handle_msg w m
-              | None -> ()
-              | exception (Proto.Closed | Codec.Error _) -> crash w))
+          match listener with
+          | Some lfd when fd == lfd -> accept_pending lfd
+          | _ -> (
+              match
+                List.find_opt
+                  (fun w ->
+                    w.w_alive
+                    &&
+                    match w.w_conn with
+                    | Some c -> c.Proto.fd == fd
+                    | None -> false)
+                  !workers
+              with
+              | Some w -> (
+                  (* [None] means the readable frame was transport-
+                     recovery traffic (NAKed, duplicate, or a Resend we
+                     served). *)
+                  match w.w_conn with
+                  | None -> ()
+                  | Some c -> (
+                      match Proto.recv_opt c ~timeout:0. with
+                      | Some m -> handle_msg w m
+                      | None -> ()
+                      | exception (Proto.Closed | Codec.Error _) -> fail w))
+              | None -> (
+                  match
+                    List.find_opt
+                      (fun p -> p.p_conn.Proto.fd == fd)
+                      !pendings
+                  with
+                  | None -> ()
+                  | Some p -> (
+                      match Proto.recv_opt p.p_conn ~timeout:0. with
+                      | Some m -> admit p m
+                      | None -> ()
+                      | exception (Proto.Closed | Codec.Error _) ->
+                          drop_pending p))))
         readable;
       loop ()
     end
   in
   loop ();
+  solo_checkpoint ();
+  List.iter (fun p -> drop_pending p) !pendings;
   (* Final collection: every surviving worker checkpoints (already done
      if it was busy) and reports telemetry in Bye. *)
-  Array.iter
+  List.iter
     (fun w ->
       if w.w_alive then begin
-        if not w.w_shutdown then begin
-          (try
-             Proto.send w.w_conn Proto.Shutdown;
+        (if not w.w_shutdown then
+           try
+             send_to w Proto.Shutdown;
              w.w_shutdown <- true
-           with Proto.Closed | Codec.Error _ ->
+           with Proto.Closed | Codec.Error _ -> (
              w.w_alive <- false;
-             reap w)
-        end;
+             match w.w_kind with
+             | Attached _ -> reap w
+             | Remote _ -> close_conn w));
         let give_up = Unix.gettimeofday () +. 5. in
         while w.w_alive && Unix.gettimeofday () < give_up do
-          match Proto.recv_opt w.w_conn ~timeout:0.2 with
-          | Some m -> handle_msg w m
-          | None -> ()
-          | exception (Proto.Closed | Codec.Error _) ->
-              w.w_alive <- false;
-              reap w
+          match w.w_conn with
+          | None -> w.w_alive <- false
+          | Some c -> (
+              match Proto.recv_opt c ~timeout:0.2 with
+              | Some m -> handle_msg w m
+              | None -> ()
+              | exception (Proto.Closed | Codec.Error _) -> (
+                  w.w_alive <- false;
+                  match w.w_kind with
+                  | Attached _ -> reap w
+                  | Remote _ -> close_conn w))
         done;
         if w.w_alive then begin
           (* unresponsive at shutdown: reclaim it the hard way *)
           w.w_alive <- false;
-          (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
-          reap w
+          match w.w_kind with
+          | Attached _ ->
+              (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+              reap w
+          | Remote _ -> close_conn w
         end
       end)
-    workers;
+    !workers;
   (match old_sigint with
   | Some h -> Sys.set_signal Sys.sigint h
   | None -> ());
@@ -487,6 +939,12 @@ let explore ?(procs = 2) ?(limits = Executor.no_limits) ?(max_restarts = 8)
     injected = Obs.Metrics.get_int obs "fault.proto.corrupt";
     unexplored = Queue.length queue + List.length !abandoned;
     wall_seconds = Unix.gettimeofday () -. t0;
+    joins = !joins;
+    reconnects = !reconnects;
+    leaves = !leaves;
+    solo_paths = !solo_paths;
+    delta_bytes = Obs.Metrics.get_int obs "codec.delta_bytes";
+    delta_full_bytes = Obs.Metrics.get_int obs "codec.delta_full_bytes";
     trace;
     trace_dropped = !trace_dropped + local_dropped;
   }

@@ -1,5 +1,7 @@
-(** Fork-server coordinator: multi-process distribution of the
-    exploration frontier with crash-tolerant work accounting and merged
+(** Elastic coordinator: multi-process and multi-host distribution of
+    the exploration frontier with crash-tolerant work accounting, TCP
+    worker admission with leases and session rejoin, delta-encoded
+    snapshot shipping, coordinator-solo degradation, and merged
     telemetry.  See {!explore}. *)
 
 module Executor = S2e_core.Executor
@@ -7,7 +9,7 @@ module State = S2e_core.State
 module Solver = S2e_solver.Solver
 module Obs = S2e_obs
 
-(** How to start a worker process. *)
+(** How to start an attached worker process. *)
 type spawn =
   | Fork of { jobs : int; slice : float; make_engine : unit -> Executor.t }
       (** [Unix.fork] and run {!Worker.serve} in the child.  Only safe
@@ -25,6 +27,16 @@ type event =
   | Checkpointed of { pid : int; item : int; states : int }
   | Crashed of { pid : int; requeued : bool }
   | Respawned of { pid : int; slot : int }
+  | Joined of { wid : int; addr : string }
+      (** a TCP worker completed its [Hello] handshake and was admitted *)
+  | Rejoined of { wid : int; pid : int }
+      (** a lost session re-authenticated with its token and resumed *)
+  | Left of { wid : int; requeued : bool }
+      (** a TCP worker's connection died (EOF or expired lease); its
+          session is kept so it may still [Rejoin] *)
+  | Solo of { item : int }
+      (** no workers left: the coordinator started exploring this item
+          on its own boot engine *)
 
 type result = {
   procs : int;
@@ -35,7 +47,7 @@ type result = {
   obs : Obs.Metrics.snapshot;  (** merged worker registries + local *)
   steals : int;  (** checkpoints triggered by steal requests *)
   requeues : int;  (** in-flight items recovered from dead workers *)
-  restarts : int;  (** worker processes respawned *)
+  restarts : int;  (** attached worker processes respawned *)
   abandoned : (int * int) list;
       (** items given up after [max_item_attempts] worker deaths each:
           (item id, attempts).  Non-empty means exploration lost work —
@@ -51,6 +63,21 @@ type result = {
       (** frontier states left when the run stopped, including one per
           abandoned item *)
   wall_seconds : float;
+  joins : int;  (** TCP workers admitted over the run *)
+  reconnects : int;  (** sessions resumed via [Rejoin] *)
+  leaves : int;
+      (** TCP worker connection losses (EOF or expired lease); a
+          rejoining worker contributes one leave and one reconnect *)
+  solo_paths : int;
+      (** paths explored by the coordinator itself while degraded to
+          solo mode *)
+  delta_bytes : int;
+      (** snapshot bytes actually shipped after delta encoding against
+          the shared baseline (both directions, merged) *)
+  delta_full_bytes : int;
+      (** what the same snapshots would have cost shipped whole; the
+          ratio [delta_bytes /. delta_full_bytes] is the compressor's
+          report card *)
   trace : Obs.Trace.event list;
       (** merged event timeline (empty unless {!Obs.Trace} was enabled):
           worker trace chunks shipped over heartbeats and [Bye] frames,
@@ -68,6 +95,8 @@ val explore :
   ?heartbeat_timeout:float ->
   ?cases:bool ->
   ?handle_sigint:bool ->
+  ?listener:Unix.file_descr ->
+  ?max_workers:int ->
   ?on_event:(event -> unit) ->
   spawn:spawn ->
   make_engine:(unit -> Executor.t) ->
@@ -75,15 +104,15 @@ val explore :
   unit ->
   result
 (** [explore ~spawn ~make_engine ~boot ()] boots the initial state on a
-    local engine, spawns [procs] worker processes (default 2), and
-    drives the distributed frontier to exhaustion or until [limits] is
-    hit.
+    local engine, spawns [procs] attached worker processes (default 2),
+    and drives the distributed frontier to exhaustion or until [limits]
+    is hit.
 
     Work items (serialized fork-point states) are dispatched one per
     worker; when the queue runs dry the busiest worker is asked to
-    [Steal]-checkpoint its frontier, which re-enters the queue.  A
-    worker that dies or goes silent past [heartbeat_timeout] seconds
-    (default 10) has its in-flight item requeued (at most
+    [Steal]-checkpoint its frontier, which re-enters the queue.  An
+    attached worker that dies or goes silent past [heartbeat_timeout]
+    seconds (default 10) has its in-flight item requeued (at most
     [max_item_attempts] attempts per item, default 3) and is respawned
     with backoff (at most [max_restarts] times, default 8).  With
     [cases] workers additionally solve the canonical test case of every
@@ -94,5 +123,30 @@ val explore :
     left.  [on_event] observes scheduling decisions (used by the
     fault-injection tests).
 
+    {b Elastic mode.}  Passing [listener] (a socket from
+    {!Proto.listen}) lets TCP workers ([s2e_cli worker --connect], up to
+    [max_workers] alive at once, default 64) join and leave mid-run.
+    Each admitted worker is granted a session (wid + token) and a
+    liveness {e lease} of [heartbeat_timeout] seconds in its [Welcome],
+    along with the run's shared baseline snapshot; item blobs then ship
+    delta-encoded against that baseline in both directions.  A remote
+    worker whose connection dies (EOF or expired lease) has its item
+    requeued {e without} charging an abandonment attempt — transport
+    loss is presumed chaos, not a poison item — and may resume its
+    session by reconnecting with [Rejoin] and its token.  In elastic
+    mode item budgets adapt to each worker's observed throughput so
+    slow workers return their remainder early; the fork-only path keeps
+    the legacy fixed budget so [--procs N] results stay byte-identical.
+    [procs = 0] is allowed when a [listener] is given.
+
+    {b Degradation ladder.}  Workers may crash and be respawned; remote
+    workers may leave and rejoin; and when {e no} worker is alive at
+    all, the coordinator explores queued items on its own boot engine
+    (solo mode) in short slices, still polling the listener so a
+    late-joining worker can take over.  The run only abandons work for
+    items that repeatedly kill attached workers, or when its own budget
+    expires.
+
     The result merges every worker's paths, executor and solver stats,
-    and metrics-registry snapshot with the coordinator's own. *)
+    and metrics-registry snapshot with the coordinator's own.  The
+    caller owns [listener] and closes it after [explore] returns. *)

@@ -25,7 +25,7 @@ exception Closed
 (** Peer hung up (EOF/EPIPE/reset) — on a worker fd this means the
     process died or exited. *)
 
-let version = 3
+let version = 4
 
 (** A terminated path, reduced to what the coordinator reports: the
     status string and the canonical test case. *)
@@ -75,6 +75,21 @@ type msg =
       (** either direction: frames from sequence number [from] onwards
           were damaged or lost; retransmit them.  Control traffic — never
           delivered to the application, never fault-injected. *)
+  | Welcome of { wid : int; token : string; lease : float; baseline : string }
+      (** coordinator → worker: admission over TCP.  [wid]/[token]
+          identify the session for later {!Rejoin}; [lease] is the
+          liveness window in seconds (a worker silent past it is
+          presumed dead and its item requeued); [baseline] the shared
+          baseline snapshot blob for {!Codec.encode_delta}. *)
+  | Rejoin of { wid : int; token : string; pid : int; jobs : int }
+      (** worker → coordinator: a returning worker re-authenticates its
+          session (in place of [Hello]) after a connection loss.  The
+          coordinator requeues whatever item the session held — the
+          worker discarded its in-flight frontier — and answers with a
+          fresh [Welcome]. *)
+  | Deny of { reason : string }
+      (** coordinator → worker: admission or rejoin refused (version or
+          token mismatch, at capacity, draining); the worker exits. *)
 
 (* ------------------------------------------------------------------ *)
 (* Payload encoding                                                    *)
@@ -249,7 +264,22 @@ let encode_msg m =
       str b trace
   | Resend { from } ->
       u8 b 10;
-      u32 b from);
+      u32 b from
+  | Welcome { wid; token; lease; baseline } ->
+      u8 b 11;
+      u32 b wid;
+      str b token;
+      f64 b lease;
+      str b baseline
+  | Rejoin { wid; token; pid; jobs } ->
+      u8 b 12;
+      u32 b wid;
+      str b token;
+      u32 b pid;
+      u32 b jobs
+  | Deny { reason } ->
+      u8 b 13;
+      str b reason);
   contents b
 
 let decode_msg payload =
@@ -296,6 +326,19 @@ let decode_msg payload =
         let trace = rstr r in
         Bye { obs; now; trace }
     | 10 -> Resend { from = ru32 r }
+    | 11 ->
+        let wid = ru32 r in
+        let token = rstr r in
+        let lease = rf64 r in
+        let baseline = rstr r in
+        Welcome { wid; token; lease; baseline }
+    | 12 ->
+        let wid = ru32 r in
+        let token = rstr r in
+        let pid = ru32 r in
+        let jobs = ru32 r in
+        Rejoin { wid; token; pid; jobs }
+    | 13 -> Deny { reason = rstr r }
     | t -> raise (Codec.Error (Printf.sprintf "unknown message tag %d" t))
   in
   if pos r <> String.length payload then
@@ -518,3 +561,57 @@ let recv_opt c ~timeout =
    worker's socket across exec via an environment variable. *)
 external int_of_fd : Unix.file_descr -> int = "%identity"
 external fd_of_int : int -> Unix.file_descr = "%identity"
+
+(* ------------------------------------------------------------------ *)
+(* TCP transport                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+    | h -> h.Unix.h_addr_list.(0))
+
+(* The protocol is request/response at heartbeat granularity; Nagle +
+   delayed ACK would add ~40ms to every exchange, so disable it. *)
+let nodelay fd =
+  try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ()
+
+let listen ~host ~port =
+  let addr = resolve host in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (addr, port));
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let bound_port fd =
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, p) -> p
+  | _ -> invalid_arg "Proto.bound_port: not an inet socket"
+
+let accept lfd =
+  let fd, peer = Unix.accept lfd in
+  nodelay fd;
+  let addr =
+    match peer with
+    | Unix.ADDR_INET (a, p) ->
+        Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+    | Unix.ADDR_UNIX s -> s
+  in
+  (fd, addr)
+
+let dial ~host ~port =
+  let addr = resolve host in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  nodelay fd;
+  fd

@@ -69,6 +69,16 @@ type msg =
           from sequence number [from]".  Handled inside {!recv}/
           {!recv_opt}, never delivered to the application, and never
           fault-injected (recovery always makes progress). *)
+  | Welcome of { wid : int; token : string; lease : float; baseline : string }
+      (** coordinator → worker: TCP admission.  [wid]/[token] name the
+          session for {!Rejoin}; [lease] the liveness window in
+          seconds; [baseline] the shared snapshot blob deltas are
+          encoded against. *)
+  | Rejoin of { wid : int; token : string; pid : int; jobs : int }
+      (** worker → coordinator: re-authenticate an existing session
+          after a connection loss (in place of [Hello]) *)
+  | Deny of { reason : string }
+      (** coordinator → worker: admission/rejoin refused; worker exits *)
 
 val encode_msg : msg -> string
 (** Payload bytes (no frame header); exposed for tests. *)
@@ -115,3 +125,21 @@ val int_of_fd : Unix.file_descr -> int
 val fd_of_int : int -> Unix.file_descr
 (** Unix file descriptors are ints; used to hand a socket across
     [exec] via the [S2E_DIST_FD] environment variable. *)
+
+val listen : host:string -> port:int -> Unix.file_descr
+(** Bind and listen on [host:port] (with [SO_REUSEADDR]); [port = 0]
+    picks an ephemeral port, recovered with {!bound_port}.  [host] may
+    be a dotted quad or a resolvable name. *)
+
+val bound_port : Unix.file_descr -> int
+(** Local port of a bound socket. *)
+
+val accept : Unix.file_descr -> Unix.file_descr * string
+(** Accept one pending connection off a {!listen} socket; returns the
+    connected fd (with [TCP_NODELAY] set) and a printable peer
+    address. *)
+
+val dial : host:string -> port:int -> Unix.file_descr
+(** Connect to a coordinator at [host:port]; [TCP_NODELAY] set.
+    Raises the underlying [Unix.Unix_error] on failure (callers retry
+    with backoff). *)

@@ -202,22 +202,28 @@ let parallel_slicer ~jobs ~slice ~make_engine () =
         List.iter (fun (s : State.t) -> s.State.rendezvous <- []) !frontier);
   }
 
-let serve ?(jobs = 1) ?(slice = 0.05) ?(heartbeat = 0.25) ~fd
-    ~(make_engine : unit -> Executor.t) () =
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  (* A terminal Ctrl-C hits the whole process group; workers must stay
-     alive to checkpoint their frontier when the coordinator drains. *)
-  Sys.set_signal Sys.sigint Sys.Signal_ignore;
-  (* A fork-spawned worker inherits the parent's metric shards and trace
-     rings; its report must cover only its own work. *)
-  Obs.Metrics.reset ();
-  Obs.Trace.reset ();
-  let sl =
-    if jobs = 1 then serial_slicer ~slice ~make_engine ()
-    else parallel_slicer ~jobs ~slice ~make_engine ()
-  in
-  let c = Proto.connect fd in
+(* One connected session against the coordinator: the idle/item control
+   loop, written once for both transports.  [lease] is the liveness
+   window granted in [Welcome] (TCP sessions; [None] on a socketpair,
+   where the coordinator's timeout is not negotiated).  [unwrap]
+   translates incoming item blobs (delta → full on TCP), [wrap]
+   outgoing checkpoint blobs (full → delta).  Returns [`Shutdown] on an
+   orderly drain and [`Lost] when the connection died — the TCP caller
+   reconnects, the socketpair caller exits (its process is dead to the
+   coordinator either way). *)
+let run_session ~sl ~heartbeat ~lease ~unwrap ~wrap c =
   let pid = Unix.getpid () in
+  (* A worker heartbeating exactly at the lease boundary flaps; keep at
+     least four beats per lease. *)
+  let heartbeat =
+    match lease with
+    | Some l when l > 0. -> Float.min heartbeat (l /. 4.)
+    | _ -> heartbeat
+  in
+  (* How long a [proto.stall] freeze must last to overrun the lease. *)
+  let stall_seconds =
+    match lease with Some l when l > 0. -> 1.5 *. l | _ -> 4. *. heartbeat
+  in
   let last_hb = ref (Unix.gettimeofday ()) in
   (* Trace chunks piggyback on the liveness traffic: each heartbeat (and
      the final Bye) carries whatever the rings buffered since the last
@@ -237,13 +243,31 @@ let serve ?(jobs = 1) ?(slice = 0.05) ?(heartbeat = 0.25) ~fd
          { pid; frontier; now = Unix.gettimeofday (); trace = trace_chunk () });
     last_hb := Unix.gettimeofday ()
   in
+  (* Every due heartbeat is a fault-injection point for the three
+     liveness chaos kinds.  [proto.stall] freezes the whole process past
+     the lease (the coordinator presumes death and requeues; our next
+     send then finds the connection torn down or a requeued item —
+     either way the recovery path runs for real).  [proto.disconnect]
+     severs the socket abruptly, no goodbye: a TCP worker reconnects
+     and rejoins, a socketpair worker dies and is respawned. *)
+  let hb_probe frontier =
+    if Fault.(fire Proto_stall) then begin
+      Unix.sleepf stall_seconds;
+      hb frontier
+    end
+    else if Fault.(fire Proto_disconnect) then begin
+      (try Unix.shutdown c.Proto.fd Unix.SHUTDOWN_ALL
+       with Unix.Unix_error _ -> ());
+      raise Proto.Closed
+    end
+    else if Fault.(fire Proto_delay) then
+      (* Fault plan: swallow this heartbeat and pretend it was sent —
+         the coordinator's liveness timeout sees a silent worker. *)
+      last_hb := Unix.gettimeofday ()
+    else hb frontier
+  in
   let maybe_hb frontier =
-    if Unix.gettimeofday () -. !last_hb >= heartbeat then
-      if Fault.(fire Proto_delay) then
-        (* Fault plan: swallow this heartbeat and pretend it was sent —
-           the coordinator's liveness timeout sees a silent worker. *)
-        last_hb := Unix.gettimeofday ()
-      else hb frontier
+    if Unix.gettimeofday () -. !last_hb >= heartbeat then hb_probe frontier
   in
   let bye () =
     Proto.send c
@@ -255,7 +279,7 @@ let serve ?(jobs = 1) ?(slice = 0.05) ?(heartbeat = 0.25) ~fd
     let deadline =
       if budget <= 0. then infinity else Unix.gettimeofday () +. budget
     in
-    sl.sl_start (Codec.decode_state ~base:sl.sl_base blob);
+    sl.sl_start (Codec.decode_state ~base:sl.sl_base (unwrap blob));
     let paths = ref [] in
     (* Convert newly terminated states to reportable paths.  With
        [cases] each conversion is a solver query, so keep heartbeating:
@@ -285,7 +309,10 @@ let serve ?(jobs = 1) ?(slice = 0.05) ?(heartbeat = 0.25) ~fd
              paths = List.rev !paths;
              stats;
              solver;
-             states = List.map Codec.encode_state (sl.sl_frontier ());
+             states =
+               List.map
+                 (fun s -> wrap (Codec.encode_state s))
+                 (sl.sl_frontier ());
            });
       sl.sl_drop ()
     in
@@ -327,11 +354,10 @@ let serve ?(jobs = 1) ?(slice = 0.05) ?(heartbeat = 0.25) ~fd
     done
   in
   try
-    Proto.send c (Proto.Hello { version = Proto.version; pid; jobs });
     let rec idle () =
       match Proto.recv_opt c ~timeout:heartbeat with
       | None ->
-          hb 0;
+          hb_probe 0;
           idle ()
       | Some (Proto.Work { item; budget; cases; blob }) ->
           run_item ~item ~budget ~cases blob;
@@ -345,7 +371,144 @@ let serve ?(jobs = 1) ?(slice = 0.05) ?(heartbeat = 0.25) ~fd
              coordinator clears its pending steal on our next message. *)
           idle ()
     in
-    idle ()
+    idle ();
+    `Shutdown
   with
-  | Done -> ()
-  | Proto.Closed -> () (* coordinator died; exit quietly *)
+  | Done -> `Shutdown
+  | Proto.Closed -> `Lost
+
+let init_process () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* A terminal Ctrl-C hits the whole process group; workers must stay
+     alive to checkpoint their frontier when the coordinator drains. *)
+  Sys.set_signal Sys.sigint Sys.Signal_ignore;
+  (* A fork-spawned worker inherits the parent's metric shards and trace
+     rings; its report must cover only its own work. *)
+  Obs.Metrics.reset ();
+  Obs.Trace.reset ()
+
+let make_slicer ~jobs ~slice ~make_engine () =
+  if jobs = 1 then serial_slicer ~slice ~make_engine ()
+  else parallel_slicer ~jobs ~slice ~make_engine ()
+
+let serve ?(jobs = 1) ?(slice = 0.05) ?(heartbeat = 0.25) ~fd
+    ~(make_engine : unit -> Executor.t) () =
+  init_process ();
+  let sl = make_slicer ~jobs ~slice ~make_engine () in
+  let c = Proto.connect fd in
+  match
+    Proto.send c
+      (Proto.Hello { version = Proto.version; pid = Unix.getpid (); jobs });
+    run_session ~sl ~heartbeat ~lease:None ~unwrap:Fun.id ~wrap:Fun.id c
+  with
+  | `Shutdown | `Lost -> () (* coordinator drained or died; exit quietly *)
+  | exception Proto.Closed -> () (* died before the session even started *)
+
+(* ------------------------------------------------------------------ *)
+(* TCP workers: dial, join, survive disconnects                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Local splitmix64 for reconnect jitter — deliberately NOT the fault
+   plan's seeded streams, which must stay reserved for injection
+   decisions. *)
+let jitter =
+  let mix64 z =
+    let open Int64 in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+    logxor z (shift_right_logical z 31)
+  in
+  let seq = ref 0 in
+  fun () ->
+    incr seq;
+    let z =
+      mix64
+        (Int64.logxor
+           (Int64.of_float (Unix.gettimeofday () *. 1e6))
+           (Int64.of_int ((Unix.getpid () * 0x9e3779b9) + !seq)))
+    in
+    Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.
+
+(* Exponential backoff, 50ms doubling to a 2s ceiling, with ±50% jitter
+   so a herd of workers reconnecting to a restarted coordinator spreads
+   out instead of dog-piling the accept queue. *)
+let backoff attempt =
+  let base = Float.min 2.0 (0.05 *. (2. ** float_of_int attempt)) in
+  base *. (0.5 +. jitter ())
+
+(* Send Hello (fresh) or Rejoin (returning) and wait for the verdict. *)
+let handshake c ~session ~jobs =
+  let pid = Unix.getpid () in
+  (match !session with
+  | None -> Proto.send c (Proto.Hello { version = Proto.version; pid; jobs })
+  | Some (wid, token) -> Proto.send c (Proto.Rejoin { wid; token; pid; jobs }));
+  let give_up = Unix.gettimeofday () +. 10. in
+  let rec wait () =
+    if Unix.gettimeofday () > give_up then `Lost
+    else
+      match Proto.recv_opt c ~timeout:0.25 with
+      | Some (Proto.Welcome { wid; token; lease; baseline }) ->
+          session := Some (wid, token);
+          `Welcome (lease, baseline)
+      | Some (Proto.Deny { reason }) -> `Denied reason
+      | Some _ | None -> wait ()
+  in
+  try wait () with Proto.Closed | Codec.Error _ -> `Lost
+
+let serve_tcp ?(jobs = 1) ?(slice = 0.05) ?(heartbeat = 0.25)
+    ?(max_retries = 10) ~host ~port ~(make_engine : unit -> Executor.t) () =
+  init_process ();
+  (* One slicer for the whole worker lifetime: caches stay warm across
+     reconnects, exactly as they do across items. *)
+  let sl = make_slicer ~jobs ~slice ~make_engine () in
+  let session = ref None in
+  let attempt = ref 0 in
+  let stop = ref false in
+  let retry () =
+    if !attempt >= max_retries then stop := true
+    else begin
+      incr attempt;
+      Unix.sleepf (backoff !attempt)
+    end
+  in
+  while not !stop do
+    match Proto.dial ~host ~port with
+    | exception _ -> retry ()
+    | fd -> (
+        let c = Proto.connect fd in
+        let close () = try Unix.close fd with Unix.Unix_error _ -> () in
+        match handshake c ~session ~jobs with
+        | `Denied _reason ->
+            (* Not transient (bad token, capacity, draining): exit. *)
+            close ();
+            stop := true
+        | `Lost ->
+            close ();
+            retry ()
+        | `Welcome (lease, baseline) -> (
+            (* A successful admission resets the backoff ladder. *)
+            attempt := 0;
+            let unwrap blob =
+              if Codec.is_delta blob then Codec.decode_delta ~baseline blob
+              else blob
+            in
+            let wrap blob = Codec.encode_delta ~baseline blob in
+            match
+              run_session ~sl ~heartbeat ~lease:(Some lease) ~unwrap ~wrap c
+            with
+            | `Shutdown ->
+                close ();
+                stop := true
+            | `Lost ->
+                (* The coordinator presumed us dead and requeued our
+                   item; discard the half-explored frontier before
+                   rejoining so no path is double-counted. *)
+                close ();
+                sl.sl_quiesce ();
+                ignore (sl.sl_drain ());
+                sl.sl_drop ();
+                retry ()
+            | exception Codec.Error _ ->
+                close ();
+                stop := true))
+  done

@@ -10,6 +10,8 @@ type site =
   | Solver_latency
   | Proto_corrupt
   | Proto_delay
+  | Proto_disconnect
+  | Proto_stall
 
 let all_sites =
   [
@@ -20,6 +22,8 @@ let all_sites =
     Solver_latency;
     Proto_corrupt;
     Proto_delay;
+    Proto_disconnect;
+    Proto_stall;
   ]
 
 let site_index = function
@@ -30,8 +34,10 @@ let site_index = function
   | Solver_latency -> 4
   | Proto_corrupt -> 5
   | Proto_delay -> 6
+  | Proto_disconnect -> 7
+  | Proto_stall -> 8
 
-let num_sites = 7
+let num_sites = 9
 
 let site_name = function
   | Dev_read -> "dev.read"
@@ -41,6 +47,8 @@ let site_name = function
   | Solver_latency -> "solver.latency"
   | Proto_corrupt -> "proto.corrupt"
   | Proto_delay -> "proto.delay"
+  | Proto_disconnect -> "proto.disconnect"
+  | Proto_stall -> "proto.stall"
 
 (* Registered at load time in every process linking this library, so
    cross-process snapshot merging always knows the counter kind even in
@@ -79,6 +87,8 @@ let grammar =
     (("solver", "latency"), Solver_latency);
     (("proto", "corrupt"), Proto_corrupt);
     (("proto", "delay"), Proto_delay);
+    (("proto", "disconnect"), Proto_disconnect);
+    (("proto", "stall"), Proto_stall);
   ]
 
 let grammar_pair site = fst (List.find (fun (_, s) -> s = site) grammar)

@@ -28,11 +28,21 @@ type site =
   | Solver_latency  (** artificial latency is requested for a query *)
   | Proto_corrupt  (** a transport frame has one payload byte flipped *)
   | Proto_delay  (** a worker heartbeat is suppressed for one period *)
+  | Proto_disconnect
+      (** the worker's coordinator connection is severed abruptly (no
+          goodbye): a TCP worker reconnects and rejoins, a
+          socketpair-attached worker dies and is respawned *)
+  | Proto_stall
+      (** the worker freezes past its lease — a blocking sleep long
+          enough that the coordinator presumes it dead and requeues its
+          item; the stalled worker then discovers the loss on its next
+          send and recovers like a disconnect *)
 
 val all_sites : site list
 val site_name : site -> string
 (** ["dev.read"], ["dma.drop"], ["irq.spurious"], ["solver.unknown"],
-    ["solver.latency"], ["proto.corrupt"], ["proto.delay"]. *)
+    ["solver.latency"], ["proto.corrupt"], ["proto.delay"],
+    ["proto.disconnect"], ["proto.stall"]. *)
 
 type rule = {
   r_site : site;
@@ -47,7 +57,8 @@ val parse_plan : string -> (plan, string) result
     [site=kind:prob[#cap]] rules, e.g.
     ["dev.read=err:0.05,dma=drop:0.01,solver=unknown:0.02,proto=corrupt:0.03"].
     Site/kind pairs: [dev.read=err], [dma=drop], [irq=spurious],
-    [solver=unknown], [solver=latency], [proto=corrupt], [proto=delay].
+    [solver=unknown], [solver=latency], [proto=corrupt], [proto=delay],
+    [proto=disconnect], [proto=stall].
     The empty string parses to the empty plan. *)
 
 val plan_to_string : plan -> string

@@ -51,6 +51,36 @@ int main() {
   return 0;
 } |}
 
+(* 2^8 = 256 paths: a run long enough that TCP chaos (disconnects,
+   kills, joins) reliably lands mid-run. *)
+let workload_256 =
+  {|
+int main() {
+  int x = __s2e_sym_int(1);
+  int acc = 0;
+  for (int i = 0; i < 8; i = i + 1) {
+    if ((x >> i) & 1) acc = acc + (i * 3 + 1);
+  }
+  if (acc > 50) return 1;
+  return 0;
+} |}
+
+(* 2^12 = 4096 paths: seconds of runway, so probabilistic disconnect
+   chaos (p = 0.05 per liveness draw) fires many times per run. *)
+let workload_4096 =
+  {|
+int main() {
+  int x = __s2e_sym_int(1);
+  int y = __s2e_sym_int(1);
+  int acc = 0;
+  for (int i = 0; i < 6; i = i + 1) {
+    if ((x >> i) & 1) acc = acc + (i * 3 + 1);
+    if ((y >> i) & 1) acc = acc + (i * 5 + 2);
+  }
+  if (acc > 100) return 1;
+  return 0;
+} |}
+
 let make_engine_for workload () =
   let linked = Cc.link ~runtime_asm:runtime [ ("prog", workload) ] in
   let engine = Executor.create () in
@@ -176,6 +206,98 @@ let test_strict_decode_errors () =
   let other = Bytes.copy base in
   Bytes.set other 0 (Char.chr (Char.code (Bytes.get other 0) lxor 1));
   raises "base image mismatch" (fun () -> Codec.decode_state ~base:other blob)
+
+(* ------------------------------------------------------------------ *)
+(* Delta codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_compress_roundtrip () =
+  let cases =
+    [
+      "";
+      "a";
+      "abc";
+      String.make 3 'r';
+      String.make 500 '\000';
+      String.init 400 (fun i -> Char.chr (i * 7 mod 251));
+      (* literal runs longer than one 128-byte op *)
+      String.init 300 (fun i -> Char.chr (i mod 253));
+      (* run longer than one 130-repeat op, with literal tails *)
+      "xy" ^ String.make 1000 'z' ^ "tail";
+      (* 1- and 2-byte repeats must stay literals, not bogus runs *)
+      "aabbccddee";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let c = Codec.compress s in
+      Alcotest.(check string)
+        "compress/decompress roundtrip" s
+        (Codec.decompress ~expect:(String.length s) c))
+    cases;
+  (* A run-heavy input must actually shrink. *)
+  Alcotest.(check bool)
+    "runs compress" true
+    (String.length (Codec.compress (String.make 4096 '\000')) < 256)
+
+let test_delta_roundtrip () =
+  let eng, s = frontier_state () in
+  let baseline = Codec.encode_state s in
+  (* Delta a sibling frontier state against it: mid-run siblings share
+     almost everything, so the block-match mode must engage. *)
+  let target =
+    match eng.Executor.live with
+    | _ :: t :: _ -> Codec.encode_state t
+    | _ -> Alcotest.fail "expected at least two frontier states"
+  in
+  let d = Codec.encode_delta ~baseline target in
+  Alcotest.(check bool) "tagged as delta" true (Codec.is_delta d);
+  Alcotest.(check bool) "full blobs are not deltas" false
+    (Codec.is_delta target);
+  Alcotest.(check bool) "delta never exceeds the full blob" true
+    (String.length d <= String.length target);
+  Alcotest.(check char) "block-match mode engaged (not fallback)" 'D' d.[3];
+  (* 'D' is only ever chosen when strictly smaller than shipping whole. *)
+  Alcotest.(check bool) "engaged delta is strictly smaller" true
+    (String.length d < String.length target);
+  let target' = Codec.decode_delta ~baseline d in
+  Alcotest.(check string) "decode(encode) is byte-identical" target target';
+  (* The reconstructed blob decodes to a working state. *)
+  let st = Codec.decode_state ~base:eng.Executor.base_mem target' in
+  Alcotest.(check bool) "reconstructed state decodes" true (st.State.id >= 0);
+  (* Self-delta: maximal sharing, near-nothing on the wire. *)
+  let self = Codec.encode_delta ~baseline baseline in
+  Alcotest.(check bool) "self-delta is tiny" true (String.length self < 64);
+  Alcotest.(check string) "self-delta roundtrips" baseline
+    (Codec.decode_delta ~baseline self)
+
+let test_delta_baseline_mismatch () =
+  let eng, s = frontier_state () in
+  let baseline = Codec.encode_state s in
+  let target =
+    match eng.Executor.live with
+    | _ :: t :: _ -> Codec.encode_state t
+    | _ -> Alcotest.fail "expected at least two frontier states"
+  in
+  let d = Codec.encode_delta ~baseline target in
+  Alcotest.(check char) "block-match mode engaged" 'D' d.[3];
+  (* Applying against any other baseline must be rejected by the
+     negotiated-baseline digest, not silently produce garbage.  The
+     target blob itself is a handy wrong-baseline: well-formed, same
+     run, different payload. *)
+  let other = target in
+  Alcotest.(check bool) "baselines actually differ" true (other <> baseline);
+  (match Codec.decode_delta ~baseline:other d with
+  | (_ : string) -> Alcotest.fail "mismatched baseline must raise"
+  | exception Codec.Error _ -> ());
+  (* Fallback-mode deltas carry everything and are baseline-independent;
+     a torn 'D' body must still be caught by its ops checksum. *)
+  let torn = Bytes.of_string d in
+  let mid = Bytes.length torn - 8 in
+  Bytes.set torn mid (Char.chr (Char.code (Bytes.get torn mid) lxor 1));
+  match Codec.decode_delta ~baseline (Bytes.to_string torn) with
+  | (_ : string) -> Alcotest.fail "torn delta must raise"
+  | exception Codec.Error _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Coordinator                                                         *)
@@ -374,6 +496,152 @@ let test_heartbeat_delay_abandonment () =
   Alcotest.(check bool) "abandoned work counts as unexplored" true
     (r.Coordinator.unexplored >= 1)
 
+(* ------------------------------------------------------------------ *)
+(* Elastic TCP cluster                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Worker = S2e_dist.Worker
+
+let no_limits ~seconds =
+  {
+    Executor.max_instructions = None;
+    max_seconds = Some seconds;
+    max_completed = None;
+  }
+
+(* Fork a TCP worker process.  The child closes every inherited
+   descriptor above stderr (coordinator sockets, the listener, test-log
+   fds): a surviving copy would pin peers' connections open and defeat
+   the coordinator's EOF detection.  Any armed fault plan is inherited
+   across the fork, so install chaos before forking. *)
+let fork_tcp_worker ?(delay = 0.) ~port ~make_engine () =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      for fd = 3 to 255 do
+        try Unix.close (Proto.fd_of_int fd) with Unix.Unix_error _ -> ()
+      done;
+      if delay > 0. then Unix.sleepf delay;
+      (try
+         (* heartbeat 0.02: ~50 liveness draws/sec, so a probabilistic
+            chaos plan reliably fires even on short runs *)
+         Worker.serve_tcp ~jobs:1 ~slice:0.01 ~heartbeat:0.02 ~max_retries:60
+           ~host:"127.0.0.1" ~port ~make_engine ()
+       with _ -> ());
+      Unix._exit 0
+  | pid -> pid
+
+let reap_worker pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let boot_entry eng = Executor.boot eng ~entry:0x1000 ()
+
+(* The acceptance scenario: two TCP workers under disconnect chaos
+   (every heartbeat draw has a 5% chance of abruptly severing the
+   connection).  Workers must keep rejoining with their session tokens;
+   transport loss must never bleed into abandonment; and the final case
+   set must match a serial run exactly. *)
+let test_tcp_disconnect_chaos () =
+  let make_engine = make_engine_for workload_4096 in
+  let serial_cases, _ = serial_case_set workload_4096 in
+  let lfd = Proto.listen ~host:"127.0.0.1" ~port:0 in
+  let port = Proto.bound_port lfd in
+  let pids = ref [] in
+  let r =
+    with_plan "proto=disconnect:0.05" (fun () ->
+        pids :=
+          [
+            fork_tcp_worker ~port ~make_engine ();
+            fork_tcp_worker ~port ~make_engine ();
+          ];
+        Coordinator.explore ~procs:0 ~cases:true ~listener:lfd
+          ~heartbeat_timeout:2.0 ~limits:(no_limits ~seconds:120.)
+          ~spawn:(Coordinator.Fork { jobs = 1; slice = 0.01; make_engine })
+          ~make_engine ~boot:boot_entry ())
+  in
+  Unix.close lfd;
+  List.iter reap_worker !pids;
+  Alcotest.(check bool) "both workers joined" true (r.Coordinator.joins >= 2);
+  Alcotest.(check bool) "disconnects happened and were survived" true
+    (r.Coordinator.reconnects > 0);
+  Alcotest.(check bool) "leaves were recorded" true (r.Coordinator.leaves > 0);
+  Alcotest.(check (list (pair int int)))
+    "transport chaos never abandons items" [] r.Coordinator.abandoned;
+  Alcotest.(check int) "nothing left unexplored" 0 r.Coordinator.unexplored;
+  Alcotest.(check bool) "deltas were shipped" true
+    (r.Coordinator.delta_full_bytes > 0);
+  Alcotest.(check bool) "deltas actually saved bytes" true
+    (r.Coordinator.delta_bytes < r.Coordinator.delta_full_bytes);
+  Alcotest.(check (list string))
+    "case set identical to serial under chaos" serial_cases (dist_case_set r)
+
+(* SIGKILL a TCP worker the moment it is handed an item, then have a
+   fresh worker join mid-run: the lease recovers the in-flight item, the
+   replacement is admitted, and no path is lost or duplicated. *)
+let test_tcp_kill_and_join () =
+  let make_engine = make_engine_for workload_256 in
+  let serial_cases, _ = serial_case_set workload_256 in
+  let lfd = Proto.listen ~host:"127.0.0.1" ~port:0 in
+  let port = Proto.bound_port lfd in
+  let w1 = fork_tcp_worker ~port ~make_engine () in
+  let pids = ref [ w1 ] in
+  let killed = ref false in
+  let on_event = function
+    | Coordinator.Dispatched { pid; _ } when (not !killed) && pid = w1 ->
+        killed := true;
+        Unix.kill w1 Sys.sigkill;
+        (* the replacement dials in while the run is underway *)
+        pids := fork_tcp_worker ~port ~make_engine () :: !pids
+    | _ -> ()
+  in
+  let r =
+    Coordinator.explore ~procs:0 ~cases:true ~listener:lfd
+      ~heartbeat_timeout:1.0 ~limits:(no_limits ~seconds:120.) ~on_event
+      ~spawn:(Coordinator.Fork { jobs = 1; slice = 0.01; make_engine })
+      ~make_engine ~boot:boot_entry ()
+  in
+  Unix.close lfd;
+  List.iter reap_worker !pids;
+  Alcotest.(check bool) "the first worker was killed" true !killed;
+  Alcotest.(check bool) "original + replacement both admitted" true
+    (r.Coordinator.joins >= 2);
+  Alcotest.(check bool) "the kill was detected as a leave" true
+    (r.Coordinator.leaves >= 1);
+  Alcotest.(check bool) "its in-flight item was requeued" true
+    (r.Coordinator.requeues >= 1);
+  Alcotest.(check (list (pair int int)))
+    "no abandonment from the kill" [] r.Coordinator.abandoned;
+  Alcotest.(check int) "nothing left unexplored" 0 r.Coordinator.unexplored;
+  Alcotest.(check (list string))
+    "case set identical to serial across kill + join" serial_cases
+    (dist_case_set r)
+
+(* Bottom rung of the degradation ladder: a listener with no workers at
+   all.  The coordinator must complete the whole run on its own boot
+   engine and still produce the serial case set. *)
+let test_solo_completion () =
+  let make_engine = make_engine_for workload_32 in
+  let serial_cases, serial = serial_case_set workload_32 in
+  let lfd = Proto.listen ~host:"127.0.0.1" ~port:0 in
+  let r =
+    Coordinator.explore ~procs:0 ~cases:true ~listener:lfd
+      ~limits:(no_limits ~seconds:60.)
+      ~spawn:
+        (Coordinator.Fork { jobs = 1; slice = 0.01; make_engine })
+      ~make_engine ~boot:boot_entry ()
+  in
+  Unix.close lfd;
+  Alcotest.(check int) "no workers ever joined" 0 r.Coordinator.joins;
+  Alcotest.(check int) "nothing left unexplored" 0 r.Coordinator.unexplored;
+  Alcotest.(check bool) "paths were explored solo" true
+    (r.Coordinator.solo_paths > 0);
+  Alcotest.(check int) "every path was explored solo"
+    serial.Parallel.stats.Executor.states_completed r.Coordinator.solo_paths;
+  Alcotest.(check (list string))
+    "solo case set identical to serial" serial_cases (dist_case_set r)
+
 let tests =
   [
     Alcotest.test_case "expression codec roundtrip" `Quick test_expr_roundtrip;
@@ -389,4 +657,16 @@ let tests =
       test_corrupt_transport_full_run;
     Alcotest.test_case "heartbeat delay: requeue then visible abandonment"
       `Quick test_heartbeat_delay_abandonment;
+    Alcotest.test_case "byte-run compressor roundtrip" `Quick
+      test_compress_roundtrip;
+    Alcotest.test_case "delta snapshot roundtrip against baseline" `Quick
+      test_delta_roundtrip;
+    Alcotest.test_case "delta rejects mismatched baseline" `Quick
+      test_delta_baseline_mismatch;
+    Alcotest.test_case "tcp cluster: disconnect chaos, same paths" `Quick
+      test_tcp_disconnect_chaos;
+    Alcotest.test_case "tcp cluster: kill one worker, join another" `Quick
+      test_tcp_kill_and_join;
+    Alcotest.test_case "tcp cluster: coordinator-solo completion" `Quick
+      test_solo_completion;
   ]

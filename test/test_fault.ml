@@ -42,6 +42,13 @@ let test_parse_plan () =
   in
   Alcotest.(check bool) "cap parsed" true
     ((List.hd plan2).Fault.r_cap = Some 3);
+  (* the cluster-chaos kinds added with the TCP transport *)
+  let plan3 = parse_ok "proto=disconnect:0.05,proto=stall:0.01#2" in
+  Alcotest.(check bool) "disconnect and stall sites" true
+    (List.map (fun r -> r.Fault.r_site) plan3
+    = [ Fault.Proto_disconnect; Fault.Proto_stall ]);
+  Alcotest.(check bool) "disconnect/stall roundtrip" true
+    (parse_ok (Fault.plan_to_string plan3) = plan3);
   Alcotest.(check int) "empty plan" 0 (List.length (parse_ok ""));
   (* canonical text form roundtrips *)
   let p = parse_ok "dev.read=err:0.25#7,proto=corrupt:0.5" in
