@@ -75,7 +75,7 @@ echo "CI: merge smoke test passed ($merge_cases cases, $merged_paths merged vs $
 # regression workload: merging still engages (merges > 0) and the
 # carrier-abort count is surfaced by the renderer.
 merge_stats=$(mktemp /tmp/s2e-merge-stats-XXXXXX.jsonl)
-trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$merge_out" "$merge_stats"' EXIT
+trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$merge_out" "$solver_out" "$url_fresh" "$chaos_fresh" "$merge_stats"' EXIT
 dune exec bin/s2e_cli.exe -- explore --driver c111 --workload exerciser \
   --jobs 1 --seconds 60 --merge auto --stats-out "$merge_stats" > /dev/null
 merge_render=$(dune exec bin/s2e_cli.exe -- stats "$merge_stats")
@@ -91,7 +91,7 @@ echo "CI: merge observability smoke test passed"
 # cases (tracing must not perturb exploration).
 trace_json=$(mktemp /tmp/s2e-trace-XXXXXX.json)
 traced_out=$(mktemp /tmp/s2e-traced-XXXXXX.txt)
-trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$merge_out" "$merge_stats" "$trace_json" "$traced_out"' EXIT
+trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$merge_out" "$solver_out" "$url_fresh" "$chaos_fresh" "$merge_stats" "$trace_json" "$traced_out"' EXIT
 dune exec bin/s2e_cli.exe -- explore --driver nulldrv --workload symloop \
   --jobs 1 --seconds 30 --cases --trace-out "$trace_json" > "$traced_out"
 test -s "$trace_json" || { echo "CI: trace file empty" >&2; exit 1; }
@@ -119,11 +119,61 @@ dune exec bin/s2e_cli.exe -- trace "$trace_json" > /dev/null \
   || { echo "CI: trace renderer rejected the merged JSON" >&2; exit 1; }
 echo "CI: trace smoke test passed (cases == untraced serial, $pids merged pid lanes)"
 
+# Incremental-solver differential: --solver=fresh must emit byte-identical
+# case sets to the default incremental instance ring (serial and --jobs 4),
+# and the incremental run must report realized prefix reuse.
+solver_out=$(mktemp /tmp/s2e-solver-XXXXXX.txt)
+trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$merge_out" "$solver_out"' EXIT
+dune exec bin/s2e_cli.exe -- explore --driver nulldrv --workload symloop \
+  --jobs 1 --seconds 30 --solver fresh --cases > "$solver_out"
+grep '|' "$serial_out" > "$serial_out.cases"
+grep '|' "$solver_out" > "$solver_out.cases"
+diff "$serial_out.cases" "$solver_out.cases" > /dev/null \
+  || { echo "CI: fresh-solver cases differ from incremental" >&2; exit 1; }
+dune exec bin/s2e_cli.exe -- explore --driver nulldrv --workload symloop \
+  --jobs 4 --seconds 30 --solver incremental --cases > "$solver_out"
+grep '|' "$solver_out" > "$solver_out.cases"
+diff "$serial_out.cases" "$solver_out.cases" > /dev/null \
+  || { echo "CI: incremental --jobs 4 cases differ from serial" >&2; exit 1; }
+grep -q '^incremental: [1-9]' "$solver_out" \
+  || { echo "CI: incremental run reported no realized reuse" >&2; exit 1; }
+url_fresh=$(mktemp /tmp/s2e-urlfresh-XXXXXX.txt)
+trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$merge_out" "$solver_out" "$url_fresh"' EXIT
+dune exec bin/s2e_cli.exe -- explore --driver nulldrv --workload urlparse \
+  --jobs 1 --seconds 60 --solver fresh --cases > "$url_fresh"
+dune exec bin/s2e_cli.exe -- explore --driver nulldrv --workload urlparse \
+  --jobs 1 --seconds 60 --solver incremental --cases > "$solver_out"
+grep '|' "$url_fresh" > "$url_fresh.cases"
+grep '|' "$solver_out" > "$solver_out.cases"
+diff "$url_fresh.cases" "$solver_out.cases" > /dev/null \
+  || { echo "CI: urlparse cases diverge between solver modes" >&2; exit 1; }
+rm -f "$serial_out.cases" "$solver_out.cases" "$url_fresh.cases"
+echo "CI: solver-mode differential passed (fresh == incremental on symloop + urlparse, reuse reported)"
+
+# Chaos solver differential: with an injected-unknown plan armed on a
+# fixed seed, incremental must degrade exactly as fresh does — same
+# [incomplete] suffixes, same final case set (injection fires per
+# canonical query, before mode dispatch).
+chaos_fresh=$(mktemp /tmp/s2e-chaosfresh-XXXXXX.txt)
+trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$merge_out" "$solver_out" "$url_fresh" "$chaos_fresh"' EXIT
+dune exec bin/s2e_cli.exe -- explore --driver nulldrv --workload symloop \
+  --jobs 1 --seconds 30 --fault-plan 'solver=unknown:0.05' --fault-seed 11 \
+  --solver fresh --cases > "$chaos_fresh"
+dune exec bin/s2e_cli.exe -- explore --driver nulldrv --workload symloop \
+  --jobs 1 --seconds 30 --fault-plan 'solver=unknown:0.05' --fault-seed 11 \
+  --solver incremental --cases > "$solver_out"
+grep '|' "$chaos_fresh" > "$chaos_fresh.cases"
+grep '|' "$solver_out" > "$solver_out.cases"
+diff "$chaos_fresh.cases" "$solver_out.cases" > /dev/null \
+  || { echo "CI: chaos cases diverge between solver modes" >&2; exit 1; }
+rm -f "$chaos_fresh.cases" "$solver_out.cases"
+echo "CI: chaos solver differential passed (incremental degrades like fresh)"
+
 # Chaos smoke test: exploration with an armed fault plan and solver
 # watchdog must complete cleanly in both execution modes (recovery, not
 # crashes) and report a nonzero injected-fault count.
 chaos_out=$(mktemp /tmp/s2e-chaos-XXXXXX.txt)
-trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$merge_out" "$merge_stats" "$trace_json" "$traced_out" "$chaos_out"' EXIT
+trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$merge_out" "$solver_out" "$url_fresh" "$chaos_fresh" "$merge_stats" "$trace_json" "$traced_out" "$chaos_out"' EXIT
 dune exec bin/s2e_cli.exe -- explore --driver nulldrv --workload urlparse \
   --jobs 2 --seconds 5 --solver-timeout-ms 10000 \
   --fault-plan 'dev.read=err:0.05,irq=spurious:0.02,solver=latency:0.05' \
@@ -156,7 +206,7 @@ echo "CI: procs-mode chaos smoke test passed ($injected faults injected, cases =
 # exit 0 with zero abandoned items -- transport loss requeues work, it
 # never poisons it -- and the report must count all three joins.
 cluster_out=$(mktemp /tmp/s2e-cluster-XXXXXX.txt)
-trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$merge_out" "$merge_stats" "$trace_json" "$traced_out" "$chaos_out" "$cluster_out"' EXIT
+trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$merge_out" "$solver_out" "$url_fresh" "$chaos_fresh" "$merge_stats" "$trace_json" "$traced_out" "$chaos_out" "$cluster_out"' EXIT
 cli=_build/default/bin/s2e_cli.exe
 "$cli" serve --driver nulldrv --workload urlparse --seconds 12 \
   --listen 127.0.0.1:0 --lease 2 > "$cluster_out" &
@@ -207,6 +257,28 @@ printf '%s\n' "$bench_dist" | grep -q '"snapshot_delta_ratio":' \
   || { echo "CI: bench dist missing snapshot_delta_ratio" >&2; exit 1; }
 echo "CI: bench dist smoke test passed"
 
+# Solver bench: the incremental instance ring must cut SAT-core wall to
+# at most 0.8x fresh per-query solving on the breakdown workload, at a
+# byte-identical case set (the headline ratio is ~0.2; 0.8 catches a
+# regressed ring without flaking on machine noise).
+solver_bench=$(S2E_BENCH_SECONDS=5 timeout 300 dune exec bench/main.exe solver \
+  | grep '^BENCH {"name":"solver"') \
+  || { echo "CI: bench solver emitted no BENCH line" >&2; exit 1; }
+ratio=$(printf '%s\n' "$solver_bench" \
+  | sed -n 's/.*"inc_over_fresh":\([0-9.]*\).*/\1/p')
+[ -n "$ratio" ] || { echo "CI: bench solver missing inc_over_fresh" >&2; exit 1; }
+ok=$(awk -v v="$ratio" 'BEGIN { print (v <= 0.8) ? 1 : 0 }')
+[ "$ok" = 1 ] \
+  || { echo "CI: bench solver inc_over_fresh=$ratio above 0.8x floor" >&2; exit 1; }
+printf '%s\n' "$solver_bench" | grep -q '"cases_equal":true' \
+  || { echo "CI: bench solver case sets diverged between modes" >&2; exit 1; }
+reuse=$(printf '%s\n' "$solver_bench" \
+  | sed -n 's/.*"reuse_rate":\([0-9.]*\).*/\1/p')
+ok=$(awk -v v="$reuse" 'BEGIN { print (v > 0) ? 1 : 0 }')
+[ "$ok" = 1 ] \
+  || { echo "CI: bench solver realized no prefix reuse" >&2; exit 1; }
+echo "CI: bench solver smoke test passed (inc/fresh=$ratio, reuse=$reuse)"
+
 # Expression-interning bench: the microbenchmark must emit its BENCH line
 # and every speedup column must clear the 2x acceptance floor.
 expr_bench=$(S2E_BENCH_SECONDS=5 timeout 120 dune exec bench/main.exe expr \
@@ -246,7 +318,7 @@ echo "CI: bench merge smoke test passed"
 # and dumps a repro on any divergence), and a fresh capture of the
 # urlparse workload must also replay cleanly end to end.
 oracle_dir=$(mktemp -d /tmp/s2e-oracle-XXXXXX)
-trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$merge_out" "$merge_stats" "$trace_json" "$traced_out" "$chaos_out"; rm -rf "$oracle_dir"' EXIT
+trap 'rm -f "$stats_file" "$serial_out" "$dist_out" "$merge_out" "$solver_out" "$url_fresh" "$chaos_fresh" "$merge_stats" "$trace_json" "$traced_out" "$chaos_out"; rm -rf "$oracle_dir"' EXIT
 dune exec bin/s2e_cli.exe -- oracle --count 500 --seed 1 \
   --corpus examples/oracle/urlparse.corpus --repro-dir "$oracle_dir" \
   > "$oracle_dir/out.txt" \

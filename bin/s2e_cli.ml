@@ -315,8 +315,30 @@ let solver_timeout_arg =
   in
   Arg.(value & opt float 0. & info [ "solver-timeout-ms" ] ~docv:"MS" ~doc)
 
+let solver_mode_arg =
+  let doc =
+    "SAT-core strategy for branch-feasibility queries: \
+     $(b,incremental) (default — a ring of live SAT instances keyed on \
+     constraint-prefix hashes; a query matching a live instance pops to \
+     the common ancestor and asserts only the suffix, reusing encodings \
+     and learned clauses), $(b,fresh) (one cold instance per query; the \
+     escape hatch and differential baseline), or $(b,portfolio) (two \
+     cold instances with different branching seeds racing under the \
+     watchdog).  Test-case models are always solved cold, so case sets \
+     are identical across modes."
+  in
+  Arg.(value & opt string "incremental" & info [ "solver" ] ~docv:"MODE" ~doc)
+
 (* Validate and arm the resilience knobs; exits 2 on a malformed plan. *)
-let setup_resilience ~cmd ~fault_plan ~fault_seed ~solver_timeout_ms =
+let setup_resilience ~cmd ?(solver_mode = "incremental") ~fault_plan
+    ~fault_seed ~solver_timeout_ms () =
+  (match S2e_solver.Solver.mode_of_string solver_mode with
+  | Some m -> S2e_solver.Solver.set_default_mode m
+  | None ->
+      Fmt.epr "s2e %s: --solver must be incremental, fresh or portfolio \
+               (got %S)@."
+        cmd solver_mode;
+      exit 2);
   if solver_timeout_ms < 0. then begin
     Fmt.epr "s2e %s: --solver-timeout-ms must be >= 0 (got %g)@." cmd
       solver_timeout_ms;
@@ -393,6 +415,12 @@ let print_dist_result ~jobs ~cases (r : S2e_dist.Coordinator.result) =
     r.solver_stats.S2e_solver.Solver.queries r.solver_stats.sat_queries
     r.solver_stats.cache_hits r.solver_stats.unknowns
     r.solver_stats.total_time;
+  if r.solver_stats.inc_hits + r.solver_stats.inc_partials > 0 then
+    Fmt.pr
+      "incremental: %d full prefix hits, %d partial, %d clauses learned \
+       (%d kept live)@."
+      r.solver_stats.inc_hits r.solver_stats.inc_partials
+      r.solver_stats.sat_learned r.solver_stats.sat_kept;
   (* Every injected fault across all processes: per-site fault.*
      counters travel in the workers' Bye snapshots. *)
   let injected =
@@ -422,7 +450,7 @@ let print_dist_result ~jobs ~cases (r : S2e_dist.Coordinator.result) =
    engine spec and resilience plan from scratch (exec'd workers don't
    inherit memory). *)
 let worker_argv ~driver ~workload ~model ~searcher ~merge ~jobs ~fault_plan
-    ~fault_seed ~solver_timeout_ms ~trace =
+    ~fault_seed ~solver_timeout_ms ~solver_mode ~trace =
   Array.of_list
     ([
        Sys.executable_name;
@@ -445,6 +473,8 @@ let worker_argv ~driver ~workload ~model ~searcher ~merge ~jobs ~fault_plan
        string_of_int fault_seed;
        "--solver-timeout-ms";
        string_of_float solver_timeout_ms;
+       "--solver";
+       solver_mode;
      ]
     @ if trace then [ "--trace" ] else [])
 
@@ -529,10 +559,11 @@ let explore_cmd =
   in
   let run driver workload model jobs procs seconds searcher merge cases
       stats_out stats_interval trace_out fault_plan fault_seed
-      solver_timeout_ms =
+      solver_timeout_ms solver_mode =
     validate_explore_args ~cmd:"explore" ~driver ~workload ~model ~searcher
       ~merge ~jobs ~procs ~seconds ~stats_interval;
-    setup_resilience ~cmd:"explore" ~fault_plan ~fault_seed ~solver_timeout_ms;
+    setup_resilience ~cmd:"explore" ~solver_mode ~fault_plan ~fault_seed
+      ~solver_timeout_ms ();
     if trace_out <> None then begin
       Obs.Trace.set_enabled true;
       Obs.Trace.reset ()
@@ -596,6 +627,12 @@ let explore_cmd =
         r.solver_stats.S2e_solver.Solver.queries r.solver_stats.sat_queries
         r.solver_stats.cache_hits r.solver_stats.unknowns
         r.solver_stats.total_time;
+      if r.solver_stats.inc_hits + r.solver_stats.inc_partials > 0 then
+        Fmt.pr
+          "incremental: %d full prefix hits, %d partial, %d clauses \
+           learned (%d kept live)@."
+          r.solver_stats.inc_hits r.solver_stats.inc_partials
+          r.solver_stats.sat_learned r.solver_stats.sat_kept;
       print_resilience ~degradations:r.stats.degradations
         ~incomplete:
           (List.length
@@ -624,7 +661,7 @@ let explore_cmd =
          (each re-building the same engine spec from these arguments). *)
       let argv =
         worker_argv ~driver ~workload ~model ~searcher ~merge ~jobs
-          ~fault_plan ~fault_seed ~solver_timeout_ms
+          ~fault_plan ~fault_seed ~solver_timeout_ms ~solver_mode
           ~trace:(trace_out <> None)
       in
       Obs.Metrics.reset ();
@@ -659,7 +696,7 @@ let explore_cmd =
       const run $ driver_arg $ explore_workload_arg $ model_arg $ jobs_arg
       $ procs_arg $ seconds_arg $ searcher_arg $ merge_arg $ cases_arg
       $ stats_out_arg $ stats_interval_arg $ trace_out_arg $ fault_plan_arg
-      $ fault_seed_arg $ solver_timeout_arg)
+      $ fault_seed_arg $ solver_timeout_arg $ solver_mode_arg)
 
 (* --- serve: TCP cluster coordinator --- *)
 
@@ -703,10 +740,12 @@ let serve_cmd =
     Arg.(value & flag & info [ "cases" ] ~doc)
   in
   let run driver workload model jobs procs seconds searcher merge cases
-      listen max_workers lease fault_plan fault_seed solver_timeout_ms =
+      listen max_workers lease fault_plan fault_seed solver_timeout_ms
+      solver_mode =
     validate_explore_args ~cmd:"serve" ~driver ~workload ~model ~searcher
       ~merge ~jobs ~procs:1 ~seconds ~stats_interval:1.;
-    setup_resilience ~cmd:"serve" ~fault_plan ~fault_seed ~solver_timeout_ms;
+    setup_resilience ~cmd:"serve" ~solver_mode ~fault_plan ~fault_seed
+      ~solver_timeout_ms ();
     if procs < 0 then begin
       Fmt.epr "s2e serve: --procs must be >= 0 (got %d)@." procs;
       exit 2
@@ -738,7 +777,7 @@ let serve_cmd =
     let boot eng = Executor.boot eng ~entry:img.entry () in
     let argv =
       worker_argv ~driver ~workload ~model ~searcher ~merge ~jobs ~fault_plan
-        ~fault_seed ~solver_timeout_ms ~trace:false
+        ~fault_seed ~solver_timeout_ms ~solver_mode ~trace:false
     in
     Obs.Metrics.reset ();
     let r =
@@ -762,7 +801,7 @@ let serve_cmd =
       const run $ driver_arg $ explore_workload_arg $ model_arg $ jobs_arg
       $ procs_arg $ seconds_arg $ searcher_arg $ merge_arg $ cases_arg
       $ listen_arg $ max_workers_arg $ lease_arg $ fault_plan_arg
-      $ fault_seed_arg $ solver_timeout_arg)
+      $ fault_seed_arg $ solver_timeout_arg $ solver_mode_arg)
 
 (* --- worker: fork-server entry point (`explore --procs`) and TCP
    cluster joiner (`worker --connect`) --- *)
@@ -792,10 +831,11 @@ let worker_cmd =
       & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
   in
   let run driver workload model jobs searcher merge slice trace connect
-      fault_plan fault_seed solver_timeout_ms =
+      fault_plan fault_seed solver_timeout_ms solver_mode =
     validate_explore_args ~cmd:"worker" ~driver ~workload ~model ~searcher
       ~merge ~jobs ~procs:1 ~seconds:1. ~stats_interval:1.;
-    setup_resilience ~cmd:"worker" ~fault_plan ~fault_seed ~solver_timeout_ms;
+    setup_resilience ~cmd:"worker" ~solver_mode ~fault_plan ~fault_seed
+      ~solver_timeout_ms ();
     if trace then Obs.Trace.set_enabled true;
     if slice <= 0. then begin
       Fmt.epr "s2e worker: --slice must be > 0 (got %g)@." slice;
@@ -835,7 +875,8 @@ let worker_cmd =
     Term.(
       const run $ driver_arg $ explore_workload_arg $ model_arg $ jobs_arg
       $ searcher_arg $ merge_arg $ slice_arg $ trace_flag_arg $ connect_arg
-      $ fault_plan_arg $ fault_seed_arg $ solver_timeout_arg)
+      $ fault_plan_arg $ fault_seed_arg $ solver_timeout_arg
+      $ solver_mode_arg)
 
 (* --- stats: render a run-stats JSONL file --- *)
 
@@ -921,6 +962,17 @@ let stats_cmd =
       (mi "solver.queries") (mi "solver.sat_queries")
       (pct (m "solver.cache_hits") queries)
       (mi "solver.unknowns") (mi "solver.timeouts");
+    (* Incremental reuse (--solver=incremental): realized prefix hits on
+       live SAT instances, shown only when the mode actually fired. *)
+    if mi "solver.inc_hits" + mi "solver.inc_partials" > 0 then
+      Fmt.pr
+        "incremental: %d full prefix hits, %d partial (%.1f%% of SAT-core \
+         queries reused a live instance)@."
+        (mi "solver.inc_hits")
+        (mi "solver.inc_partials")
+        (pct
+           (m "solver.inc_hits" +. m "solver.inc_partials")
+           (m "solver.sat_queries"));
     (* Resilience: degraded forks, incomplete paths and injected faults
        (per-site fault.* counters), shown only when something fired. *)
     let injected =
@@ -1136,8 +1188,9 @@ let trace_cmd =
     let starts = Hashtbl.create 256 in (* (pid, path) -> parent path *)
     let ends = Hashtbl.create 256 in (* (pid, path) -> (status, incomplete) *)
     let own = Hashtbl.create 256 in (* (pid, path) -> (queries, seconds) *)
-    let groups = Hashtbl.create 256 in (* prefix -> (count, seconds, hits) *)
-    let total_q = ref 0 and total_qs = ref 0. in
+    let groups = Hashtbl.create 256 in
+    (* prefix -> (count, seconds, cache hits, incremental reuses) *)
+    let total_q = ref 0 and total_qs = ref 0. and total_inc = ref 0 in
     List.iter
       (fun ev ->
         let name = Option.value ~default:"" (Obs.Jsonl.str_member "name" ev) in
@@ -1159,13 +1212,25 @@ let trace_cmd =
               Option.value ~default:"0x0" (Obs.Jsonl.str_member "prefix" args)
             in
             let cached = Obs.Jsonl.str_member "cache" args <> Some "miss" in
+            (* Realized incremental reuse: the query popped a live SAT
+               instance back to a shared prefix instead of rebuilding. *)
+            let inc =
+              match Obs.Jsonl.str_member "incremental" args with
+              | Some ("hit" | "partial") -> true
+              | _ -> false
+            in
             incr total_q;
             total_qs := !total_qs +. dur;
-            let c, s, h =
-              Option.value ~default:(0, 0., 0) (Hashtbl.find_opt groups prefix)
+            if inc then incr total_inc;
+            let c, s, h, ic =
+              Option.value ~default:(0, 0., 0, 0)
+                (Hashtbl.find_opt groups prefix)
             in
             Hashtbl.replace groups prefix
-              (c + 1, s +. dur, h + if cached then 1 else 0);
+              ( c + 1,
+                s +. dur,
+                (h + if cached then 1 else 0),
+                (ic + if inc then 1 else 0) );
             let qc, qs =
               Option.value ~default:(0, 0.) (Hashtbl.find_opt own (pid, path))
             in
@@ -1177,28 +1242,30 @@ let trace_cmd =
       (if dropped > 0 then Printf.sprintf ", %d dropped" dropped else "");
     (* (a) hottest queries grouped by constraint-prefix hash. *)
     let glist =
-      Hashtbl.fold (fun p (c, s, h) acc -> (p, c, s, h) :: acc) groups []
+      Hashtbl.fold (fun p (c, s, h, ic) acc -> (p, c, s, h, ic) :: acc) groups
+        []
     in
     let reused_time =
       List.fold_left
-        (fun acc (_, c, s, _) -> if c > 1 then acc +. s else acc)
+        (fun acc (_, c, s, _, _) -> if c > 1 then acc +. s else acc)
         0. glist
     in
     Fmt.pr
       "constraint prefixes: %d distinct; %.1f%% of solver time in reused \
-       prefixes@."
+       prefixes; %d queries reused a live SAT instance@."
       (List.length glist)
-      (if !total_qs > 0. then 100. *. reused_time /. !total_qs else 0.);
+      (if !total_qs > 0. then 100. *. reused_time /. !total_qs else 0.)
+      !total_inc;
     if glist <> [] then begin
       Fmt.pr "hottest prefixes (top %d by solver time):@." top;
-      Fmt.pr "  %-20s %8s %8s %8s %12s@." "prefix" "queries" "reused" "cached"
-        "seconds";
+      Fmt.pr "  %-20s %8s %8s %8s %8s %12s@." "prefix" "queries" "reused"
+        "cached" "inc" "seconds";
       List.iteri
-        (fun i (p, c, s, h) ->
+        (fun i (p, c, s, h, ic) ->
           if i < top then
-            Fmt.pr "  %-20s %8d %8d %8d %12.4f@." p c (c - 1) h s)
+            Fmt.pr "  %-20s %8d %8d %8d %8d %12.4f@." p c (c - 1) h ic s)
         (List.sort
-           (fun (_, _, a, _) (_, _, b, _) -> compare (b : float) a)
+           (fun (_, _, a, _, _) (_, _, b, _, _) -> compare (b : float) a)
            glist)
     end;
     (* (b) the fork tree, each node annotated with its subtree's solver

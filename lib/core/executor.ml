@@ -394,16 +394,16 @@ let degrade_to t (s : State.t) ~add ~pc =
   s.pc <- pc
 
 (* Neither side is known infeasible but at least one is Unknown: follow
-   the branch the way the last cached model would take it concretely
-   (follow-the-concrete, in the spirit of the paper's consistency-model
-   concretizations).  With an empty cache the all-zeros model decides. *)
+   the branch the way the all-zeros model takes it (follow-the-concrete,
+   in the spirit of the paper's consistency-model concretizations).  The
+   pick is deliberately history-free — the previous heuristic read the
+   context's model cache, whose contents depend on the solver strategy, so
+   fresh and incremental runs could degrade down different sides and the
+   chaos differential (same case set under an injected fault plan) would
+   not hold. *)
 let degrade_concrete t (s : State.t) cond ~taken_pc ~fall_pc =
-  let m =
-    match Solver.latest_model t.solver with
-    | Some m -> m
-    | None -> Expr.Int_map.empty
-  in
-  if Expr.eval m cond = 1L then degrade_to t s ~add:cond ~pc:taken_pc
+  if Expr.eval Expr.Int_map.empty cond = 1L then
+    degrade_to t s ~add:cond ~pc:taken_pc
   else degrade_to t s ~add:(Expr.log_not cond) ~pc:fall_pc
 
 (* Decide a branch with a symbolic condition. *)
@@ -433,9 +433,10 @@ let symbolic_branch t (s : State.t) cond ~taken_pc ~fall_pc =
       else s.pc <- taken_pc
     end
     else begin
-      let feas_true = Solver.check_with ~ctx:t.solver ~constraints:s.constraints cond in
-      let feas_false =
-        Solver.check_with ~ctx:t.solver ~constraints:s.constraints (Expr.log_not cond)
+      (* One shared-prefix query pair: in incremental solver mode the two
+         probes land on the same live SAT instance. *)
+      let feas_true, feas_false =
+        Solver.check_branch ~ctx:t.solver ~constraints:s.constraints cond
       in
       match feas_true, feas_false with
       | Solver.Sat _, Solver.Unsat ->
@@ -469,9 +470,8 @@ let symbolic_branch t (s : State.t) cond ~taken_pc ~fall_pc =
     match if unit_here then Consistency.Concretize else Consistency.env_branch model with
     | Consistency.Follow_symbolic ->
         (* SC-SE in the environment: fork there too. *)
-        let feas_true = Solver.check_with ~ctx:t.solver ~constraints:s.constraints cond in
-        let feas_false =
-          Solver.check_with ~ctx:t.solver ~constraints:s.constraints (Expr.log_not cond)
+        let feas_true, feas_false =
+          Solver.check_branch ~ctx:t.solver ~constraints:s.constraints cond
         in
         (match feas_true, feas_false with
         | Solver.Sat _, Solver.Unsat ->
@@ -499,9 +499,8 @@ let symbolic_branch t (s : State.t) cond ~taken_pc ~fall_pc =
            inconsistency when the data is genuinely undetermined — values
            pinned by earlier constraints (e.g. a null-checked pointer) are
            followed like concrete ones. *)
-        let feas_true = Solver.check_with ~ctx:t.solver ~constraints:s.constraints cond in
-        let feas_false =
-          Solver.check_with ~ctx:t.solver ~constraints:s.constraints (Expr.log_not cond)
+        let feas_true, feas_false =
+          Solver.check_branch ~ctx:t.solver ~constraints:s.constraints cond
         in
         match feas_true, feas_false with
         | (Solver.Sat _ | Solver.Unknown), Solver.Unsat ->

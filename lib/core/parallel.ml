@@ -341,7 +341,10 @@ let model_of ?ctx constraints =
           acc c)
       [] constraints
   in
-  match Solver.check ~ctx constraints with
+  (* Pristine check: the model must be a pure function of the constraint
+     set, never of the context's cache or live-instance history, or case
+     bytes would differ between solver modes and worker schedules. *)
+  match Solver.check_model ~ctx constraints with
   | Solver.Sat m ->
       Some
         (vars
@@ -406,15 +409,20 @@ let rec expand_cases ~ctx constraints (tree : State.case_tree) =
     one, dropping unsatisfiable combinations (suffix pairs that never
     coexisted on a real path).  Sorted case lists therefore compare equal
     between [--merge] and plain enumeration. *)
-let test_cases (s : State.t) =
+let test_cases ?ctx (s : State.t) =
   match s.State.cases with
   | State.Case_leaf -> [ test_case s ]
   | tree ->
       Obs.Trace.set_current_path s.State.id;
       (* One shared context across the expansion: sibling leaves differ
-         only in the substituted suffixes, so the assumption-prefix cache
-         carries most of each query. *)
-      let ctx = Solver.create_ctx () in
+         only in the substituted suffixes, so in incremental mode their
+         pruning queries are assumption probes on the same live SAT
+         instance.  Callers with a long-lived context (the dist workers'
+         per-slice loop) pass it in, batching the expansions of every
+         state between heartbeats onto the same instance ring; the
+         verdicts and case bytes are context-history-independent, so
+         sharing is safe. *)
+      let ctx = match ctx with Some c -> c | None -> Solver.create_ctx () in
       expand_cases ~ctx s.State.constraints tree
       |> List.filter_map (model_of ~ctx)
 

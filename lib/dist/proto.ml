@@ -25,7 +25,8 @@ exception Closed
 (** Peer hung up (EOF/EPIPE/reset) — on a worker fd this means the
     process died or exited. *)
 
-let version = 4
+(* v5: solver stats carry incremental-reuse and learned-clause fields. *)
+let version = 5
 
 (** A terminated path, reduced to what the coordinator reports: the
     status string and the canonical test case. *)
@@ -140,7 +141,11 @@ let encode_solver_stats b (s : Solver.stats) =
   f64 b s.total_time;
   f64 b s.max_time;
   i64 b (Int64.of_int s.prefix_reused);
-  f64 b s.prefix_reused_time
+  f64 b s.prefix_reused_time;
+  i64 b (Int64.of_int s.inc_hits);
+  i64 b (Int64.of_int s.inc_partials);
+  i64 b (Int64.of_int s.sat_learned);
+  i64 b (Int64.of_int s.sat_kept)
 
 let decode_solver_stats r : Solver.stats =
   let queries = Int64.to_int (ri64 r) in
@@ -151,8 +156,13 @@ let decode_solver_stats r : Solver.stats =
   let max_time = rf64 r in
   let prefix_reused = Int64.to_int (ri64 r) in
   let prefix_reused_time = rf64 r in
+  let inc_hits = Int64.to_int (ri64 r) in
+  let inc_partials = Int64.to_int (ri64 r) in
+  let sat_learned = Int64.to_int (ri64 r) in
+  let sat_kept = Int64.to_int (ri64 r) in
   { Solver.queries; sat_queries; cache_hits; unknowns; total_time; max_time;
-    prefix_reused; prefix_reused_time }
+    prefix_reused; prefix_reused_time; inc_hits; inc_partials; sat_learned;
+    sat_kept }
 
 let encode_path b p =
   str b p.p_status;

@@ -147,12 +147,12 @@ let path_end ?ts ~path ~status ~incomplete () =
     emit { dummy with ev_ts = ts; ev_code = Path_end; ev_path = path;
            ev_a = status; ev_b = (if incomplete then 1 else 0) }
 
-let query ?ts ~dur ~prefix ~nodes ~result ~cache () =
+let query ?ts ?(inc = 0) ~dur ~prefix ~nodes ~result ~cache () =
   if !enabled_flag then
     let ts = match ts with Some t -> t | None -> now () -. dur in
     emit { dummy with ev_ts = ts; ev_dur = dur; ev_code = Query;
            ev_path = current_path (); ev_a = prefix; ev_b = nodes;
-           ev_c = (result * 4) + cache }
+           ev_c = (inc * 16) + (result * 4) + cache }
 
 let span ~name ~ts ~dur =
   if !enabled_flag then
@@ -301,6 +301,12 @@ let decode_chunk ?(pid = 0) ?(offset = 0.) s =
 let result_name = function 0 -> "sat" | 1 -> "unsat" | _ -> "unknown"
 let cache_name = function 0 -> "miss" | 1 -> "model" | _ -> "unsat"
 
+(* Realized incremental reuse for the query: [fresh] built a new SAT
+   instance, [partial] popped a live instance to a common ancestor and
+   asserted a suffix, [hit] probed a live instance whose assumption stack
+   matched the whole prefix. *)
+let inc_name = function 0 -> "fresh" | 1 -> "partial" | _ -> "hit"
+
 let json_of_event e =
   let open Jsonl in
   let us t = t *. 1e6 in
@@ -329,8 +335,9 @@ let json_of_event e =
           (* 63-bit hash: a JSON double would round it. *)
           ("prefix", Str (Printf.sprintf "0x%x" e.ev_a));
           ("nodes", Num (float_of_int e.ev_b));
-          ("result", Str (result_name (e.ev_c / 4)));
-          ("cache", Str (cache_name (e.ev_c mod 4))) ]
+          ("result", Str (result_name (e.ev_c / 4 mod 4)));
+          ("cache", Str (cache_name (e.ev_c mod 4)));
+          ("incremental", Str (inc_name (e.ev_c / 16))) ]
   | Phase -> base (name_of e.ev_a) "X" [ path ]
   | Instant ->
       base (name_of e.ev_a) "i"

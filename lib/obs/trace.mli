@@ -18,8 +18,10 @@ type code =
   | Path_end  (** [ev_path] terminated; [ev_a] = status code, [ev_b] = 1 if incomplete *)
   | Query
       (** solver query on [ev_path]: [ev_a] = constraint-prefix hash,
-          [ev_b] = expression node count, [ev_c] = result*4 + cache class
-          (result: 0 sat / 1 unsat / 2 unknown;
+          [ev_b] = expression node count,
+          [ev_c] = inc*16 + result*4 + cache class
+          (inc: 0 fresh solve / 1 partial prefix hit / 2 full prefix hit;
+           result: 0 sat / 1 unsat / 2 unknown;
            cache: 0 miss / 1 model-cache hit / 2 unsat-cache hit) *)
   | Phase  (** completed phase span; [ev_a] = interned phase name *)
   | Instant
@@ -73,6 +75,7 @@ val path_end : ?ts:float -> path:int -> status:int -> incomplete:bool -> unit ->
 
 val query :
   ?ts:float ->
+  ?inc:int ->
   dur:float ->
   prefix:int ->
   nodes:int ->
@@ -80,7 +83,9 @@ val query :
   cache:int ->
   unit ->
   unit
-(** [ts] is the query's {e start}; defaults to [now () -. dur]. *)
+(** [ts] is the query's {e start}; defaults to [now () -. dur].  [inc] is
+    the realized incremental-reuse class (0 fresh / 1 partial / 2 full
+    prefix hit, default 0). *)
 
 val span : name:int -> ts:float -> dur:float -> unit
 (** A completed phase span ([name] from {!intern}); [ts] is the start. *)

@@ -268,6 +268,20 @@ let assert_true ctx e =
   let bits = blast ctx e in
   Sat.add_clause ctx.sat [ bits.(0) ]
 
+(** The SAT literal equivalent to a width-1 expression: the Tseitin
+    encoding is (re)used from the per-context persistent CNF map, so the
+    same interned node yields the same literal for the context's lifetime.
+    Asserting the literal as a {!Sat.assume} probe instead of a unit
+    clause is what makes constraints retractable. *)
+let literal ctx e =
+  assert (Expr.width e = 1);
+  (blast ctx e).(0)
+
+(** Whether [e] has already been lowered on this context — O(1) via the
+    interned hash.  The solver's instance ring uses this to judge whether
+    recycling a live instance would actually reuse encodings. *)
+let cached ctx e = Expr_tbl.mem ctx.cache e
+
 (** Extract a model for all blasted expression variables after a
     satisfiable {!Sat.solve}. *)
 let model ctx : Expr.model =

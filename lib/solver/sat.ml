@@ -1,10 +1,22 @@
 (** A CDCL SAT solver (two-watched-literal propagation, first-UIP clause
-    learning, VSIDS-style activities, geometric restarts).
+    learning, VSIDS-style activities, geometric restarts) with an
+    incremental assumption-stack interface.
 
     Variables are integers starting at 0.  A literal is [2*v] for the
     positive and [2*v+1] for the negative polarity.  This is the backend the
     bit-blaster ({!Bitblast}) targets; it plays the role STP's SAT core plays
-    in the paper's prototype. *)
+    in the paper's prototype.
+
+    Incremental use: clauses added with {!add_clause} are permanent, but
+    literals asserted through the assumption stack ({!push}/{!assume}/
+    {!pop}) are retractable — {!solve} decides them as the first decision
+    levels of the search, MiniSat-style, so popping a frame is O(1) and
+    never deletes a clause.  Because every learned clause is derived by
+    resolution from the permanent clause set alone (assumptions enter
+    learned clauses as ordinary literals, never as resolved-away premises),
+    all learned clauses remain valid across pops: retention is level-0-safe
+    by construction.  Growth is bounded by an activity-ordered learned-
+    clause database with geometric reduction. *)
 
 type lit = int
 
@@ -14,7 +26,20 @@ let lit_var (l : lit) = l / 2
 let lit_neg (l : lit) = l lxor 1
 let lit_sign (l : lit) = l land 1 = 0 (* true when positive *)
 
-type clause = { lits : lit array; mutable learned : bool }
+type clause = {
+  mutable lits : lit array;
+  mutable learned : bool;
+  mutable act : float; (* clause activity, learned clauses only *)
+}
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learned : int; (* learned clauses ever created (excluding learned units) *)
+  learned_kept : int; (* learned clauses currently live (post-reduction) *)
+}
 
 type t = {
   mutable nvars : int;
@@ -34,16 +59,30 @@ type t = {
   mutable activity : float array;
   mutable var_inc : float;
   mutable polarity : Bytes.t; (* saved phase: 1 = last true *)
+  (* Assumption stack: retractable asserted literals, oldest first.
+     [frame_lim] holds the assumption count at each {!push}. *)
+  mutable assumptions : lit array;
+  mutable n_assumptions : int;
+  mutable frame_lim : int array;
+  mutable n_frames : int;
+  (* Learned-clause database bound: when the live learned count passes
+     [learn_limit], the lowest-activity half is dropped and the limit
+     grows geometrically. *)
+  mutable cla_inc : float;
+  mutable learn_limit : int;
+  mutable n_learned_live : int;
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable restarts : int;
+  mutable learned_total : int;
   mutable unsat : bool;
 }
 
 let create () =
   {
     nvars = 0;
-    clauses = Array.make 64 { lits = [||]; learned = false };
+    clauses = Array.make 64 { lits = [||]; learned = false; act = 0. };
     nclauses = 0;
     watches = Array.make 16 [];
     assign = Bytes.make 8 '\000';
@@ -57,9 +96,18 @@ let create () =
     activity = Array.make 8 0.0;
     var_inc = 1.0;
     polarity = Bytes.make 8 '\000';
+    assumptions = Array.make 8 0;
+    n_assumptions = 0;
+    frame_lim = Array.make 8 0;
+    n_frames = 0;
+    cla_inc = 1.0;
+    learn_limit = 2000;
+    n_learned_live = 0;
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    restarts = 0;
+    learned_total = 0;
     unsat = false;
   }
 
@@ -117,13 +165,47 @@ let bump s v =
 
 let decay s = s.var_inc <- s.var_inc /. 0.95
 
+let cla_bump s ci =
+  let c = s.clauses.(ci) in
+  if c.learned then begin
+    c.act <- c.act +. s.cla_inc;
+    if c.act > 1e20 then begin
+      for i = 0 to s.nclauses - 1 do
+        let d = s.clauses.(i) in
+        if d.learned then d.act <- d.act *. 1e-20
+      done;
+      s.cla_inc <- s.cla_inc *. 1e-20
+    end
+  end
+
+let cla_decay s = s.cla_inc <- s.cla_inc /. 0.999
+
+let backtrack s target_level =
+  if decision_level s > target_level then begin
+    let bound = s.trail_lim.(target_level) in
+    for i = s.trail_len - 1 downto bound do
+      let l = s.trail.(i) in
+      let v = lit_var l in
+      Bytes.set s.polarity v (if lit_sign l then '\001' else '\000');
+      Bytes.set s.assign v '\000';
+      s.reason.(v) <- -1
+    done;
+    s.trail_len <- bound;
+    s.qhead <- bound;
+    s.trail_lim_len <- target_level
+  end
+
 let add_clause_internal s lits learned =
-  let c = { lits; learned } in
+  let c = { lits; learned; act = 0. } in
   if s.nclauses >= Array.length s.clauses then
     s.clauses <- grow_array s.clauses (s.nclauses + 1) c;
   s.clauses.(s.nclauses) <- c;
   let idx = s.nclauses in
   s.nclauses <- s.nclauses + 1;
+  if learned then begin
+    s.learned_total <- s.learned_total + 1;
+    s.n_learned_live <- s.n_learned_live + 1
+  end;
   if Array.length lits >= 2 then begin
     s.watches.(lits.(0)) <- idx :: s.watches.(lits.(0));
     s.watches.(lits.(1)) <- idx :: s.watches.(lits.(1))
@@ -131,10 +213,12 @@ let add_clause_internal s lits learned =
   idx
 
 (** Add a problem clause.  Performs top-level simplification: satisfied
-    clauses are dropped, false literals removed.  Must be called at decision
-    level 0. *)
+    clauses are dropped, false literals removed.  The solver backtracks to
+    decision level 0 first, so clauses can be added between incremental
+    solves (any model from the previous solve must be read before). *)
 let add_clause s lits =
   if not s.unsat then begin
+    backtrack s 0;
     let lits =
       List.sort_uniq compare lits
       |> List.filter (fun l -> lit_value s l <> 2)
@@ -149,6 +233,39 @@ let add_clause s lits =
       | [ l ] -> if lit_value s l = 0 then enqueue s l (-1)
       | lits -> ignore (add_clause_internal s (Array.of_list lits) false)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Assumption stack                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Open a new assumption frame (a retractable checkpoint). *)
+let push s =
+  s.frame_lim <- grow_array s.frame_lim (s.n_frames + 1) 0;
+  s.frame_lim.(s.n_frames) <- s.n_assumptions;
+  s.n_frames <- s.n_frames + 1
+
+(** Assert [l] within the current top frame: it holds in every subsequent
+    {!solve} until the frame is popped. *)
+let assume s l =
+  s.assumptions <- grow_array s.assumptions (s.n_assumptions + 1) 0;
+  s.assumptions.(s.n_assumptions) <- l;
+  s.n_assumptions <- s.n_assumptions + 1
+
+(** Retract the top assumption frame.  O(1): assumptions are search-time
+    decisions, not clauses, so nothing is deleted — and every learned
+    clause remains valid (it is implied by the permanent clause set). *)
+let pop s =
+  if s.n_frames = 0 then invalid_arg "Sat.pop: empty frame stack";
+  s.n_frames <- s.n_frames - 1;
+  s.n_assumptions <- s.frame_lim.(s.n_frames);
+  (* Assumption-level assignments are stale now. *)
+  backtrack s 0
+
+let frames s = s.n_frames
+
+(* ------------------------------------------------------------------ *)
+(* Propagation, analysis, search                                       *)
+(* ------------------------------------------------------------------ *)
 
 (* Propagate all enqueued assignments.  Returns the index of a conflicting
    clause, or -1. *)
@@ -212,21 +329,6 @@ let propagate s =
   done;
   !conflict
 
-let backtrack s target_level =
-  if decision_level s > target_level then begin
-    let bound = s.trail_lim.(target_level) in
-    for i = s.trail_len - 1 downto bound do
-      let l = s.trail.(i) in
-      let v = lit_var l in
-      Bytes.set s.polarity v (if lit_sign l then '\001' else '\000');
-      Bytes.set s.assign v '\000';
-      s.reason.(v) <- -1
-    done;
-    s.trail_len <- bound;
-    s.qhead <- bound;
-    s.trail_lim_len <- target_level
-  end
-
 (* First-UIP conflict analysis.  Returns (learned clause, backtrack level). *)
 let analyze s conflict =
   let seen = Bytes.make s.nvars '\000' in
@@ -237,6 +339,7 @@ let analyze s conflict =
   let clause = ref conflict in
   let continue = ref true in
   while !continue do
+    cla_bump s !clause;
     let lits = s.clauses.(!clause).lits in
     let start = if !p = -1 then 0 else 1 in
     for i = start to Array.length lits - 1 do
@@ -284,6 +387,94 @@ let analyze s conflict =
   in
   (learned, blevel)
 
+(* ------------------------------------------------------------------ *)
+(* Learned-clause database reduction                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Is clause [ci] the reason of a current assignment?  The propagated
+   literal sits at position 0 by the enqueue/analyze conventions. *)
+let locked s ci =
+  let lits = s.clauses.(ci).lits in
+  Array.length lits > 0
+  && lit_value s lits.(0) = 1
+  && s.reason.(lit_var lits.(0)) = ci
+
+(* Drop the lowest-activity half of the removable learned clauses
+   (non-binary, not locked as a reason).  Must run at decision level 0.
+   Clause indices shift, so watches are rebuilt and reasons remapped;
+   [qhead] rewinds so the rebuilt watch lists re-establish the propagation
+   invariant over the level-0 trail.  Deterministic: the survivor set is a
+   pure function of the clause database (ties break on clause index). *)
+let reduce_db s =
+  let removable = ref [] in
+  for ci = 0 to s.nclauses - 1 do
+    let c = s.clauses.(ci) in
+    if c.learned && Array.length c.lits > 2 && not (locked s ci) then
+      removable := (c.act, ci) :: !removable
+  done;
+  let removable = Array.of_list !removable in
+  Array.sort compare removable;
+  let ndrop = Array.length removable / 2 in
+  if ndrop > 0 then begin
+    let drop = Bytes.make s.nclauses '\000' in
+    for i = 0 to ndrop - 1 do
+      Bytes.set drop (snd removable.(i)) '\001'
+    done;
+    let map = Array.make s.nclauses (-1) in
+    let w = ref 0 in
+    for ci = 0 to s.nclauses - 1 do
+      if Bytes.get drop ci = '\000' then begin
+        map.(ci) <- !w;
+        s.clauses.(!w) <- s.clauses.(ci);
+        incr w
+      end
+    done;
+    s.nclauses <- !w;
+    s.n_learned_live <- s.n_learned_live - ndrop;
+    (* Rebuild the watch lists over the surviving clauses, preferring
+       non-false watch positions so the two-watch invariant holds at
+       level 0. *)
+    Array.fill s.watches 0 (Array.length s.watches) [];
+    for ci = 0 to s.nclauses - 1 do
+      let lits = s.clauses.(ci).lits in
+      if Array.length lits >= 2 then begin
+        let n = Array.length lits in
+        let swap i j =
+          let t = lits.(i) in
+          lits.(i) <- lits.(j);
+          lits.(j) <- t
+        in
+        let best = ref 0 in
+        for i = 1 to n - 1 do
+          if lit_value s lits.(i) <> 2 && lit_value s lits.(!best) = 2 then
+            best := i
+        done;
+        swap 0 !best;
+        let best = ref 1 in
+        for i = 2 to n - 1 do
+          if lit_value s lits.(i) <> 2 && lit_value s lits.(!best) = 2 then
+            best := i
+        done;
+        swap 1 !best;
+        s.watches.(lits.(0)) <- ci :: s.watches.(lits.(0));
+        s.watches.(lits.(1)) <- ci :: s.watches.(lits.(1))
+      end
+    done;
+    (* Kept clauses changed index: remap the reasons of the (level-0)
+       trail.  Locked clauses were kept, so the map is always defined. *)
+    for i = 0 to s.trail_len - 1 do
+      let v = lit_var s.trail.(i) in
+      if s.reason.(v) >= 0 then s.reason.(v) <- map.(s.reason.(v))
+    done;
+    (* Re-run propagation over the whole trail against the new watches. *)
+    s.qhead <- 0
+  end;
+  s.learn_limit <- s.learn_limit + (s.learn_limit / 5)
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                              *)
+(* ------------------------------------------------------------------ *)
+
 (* Pick the unassigned variable with the highest activity. *)
 let pick_branch s =
   let best = ref (-1) in
@@ -298,18 +489,24 @@ let pick_branch s =
 
 type result = Sat | Unsat | Unknown
 
-(** Solve the current clause set.  On [Sat] the model can be read with
-    {!model_value}.  [max_conflicts] bounds the search ([None] = no bound);
-    [deadline] is an absolute [Unix.gettimeofday] cutoff past which the
-    search gives up with [Unknown] (checked on entry and every few dozen
-    loop iterations, so even a tiny budget fires promptly). *)
-let solve ?max_conflicts ?deadline s =
+(* The search loop, parameterized by the literals assumed for this call:
+   the persistent assumption stack followed by the caller's extra probes.
+   Assumptions are decided in order as the first decision levels; a
+   falsified assumption means Unsat under the current assumptions without
+   poisoning the instance (s.unsat stays false).  With no assumptions this
+   is the classic restart loop, bit-for-bit. *)
+let solve_gen ?max_conflicts ?deadline s extra =
   if s.unsat then Unsat
   else if
     match deadline with Some d -> Unix.gettimeofday () >= d | None -> false
   then Unknown
   else begin
     backtrack s 0;
+    let n_assumed = s.n_assumptions + List.length extra in
+    let assumed i =
+      if i < s.n_assumptions then s.assumptions.(i)
+      else List.nth extra (i - s.n_assumptions)
+    in
     let result = ref None in
     let restart_limit = ref 100 in
     let conflicts_here = ref 0 in
@@ -336,17 +533,39 @@ let solve ?max_conflicts ?deadline s =
           let learned, blevel = analyze s conflict in
           backtrack s blevel;
           decay s;
-          match learned with
+          cla_decay s;
+          (match learned with
           | [ l ] -> enqueue s l (-1)
           | l :: _ ->
               let idx = add_clause_internal s (Array.of_list learned) true in
               enqueue s l idx
-          | [] -> assert false
+          | [] -> assert false);
+          (* Conflict analysis may have backtracked into (or below) the
+             assumption levels; the decision loop re-assumes from there.
+             If the asserting literal now contradicts a pending
+             assumption, the re-assume below detects it as Unsat. *)
+          if s.n_learned_live >= s.learn_limit && decision_level s = 0 then
+            reduce_db s
         end
+      end
+      else if decision_level s < n_assumed then begin
+        (* Decide the next assumption. *)
+        let l = assumed (decision_level s) in
+        match lit_value s l with
+        | 2 ->
+            (* Falsified under the permanent clauses plus the assumptions
+               already decided: unsatisfiable under assumptions only. *)
+            result := Some Unsat
+        | v ->
+            s.trail_lim <- grow_array s.trail_lim (s.trail_lim_len + 1) 0;
+            s.trail_lim.(s.trail_lim_len) <- s.trail_len;
+            s.trail_lim_len <- s.trail_lim_len + 1;
+            if v = 0 then enqueue s l (-1)
       end
       else if !conflicts_here > !restart_limit then begin
         conflicts_here := 0;
         restart_limit := !restart_limit * 3 / 2;
+        s.restarts <- s.restarts + 1;
         backtrack s 0
       end
       else begin
@@ -362,12 +581,56 @@ let solve ?max_conflicts ?deadline s =
         end
       end
     done;
-    match !result with Some r -> r | None -> assert false
+    match !result with
+    | Some Unsat when decision_level s > 0 || s.n_assumptions > 0 ->
+        (* Unsat under assumptions: leave the instance reusable. *)
+        backtrack s 0;
+        Unsat
+    | Some r -> r
+    | None -> assert false
   end
+
+(** Solve the permanent clause set under the stacked assumptions.  On [Sat]
+    the model can be read with {!model_value}.  [max_conflicts] bounds the
+    search ([None] = no bound); [deadline] is an absolute
+    [Unix.gettimeofday] cutoff past which the search gives up with
+    [Unknown] (checked on entry and every few dozen loop iterations, so
+    even a tiny budget fires promptly). *)
+let solve ?max_conflicts ?deadline s = solve_gen ?max_conflicts ?deadline s []
+
+(** {!solve} with extra assumption literals for this call only — the
+    incremental probe: the stacked frames stay asserted, [extra] is
+    retracted automatically when the call returns. *)
+let solve_assuming ?max_conflicts ?deadline s extra =
+  solve_gen ?max_conflicts ?deadline s extra
 
 (** Value of variable [v] in the model found by the last successful
     {!solve}.  Unassigned variables default to false. *)
 let model_value s v =
   v < s.nvars && Bytes.get s.assign v = '\001'
 
-let stats s = (s.conflicts, s.decisions, s.propagations)
+(** Overwrite the saved phases from a seeded xorshift stream: gives
+    portfolio instances distinct early search trajectories over the same
+    clauses.  Deterministic in [seed]. *)
+let perturb s seed =
+  let x = ref (seed lor 1) in
+  for v = 0 to s.nvars - 1 do
+    x := !x lxor (!x lsl 13);
+    x := !x lxor (!x lsr 7);
+    x := !x lxor (!x lsl 17);
+    Bytes.set s.polarity v (if !x land 1 = 1 then '\001' else '\000')
+  done
+
+(* Rough memory footprint proxy: callers retire instances that grow past
+   their budget. *)
+let size s = s.nclauses
+
+let stats s =
+  {
+    conflicts = s.conflicts;
+    decisions = s.decisions;
+    propagations = s.propagations;
+    restarts = s.restarts;
+    learned = s.learned_total;
+    learned_kept = s.n_learned_live;
+  }

@@ -15,6 +15,24 @@ open S2e_expr
 
 type result = Sat of Expr.model | Unsat | Unknown
 
+(** SAT-core strategy for verdict queries ([--solver=...]):
+    [Incremental] keeps a small ring of live SAT instances keyed on
+    constraint-prefix hashes — a query whose prefix matches a live
+    instance pops back to the common ancestor assumption level and asserts
+    only the suffix, reusing the variable table, Tseitin encodings and
+    learned clauses.  [Fresh] solves every query on a cold instance (the
+    escape hatch and differential baseline).  [Portfolio] races two cold
+    instances with different branching seeds in alternating conflict
+    slices under the watchdog.
+
+    Value-producing queries ({!get_value}, {!check_model}) solve cold in
+    every mode, so the concrete values the engine pins — and hence the
+    explored path set and emitted test cases — are mode-independent. *)
+type mode = Fresh | Incremental | Portfolio
+
+val mode_name : mode -> string
+val mode_of_string : string -> mode option
+
 type stats = {
   mutable queries : int;
   mutable sat_queries : int; (** queries that reached the SAT core *)
@@ -33,11 +51,27 @@ type stats = {
           [total_time] spent in such queries bounds what an incremental
           (assumption-stack) solver could save. *)
   mutable prefix_reused_time : float;
+  mutable inc_hits : int;
+      (** realized incremental reuse: probes answered on a live instance
+          whose assumption stack matched the query's whole prefix *)
+  mutable inc_partials : int;
+      (** probes that popped a live instance to a common ancestor and
+          asserted only a suffix *)
+  mutable sat_learned : int;
+      (** SAT-core learned clauses created, summed over instances *)
+  mutable sat_kept : int;
+      (** learned clauses currently live in the instance ring — the pool
+          future prefix-matching queries reuse *)
 }
 
 type model_ring
 (** Bounded ring of recently found models, most recent first.  Inspect
     through {!models} / {!latest_model}; drop through {!clear_caches}. *)
+
+type instance
+(** A live SAT instance of the incremental ring: a persistent
+    {!Sat.t}/{!Bitblast.ctx} pair plus the constraint stack currently
+    asserted as retractable assumption frames. *)
 
 type ctx = {
   ctx_stats : stats;
@@ -54,13 +88,20 @@ type ctx = {
   timeout_ms : float option ref;
       (** Wall-clock watchdog per SAT-core call ([--solver-timeout-ms]);
           exceeding it yields [Unknown]. *)
+  mode : mode ref;  (** SAT-core strategy for verdict queries *)
+  insts : instance option array;
+      (** The incremental instance ring (LRU, bounded size and per-instance
+          clause budget).  Empty in [Fresh]/[Portfolio] modes. *)
+  mutable inst_tick : int;
 }
 (** One solver context: caches + statistics + budgets.  A context is
     single-threaded; concurrent domains must each own one. *)
 
-val create_ctx : ?max_conflicts:int -> ?timeout_ms:float -> unit -> ctx
+val create_ctx :
+  ?max_conflicts:int -> ?timeout_ms:float -> ?mode:mode -> unit -> ctx
 (** A fresh context with empty caches and zeroed statistics.
-    [timeout_ms] defaults to {!default_timeout_ms}'s current value. *)
+    [timeout_ms] defaults to {!default_timeout_ms}'s current value and
+    [mode] to {!default_mode}'s. *)
 
 val default_timeout_ms : float option ref
 (** Watchdog inherited by every context {!create_ctx} makes afterwards
@@ -69,6 +110,13 @@ val default_timeout_ms : float option ref
 
 val set_default_timeout_ms : float option -> unit
 (** Set {!default_timeout_ms} and retrofit {!default_ctx}. *)
+
+val default_mode : mode ref
+(** Strategy inherited by contexts created afterwards ([--solver=...]).
+    Defaults to [Incremental].  Set through {!set_default_mode}. *)
+
+val set_default_mode : mode -> unit
+(** Set {!default_mode} and retrofit {!default_ctx}. *)
 
 val default_ctx : ctx
 (** The context used when [?ctx] is omitted — the process-wide solver
@@ -110,6 +158,20 @@ val check : ?ctx:ctx -> Expr.t list -> result
 val check_with : ?ctx:ctx -> constraints:Expr.t list -> Expr.t -> result
 (** Satisfiability of [constraints ∧ cond], slicing [constraints] around
     [cond]'s variables: the branch-feasibility query. *)
+
+val check_model : ?ctx:ctx -> Expr.t list -> result
+(** Like {!check} but pristine: bypasses the model cache and solves on a
+    cold SAT instance in every {!mode}, so the returned model is a pure
+    function of the constraint set.  Test-case extraction
+    ({!S2e_core.Parallel.model_of}) uses this to keep case bytes identical
+    across serial / parallel / incremental / fresh runs. *)
+
+val check_branch :
+  ?ctx:ctx -> constraints:Expr.t list -> Expr.t -> result * result
+(** Feasibility of both sides of a fork: [(check (cond ∧ C), check (¬cond
+    ∧ C))] over a single shared slice.  In incremental mode the two probes
+    land on the same live SAT instance — the second reuses the first's
+    encoding and learned clauses. *)
 
 val get_value : ?ctx:ctx -> constraints:Expr.t list -> Expr.t -> int64 option
 (** A concrete value for the expression consistent with the constraints.

@@ -249,6 +249,54 @@ let test_tiny_timeout_degrades () =
          && String.sub r (String.length r - 12) 12 = "[incomplete]")
        completed)
 
+let with_mode mode f =
+  let saved = !Solver.default_mode in
+  Solver.set_default_mode mode;
+  Fun.protect ~finally:(fun () -> Solver.set_default_mode saved) f
+
+let test_chaos_differential_incremental_vs_fresh () =
+  (* Under an armed injected-unknown plan, the incremental solver must
+     degrade exactly as fresh per-query solving does.  Injection fires
+     per canonical query before any mode dispatch or cache lookup, so
+     the seeded stream hits the same queries in both modes: same
+     [incomplete] markers, same final case set, same injection count. *)
+  let run mode =
+    with_mode mode (fun () ->
+        let completed, fired =
+          with_plan ~seed:11 (parse_ok "solver=unknown:0.05") (fun () ->
+              let _, completed = explore_with () in
+              (completed, Fault.count Fault.Solver_unknown))
+        in
+        (* Cases solved after disarm: the witness models are computed on
+           a clean solver either way. *)
+        let cases =
+          List.map
+            (fun (s : State.t) ->
+              State.report_string s ^ " | "
+              ^ Parallel.test_case_to_string (Parallel.test_case s))
+            completed
+          |> List.sort compare
+        in
+        (cases, fired))
+  in
+  let fresh_cases, fresh_fired = run Solver.Fresh in
+  let inc_cases, inc_fired = run Solver.Incremental in
+  Alcotest.(check bool) "plan actually fired" true (fresh_fired > 0);
+  Alcotest.(check int) "identical injection count" fresh_fired inc_fired;
+  Alcotest.(check bool) "some path degraded to [incomplete]" true
+    (List.exists
+       (fun line ->
+         let tag = "[incomplete]" in
+         let n = String.length tag in
+         let rec has i =
+           i + n <= String.length line
+           && (String.sub line i n = tag || has (i + 1))
+         in
+         has 0)
+       fresh_cases);
+  Alcotest.(check (list string))
+    "incremental degrades identically to fresh" fresh_cases inc_cases
+
 let test_no_deadline_identical_to_seed () =
   (* Resilience machinery off: the path set must be byte-identical to a
      run that predates it, and a generous watchdog must change nothing. *)
@@ -282,6 +330,8 @@ let tests =
       test_injected_unknown_counted;
     Alcotest.test_case "tiny solver timeout degrades, never crashes" `Quick
       test_tiny_timeout_degrades;
+    Alcotest.test_case "chaos differential: incremental degrades like fresh"
+      `Quick test_chaos_differential_incremental_vs_fresh;
     Alcotest.test_case "no deadline is byte-identical to seed behavior" `Quick
       test_no_deadline_identical_to_seed;
   ]

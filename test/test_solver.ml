@@ -258,6 +258,146 @@ let test_get_value_warm_vs_cold () =
   let vsc = Solver.get_values ~ctx:(Solver.create_ctx ()) ~constraints:cs ~limit:5 x in
   Alcotest.(check (list int64)) "get_values history-independent" vsc vsw
 
+(* --- incremental assumption stack ----------------------------------- *)
+
+let with_mode mode f =
+  let saved = !Solver.default_mode in
+  Solver.set_default_mode mode;
+  Fun.protect ~finally:(fun () -> Solver.set_default_mode saved) f
+
+let result_tag = function
+  | Sat.Sat -> "sat"
+  | Sat.Unsat -> "unsat"
+  | Sat.Unknown -> "unknown"
+
+(* Property: a long-lived instance driven through a random push /
+   solve_assuming / pop script answers exactly like a throwaway solver
+   handed the same clauses plus the stacked assumptions as units, and
+   every Sat model satisfies all clauses and currently-live
+   assumptions.  This is the soundness contract that lets the solver
+   retain learned clauses across pops. *)
+let test_sat_incremental_vs_fresh () =
+  let rng = Random.State.make [| 0x51AC; 11 |] in
+  for _round = 1 to 25 do
+    let nvars = 5 + Random.State.int rng 7 in
+    let inc = Sat.create () in
+    for _ = 1 to nvars do
+      ignore (Sat.new_var inc)
+    done;
+    let rand_lit () =
+      let v = Random.State.int rng nvars in
+      if Random.State.bool rng then Sat.pos v else Sat.neg v
+    in
+    let nclauses = 8 + Random.State.int rng 16 in
+    let clauses =
+      List.init nclauses (fun _ ->
+          List.init (1 + Random.State.int rng 3) (fun _ -> rand_lit ()))
+    in
+    List.iter (Sat.add_clause inc) clauses;
+    let stack = ref [] in
+    for _step = 1 to 10 do
+      (if !stack = [] || Random.State.bool rng then begin
+         let l = rand_lit () in
+         Sat.push inc;
+         Sat.assume inc l;
+         stack := l :: !stack
+       end
+       else begin
+         Sat.pop inc;
+         stack := List.tl !stack
+       end);
+      let extra = if Random.State.bool rng then [ rand_lit () ] else [] in
+      let fresh = Sat.create () in
+      for _ = 1 to nvars do
+        ignore (Sat.new_var fresh)
+      done;
+      List.iter (Sat.add_clause fresh) clauses;
+      List.iter (fun l -> Sat.add_clause fresh [ l ]) (!stack @ extra);
+      let ri = Sat.solve_assuming inc extra in
+      let rf = Sat.solve fresh in
+      Alcotest.(check string)
+        "incremental verdict = fresh verdict" (result_tag rf) (result_tag ri);
+      match ri with
+      | Sat.Sat ->
+          let lit_true l =
+            Sat.model_value inc (Sat.lit_var l) = Sat.lit_sign l
+          in
+          List.iter
+            (fun c ->
+              Alcotest.(check bool)
+                "model satisfies" true
+                (List.exists lit_true c))
+            (clauses @ List.map (fun l -> [ l ]) (!stack @ extra))
+      | _ -> ()
+    done;
+    Alcotest.(check int) "frame bookkeeping" (List.length !stack)
+      (Sat.frames inc)
+  done
+
+(* A persistent bit-blast context must map structurally equal expression
+   nodes to the identical SAT literal — across separate calls and across
+   a push/solve/pop cycle — or prefix matching on a live instance would
+   silently re-encode (and re-constrain) nothing-new terms. *)
+let test_bitblast_literal_stable () =
+  let sat = Sat.create () in
+  let bctx = Bitblast.create sat in
+  let x = Expr.fresh_var ~width:8 "bl" in
+  let mk () =
+    Expr.ult (Expr.add x (Expr.const ~width:8 3L)) (Expr.const ~width:8 10L)
+  in
+  let l1 = Bitblast.literal bctx (mk ()) in
+  let l2 = Bitblast.literal bctx (mk ()) in
+  Alcotest.(check int) "structurally equal nodes share a literal" l1 l2;
+  Sat.push sat;
+  Sat.assume sat l1;
+  (match Sat.solve sat with
+  | Sat.Sat -> ()
+  | _ -> Alcotest.fail "expected sat under assumption");
+  Sat.pop sat;
+  let l3 = Bitblast.literal bctx (mk ()) in
+  Alcotest.(check int) "literal stable across push/solve/pop" l1 l3;
+  let other = Expr.ult x (Expr.const ~width:8 9L) in
+  Alcotest.(check bool) "distinct nodes get distinct literals" true
+    (Bitblast.literal bctx other <> l1)
+
+(* Whole-engine differential: every solver mode must explore the same
+   tree and emit byte-identical sorted case sets, serially and with
+   domain-parallel workers (each worker gets a private instance ring, so
+   jobs > 1 exercises ring isolation). *)
+let explore_cases mode jobs =
+  with_mode mode (fun () ->
+      let r =
+        S2e_core.Parallel.explore ~jobs
+          ~limits:
+            {
+              S2e_core.Executor.max_instructions = None;
+              max_seconds = Some 60.;
+              max_completed = None;
+            }
+          ~make_engine:(Test_dist.make_engine_for Test_dist.workload_32)
+          ~boot:(fun eng -> S2e_core.Executor.boot eng ~entry:0x1000 ())
+          ()
+      in
+      List.map
+        (fun s ->
+          S2e_core.Parallel.test_case_to_string
+            (S2e_core.Parallel.test_case s))
+        r.S2e_core.Parallel.completed
+      |> List.sort compare)
+
+let test_mode_differential () =
+  let fresh = explore_cases Solver.Fresh 1 in
+  Alcotest.(check int) "32 paths" 32 (List.length fresh);
+  Alcotest.(check (list string))
+    "incremental serial = fresh" fresh
+    (explore_cases Solver.Incremental 1);
+  Alcotest.(check (list string))
+    "incremental jobs=4 = fresh" fresh
+    (explore_cases Solver.Incremental 4);
+  Alcotest.(check (list string))
+    "portfolio serial = fresh" fresh
+    (explore_cases Solver.Portfolio 1)
+
 let tests =
   [
     Alcotest.test_case "sat basic" `Quick test_sat_basic;
@@ -276,6 +416,12 @@ let tests =
     Alcotest.test_case "solver context isolation" `Quick test_ctx_isolation;
     Alcotest.test_case "get_value warm vs cold" `Quick
       test_get_value_warm_vs_cold;
+    Alcotest.test_case "incremental push/pop answers like fresh" `Quick
+      test_sat_incremental_vs_fresh;
+    Alcotest.test_case "bitblast literals stable in a context" `Quick
+      test_bitblast_literal_stable;
+    Alcotest.test_case "solver modes explore identical case sets" `Quick
+      test_mode_differential;
     QCheck_alcotest.to_alcotest prop_models_satisfy;
     QCheck_alcotest.to_alcotest prop_solver_vs_brute;
   ]
